@@ -1,0 +1,55 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestCLIWorkflow drives the CLI verbs end to end against a temp
+// database: init → query → tree → top → similar → crumbs.
+func TestCLIWorkflow(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	if err := cmdInit([]string{"-dir", dir, "-families", "2", "-per-family", "5", "-ligands", "8"}); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	if err := cmdQuery([]string{"-dir", dir, "SELECT family, COUNT(*) FROM proteins GROUP BY family"}); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if err := cmdQuery([]string{"-dir", dir, "EXPLAIN SELECT * FROM proteins WHERE accession = 'DT00001'"}); err != nil {
+		t.Fatalf("explain: %v", err)
+	}
+	if err := cmdQuery([]string{"-dir", dir, "-naive", "SELECT COUNT(*) FROM ligands"}); err != nil {
+		t.Fatalf("naive query: %v", err)
+	}
+	if err := cmdTree([]string{"-dir", dir}); err != nil {
+		t.Fatalf("tree: %v", err)
+	}
+	if err := cmdTop([]string{"-dir", dir, "-node", "DT00000", "-k", "3"}); err != nil {
+		t.Fatalf("top: %v", err)
+	}
+	if err := cmdSimilar([]string{"-dir", dir, "-smiles", "CCO", "-k", "3", "-threshold", "0"}); err != nil {
+		t.Fatalf("similar: %v", err)
+	}
+	if err := cmdCrumbs([]string{"-dir", dir, "-node", "DT00003"}); err != nil {
+		t.Fatalf("crumbs: %v", err)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if err := cmdInit([]string{}); err == nil {
+		t.Error("init without -dir accepted")
+	}
+	if err := cmdQuery([]string{"-dir", ""}); err == nil {
+		t.Error("query without args accepted")
+	}
+	if err := cmdSimilar([]string{"-dir", "x"}); err == nil {
+		t.Error("similar without -smiles accepted")
+	}
+	if err := cmdCrumbs([]string{"-dir", "x"}); err == nil {
+		t.Error("crumbs without -node accepted")
+	}
+	dir := t.TempDir()
+	if err := cmdQuery([]string{"-dir", dir, "SELECT 1 FROM nope"}); err == nil {
+		t.Error("query against empty db accepted")
+	}
+}

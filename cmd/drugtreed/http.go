@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"drugtree/internal/core"
+	"drugtree/internal/mobile"
+	"drugtree/internal/store"
+)
+
+// queryPayload is the JSON shape of /query responses.
+type queryPayload struct {
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Plan    string     `json:"plan,omitempty"`
+}
+
+// newMux builds the HTTP API over an engine. Split from main so the
+// handlers are testable with httptest.
+func newMux(eng *core.Engine) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, eng.Metrics.Dump())
+	})
+	mux.HandleFunc("GET /tree", func(w http.ResponseWriter, r *http.Request) {
+		node := r.URL.Query().Get("node")
+		if node == "" {
+			node = eng.Root().Name
+		}
+		budget := 100
+		if b := r.URL.Query().Get("budget"); b != "" {
+			if n, err := strconv.Atoi(b); err == nil && n > 0 {
+				budget = n
+			}
+		}
+		id, err := eng.NodeByName(node)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		nodes := mobile.BuildViewport(eng, id, budget)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(nodes)
+	})
+	mux.HandleFunc("GET /query", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("q")
+		if q == "" {
+			http.Error(w, "missing q parameter", http.StatusBadRequest)
+			return
+		}
+		res, err := eng.Query(q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		p := queryPayload{Columns: res.Columns, Plan: res.Plan}
+		for _, row := range res.Rows {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				if v.K == store.KindString {
+					cells[i] = v.S
+				} else {
+					cells[i] = v.String()
+				}
+			}
+			p.Rows = append(p.Rows, cells)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(p)
+	})
+	mux.HandleFunc("GET /breadcrumbs", func(w http.ResponseWriter, r *http.Request) {
+		node := r.URL.Query().Get("node")
+		if node == "" {
+			http.Error(w, "missing node parameter", http.StatusBadRequest)
+			return
+		}
+		crumbs, err := eng.Breadcrumbs(node)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(crumbs)
+	})
+	mux.HandleFunc("GET /subtree", func(w http.ResponseWriter, r *http.Request) {
+		node := r.URL.Query().Get("node")
+		if node == "" {
+			http.Error(w, "missing node parameter", http.StatusBadRequest)
+			return
+		}
+		sum, err := eng.SubtreeActivity(node)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(sum)
+	})
+	return mux
+}

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"drugtree/internal/core"
+	"drugtree/internal/datagen"
+	"drugtree/internal/integrate"
+	"drugtree/internal/mobile"
+	"drugtree/internal/netsim"
+	"drugtree/internal/source"
+	"drugtree/internal/store"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	gen := datagen.DefaultConfig()
+	gen.NumFamilies = 2
+	gen.ProteinsPerFamily = 6
+	gen.NumLigands = 8
+	ds, err := datagen.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := store.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	bundle := source.NewBundle(ds, netsim.ProfileLAN, 1, true)
+	if _, err := integrate.NewImporter(db, bundle).ImportAll(); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.New(db, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newMux(eng))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	resp.Body.Close()
+	return resp, b.String()
+}
+
+func TestHealthz(t *testing.T) {
+	srv := testServer(t)
+	resp, body := get(t, srv.URL+"/healthz")
+	if resp.StatusCode != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz = %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv := testServer(t)
+	resp, body := get(t, srv.URL+"/query?q="+
+		"SELECT+family,+COUNT(*)+AS+n+FROM+proteins+GROUP+BY+family+ORDER+BY+family")
+	if resp.StatusCode != 200 {
+		t.Fatalf("query status = %d: %s", resp.StatusCode, body)
+	}
+	var p queryPayload
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if len(p.Rows) != 2 || p.Columns[0] != "family" {
+		t.Fatalf("payload = %+v", p)
+	}
+	if p.Rows[0][0] != "FAM00" || p.Rows[0][1] != "6" {
+		t.Fatalf("rows = %v", p.Rows)
+	}
+}
+
+func TestQueryEndpointErrors(t *testing.T) {
+	srv := testServer(t)
+	resp, _ := get(t, srv.URL+"/query")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing q = %d", resp.StatusCode)
+	}
+	resp, _ = get(t, srv.URL+"/query?q=SELECT+*+FROM+nope")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad query = %d", resp.StatusCode)
+	}
+}
+
+func TestTreeEndpoint(t *testing.T) {
+	srv := testServer(t)
+	resp, body := get(t, srv.URL+"/tree?budget=5")
+	if resp.StatusCode != 200 {
+		t.Fatalf("tree status = %d", resp.StatusCode)
+	}
+	var nodes []mobile.WireNode
+	if err := json.Unmarshal([]byte(body), &nodes); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(nodes) == 0 || len(nodes) > 5 {
+		t.Fatalf("nodes = %d", len(nodes))
+	}
+	resp, _ = get(t, srv.URL+"/tree?node=missing")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing node = %d", resp.StatusCode)
+	}
+}
+
+func TestSubtreeEndpoint(t *testing.T) {
+	srv := testServer(t)
+	resp, body := get(t, srv.URL+"/subtree?node=DT00000")
+	if resp.StatusCode != 200 {
+		t.Fatalf("subtree status = %d: %s", resp.StatusCode, body)
+	}
+	var sum core.ActivitySummary
+	if err := json.Unmarshal([]byte(body), &sum); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if sum.Proteins != 1 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	resp, _ = get(t, srv.URL+"/subtree")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing node = %d", resp.StatusCode)
+	}
+}
+
+func TestBreadcrumbsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	resp, body := get(t, srv.URL+"/breadcrumbs?node=DT00003")
+	if resp.StatusCode != 200 {
+		t.Fatalf("breadcrumbs status = %d: %s", resp.StatusCode, body)
+	}
+	var crumbs []core.NodeView
+	if err := json.Unmarshal([]byte(body), &crumbs); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(crumbs) < 2 || crumbs[len(crumbs)-1].Name != "DT00003" {
+		t.Fatalf("crumbs = %+v", crumbs)
+	}
+	resp, _ = get(t, srv.URL+"/breadcrumbs")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing node = %d", resp.StatusCode)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	get(t, srv.URL+"/query?q=SELECT+COUNT(*)+FROM+proteins")
+	resp, body := get(t, srv.URL+"/metrics")
+	if resp.StatusCode != 200 || !strings.Contains(body, "query.count") {
+		t.Fatalf("metrics = %d\n%s", resp.StatusCode, body)
+	}
+}

@@ -1,0 +1,111 @@
+// drugtreed is the DrugTree server: it loads (or generates) an
+// integrated dataset, builds the phylogenetic overlay, and serves
+// both the binary mobile wire protocol and an HTTP JSON API.
+//
+// Usage:
+//
+//	drugtreed -dir data -listen :7047 -http :8047
+//	drugtreed -generate -families 8 -per-family 20   # ephemeral demo
+//
+// HTTP endpoints:
+//
+//	GET  /healthz                   liveness
+//	GET  /tree?node=NAME&budget=N   viewport JSON
+//	GET  /query?q=DTQL              query results JSON
+//	GET  /metrics                   engine counters (text)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+
+	"drugtree/internal/core"
+	"drugtree/internal/datagen"
+	"drugtree/internal/integrate"
+	"drugtree/internal/mobile"
+	"drugtree/internal/netsim"
+	"drugtree/internal/source"
+	"drugtree/internal/store"
+)
+
+func main() {
+	dir := flag.String("dir", "", "database directory (initialized with `drugtree init`)")
+	generate := flag.Bool("generate", false, "generate an ephemeral in-memory dataset instead of -dir")
+	families := flag.Int("families", 8, "families for -generate")
+	perFamily := flag.Int("per-family", 20, "proteins per family for -generate")
+	ligands := flag.Int("ligands", 50, "ligands for -generate")
+	seed := flag.Int64("seed", 1, "seed for -generate")
+	listen := flag.String("listen", ":7047", "wire-protocol listen address")
+	httpAddr := flag.String("http", ":8047", "HTTP listen address")
+	flag.Parse()
+
+	eng, cleanup, err := buildEngine(*dir, *generate, *seed, *families, *perFamily, *ligands)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cleanup()
+
+	server := mobile.NewServer(eng)
+	server.Async = true
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wire protocol on %s", l.Addr())
+	go func() {
+		if err := server.Serve(l); err != nil {
+			log.Printf("wire server stopped: %v", err)
+		}
+	}()
+
+	log.Printf("HTTP API on %s", *httpAddr)
+	log.Fatal(http.ListenAndServe(*httpAddr, newMux(eng)))
+}
+
+func buildEngine(dir string, generate bool, seed int64, families, perFamily, ligands int) (*core.Engine, func(), error) {
+	var db *store.DB
+	var err error
+	switch {
+	case generate:
+		db, err = store.Open("")
+		if err != nil {
+			return nil, nil, err
+		}
+		gen := datagen.DefaultConfig()
+		gen.Seed = seed
+		gen.NumFamilies = families
+		gen.ProteinsPerFamily = perFamily
+		gen.NumLigands = ligands
+		ds, err := datagen.Generate(gen)
+		if err != nil {
+			return nil, nil, err
+		}
+		bundle := source.NewBundle(ds, netsim.Profile4G, seed, true)
+		if _, err := integrate.NewImporter(db, bundle).ImportAll(); err != nil {
+			return nil, nil, err
+		}
+	case dir != "":
+		db, err = store.Open(dir)
+		if err != nil {
+			return nil, nil, err
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "drugtreed: need -dir or -generate")
+		os.Exit(2)
+	}
+	cfg := core.DefaultConfig()
+	// The server is long-lived and read-mostly: repeated dashboard
+	// statements benefit from the statement cache (experiment T6).
+	cfg.QueryCacheEntries = 256
+	eng, err := core.New(db, cfg)
+	if err != nil {
+		db.Close()
+		return nil, nil, err
+	}
+	return eng, func() { db.Close() }, nil
+}

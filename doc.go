@@ -1,0 +1,10 @@
+// Package drugtree is the root of the DrugTree reproduction: a
+// protein–ligand data analysis system that overlays ligand screening
+// data on a protein-motivated phylogenetic tree, integrates data from
+// heterogeneous remote sources, and optimizes interactive tree
+// queries for mobile clients.
+//
+// This package holds only the repository-level benchmark harness
+// (bench_test.go); the library lives under internal/ and the
+// executables under cmd/. See README.md for the map.
+package drugtree

@@ -1,0 +1,102 @@
+// Mobile session: drive a simulated phone through a pan/zoom/query
+// session over a shaped 3G connection, comparing the full-tree
+// baseline against LOD+delta streaming — the interaction path the
+// paper's title is about. The link shaping is real (the bytes travel
+// through a latency/bandwidth model), so the printed latencies are
+// wall-clock.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"drugtree/internal/core"
+	"drugtree/internal/datagen"
+	"drugtree/internal/mobile"
+	"drugtree/internal/netsim"
+	"drugtree/internal/store"
+)
+
+func main() {
+	// A 600-leaf tree is large enough that shipping it whole over 3G
+	// visibly hurts.
+	tree, err := datagen.RandomTopology(600, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := store.Open("")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	eng, err := core.NewWithTree(db, tree, core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The interaction script: open the root, zoom into the dominant
+	// clade twice, pan to a sibling, jump back to the root.
+	script := []string{eng.Root().Name}
+	cur := eng.Root().Name
+	for i := 0; i < 2; i++ {
+		children, err := eng.Children(cur)
+		if err != nil || len(children) == 0 {
+			break
+		}
+		best := children[0]
+		for _, c := range children {
+			if c.LeafCount > best.LeafCount {
+				best = c
+			}
+		}
+		script = append(script, best.Name)
+		cur = best.Name
+	}
+	children, _ := eng.Children(script[1])
+	if len(children) > 1 {
+		script = append(script, children[1].Name)
+	}
+	script = append(script, eng.Root().Name)
+
+	// Use a tamer 3G (no jitter/loss) so the demo output is stable.
+	profile := netsim.Profile3G
+	profile.Jitter = 0
+	profile.LossPct = 0
+
+	for _, strategy := range []mobile.Strategy{mobile.StrategyFull, mobile.StrategyLODDelta} {
+		eng.ResetSession()
+		link := netsim.NewLink(profile, 1, false)
+		clientConn, serverConn := netsim.Pipe(link)
+		server := mobile.NewServer(eng)
+		go server.ServeConn(serverConn)
+
+		c, err := mobile.Dial(clientConn, strategy, 60)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- strategy %s (3G, viewport budget 60) ---\n", strategy)
+		for _, node := range script {
+			delta, err := c.Open(node)
+			if err != nil {
+				log.Fatal(err)
+			}
+			last := c.Latencies[len(c.Latencies)-1]
+			fmt.Printf("open %-12s +%d nodes -%d nodes  %7.0fms\n",
+				node, len(delta.Add), len(delta.Remove),
+				float64(last)/float64(time.Millisecond))
+		}
+		// One analytical query through the same session.
+		res, err := c.Query("SELECT COUNT(*) FROM tree_nodes WHERE is_leaf = TRUE")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query leaves=%s  %7.0fms\n", mobile.RowsAsStrings(res)[0],
+			float64(c.Latencies[len(c.Latencies)-1])/float64(time.Millisecond))
+		fmt.Printf("session total: %d bytes down, client renders %d nodes\n\n",
+			c.BytesDown, len(c.Nodes))
+		c.Close()
+		clientConn.Close()
+		serverConn.Close()
+	}
+}

@@ -1,0 +1,3 @@
+module drugtree
+
+go 1.22

@@ -1,0 +1,74 @@
+package align
+
+import "drugtree/internal/bio/seq"
+
+// Scoring defines substitution scores and affine-ish gap penalties
+// (linear gaps: each gap position costs GapPenalty).
+type Scoring struct {
+	// Name identifies the matrix in EXPLAIN-style output.
+	Name string
+	// Sub returns the substitution score for two compact residue
+	// codes (see seq.ResidueIndex).
+	Sub [20][20]int
+	// GapPenalty is the (positive) cost charged per gap position.
+	GapPenalty int
+}
+
+// Score returns the substitution score for residue bytes a and b.
+// Non-standard residues score as the worst value in the matrix.
+func (s *Scoring) Score(a, b byte) int {
+	i, j := seq.ResidueIndex(a), seq.ResidueIndex(b)
+	if i < 0 || j < 0 {
+		return -s.GapPenalty
+	}
+	return s.Sub[i][j]
+}
+
+// blosum62rows is the standard BLOSUM62 matrix in seq.AminoAcids order
+// (ARNDCQEGHILKMFPSTWYV). Source: NCBI BLOSUM62, reordered.
+var blosum62rows = [20][20]int{
+	// A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V
+	{4, -1, -2, -2, 0, -1, -1, 0, -2, -1, -1, -1, -1, -2, -1, 1, 0, -3, -2, 0},      // A
+	{-1, 5, 0, -2, -3, 1, 0, -2, 0, -3, -2, 2, -1, -3, -2, -1, -1, -3, -2, -3},      // R
+	{-2, 0, 6, 1, -3, 0, 0, 0, 1, -3, -3, 0, -2, -3, -2, 1, 0, -4, -2, -3},          // N
+	{-2, -2, 1, 6, -3, 0, 2, -1, -1, -3, -4, -1, -3, -3, -1, 0, -1, -4, -3, -3},     // D
+	{0, -3, -3, -3, 9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1},  // C
+	{-1, 1, 0, 0, -3, 5, 2, -2, 0, -3, -2, 1, 0, -3, -1, 0, -1, -2, -1, -2},         // Q
+	{-1, 0, 0, 2, -4, 2, 5, -2, 0, -3, -3, 1, -2, -3, -1, 0, -1, -3, -2, -2},        // E
+	{0, -2, 0, -1, -3, -2, -2, 6, -2, -4, -4, -2, -3, -3, -2, 0, -2, -2, -3, -3},    // G
+	{-2, 0, 1, -1, -3, 0, 0, -2, 8, -3, -3, -1, -2, -1, -2, -1, -2, -2, 2, -3},      // H
+	{-1, -3, -3, -3, -1, -3, -3, -4, -3, 4, 2, -3, 1, 0, -3, -2, -1, -3, -1, 3},     // I
+	{-1, -2, -3, -4, -1, -2, -3, -4, -3, 2, 4, -2, 2, 0, -3, -2, -1, -2, -1, 1},     // L
+	{-1, 2, 0, -1, -3, 1, 1, -2, -1, -3, -2, 5, -1, -3, -1, 0, -1, -3, -2, -2},      // K
+	{-1, -1, -2, -3, -1, 0, -2, -3, -2, 1, 2, -1, 5, 0, -2, -1, -1, -1, -1, 1},      // M
+	{-2, -3, -3, -3, -2, -3, -3, -3, -1, 0, 0, -3, 0, 6, -4, -2, -2, 1, 3, -1},      // F
+	{-1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4, 7, -1, -1, -4, -3, -2}, // P
+	{1, -1, 1, 0, -1, 0, 0, 0, -1, -2, -2, 0, -1, -2, -1, 4, 1, -3, -2, -2},         // S
+	{0, -1, 0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1, 1, 5, -2, -2, 0},     // T
+	{-3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1, 1, -4, -3, -2, 11, 2, -3},  // W
+	{-2, -2, -2, -3, -2, -1, -2, -3, 2, -1, -1, -2, -1, 3, -3, -2, -2, 2, 7, -1},    // Y
+	{0, -3, -3, -3, -1, -2, -2, -3, -3, 3, 1, -2, 1, -1, -2, -2, 0, -3, -1, 4},      // V
+}
+
+// BLOSUM62 returns the standard BLOSUM62 scoring with the given gap
+// penalty (a typical choice is 8 for linear gaps).
+func BLOSUM62(gapPenalty int) *Scoring {
+	return &Scoring{Name: "BLOSUM62", Sub: blosum62rows, GapPenalty: gapPenalty}
+}
+
+// Identity returns a match/mismatch scoring: +match for equal residues
+// and -mismatch otherwise. Useful in tests where BLOSUM structure
+// would obscure expected values.
+func Identity(match, mismatch, gapPenalty int) *Scoring {
+	s := &Scoring{Name: "identity", GapPenalty: gapPenalty}
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			if i == j {
+				s.Sub[i][j] = match
+			} else {
+				s.Sub[i][j] = -mismatch
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,114 @@
+package seq
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseFASTA reads protein records from FASTA text. The defline format
+// is ">ID Name..."; an optional " family=F" token in the description is
+// captured into Family (written by WriteFASTA and the data generator).
+func ParseFASTA(r io.Reader) ([]*Protein, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []*Protein
+	var cur *Protein
+	var body strings.Builder
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		cur.Residues = body.String()
+		body.Reset()
+		if err := cur.Normalize(); err != nil {
+			return err
+		}
+		out = append(out, cur)
+		cur = nil
+		return nil
+	}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if text[0] == '>' {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			cur = parseDefline(text[1:])
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("seq: line %d: sequence data before first defline", line)
+		}
+		body.WriteString(text)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("seq: reading FASTA: %w", err)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseDefline(s string) *Protein {
+	p := &Protein{}
+	fields := strings.Fields(s)
+	if len(fields) > 0 {
+		p.ID = fields[0]
+	}
+	var nameParts []string
+	for _, f := range fields[1:] {
+		if fam, ok := strings.CutPrefix(f, "family="); ok {
+			p.Family = fam
+			continue
+		}
+		nameParts = append(nameParts, f)
+	}
+	p.Name = strings.Join(nameParts, " ")
+	return p
+}
+
+// WriteFASTA writes records in FASTA format with 60-column sequence
+// wrapping. Family, when set, is encoded as a "family=F" defline token
+// so ParseFASTA round-trips it.
+func WriteFASTA(w io.Writer, proteins []*Protein) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range proteins {
+		if _, err := fmt.Fprintf(bw, ">%s", p.ID); err != nil {
+			return err
+		}
+		if p.Name != "" {
+			if _, err := fmt.Fprintf(bw, " %s", p.Name); err != nil {
+				return err
+			}
+		}
+		if p.Family != "" {
+			if _, err := fmt.Fprintf(bw, " family=%s", p.Family); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+		for i := 0; i < len(p.Residues); i += 60 {
+			end := i + 60
+			if end > len(p.Residues) {
+				end = len(p.Residues)
+			}
+			if _, err := bw.WriteString(p.Residues[i:end]); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

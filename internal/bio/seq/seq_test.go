@@ -1,0 +1,234 @@
+package seq
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestResidueIndexRoundTrip(t *testing.T) {
+	for i := 0; i < len(AminoAcids); i++ {
+		c := AminoAcids[i]
+		if got := ResidueIndex(c); got != i {
+			t.Errorf("ResidueIndex(%q) = %d, want %d", c, got, i)
+		}
+		lower := c + 'a' - 'A'
+		if got := ResidueIndex(lower); got != i {
+			t.Errorf("ResidueIndex(%q) = %d, want %d", lower, got, i)
+		}
+	}
+	for _, c := range []byte{'B', 'J', 'O', 'U', 'X', 'Z', '*', '-', ' ', '1'} {
+		if IsResidue(c) {
+			t.Errorf("IsResidue(%q) = true, want false", c)
+		}
+	}
+}
+
+func TestProteinValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		p       Protein
+		wantErr bool
+	}{
+		{"valid", Protein{ID: "P1", Residues: "ACDEFGHIKLMNPQRSTVWY"}, false},
+		{"empty id", Protein{Residues: "ACD"}, true},
+		{"empty seq", Protein{ID: "P1"}, true},
+		{"bad residue", Protein{ID: "P1", Residues: "ACDX"}, true},
+		{"gap char", Protein{ID: "P1", Residues: "AC-D"}, true},
+	}
+	for _, tc := range cases {
+		err := tc.p.Validate()
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: Validate() err = %v, wantErr = %v", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestProteinNormalize(t *testing.T) {
+	p := Protein{ID: "P1", Residues: "acdef"}
+	if err := p.Normalize(); err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if p.Residues != "ACDEF" {
+		t.Fatalf("Residues = %q, want ACDEF", p.Residues)
+	}
+}
+
+func TestKmerProfileBasic(t *testing.T) {
+	p, err := NewKmerProfile("AAAA", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Total != 3 {
+		t.Fatalf("Total = %d, want 3", p.Total)
+	}
+	if len(p.Counts) != 1 {
+		t.Fatalf("distinct kmers = %d, want 1", len(p.Counts))
+	}
+	for _, c := range p.Counts {
+		if c != 3 {
+			t.Fatalf("count = %d, want 3", c)
+		}
+	}
+}
+
+func TestKmerProfileKBounds(t *testing.T) {
+	if _, err := NewKmerProfile("ACD", 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewKmerProfile("ACD", 13); err == nil {
+		t.Error("k=13 accepted")
+	}
+	p, err := NewKmerProfile("AC", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Total != 0 {
+		t.Fatalf("short sequence Total = %d, want 0", p.Total)
+	}
+}
+
+func TestKmerProfileInvalidResiduesBreakRuns(t *testing.T) {
+	// 'X' is not a residue; kmers may not span it.
+	p, err := NewKmerProfile("ACXDE", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Valid 2-mers: AC, DE.
+	if p.Total != 2 {
+		t.Fatalf("Total = %d, want 2", p.Total)
+	}
+}
+
+func TestKmerCosineIdentity(t *testing.T) {
+	s := "MKVLAARHGMKVLAARHG"
+	p, _ := NewKmerProfile(s, 3)
+	if d := p.Cosine(p); d > 1e-9 {
+		t.Fatalf("self distance = %g, want 0", d)
+	}
+}
+
+func TestKmerCosineDisjoint(t *testing.T) {
+	a, _ := NewKmerProfile("AAAAAA", 3)
+	b, _ := NewKmerProfile("WWWWWW", 3)
+	if d := a.Cosine(b); d != 1 {
+		t.Fatalf("disjoint distance = %g, want 1", d)
+	}
+}
+
+func TestKmerCosineMismatchedK(t *testing.T) {
+	a, _ := NewKmerProfile("AAAAAA", 2)
+	b, _ := NewKmerProfile("AAAAAA", 3)
+	if d := a.Cosine(b); d != 1 {
+		t.Fatalf("mismatched-K distance = %g, want 1", d)
+	}
+}
+
+func TestKmerCosineSymmetric(t *testing.T) {
+	a, _ := NewKmerProfile("MKVLAARHGCDEFGHIKL", 3)
+	b, _ := NewKmerProfile("MKVLAARHGAAAA", 3)
+	if d1, d2 := a.Cosine(b), b.Cosine(a); d1 != d2 {
+		t.Fatalf("asymmetric: %g vs %g", d1, d2)
+	}
+}
+
+func TestKmerCosineRange(t *testing.T) {
+	// Property: distance always in [0,1] for random residue strings.
+	f := func(xs, ys []uint8) bool {
+		mk := func(bs []uint8) string {
+			var sb strings.Builder
+			for _, b := range bs {
+				sb.WriteByte(AminoAcids[int(b)%len(AminoAcids)])
+			}
+			return sb.String()
+		}
+		a, err := NewKmerProfile(mk(xs), 2)
+		if err != nil {
+			return false
+		}
+		b, err := NewKmerProfile(mk(ys), 2)
+		if err != nil {
+			return false
+		}
+		d := a.Cosine(b)
+		return d >= 0 && d <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFASTARoundTrip(t *testing.T) {
+	in := []*Protein{
+		{ID: "P001", Name: "kinase alpha", Family: "FAM1", Residues: strings.Repeat("ACDEFGHIKLMNPQRSTVWY", 7)},
+		{ID: "P002", Name: "", Family: "", Residues: "MKVLA"},
+		{ID: "P003", Name: "two words here", Family: "FAM2", Residues: "WWWWW"},
+	}
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseFASTA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("parsed %d records, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].ID != in[i].ID || out[i].Name != in[i].Name ||
+			out[i].Family != in[i].Family || out[i].Residues != in[i].Residues {
+			t.Errorf("record %d mismatch:\n got %+v\nwant %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestFASTAWrapsLongLines(t *testing.T) {
+	long := strings.Repeat("A", 150)
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, []*Protein{{ID: "P", Residues: long}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if len(line) > 60 && line[0] != '>' {
+			t.Fatalf("sequence line longer than 60 cols: %d", len(line))
+		}
+	}
+	out, err := ParseFASTA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Residues != long {
+		t.Fatalf("wrapped sequence did not round-trip")
+	}
+}
+
+func TestFASTAErrors(t *testing.T) {
+	if _, err := ParseFASTA(strings.NewReader("ACDEF\n")); err == nil {
+		t.Error("sequence before defline accepted")
+	}
+	if _, err := ParseFASTA(strings.NewReader(">P1 ok\nAC1DEF\n")); err == nil {
+		t.Error("invalid residue accepted")
+	}
+}
+
+func TestFASTALowercaseNormalized(t *testing.T) {
+	out, err := ParseFASTA(strings.NewReader(">P1\nacdef\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Residues != "ACDEF" {
+		t.Fatalf("Residues = %q, want ACDEF", out[0].Residues)
+	}
+}
+
+func TestFASTAEmptyInput(t *testing.T) {
+	out, err := ParseFASTA(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("parsed %d records from empty input", len(out))
+	}
+}

@@ -1,0 +1,39 @@
+package cache
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkCacheGet(b *testing.B) {
+	c := New(16 << 20)
+	c.Put(mkEntry(k1, 0, 4095, 1, time.Millisecond))
+	b.Run("ExactHit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Get(k1, 0, 4095, 1)
+		}
+	})
+	b.Run("SubsumedHit64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lo := int64(i % 4000)
+			c.Get(k1, lo, lo+63, 1)
+		}
+	})
+	miss := Key{Relation: "other", RangeCol: "pre"}
+	b.Run("Miss", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Get(miss, 0, 10, 1)
+		}
+	})
+}
+
+func BenchmarkCachePutEvict(b *testing.B) {
+	entrySize := rowBytes(mkRows(0, 99))
+	c := New(entrySize * 8) // room for ~8 entries → constant eviction
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := Key{Relation: "r", RangeCol: "pre", Residual: ""}
+		lo := int64(i%64) * 1000
+		c.Put(mkEntry(k, lo, lo+99, 1, time.Millisecond))
+	}
+}

@@ -1,0 +1,238 @@
+// Package cache implements DrugTree's semantic result cache and the
+// navigation-aware prefetcher — the "novel mechanisms" the poster
+// credits for improving interactive query performance.
+//
+// The cache is range-semantic: entries remember the predicate range
+// they cover, so a query for preorder interval [10,20] is answered
+// from a cached [0,100] result by filtering (subsumption), not only
+// by exact match. Eviction is cost-aware (GreedyDual-Size): entries
+// that were expensive to compute and cheap to keep survive longer.
+package cache
+
+import (
+	"sync"
+	"time"
+
+	"drugtree/internal/store"
+)
+
+// Key identifies the semantic class of a cached result: one relation
+// (or named view), the column the range predicate applies to, and a
+// canonical rendering of any residual predicate. Two queries share an
+// entry class iff all three match.
+type Key struct {
+	Relation string
+	RangeCol string
+	Residual string
+}
+
+// Entry is one cached result set covering a range.
+type Entry struct {
+	Key     Key
+	Lo, Hi  int64 // inclusive covered range on RangeCol
+	Columns []string
+	Rows    []store.Row
+	// RangeIdx is the position of RangeCol in Rows (for subsumption
+	// filtering); -1 disables subsumption for this entry.
+	RangeIdx int
+	// Version is the data version the entry was computed at.
+	Version int64
+	// Cost is the compute cost the entry saved (eviction weight).
+	Cost time.Duration
+
+	bytes    int64
+	priority float64
+}
+
+// Stats reports cache effectiveness.
+type Stats struct {
+	Hits          int64
+	SubsumedHits  int64 // hits answered by filtering a wider entry
+	Misses        int64
+	Evictions     int64
+	Invalidations int64
+	BytesCached   int64
+}
+
+// Cache is a bounded, range-semantic result cache. Safe for
+// concurrent use.
+type Cache struct {
+	// ExactOnly disables range subsumption, turning the cache into a
+	// plain exact-match result cache. Exists for the ablation
+	// experiments; leave false in production.
+	ExactOnly bool
+
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	entries  map[Key][]*Entry
+	clock    float64 // GreedyDual-Size aging clock
+	stats    Stats
+}
+
+// New creates a cache bounded to capacity bytes.
+func New(capacity int64) *Cache {
+	return &Cache{capacity: capacity, entries: make(map[Key][]*Entry)}
+}
+
+// rowBytes estimates an entry's memory footprint.
+func rowBytes(rows []store.Row) int64 {
+	var n int64
+	for _, r := range rows {
+		n += int64(store.EncodedRowSize(r))
+	}
+	return n + 64
+}
+
+// Get answers a range query [lo,hi] from the cache. version is the
+// caller's current data version; stale entries are invalidated on
+// contact. The returned rows are the cached rows restricted to the
+// requested range.
+func (c *Cache) Get(key Key, lo, hi int64, version int64) ([]store.Row, []string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	list := c.entries[key]
+	for i := 0; i < len(list); i++ {
+		e := list[i]
+		if e.Version != version {
+			c.removeLocked(key, i)
+			list = c.entries[key]
+			i--
+			c.stats.Invalidations++
+			continue
+		}
+		if e.Lo <= lo && hi <= e.Hi {
+			// Hit. Refresh GDS priority.
+			e.priority = c.clock + float64(e.Cost.Microseconds())/float64(e.bytes+1)
+			if e.Lo == lo && e.Hi == hi {
+				c.stats.Hits++
+				return e.Rows, e.Columns, true
+			}
+			if e.RangeIdx < 0 || c.ExactOnly {
+				continue // subsumption unavailable for this entry
+			}
+			c.stats.Hits++
+			c.stats.SubsumedHits++
+			var out []store.Row
+			for _, r := range e.Rows {
+				v := r[e.RangeIdx]
+				if v.K == store.KindInt && v.I >= lo && v.I <= hi {
+					out = append(out, r)
+				}
+			}
+			return out, e.Columns, true
+		}
+	}
+	c.stats.Misses++
+	return nil, nil, false
+}
+
+// Put inserts a computed result covering [lo,hi].
+func (c *Cache) Put(e *Entry) {
+	e.bytes = rowBytes(e.Rows)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e.bytes > c.capacity {
+		return // too large to ever cache
+	}
+	// Drop narrower same-version entries this one covers.
+	list := c.entries[e.Key]
+	for i := 0; i < len(list); i++ {
+		old := list[i]
+		if old.Version == e.Version && e.Lo <= old.Lo && old.Hi <= e.Hi {
+			c.removeLocked(e.Key, i)
+			list = c.entries[e.Key]
+			i--
+		}
+	}
+	for c.used+e.bytes > c.capacity {
+		if !c.evictLocked() {
+			return
+		}
+	}
+	e.priority = c.clock + float64(e.Cost.Microseconds())/float64(e.bytes+1)
+	c.entries[e.Key] = append(c.entries[e.Key], e)
+	c.used += e.bytes
+	c.stats.BytesCached = c.used
+}
+
+// evictLocked removes the minimum-priority entry (GreedyDual-Size).
+func (c *Cache) evictLocked() bool {
+	var victimKey Key
+	victimIdx := -1
+	min := 0.0
+	first := true
+	for k, list := range c.entries {
+		for i, e := range list {
+			if first || e.priority < min {
+				min = e.priority
+				victimKey, victimIdx = k, i
+				first = false
+			}
+		}
+	}
+	if victimIdx < 0 {
+		return false
+	}
+	c.clock = min // age the clock to the evicted priority
+	c.removeLocked(victimKey, victimIdx)
+	c.stats.Evictions++
+	return true
+}
+
+func (c *Cache) removeLocked(k Key, i int) {
+	list := c.entries[k]
+	c.used -= list[i].bytes
+	list[i] = list[len(list)-1]
+	c.entries[k] = list[:len(list)-1]
+	if len(c.entries[k]) == 0 {
+		delete(c.entries, k)
+	}
+	c.stats.BytesCached = c.used
+}
+
+// InvalidateRelation drops every entry for the relation (called on
+// writes).
+func (c *Cache) InvalidateRelation(relation string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k := range c.entries {
+		if k.Relation == relation {
+			for range c.entries[k] {
+				c.stats.Invalidations++
+			}
+			for _, e := range c.entries[k] {
+				c.used -= e.bytes
+			}
+			delete(c.entries, k)
+		}
+	}
+	c.stats.BytesCached = c.used
+}
+
+// Clear empties the cache.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[Key][]*Entry)
+	c.used = 0
+	c.stats.BytesCached = 0
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, list := range c.entries {
+		n += len(list)
+	}
+	return n
+}

@@ -1,0 +1,293 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"drugtree/internal/phylo"
+	"drugtree/internal/store"
+)
+
+func mkRows(lo, hi int64) []store.Row {
+	var rows []store.Row
+	for i := lo; i <= hi; i++ {
+		rows = append(rows, store.Row{store.IntValue(i), store.StringValue(fmt.Sprintf("n%d", i))})
+	}
+	return rows
+}
+
+func mkEntry(key Key, lo, hi int64, version int64, cost time.Duration) *Entry {
+	return &Entry{
+		Key: key, Lo: lo, Hi: hi,
+		Columns:  []string{"pre", "name"},
+		Rows:     mkRows(lo, hi),
+		RangeIdx: 0,
+		Version:  version,
+		Cost:     cost,
+	}
+}
+
+var k1 = Key{Relation: "tree_nodes", RangeCol: "pre", Residual: ""}
+
+func TestCacheExactHit(t *testing.T) {
+	c := New(1 << 20)
+	c.Put(mkEntry(k1, 10, 20, 1, time.Millisecond))
+	rows, cols, ok := c.Get(k1, 10, 20, 1)
+	if !ok || len(rows) != 11 || cols[0] != "pre" {
+		t.Fatalf("exact hit: ok=%v rows=%d", ok, len(rows))
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.SubsumedHits != 0 || st.Misses != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheSubsumedHit(t *testing.T) {
+	c := New(1 << 20)
+	c.Put(mkEntry(k1, 0, 100, 1, time.Millisecond))
+	rows, _, ok := c.Get(k1, 40, 50, 1)
+	if !ok {
+		t.Fatal("subsumed query missed")
+	}
+	if len(rows) != 11 {
+		t.Fatalf("subsumed rows = %d, want 11", len(rows))
+	}
+	for _, r := range rows {
+		if r[0].I < 40 || r[0].I > 50 {
+			t.Fatalf("row %v outside requested range", r[0])
+		}
+	}
+	if st := c.Stats(); st.SubsumedHits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheMissOutsideRange(t *testing.T) {
+	c := New(1 << 20)
+	c.Put(mkEntry(k1, 10, 20, 1, time.Millisecond))
+	if _, _, ok := c.Get(k1, 15, 25, 1); ok {
+		t.Fatal("partially-covered query hit")
+	}
+	if _, _, ok := c.Get(k1, 0, 5, 1); ok {
+		t.Fatal("disjoint query hit")
+	}
+	if st := c.Stats(); st.Misses != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheKeyIsolation(t *testing.T) {
+	c := New(1 << 20)
+	c.Put(mkEntry(k1, 0, 100, 1, time.Millisecond))
+	k2 := Key{Relation: "tree_nodes", RangeCol: "pre", Residual: "is_leaf = true"}
+	if _, _, ok := c.Get(k2, 10, 20, 1); ok {
+		t.Fatal("different residual hit the same entry")
+	}
+	k3 := Key{Relation: "other", RangeCol: "pre"}
+	if _, _, ok := c.Get(k3, 10, 20, 1); ok {
+		t.Fatal("different relation hit the same entry")
+	}
+}
+
+func TestCacheVersionInvalidation(t *testing.T) {
+	c := New(1 << 20)
+	c.Put(mkEntry(k1, 0, 100, 1, time.Millisecond))
+	if _, _, ok := c.Get(k1, 10, 20, 2); ok {
+		t.Fatal("stale entry served")
+	}
+	st := c.Stats()
+	if st.Invalidations != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if c.Len() != 0 {
+		t.Fatal("stale entry not removed")
+	}
+}
+
+func TestCacheInvalidateRelation(t *testing.T) {
+	c := New(1 << 20)
+	c.Put(mkEntry(k1, 0, 50, 1, time.Millisecond))
+	k2 := Key{Relation: "proteins", RangeCol: "length"}
+	c.Put(mkEntry(k2, 0, 50, 1, time.Millisecond))
+	c.InvalidateRelation("tree_nodes")
+	if _, _, ok := c.Get(k1, 0, 50, 1); ok {
+		t.Fatal("invalidated relation served")
+	}
+	if _, _, ok := c.Get(k2, 0, 50, 1); !ok {
+		t.Fatal("unrelated relation dropped")
+	}
+}
+
+func TestCachePutCoversNarrower(t *testing.T) {
+	c := New(1 << 20)
+	c.Put(mkEntry(k1, 40, 50, 1, time.Millisecond))
+	c.Put(mkEntry(k1, 0, 100, 1, time.Millisecond))
+	if c.Len() != 1 {
+		t.Fatalf("covered narrower entry kept: %d entries", c.Len())
+	}
+}
+
+func TestCacheEvictionRespectsCost(t *testing.T) {
+	// Capacity fits ~2 entries; the cheap one should be evicted when
+	// a third arrives.
+	e1 := mkEntry(k1, 0, 30, 1, 100*time.Millisecond) // expensive
+	k2 := Key{Relation: "a", RangeCol: "x"}
+	e2 := mkEntry(k2, 0, 30, 1, time.Microsecond) // cheap
+	k3 := Key{Relation: "b", RangeCol: "x"}
+	e3 := mkEntry(k3, 0, 30, 1, 50*time.Millisecond)
+	size := rowBytes(e1.Rows)
+	c := New(size*2 + 100)
+	c.Put(e1)
+	c.Put(e2)
+	c.Put(e3) // must evict e2 (cheapest per byte)
+	if _, _, ok := c.Get(k1, 0, 30, 1); !ok {
+		t.Fatal("expensive entry evicted")
+	}
+	if _, _, ok := c.Get(k2, 0, 30, 1); ok {
+		t.Fatal("cheap entry survived")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheOversizeEntryRejected(t *testing.T) {
+	c := New(100)
+	c.Put(mkEntry(k1, 0, 1000, 1, time.Millisecond))
+	if c.Len() != 0 {
+		t.Fatal("oversize entry cached")
+	}
+}
+
+func TestCacheClear(t *testing.T) {
+	c := New(1 << 20)
+	c.Put(mkEntry(k1, 0, 10, 1, time.Millisecond))
+	c.Clear()
+	if c.Len() != 0 {
+		t.Fatal("clear incomplete")
+	}
+	if _, _, ok := c.Get(k1, 0, 10, 1); ok {
+		t.Fatal("cleared entry served")
+	}
+}
+
+// --- Prefetcher ---
+
+// prefTree builds root(a(a1,a2,a3), b(b1,b2), c).
+func prefTree(t *testing.T) (*phylo.Tree, map[string]phylo.NodeID) {
+	t.Helper()
+	tr := phylo.NewTree()
+	ids := map[string]phylo.NodeID{}
+	var err error
+	if ids["root"], err = tr.AddNode("root", phylo.None, 0); err != nil {
+		t.Fatal(err)
+	}
+	add := func(name string, parent string) {
+		id, err := tr.AddNode(name, ids[parent], 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[name] = id
+	}
+	add("a", "root")
+	add("b", "root")
+	add("c", "root")
+	add("a1", "a")
+	add("a2", "a")
+	add("a3", "a")
+	add("b1", "b")
+	add("b2", "b")
+	if err := tr.Index(); err != nil {
+		t.Fatal(err)
+	}
+	return tr, ids
+}
+
+func TestPrefetcherZoomSuggestsChildren(t *testing.T) {
+	tr, ids := prefTree(t)
+	p := NewPrefetcher()
+	p.RecordVisit(ids["a"])
+	sugg := p.Suggest(tr)
+	if len(sugg) == 0 {
+		t.Fatal("no suggestions")
+	}
+	// All three children must appear among the suggestions.
+	want := map[phylo.NodeID]bool{ids["a1"]: true, ids["a2"]: true, ids["a3"]: true}
+	found := 0
+	for _, s := range sugg {
+		if want[s] {
+			found++
+		}
+	}
+	if found < 3 {
+		t.Fatalf("children missing from suggestions: %v", sugg)
+	}
+}
+
+func TestPrefetcherPanDirection(t *testing.T) {
+	tr, ids := prefTree(t)
+	p := NewPrefetcher()
+	p.RecordVisit(ids["a"])
+	p.RecordVisit(ids["b"]) // panning a→b ⇒ c is next
+	sugg := p.Suggest(tr)
+	if len(sugg) == 0 || sugg[0] != ids["c"] {
+		t.Fatalf("pan suggestion = %v, want c first", sugg)
+	}
+	// Reverse pan: c→b ⇒ a next.
+	p.Reset()
+	p.RecordVisit(ids["c"])
+	p.RecordVisit(ids["b"])
+	sugg = p.Suggest(tr)
+	if len(sugg) == 0 || sugg[0] != ids["a"] {
+		t.Fatalf("reverse pan suggestion = %v, want a first", sugg)
+	}
+}
+
+func TestPrefetcherLeafFallsBackToSiblings(t *testing.T) {
+	tr, ids := prefTree(t)
+	p := NewPrefetcher()
+	p.RecordVisit(ids["a2"])
+	sugg := p.Suggest(tr)
+	// a2 has no children: expect siblings (a3 or a1) and parent a.
+	if len(sugg) == 0 {
+		t.Fatal("no suggestions for leaf")
+	}
+	seen := map[phylo.NodeID]bool{}
+	for _, s := range sugg {
+		seen[s] = true
+	}
+	if !seen[ids["a3"]] && !seen[ids["a1"]] {
+		t.Fatalf("no sibling suggested: %v", sugg)
+	}
+}
+
+func TestPrefetcherBounded(t *testing.T) {
+	tr, ids := prefTree(t)
+	p := NewPrefetcher()
+	p.MaxSuggestions = 2
+	p.RecordVisit(ids["a"])
+	if sugg := p.Suggest(tr); len(sugg) > 2 {
+		t.Fatalf("suggestions = %d > 2", len(sugg))
+	}
+}
+
+func TestPrefetcherEmptyHistory(t *testing.T) {
+	tr, _ := prefTree(t)
+	p := NewPrefetcher()
+	if sugg := p.Suggest(tr); sugg != nil {
+		t.Fatalf("suggestions without history: %v", sugg)
+	}
+}
+
+func TestPrefetcherHistoryBounded(t *testing.T) {
+	tr, ids := prefTree(t)
+	p := NewPrefetcher()
+	for i := 0; i < 100; i++ {
+		p.RecordVisit(ids["a"])
+	}
+	if got := len(p.History()); got > 8 {
+		t.Fatalf("history length = %d", got)
+	}
+	_ = tr
+}

@@ -1,0 +1,320 @@
+package chem
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ParseSMILES parses a SMILES string covering the common subset:
+// organic-subset atoms (B C N O P S F Cl Br I), aromatic lowercase
+// forms (b c n o p s), bracket atoms with isotope/charge/H-count,
+// bonds - = # :, branches with parentheses, and ring-closure digits
+// (including %nn two-digit closures). Stereochemistry markers are not
+// supported and are rejected rather than silently dropped.
+func ParseSMILES(s string) (*Mol, error) {
+	p := &smilesParser{src: s, mol: &Mol{SMILES: s}, rings: map[int]ringOpen{}}
+	if err := p.parse(); err != nil {
+		return nil, fmt.Errorf("chem: parsing %q: %w", s, err)
+	}
+	m := p.mol
+	m.buildAdjacency()
+	m.fillImplicitHydrogens()
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+type ringOpen struct {
+	atom int
+	bond BondOrder // 0 means unspecified
+}
+
+type smilesParser struct {
+	src   string
+	pos   int
+	mol   *Mol
+	prev  int // last atom index, -1 before the first atom
+	stack []int
+	bond  BondOrder // pending bond symbol, 0 if none
+	rings map[int]ringOpen
+}
+
+func (p *smilesParser) parse() error {
+	p.prev = -1
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c == '(':
+			if p.prev < 0 {
+				return fmt.Errorf("branch before any atom at offset %d", p.pos)
+			}
+			p.stack = append(p.stack, p.prev)
+			p.pos++
+		case c == ')':
+			if len(p.stack) == 0 {
+				return fmt.Errorf("unmatched ')' at offset %d", p.pos)
+			}
+			p.prev = p.stack[len(p.stack)-1]
+			p.stack = p.stack[:len(p.stack)-1]
+			p.pos++
+		case c == '-':
+			p.bond = BondSingle
+			p.pos++
+		case c == '=':
+			p.bond = BondDouble
+			p.pos++
+		case c == '#':
+			p.bond = BondTriple
+			p.pos++
+		case c == ':':
+			p.bond = BondAromatic
+			p.pos++
+		case c == '.':
+			// Disconnected component separator.
+			p.prev = -1
+			p.bond = 0
+			p.pos++
+		case c >= '0' && c <= '9':
+			if err := p.ringClosure(int(c - '0')); err != nil {
+				return err
+			}
+			p.pos++
+		case c == '%':
+			if p.pos+2 >= len(p.src) {
+				return fmt.Errorf("truncated %%nn ring closure at offset %d", p.pos)
+			}
+			n, err := strconv.Atoi(p.src[p.pos+1 : p.pos+3])
+			if err != nil {
+				return fmt.Errorf("bad %%nn ring closure at offset %d", p.pos)
+			}
+			if err := p.ringClosure(n); err != nil {
+				return err
+			}
+			p.pos += 3
+		case c == '[':
+			if err := p.bracketAtom(); err != nil {
+				return err
+			}
+		case c == '/' || c == '\\' || c == '@':
+			return fmt.Errorf("stereochemistry marker %q not supported (offset %d)", c, p.pos)
+		default:
+			if err := p.organicAtom(); err != nil {
+				return err
+			}
+		}
+	}
+	if len(p.stack) != 0 {
+		return fmt.Errorf("unclosed '(' at end of input")
+	}
+	if len(p.rings) != 0 {
+		return fmt.Errorf("unclosed ring bond at end of input")
+	}
+	if p.bond != 0 {
+		return fmt.Errorf("dangling bond symbol at end of input")
+	}
+	return nil
+}
+
+// addAtom appends the atom, bonds it to prev (if any), and makes it
+// the new prev.
+func (p *smilesParser) addAtom(a Atom) {
+	idx := len(p.mol.Atoms)
+	p.mol.Atoms = append(p.mol.Atoms, a)
+	if p.prev >= 0 {
+		order := p.bond
+		if order == 0 {
+			if a.Aromatic && p.mol.Atoms[p.prev].Aromatic {
+				order = BondAromatic
+			} else {
+				order = BondSingle
+			}
+		}
+		p.mol.Bonds = append(p.mol.Bonds, Bond{A: p.prev, B: idx, Order: order})
+	}
+	p.bond = 0
+	p.prev = idx
+}
+
+func (p *smilesParser) ringClosure(n int) error {
+	if p.prev < 0 {
+		return fmt.Errorf("ring closure before any atom at offset %d", p.pos)
+	}
+	if open, ok := p.rings[n]; ok {
+		delete(p.rings, n)
+		if open.atom == p.prev {
+			return fmt.Errorf("ring bond %d closes onto its own atom", n)
+		}
+		order := p.bond
+		if order == 0 {
+			order = open.bond
+		}
+		if order == 0 {
+			if p.mol.Atoms[open.atom].Aromatic && p.mol.Atoms[p.prev].Aromatic {
+				order = BondAromatic
+			} else {
+				order = BondSingle
+			}
+		}
+		p.mol.Bonds = append(p.mol.Bonds, Bond{A: open.atom, B: p.prev, Order: order})
+		p.bond = 0
+		return nil
+	}
+	p.rings[n] = ringOpen{atom: p.prev, bond: p.bond}
+	p.bond = 0
+	return nil
+}
+
+// organicAtom parses an unbracketed organic-subset atom.
+func (p *smilesParser) organicAtom() error {
+	c := p.src[p.pos]
+	// Two-letter halogens first.
+	if c == 'C' && p.pos+1 < len(p.src) && p.src[p.pos+1] == 'l' {
+		p.addAtom(Atom{Element: "Cl"})
+		p.pos += 2
+		return nil
+	}
+	if c == 'B' && p.pos+1 < len(p.src) && p.src[p.pos+1] == 'r' {
+		p.addAtom(Atom{Element: "Br"})
+		p.pos += 2
+		return nil
+	}
+	switch c {
+	case 'B', 'C', 'N', 'O', 'P', 'S', 'F', 'I':
+		p.addAtom(Atom{Element: string(c)})
+	case 'b', 'c', 'n', 'o', 'p', 's':
+		p.addAtom(Atom{Element: string(c - 'a' + 'A'), Aromatic: true})
+	default:
+		return fmt.Errorf("unexpected character %q at offset %d", c, p.pos)
+	}
+	p.pos++
+	return nil
+}
+
+// bracketAtom parses "[isotope? symbol H-count? charge?]".
+func (p *smilesParser) bracketAtom() error {
+	start := p.pos
+	p.pos++ // consume '['
+	a := Atom{}
+	// Isotope.
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		a.Isotope = a.Isotope*10 + int(p.src[p.pos]-'0')
+		p.pos++
+	}
+	// Element symbol: uppercase + optional lowercase, or aromatic
+	// lowercase single letter.
+	if p.pos >= len(p.src) {
+		return fmt.Errorf("truncated bracket atom at offset %d", start)
+	}
+	c := p.src[p.pos]
+	switch {
+	case c >= 'A' && c <= 'Z':
+		sym := string(c)
+		p.pos++
+		if p.pos < len(p.src) && p.src[p.pos] >= 'a' && p.src[p.pos] <= 'z' {
+			two := sym + string(p.src[p.pos])
+			if _, ok := atomicWeights[two]; ok {
+				sym = two
+				p.pos++
+			}
+		}
+		a.Element = sym
+	case c >= 'a' && c <= 'z':
+		a.Element = string(c - 'a' + 'A')
+		a.Aromatic = true
+		p.pos++
+	default:
+		return fmt.Errorf("bad element in bracket atom at offset %d", p.pos)
+	}
+	// Hydrogen count.
+	if p.pos < len(p.src) && p.src[p.pos] == 'H' {
+		p.pos++
+		a.HCount = 1
+		if p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			a.HCount = int(p.src[p.pos] - '0')
+			p.pos++
+		}
+	}
+	// Charge.
+	for p.pos < len(p.src) && (p.src[p.pos] == '+' || p.src[p.pos] == '-') {
+		sign := 1
+		if p.src[p.pos] == '-' {
+			sign = -1
+		}
+		p.pos++
+		if p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			a.Charge += sign * int(p.src[p.pos]-'0')
+			p.pos++
+		} else {
+			a.Charge += sign
+		}
+	}
+	if p.pos >= len(p.src) || p.src[p.pos] != ']' {
+		return fmt.Errorf("unterminated bracket atom at offset %d", start)
+	}
+	p.pos++
+	// Bracket atoms use their written H count verbatim (zero when no
+	// H token appears) and never receive implicit hydrogens.
+	p.addAtom(a)
+	p.mol.explicitH = append(p.mol.explicitH, len(p.mol.Atoms)-1)
+	return nil
+}
+
+func (m *Mol) buildAdjacency() {
+	m.adj = make([][]int, len(m.Atoms))
+	for i, b := range m.Bonds {
+		m.adj[b.A] = append(m.adj[b.A], i)
+		m.adj[b.B] = append(m.adj[b.B], i)
+	}
+}
+
+// fillImplicitHydrogens applies the organic-subset rule: implicit H =
+// default valence − bond-order sum, floored at zero. Aromatic atoms
+// get one fewer implicit hydrogen when the plain sum underestimates
+// the aromatic system (the standard c1ccccc1 → benzene C6H6 result
+// falls out of counting aromatic bonds as order 1 each plus one extra
+// for the delocalized system on carbon with 2 aromatic neighbors...).
+//
+// Concretely: for an aromatic atom, the valence consumed is
+// (number of bonds) + 1 (for its share of the π system).
+func (m *Mol) fillImplicitHydrogens() {
+	explicit := make([]bool, len(m.Atoms))
+	for _, i := range m.explicitH {
+		explicit[i] = true
+	}
+	for i := range m.Atoms {
+		if explicit[i] {
+			continue
+		}
+		m.Atoms[i].HCount = m.implicitHydrogens(i)
+	}
+}
+
+// implicitHydrogens computes the organic-subset implicit hydrogen
+// count the parser assigns to a bare atom at index i.
+func (m *Mol) implicitHydrogens(i int) int {
+	a := &m.Atoms[i]
+	val, ok := defaultValence[a.Element]
+	if !ok {
+		return 0
+	}
+	used := 0
+	aromatic := 0
+	for _, bi := range m.adj[i] {
+		b := m.Bonds[bi]
+		if b.Order == BondAromatic {
+			aromatic++
+			used++
+		} else {
+			used += b.Order.order()
+		}
+	}
+	if a.Aromatic && aromatic > 0 {
+		used++ // π-system share
+	}
+	h := val - used
+	if h < 0 {
+		h = 0
+	}
+	return h
+}

@@ -1,0 +1,182 @@
+package chem
+
+import (
+	"fmt"
+	"strings"
+)
+
+// WriteSMILES serializes the molecular graph back to SMILES: a DFS
+// spanning forest with ring-closure digits for the non-tree bonds.
+// The output is not the canonical form of the input string, but it
+// parses back (ParseSMILES) to a graph with the same atoms, bonds,
+// formula and fingerprint — the property the tests pin down.
+func (m *Mol) WriteSMILES() (string, error) {
+	if len(m.Atoms) == 0 {
+		return "", fmt.Errorf("chem: empty molecule")
+	}
+	// Assign ring-closure numbers to non-tree bonds discovered by a
+	// DFS over each connected component.
+	visited := make([]bool, len(m.Atoms))
+	bondUsed := make([]bool, len(m.Bonds))
+	type closure struct {
+		digit int
+		order BondOrder
+	}
+	closures := make(map[int][]closure, 4) // atom → pending closures
+	nextDigit := 1
+
+	var sb strings.Builder
+	var walk func(atom, fromBond int) error
+	walk = func(atom, fromBond int) error {
+		visited[atom] = true
+		sb.WriteString(m.atomToken(atom))
+		for _, cl := range closures[atom] {
+			sb.WriteString(bondToken(cl.order, &m.Atoms[atom], &m.Atoms[atom]))
+			sb.WriteString(closureToken(cl.digit))
+		}
+		// Collect outgoing tree edges; every non-tree bond was marked
+		// used by the closure pre-pass, so each remaining edge leads
+		// to an unvisited atom.
+		type edge struct {
+			bondIdx int
+			next    int
+		}
+		var tree []edge
+		for _, bi := range m.adj[atom] {
+			if bi == fromBond || bondUsed[bi] {
+				continue
+			}
+			tree = append(tree, edge{bi, m.Other(m.Bonds[bi], atom)})
+		}
+		for i, e := range tree {
+			bondUsed[e.bondIdx] = true
+			b := m.Bonds[e.bondIdx]
+			branch := i < len(tree)-1
+			if branch {
+				sb.WriteByte('(')
+			}
+			sb.WriteString(bondToken(b.Order, &m.Atoms[atom], &m.Atoms[e.next]))
+			if err := walk(e.next, e.bondIdx); err != nil {
+				return err
+			}
+			if branch {
+				sb.WriteByte(')')
+			}
+		}
+		return nil
+	}
+
+	// Pre-pass: find non-tree (ring) bonds via a DFS that marks tree
+	// bonds, then assign closure digits to both endpoints.
+	treeBond := make([]bool, len(m.Bonds))
+	seen := make([]bool, len(m.Atoms))
+	var mark func(atom int)
+	mark = func(atom int) {
+		seen[atom] = true
+		for _, bi := range m.adj[atom] {
+			next := m.Other(m.Bonds[bi], atom)
+			if !seen[next] {
+				treeBond[bi] = true
+				mark(next)
+			}
+		}
+	}
+	for a := range m.Atoms {
+		if !seen[a] {
+			mark(a)
+		}
+	}
+	for bi, b := range m.Bonds {
+		if treeBond[bi] {
+			continue
+		}
+		if nextDigit > 99 {
+			return "", fmt.Errorf("chem: more than 99 ring closures")
+		}
+		closures[b.A] = append(closures[b.A], closure{nextDigit, b.Order})
+		closures[b.B] = append(closures[b.B], closure{nextDigit, b.Order})
+		bondUsed[bi] = true // never walked as a tree edge
+		nextDigit++
+	}
+
+	first := true
+	for a := range m.Atoms {
+		if visited[a] {
+			continue
+		}
+		if !first {
+			sb.WriteByte('.')
+		}
+		first = false
+		if err := walk(a, -1); err != nil {
+			return "", err
+		}
+	}
+	return sb.String(), nil
+}
+
+// atomToken renders the atom at index i. Organic-subset atoms whose
+// hydrogen count matches what a bare token would re-derive print
+// bare; everything else gets brackets (so explicit-H bracket atoms
+// like [CH2] round-trip exactly).
+func (m *Mol) atomToken(i int) string {
+	a := &m.Atoms[i]
+	_, organic := defaultValence[a.Element]
+	if organic && a.Charge == 0 && a.Isotope == 0 && a.HCount == m.implicitHydrogens(i) {
+		if a.Aromatic {
+			return strings.ToLower(a.Element)
+		}
+		return a.Element
+	}
+	var sb strings.Builder
+	sb.WriteByte('[')
+	if a.Isotope > 0 {
+		fmt.Fprintf(&sb, "%d", a.Isotope)
+	}
+	if a.Aromatic {
+		sb.WriteString(strings.ToLower(a.Element))
+	} else {
+		sb.WriteString(a.Element)
+	}
+	if a.HCount == 1 {
+		sb.WriteByte('H')
+	} else if a.HCount > 1 {
+		fmt.Fprintf(&sb, "H%d", a.HCount)
+	}
+	switch {
+	case a.Charge == 1:
+		sb.WriteByte('+')
+	case a.Charge == -1:
+		sb.WriteByte('-')
+	case a.Charge > 1:
+		fmt.Fprintf(&sb, "+%d", a.Charge)
+	case a.Charge < -1:
+		fmt.Fprintf(&sb, "-%d", -a.Charge)
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// bondToken renders the bond symbol between two atoms; single and
+// aromatic-between-aromatics are implicit.
+func bondToken(o BondOrder, from, to *Atom) string {
+	switch o {
+	case BondDouble:
+		return "="
+	case BondTriple:
+		return "#"
+	case BondAromatic:
+		if from.Aromatic && to.Aromatic {
+			return ""
+		}
+		return ":"
+	}
+	return ""
+}
+
+func closureToken(digit int) string {
+	if digit < 10 {
+		return fmt.Sprint(digit)
+	}
+	return fmt.Sprintf("%%%02d", digit)
+}

@@ -1,0 +1,88 @@
+package chem
+
+import (
+	"testing"
+)
+
+// roundTrip writes and re-parses a molecule, asserting graph-level
+// equivalence: same atom/bond counts, formula, weight and fingerprint.
+func roundTrip(t *testing.T, src string) {
+	t.Helper()
+	m1, err := ParseSMILES(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	out, err := m1.WriteSMILES()
+	if err != nil {
+		t.Fatalf("write %q: %v", src, err)
+	}
+	m2, err := ParseSMILES(out)
+	if err != nil {
+		t.Fatalf("re-parse %q (from %q): %v", out, src, err)
+	}
+	if m1.NumAtoms() != m2.NumAtoms() || m1.NumBonds() != m2.NumBonds() {
+		t.Fatalf("%q → %q: graph shape changed (%d/%d atoms, %d/%d bonds)",
+			src, out, m1.NumAtoms(), m2.NumAtoms(), m1.NumBonds(), m2.NumBonds())
+	}
+	if f1, f2 := m1.Formula(), m2.Formula(); f1 != f2 {
+		t.Fatalf("%q → %q: formula %s → %s", src, out, f1, f2)
+	}
+	if m1.ComputeFingerprint().Tanimoto(m2.ComputeFingerprint()) != 1 {
+		t.Fatalf("%q → %q: fingerprints differ", src, out)
+	}
+}
+
+func TestWriteSMILESRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"C",
+		"CCO",
+		"O=C=O",
+		"C#N",
+		"CC(C)C",
+		"CC(C)(C)O",
+		"C1CCCCC1",
+		"c1ccccc1",
+		"c1ccncc1",
+		"c1ccc2ccccc2c1",
+		"CC(=O)Oc1ccccc1C(=O)O",
+		"Cn1cnc2c1c(=O)n(C)c(=O)n2C",
+		"CC(C)Cc1ccc(cc1)C(C)C(=O)O",
+		"ClCCBr",
+		"C.C",
+		"[NH4+]",
+		"[13CH4]",
+		"[O-2]",
+		"[C]",
+		"[CH2]",
+	} {
+		roundTrip(t, src)
+	}
+}
+
+func TestWriteSMILESEmptyRejected(t *testing.T) {
+	if _, err := (&Mol{}).WriteSMILES(); err == nil {
+		t.Fatal("empty molecule serialized")
+	}
+}
+
+func TestWriteSMILESDoubleRoundTripStable(t *testing.T) {
+	// Writing twice yields the same string (the writer is
+	// deterministic over a parsed graph).
+	src := "CC(=O)Oc1ccccc1C(=O)O"
+	m, _ := ParseSMILES(src)
+	w1, err := m.WriteSMILES()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ParseSMILES(w1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := m2.WriteSMILES()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1 != w2 {
+		t.Fatalf("unstable writer: %q vs %q", w1, w2)
+	}
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+)
+
+// ActivitySummary aggregates the binding activity measured beneath
+// one tree node — the core DrugTree overlay: ligand data summarized
+// along the phylogeny.
+type ActivitySummary struct {
+	Node        string
+	Proteins    int64 // leaves in the subtree
+	Activities  int64 // measurements over those leaves
+	MeanAff     float64
+	MaxAff      float64
+	DistinctLig int64
+}
+
+// SubtreeActivity computes the activity summary under the named node
+// through the DTQL engine (exercising the subtree rewrite + joins).
+func (e *Engine) SubtreeActivity(nodeName string) (*ActivitySummary, error) {
+	id, err := e.NodeByName(nodeName)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.Query(fmt.Sprintf(
+		`SELECT COUNT(*) AS n, AVG(a.affinity) AS mean_aff, MAX(a.affinity) AS max_aff
+		 FROM tree_nodes t
+		 JOIN activities a ON t.name = a.protein_id
+		 WHERE WITHIN_SUBTREE(t.pre, '%s') AND t.is_leaf = TRUE`, nodeName))
+	if err != nil {
+		return nil, err
+	}
+	out := &ActivitySummary{Node: nodeName, Proteins: int64(e.tree.LeafCount(id))}
+	if len(res.Rows) == 1 {
+		r := res.Rows[0]
+		out.Activities = r[0].I
+		if !r[1].IsNull() {
+			out.MeanAff = r[1].F
+		}
+		if !r[2].IsNull() {
+			out.MaxAff = r[2].AsFloat()
+		}
+	}
+	// Distinct ligands: count grouped ligand_ids.
+	res2, err := e.Query(fmt.Sprintf(
+		`SELECT a.ligand_id, COUNT(*) FROM tree_nodes t
+		 JOIN activities a ON t.name = a.protein_id
+		 WHERE WITHIN_SUBTREE(t.pre, '%s') AND t.is_leaf = TRUE
+		 GROUP BY a.ligand_id`, nodeName))
+	if err != nil {
+		return nil, err
+	}
+	out.DistinctLig = int64(len(res2.Rows))
+	return out, nil
+}
+
+// LigandHit is one row of a top-ligand ranking.
+type LigandHit struct {
+	LigandID string
+	Count    int64
+	MeanAff  float64
+	MaxAff   float64
+}
+
+// TopLigands ranks ligands by mean affinity across the subtree's
+// proteins, strongest first, requiring at least minMeasurements.
+func (e *Engine) TopLigands(nodeName string, k, minMeasurements int) ([]LigandHit, error) {
+	if _, err := e.NodeByName(nodeName); err != nil {
+		return nil, err
+	}
+	res, err := e.Query(fmt.Sprintf(
+		`SELECT a.ligand_id AS lig, COUNT(*) AS n, AVG(a.affinity) AS mean_aff, MAX(a.affinity) AS max_aff
+		 FROM tree_nodes t
+		 JOIN activities a ON t.name = a.protein_id
+		 WHERE WITHIN_SUBTREE(t.pre, '%s') AND t.is_leaf = TRUE
+		 GROUP BY a.ligand_id
+		 ORDER BY mean_aff DESC`, nodeName))
+	if err != nil {
+		return nil, err
+	}
+	var out []LigandHit
+	for _, r := range res.Rows {
+		hit := LigandHit{LigandID: r[0].S, Count: r[1].I}
+		if !r[2].IsNull() {
+			hit.MeanAff = r[2].F
+		}
+		if !r[3].IsNull() {
+			hit.MaxAff = r[3].AsFloat()
+		}
+		if hit.Count < int64(minMeasurements) {
+			continue
+		}
+		out = append(out, hit)
+		if k > 0 && len(out) >= k {
+			break
+		}
+	}
+	return out, nil
+}
+
+// ProteinProfile joins one protein's integrated records: annotation
+// plus its activity list.
+type ProteinProfile struct {
+	Accession  string
+	Family     string
+	Organism   string
+	EC         string
+	Activities []LigandHit
+}
+
+// ProteinProfile gathers the cross-source profile of one protein (the
+// three-source integration query class).
+func (e *Engine) ProteinProfile(accession string) (*ProteinProfile, error) {
+	res, err := e.Query(fmt.Sprintf(
+		`SELECT p.accession, p.family, n.organism, n.ec
+		 FROM proteins p JOIN annotations n ON p.accession = n.protein_id
+		 WHERE p.accession = '%s'`, accession))
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Rows) == 0 {
+		return nil, fmt.Errorf("core: no protein %q", accession)
+	}
+	r := res.Rows[0]
+	out := &ProteinProfile{Accession: r[0].S, Family: r[1].S, Organism: r[2].S, EC: r[3].S}
+	res2, err := e.Query(fmt.Sprintf(
+		`SELECT a.ligand_id, a.affinity FROM activities a
+		 WHERE a.protein_id = '%s' ORDER BY a.affinity DESC`, accession))
+	if err != nil {
+		return nil, err
+	}
+	for _, ar := range res2.Rows {
+		out.Activities = append(out.Activities, LigandHit{
+			LigandID: ar[0].S, Count: 1, MeanAff: ar[1].F, MaxAff: ar[1].F,
+		})
+	}
+	return out, nil
+}
+
+// SimilarLigand is one hit of a chemical similarity search.
+type SimilarLigand struct {
+	LigandID   string
+	SMILES     string
+	Similarity float64
+}
+
+// SimilarLigands ranks the ligand table by Tanimoto similarity to a
+// query structure, strongest first, returning up to k hits with
+// similarity ≥ threshold. It runs through DTQL so the TANIMOTO
+// operator, top-k execution, and caching all apply.
+func (e *Engine) SimilarLigands(smiles string, k int, threshold float64) ([]SimilarLigand, error) {
+	if k <= 0 {
+		k = 10
+	}
+	res, err := e.Query(fmt.Sprintf(
+		`SELECT ligand_id, smiles, TANIMOTO(smiles, '%s') AS sim
+		 FROM ligands
+		 WHERE TANIMOTO(smiles, '%s') >= %g
+		 ORDER BY sim DESC LIMIT %d`, smiles, smiles, threshold, k))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SimilarLigand, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		out = append(out, SimilarLigand{
+			LigandID:   r[0].S,
+			SMILES:     r[1].S,
+			Similarity: r[2].F,
+		})
+	}
+	return out, nil
+}
+
+// FamilyEnrichment finds the clades most enriched for strong binders
+// of one ligand: for each internal node at most maxDepth deep, the
+// mean affinity of the ligand across its subtree leaves.
+type EnrichedClade struct {
+	Clade   string
+	Leaves  int64
+	Hits    int64
+	MeanAff float64
+}
+
+// FamilyEnrichment ranks clades by mean affinity for the ligand.
+func (e *Engine) FamilyEnrichment(ligandID string, maxDepth, topK int) ([]EnrichedClade, error) {
+	var out []EnrichedClade
+	for i := 0; i < e.tree.Len(); i++ {
+		id := e.tree.NodeAtPre(i)
+		n := e.tree.Node(id)
+		if n.IsLeaf() || e.tree.Depth(id) > maxDepth {
+			continue
+		}
+		res, err := e.Query(fmt.Sprintf(
+			`SELECT COUNT(*) AS n, AVG(a.affinity) AS mean_aff
+			 FROM tree_nodes t JOIN activities a ON t.name = a.protein_id
+			 WHERE WITHIN_SUBTREE(t.pre, '%s') AND t.is_leaf = TRUE AND a.ligand_id = '%s'`,
+			n.Name, ligandID))
+		if err != nil {
+			return nil, err
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0].I == 0 {
+			continue
+		}
+		out = append(out, EnrichedClade{
+			Clade:   n.Name,
+			Leaves:  int64(e.tree.LeafCount(id)),
+			Hits:    res.Rows[0][0].I,
+			MeanAff: res.Rows[0][1].F,
+		})
+	}
+	// Sort by mean affinity, strongest first (insertion sort; clade
+	// lists are small).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].MeanAff > out[j-1].MeanAff; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	if topK > 0 && len(out) > topK {
+		out = out[:topK]
+	}
+	return out, nil
+}

@@ -1,0 +1,350 @@
+// Package core is the DrugTree engine: it builds the
+// protein-motivated phylogenetic tree, overlays ligand activity data
+// on it, and answers interactive queries through the optimizing DTQL
+// engine with the semantic cache and prefetcher in front — the system
+// the poster describes.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"drugtree/internal/bio/align"
+	"drugtree/internal/bio/seq"
+	"drugtree/internal/cache"
+	"drugtree/internal/integrate"
+	"drugtree/internal/metrics"
+	"drugtree/internal/phylo"
+	"drugtree/internal/query"
+	"drugtree/internal/store"
+)
+
+// TreeMethod selects how the phylogeny is built from sequences.
+type TreeMethod string
+
+const (
+	// TreeNJAlign builds an NJ tree over alignment distances
+	// (accurate; O(n²) alignments).
+	TreeNJAlign TreeMethod = "nj-align"
+	// TreeNJKmer builds an NJ tree over alignment-free k-mer cosine
+	// distances (fast; the default above a few hundred proteins).
+	TreeNJKmer TreeMethod = "nj-kmer"
+	// TreeUPGMA builds a UPGMA tree over k-mer distances.
+	TreeUPGMA TreeMethod = "upgma"
+)
+
+// Config tunes the engine.
+type Config struct {
+	// Method selects tree construction (default TreeNJAlign under
+	// 300 proteins, TreeNJKmer above).
+	Method TreeMethod
+	// QueryOptions configures the DTQL optimizer (default: all on).
+	QueryOptions query.Options
+	// CacheBytes bounds the semantic cache (default 8 MiB; 0
+	// disables caching).
+	CacheBytes int64
+	// CacheExactOnly disables cache range subsumption (ablation).
+	CacheExactOnly bool
+	// QueryCacheEntries enables the statement-level result cache with
+	// the given LRU capacity; 0 (the default) disables it. Cached
+	// results are returned by pointer, so callers must treat query
+	// results as immutable when this is on. Opt-in because repeated
+	// identical statements short-circuit the optimizer and executor
+	// entirely, which would invalidate latency experiments that rerun
+	// one query (the server enables it; see experiment T6).
+	QueryCacheEntries int
+	// EnablePrefetch turns on navigation prefetching.
+	EnablePrefetch bool
+	// KmerK is the k-mer length for alignment-free distances.
+	KmerK int
+}
+
+// DefaultConfig returns the fully optimized configuration.
+func DefaultConfig() Config {
+	return Config{
+		QueryOptions:   query.DefaultOptions(),
+		CacheBytes:     8 << 20,
+		EnablePrefetch: true,
+		KmerK:          4,
+	}
+}
+
+// TreeTable is the name of the materialized tree relation.
+const TreeTable = "tree_nodes"
+
+// TreeSchema is the schema of the materialized tree relation. The
+// `pre` column is the preorder number the interval index and
+// WITHIN_SUBTREE operate on.
+var TreeSchema = store.MustSchema(
+	store.Column{Name: "pre", Kind: store.KindInt},
+	store.Column{Name: "name", Kind: store.KindString},
+	store.Column{Name: "parent_pre", Kind: store.KindInt},
+	store.Column{Name: "depth", Kind: store.KindInt},
+	store.Column{Name: "is_leaf", Kind: store.KindBool},
+	store.Column{Name: "branch_length", Kind: store.KindFloat},
+	store.Column{Name: "root_dist", Kind: store.KindFloat},
+	store.Column{Name: "leaf_count", Kind: store.KindInt},
+	store.Column{Name: "x", Kind: store.KindFloat},
+	store.Column{Name: "y", Kind: store.KindFloat},
+	// end_pre is the last preorder number inside the node's subtree;
+	// [pre, end_pre] is the subtree interval, and pre ≤ P ≤ end_pre
+	// is the indexable ancestor test ANCESTOR_OF rewrites to.
+	store.Column{Name: "end_pre", Kind: store.KindInt},
+)
+
+// Engine is a live DrugTree instance.
+type Engine struct {
+	cfg     Config
+	db      *store.DB
+	tree    *phylo.Tree
+	layout  *phylo.Layout
+	catalog *query.DBCatalog
+	sql     *query.Engine
+
+	cache      *cache.Cache
+	stmtCache  *queryCache
+	prefetcher *cache.Prefetcher
+	Metrics    *metrics.Registry
+
+	byName map[string]phylo.NodeID
+}
+
+// New builds an engine over an integrated database (see
+// internal/integrate): it constructs the phylogenetic tree from the
+// proteins table, materializes tree_nodes, and wires the query stack.
+func New(db *store.DB, cfg Config) (*Engine, error) {
+	proteins, err := loadProteins(db)
+	if err != nil {
+		return nil, err
+	}
+	if len(proteins) == 0 {
+		return nil, fmt.Errorf("core: proteins table is empty")
+	}
+	method := cfg.Method
+	if method == "" {
+		if len(proteins) <= 300 {
+			method = TreeNJAlign
+		} else {
+			method = TreeNJKmer
+		}
+	}
+	if cfg.KmerK == 0 {
+		cfg.KmerK = 4
+	}
+	tree, err := buildTree(proteins, method, cfg.KmerK)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithTree(db, tree, cfg)
+}
+
+// NewWithTree builds an engine over a prebuilt (indexed or unindexed)
+// tree — the path scaling experiments use with synthetic topologies.
+func NewWithTree(db *store.DB, tree *phylo.Tree, cfg Config) (*Engine, error) {
+	if err := tree.Index(); err != nil {
+		return nil, err
+	}
+	nameClades(tree)
+	if err := materializeTree(db, tree); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:        cfg,
+		db:         db,
+		tree:       tree,
+		layout:     phylo.NewLayout(tree),
+		catalog:    query.NewDBCatalog(db, tree),
+		Metrics:    metrics.NewRegistry(),
+		prefetcher: cache.NewPrefetcher(),
+		byName:     make(map[string]phylo.NodeID, tree.Len()),
+	}
+	e.sql = query.NewEngine(e.catalog, cfg.QueryOptions)
+	if cfg.CacheBytes > 0 {
+		e.cache = cache.New(cfg.CacheBytes)
+		e.cache.ExactOnly = cfg.CacheExactOnly
+	}
+	if cfg.QueryCacheEntries > 0 {
+		e.stmtCache = newQueryCache(cfg.QueryCacheEntries)
+	}
+	for i := 0; i < tree.Len(); i++ {
+		e.byName[tree.Node(phylo.NodeID(i)).Name] = phylo.NodeID(i)
+	}
+	return e, nil
+}
+
+// loadProteins reads the proteins table into seq.Protein records.
+func loadProteins(db *store.DB) ([]*seq.Protein, error) {
+	t, err := db.Table(integrate.TableProteins)
+	if err != nil {
+		return nil, err
+	}
+	acc := t.Schema().ColumnIndex("accession")
+	name := t.Schema().ColumnIndex("name")
+	fam := t.Schema().ColumnIndex("family")
+	sq := t.Schema().ColumnIndex("sequence")
+	if acc < 0 || sq < 0 {
+		return nil, fmt.Errorf("core: proteins table lacks accession/sequence columns")
+	}
+	var out []*seq.Protein
+	t.Scan(func(_ int64, r store.Row) bool {
+		p := &seq.Protein{ID: r[acc].S, Residues: r[sq].S}
+		if name >= 0 {
+			p.Name = r[name].S
+		}
+		if fam >= 0 {
+			p.Family = r[fam].S
+		}
+		out = append(out, p)
+		return true
+	})
+	return out, nil
+}
+
+// buildTree constructs the phylogeny with the selected method.
+func buildTree(proteins []*seq.Protein, method TreeMethod, k int) (*phylo.Tree, error) {
+	names := make([]string, len(proteins))
+	for i, p := range proteins {
+		names[i] = p.ID
+	}
+	var m *phylo.DistanceMatrix
+	switch method {
+	case TreeNJAlign:
+		scoring := align.BLOSUM62(8)
+		m = phylo.ComputeDistances(names, func(i, j int) float64 {
+			return align.DistanceBanded(proteins[i].Residues, proteins[j].Residues, scoring, 32)
+		})
+	case TreeNJKmer, TreeUPGMA:
+		profiles := make([]*seq.KmerProfile, len(proteins))
+		for i, p := range proteins {
+			prof, err := seq.NewKmerProfile(p.Residues, k)
+			if err != nil {
+				return nil, err
+			}
+			profiles[i] = prof
+		}
+		m = phylo.ComputeDistances(names, func(i, j int) float64 {
+			return profiles[i].Cosine(profiles[j])
+		})
+	default:
+		return nil, fmt.Errorf("core: unknown tree method %q", method)
+	}
+	if method == TreeUPGMA {
+		return phylo.UPGMA(m)
+	}
+	return phylo.NeighborJoining(m)
+}
+
+// nameClades assigns synthetic names to unnamed internal nodes so
+// WITHIN_SUBTREE can reference any clade.
+func nameClades(t *phylo.Tree) {
+	for i := 0; i < t.Len(); i++ {
+		n := t.Node(phylo.NodeID(i))
+		if n.Name == "" {
+			n.Name = fmt.Sprintf("clade_%d", t.Pre(phylo.NodeID(i)))
+		}
+	}
+}
+
+// materializeTree (re)creates the tree_nodes relation.
+func materializeTree(db *store.DB, t *phylo.Tree) error {
+	tab, err := db.Table(TreeTable)
+	if err != nil {
+		tab, err = db.CreateTable(TreeTable, TreeSchema)
+		if err != nil {
+			return err
+		}
+	} else if tab.Len() == t.Len() {
+		// Reopened database with the same tree already materialized.
+		return nil
+	} else if tab.Len() > 0 {
+		return fmt.Errorf("core: %s holds %d rows but the tree has %d nodes", TreeTable, tab.Len(), t.Len())
+	}
+	layout := phylo.NewLayout(t)
+	for p := 0; p < t.Len(); p++ {
+		id := t.NodeAtPre(p)
+		n := t.Node(id)
+		parentPre := int64(-1)
+		if n.Parent != phylo.None {
+			parentPre = int64(t.Pre(n.Parent))
+		}
+		_, endPre := t.SubtreeInterval(id)
+		row := store.Row{
+			store.IntValue(int64(p)),
+			store.StringValue(n.Name),
+			store.IntValue(parentPre),
+			store.IntValue(int64(t.Depth(id))),
+			store.BoolValue(n.IsLeaf()),
+			store.FloatValue(n.Length),
+			store.FloatValue(t.RootDistance(id)),
+			store.IntValue(int64(t.LeafCount(id))),
+			store.FloatValue(layout.X[id]),
+			store.FloatValue(layout.Y[id]),
+			store.IntValue(int64(endPre)),
+		}
+		if _, err := db.Insert(TreeTable, row); err != nil {
+			return err
+		}
+	}
+	if err := tab.CreateIndex("pre", store.IndexBTree); err != nil {
+		return err
+	}
+	if err := tab.CreateIndex("name", store.IndexHash); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Tree returns the engine's phylogenetic tree.
+func (e *Engine) Tree() *phylo.Tree { return e.tree }
+
+// Layout returns the display layout.
+func (e *Engine) Layout() *phylo.Layout { return e.layout }
+
+// DB returns the underlying store.
+func (e *Engine) DB() *store.DB { return e.db }
+
+// CacheStats returns semantic cache counters (zero Stats when caching
+// is disabled).
+func (e *Engine) CacheStats() cache.Stats {
+	if e.cache == nil {
+		return cache.Stats{}
+	}
+	return e.cache.Stats()
+}
+
+// NodeByName resolves a node name (protein accession or clade label).
+func (e *Engine) NodeByName(name string) (phylo.NodeID, error) {
+	id, ok := e.byName[name]
+	if !ok {
+		return phylo.None, fmt.Errorf("core: no tree node named %q", name)
+	}
+	return id, nil
+}
+
+// Query runs a DTQL statement through the engine's optimizer
+// settings, consulting the statement cache first when enabled. The
+// returned result must be treated as immutable.
+func (e *Engine) Query(src string) (*query.Result, error) {
+	start := time.Now()
+	var version int64
+	if e.stmtCache != nil {
+		version = e.dbVersion()
+		if res, ok := e.stmtCache.get(src, version); ok {
+			e.Metrics.Counter("query.stmt_cache_hits").Inc()
+			e.Metrics.Histogram("query.latency").Record(time.Since(start))
+			return res, nil
+		}
+		e.Metrics.Counter("query.stmt_cache_misses").Inc()
+	}
+	res, err := e.sql.Query(src)
+	e.Metrics.Histogram("query.latency").Record(time.Since(start))
+	if err != nil {
+		e.Metrics.Counter("query.errors").Inc()
+		return nil, err
+	}
+	if e.stmtCache != nil {
+		e.stmtCache.put(src, version, res)
+	}
+	e.Metrics.Counter("query.count").Inc()
+	return res, nil
+}

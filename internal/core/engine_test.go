@@ -1,0 +1,473 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"drugtree/internal/datagen"
+	"drugtree/internal/integrate"
+	"drugtree/internal/netsim"
+	"drugtree/internal/phylo"
+	"drugtree/internal/query"
+	"drugtree/internal/source"
+	"drugtree/internal/store"
+)
+
+// buildEngine generates a dataset, integrates it, and builds the
+// engine with the given config.
+func buildEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	gen := datagen.DefaultConfig()
+	gen.NumFamilies = 3
+	gen.ProteinsPerFamily = 8
+	gen.NumLigands = 15
+	gen.ActivityDensity = 0.5
+	ds, err := datagen.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := store.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	bundle := source.NewBundle(ds, netsim.ProfileLAN, 5, true)
+	if _, err := integrate.NewImporter(db, bundle).ImportAll(); err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEngineBuildsTree(t *testing.T) {
+	e := buildEngine(t, DefaultConfig())
+	if got := len(e.Tree().Leaves()); got != 24 {
+		t.Fatalf("tree has %d leaves, want 24", got)
+	}
+	tab, err := e.DB().Table(TreeTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != e.Tree().Len() {
+		t.Fatalf("tree_nodes has %d rows, tree has %d nodes", tab.Len(), e.Tree().Len())
+	}
+	// Indexes exist.
+	if typ, ok := tab.HasIndex("pre"); !ok || typ != store.IndexBTree {
+		t.Fatal("pre index missing")
+	}
+	// Root view is consistent.
+	root := e.Root()
+	if root.LeafCount != 24 || root.Depth != 0 {
+		t.Fatalf("root view = %+v", root)
+	}
+}
+
+func TestEngineErrorsOnEmptyDB(t *testing.T) {
+	db, _ := store.Open("")
+	defer db.Close()
+	if _, err := New(db, DefaultConfig()); err == nil {
+		t.Fatal("engine built over empty DB")
+	}
+}
+
+func TestNodeByName(t *testing.T) {
+	e := buildEngine(t, DefaultConfig())
+	if _, err := e.NodeByName("DT00000"); err != nil {
+		t.Fatalf("leaf lookup: %v", err)
+	}
+	if _, err := e.NodeByName("nope"); err == nil {
+		t.Fatal("missing node resolved")
+	}
+	// Internal clades got synthetic names.
+	found := false
+	for i := 0; i < e.Tree().Len(); i++ {
+		if strings.HasPrefix(e.Tree().Node(phylo.NodeID(i)).Name, "clade_") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no named clades")
+	}
+}
+
+func TestOpenSubtreeAndCache(t *testing.T) {
+	e := buildEngine(t, DefaultConfig())
+	rootName := e.Root().Name
+	views, cached, err := e.OpenSubtree(rootName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("first open reported cached")
+	}
+	if len(views) != e.Tree().Len() {
+		t.Fatalf("root subtree = %d nodes, want %d", len(views), e.Tree().Len())
+	}
+	// Second open hits the cache.
+	_, cached, err = e.OpenSubtree(rootName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Fatal("second open missed the cache")
+	}
+	// A child subtree is answered by subsumption from the root entry.
+	children, err := e.Children(rootName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(children) == 0 {
+		t.Fatal("root has no children")
+	}
+	_, cached, err = e.OpenSubtree(children[0].Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Fatal("child subtree not subsumed by cached root")
+	}
+	if e.CacheStats().SubsumedHits == 0 {
+		t.Fatalf("no subsumed hits recorded: %+v", e.CacheStats())
+	}
+}
+
+func TestOpenSubtreeNoCacheConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CacheBytes = 0
+	e := buildEngine(t, cfg)
+	name := e.Root().Name
+	e.OpenSubtree(name)
+	_, cached, err := e.OpenSubtree(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("cache disabled but hit reported")
+	}
+}
+
+func TestPrefetchWarmsCache(t *testing.T) {
+	e := buildEngine(t, DefaultConfig())
+	rootName := e.Root().Name
+	children, _ := e.Children(rootName)
+	if len(children) < 2 {
+		t.Skip("root too narrow for the prefetch scenario")
+	}
+	// Visit a child (not the root, whose entry would subsume all).
+	_, _, err := e.OpenSubtree(children[0].Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := e.RunPrefetch(); n == 0 {
+		t.Fatal("prefetch did nothing")
+	}
+	// The sibling should now be cached.
+	_, cached, err := e.OpenSubtree(children[1].Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Fatal("prefetch did not warm the sibling subtree")
+	}
+}
+
+func TestPrefetchDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnablePrefetch = false
+	e := buildEngine(t, cfg)
+	e.OpenSubtree(e.Root().Name)
+	if n := e.RunPrefetch(); n != 0 {
+		t.Fatalf("prefetch ran while disabled: %d", n)
+	}
+}
+
+func TestSubtreeActivity(t *testing.T) {
+	e := buildEngine(t, DefaultConfig())
+	rootName := e.Root().Name
+	sum, err := e.SubtreeActivity(rootName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Proteins != 24 {
+		t.Fatalf("proteins = %d, want 24", sum.Proteins)
+	}
+	if sum.Activities == 0 || sum.DistinctLig == 0 {
+		t.Fatalf("no activity aggregated: %+v", sum)
+	}
+	if sum.MeanAff <= 0 || sum.MaxAff < sum.MeanAff {
+		t.Fatalf("implausible affinities: %+v", sum)
+	}
+	// Activities under root equal the whole activities table (all
+	// references resolve to leaves).
+	act, _ := e.DB().Table(integrate.TableActivities)
+	if sum.Activities != int64(act.Len()) {
+		t.Fatalf("root subtree activities = %d, table has %d", sum.Activities, act.Len())
+	}
+}
+
+func TestSubtreeActivityOnLeaf(t *testing.T) {
+	e := buildEngine(t, DefaultConfig())
+	sum, err := e.SubtreeActivity("DT00000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Proteins != 1 {
+		t.Fatalf("leaf subtree proteins = %d", sum.Proteins)
+	}
+}
+
+func TestTopLigands(t *testing.T) {
+	e := buildEngine(t, DefaultConfig())
+	hits, err := e.TopLigands(e.Root().Name, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 || len(hits) > 5 {
+		t.Fatalf("hits = %d", len(hits))
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i].MeanAff > hits[i-1].MeanAff {
+			t.Fatalf("hits not sorted by mean affinity: %v", hits)
+		}
+	}
+	if _, err := e.TopLigands("nope", 5, 1); err == nil {
+		t.Fatal("missing node accepted")
+	}
+}
+
+func TestProteinProfile(t *testing.T) {
+	e := buildEngine(t, DefaultConfig())
+	p, err := e.ProteinProfile("DT00003")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Accession != "DT00003" || p.Organism == "" || p.EC == "" {
+		t.Fatalf("profile = %+v", p)
+	}
+	for i := 1; i < len(p.Activities); i++ {
+		if p.Activities[i].MeanAff > p.Activities[i-1].MeanAff {
+			t.Fatal("activities not sorted")
+		}
+	}
+	if _, err := e.ProteinProfile("nope"); err == nil {
+		t.Fatal("missing protein accepted")
+	}
+}
+
+func TestFamilyEnrichment(t *testing.T) {
+	e := buildEngine(t, DefaultConfig())
+	// Find a ligand that actually has activity.
+	res, err := e.Query("SELECT ligand_id, COUNT(*) FROM activities GROUP BY ligand_id ORDER BY COUNT(*) DESC LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lig := res.Rows[0][0].S
+	clades, err := e.FamilyEnrichment(lig, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clades) == 0 {
+		t.Fatal("no enriched clades")
+	}
+	for i := 1; i < len(clades); i++ {
+		if clades[i].MeanAff > clades[i-1].MeanAff {
+			t.Fatal("clades not sorted")
+		}
+	}
+}
+
+func TestNaiveAndOptimizedEngineAgree(t *testing.T) {
+	optCfg := DefaultConfig()
+	naiveCfg := DefaultConfig()
+	naiveCfg.QueryOptions = query.NaiveOptions()
+	naiveCfg.CacheBytes = 0
+	naiveCfg.EnablePrefetch = false
+
+	opt := buildEngine(t, optCfg)
+	naive := buildEngine(t, naiveCfg)
+	// Same seed → same tree → same answers.
+	oSum, err := opt.SubtreeActivity(opt.Root().Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nSum, err := naive.SubtreeActivity(naive.Root().Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oSum.Activities != nSum.Activities || oSum.DistinctLig != nSum.DistinctLig {
+		t.Fatalf("engines disagree: %+v vs %+v", oSum, nSum)
+	}
+	if diff := oSum.MeanAff - nSum.MeanAff; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("mean affinity differs: %g vs %g", oSum.MeanAff, nSum.MeanAff)
+	}
+}
+
+func TestResetSession(t *testing.T) {
+	e := buildEngine(t, DefaultConfig())
+	e.OpenSubtree(e.Root().Name)
+	e.ResetSession()
+	if e.CacheStats().Hits != 0 {
+		t.Fatal("reset did not clear stats")
+	}
+	_, cached, _ := e.OpenSubtree(e.Root().Name)
+	if cached {
+		t.Fatal("cache survived reset")
+	}
+}
+
+func TestEnginePersistenceRoundTrip(t *testing.T) {
+	// Full durability cycle: integrate into a disk-backed DB, build
+	// the engine (materializing tree_nodes), checkpoint, close,
+	// reopen, rebuild the engine — the materialized tree must be
+	// reused and queries must agree.
+	dir := t.TempDir()
+	gen := datagen.DefaultConfig()
+	gen.NumFamilies = 2
+	gen.ProteinsPerFamily = 6
+	gen.NumLigands = 8
+	ds, err := datagen.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle := source.NewBundle(ds, netsim.ProfileLAN, 1, true)
+	if _, err := integrate.NewImporter(db, bundle).ImportAll(); err != nil {
+		t.Fatal(err)
+	}
+	e1, err := New(db, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum1, err := e1.SubtreeActivity(e1.Root().Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tab, err := db2.Table(TreeTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsBefore := tab.Len()
+	e2, err := New(db2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same deterministic data → same tree; materialization reused
+	// (no duplicate rows).
+	if tab.Len() != rowsBefore {
+		t.Fatalf("tree_nodes grew on reopen: %d → %d", rowsBefore, tab.Len())
+	}
+	sum2, err := e2.SubtreeActivity(e2.Root().Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum1.Activities != sum2.Activities || sum1.DistinctLig != sum2.DistinctLig {
+		t.Fatalf("answers changed across restart: %+v vs %+v", sum1, sum2)
+	}
+}
+
+func TestBreadcrumbs(t *testing.T) {
+	e := buildEngine(t, DefaultConfig())
+	crumbs, err := e.Breadcrumbs("DT00005")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crumbs) < 2 {
+		t.Fatalf("breadcrumbs = %d entries", len(crumbs))
+	}
+	if crumbs[0].Name != e.Root().Name {
+		t.Fatalf("first crumb = %q, want root", crumbs[0].Name)
+	}
+	if crumbs[len(crumbs)-1].Name != "DT00005" {
+		t.Fatalf("last crumb = %q, want DT00005", crumbs[len(crumbs)-1].Name)
+	}
+	for i := 1; i < len(crumbs); i++ {
+		if crumbs[i].Depth != crumbs[i-1].Depth+1 {
+			t.Fatalf("crumb depths not consecutive: %v", crumbs)
+		}
+		if crumbs[i].ParentPre != crumbs[i-1].Pre {
+			t.Fatalf("crumb %d not child of previous", i)
+		}
+	}
+	if _, err := e.Breadcrumbs("missing"); err == nil {
+		t.Fatal("missing node accepted")
+	}
+}
+
+func TestSimilarLigands(t *testing.T) {
+	e := buildEngine(t, DefaultConfig())
+	// Use one of the dataset's own ligands as the query: it must rank
+	// itself first with similarity 1.
+	res, err := e.Query("SELECT smiles FROM ligands LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := res.Rows[0][0].S
+	hits, err := e.SimilarLigands(probe, 5, 0.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("no similarity hits")
+	}
+	if hits[0].Similarity != 1 || hits[0].SMILES != probe {
+		t.Fatalf("query ligand not first: %+v", hits[0])
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Similarity > hits[i-1].Similarity {
+			t.Fatal("hits not sorted by similarity")
+		}
+	}
+	// Threshold trims the tail.
+	strict, err := e.SimilarLigands(probe, 50, 0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range strict {
+		if h.Similarity < 0.999 {
+			t.Fatalf("threshold leak: %+v", h)
+		}
+	}
+	// Garbage query structure errors.
+	if _, err := e.SimilarLigands("((((", 5, 0); err == nil {
+		t.Fatal("invalid SMILES accepted")
+	}
+}
+
+func TestEngineWithSyntheticTopology(t *testing.T) {
+	// The scaling path: tree from RandomTopology with leaf-named
+	// tree_nodes only (no protein data needed for navigation).
+	tree, err := datagen.RandomTopology(50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, _ := store.Open("")
+	defer db.Close()
+	e, err := NewWithTree(db, tree, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	views, _, err := e.OpenSubtree(e.Root().Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != tree.Len() {
+		t.Fatalf("views = %d, want %d", len(views), tree.Len())
+	}
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"drugtree/internal/cache"
+	"drugtree/internal/phylo"
+	"drugtree/internal/store"
+)
+
+// NodeView is one tree node as shipped to clients.
+type NodeView struct {
+	Pre       int64
+	Name      string
+	ParentPre int64
+	Depth     int64
+	IsLeaf    bool
+	Length    float64
+	RootDist  float64
+	LeafCount int64
+	X, Y      float64
+}
+
+// viewFromRow decodes a tree_nodes row (TreeSchema order).
+func viewFromRow(r store.Row) NodeView {
+	return NodeView{
+		Pre:       r[0].I,
+		Name:      r[1].S,
+		ParentPre: r[2].I,
+		Depth:     r[3].I,
+		IsLeaf:    r[4].Bool(),
+		Length:    r[5].F,
+		RootDist:  r[6].F,
+		LeafCount: r[7].I,
+		X:         r[8].F,
+		Y:         r[9].F,
+	}
+}
+
+var treeCacheKey = cache.Key{Relation: TreeTable, RangeCol: "pre", Residual: ""}
+
+// OpenSubtree returns every node in the subtree rooted at the named
+// node, serving from the semantic cache when possible and recording
+// the visit for the prefetcher. cached reports whether the cache
+// answered.
+func (e *Engine) OpenSubtree(nodeName string) (views []NodeView, cached bool, err error) {
+	id, err := e.NodeByName(nodeName)
+	if err != nil {
+		return nil, false, err
+	}
+	start := time.Now()
+	defer func() {
+		e.Metrics.Histogram("navigate.latency").Record(time.Since(start))
+	}()
+	e.prefetcher.RecordVisit(id)
+	rows, hit, err := e.subtreeRows(id)
+	if err != nil {
+		return nil, false, err
+	}
+	views = make([]NodeView, len(rows))
+	for i, r := range rows {
+		views[i] = viewFromRow(r)
+	}
+	if hit {
+		e.Metrics.Counter("navigate.cache_hits").Inc()
+	} else {
+		e.Metrics.Counter("navigate.cache_misses").Inc()
+	}
+	return views, hit, nil
+}
+
+// subtreeRows fetches the tree_nodes rows of a subtree through the
+// cache.
+func (e *Engine) subtreeRows(id phylo.NodeID) ([]store.Row, bool, error) {
+	lo, hi := e.tree.SubtreeInterval(id)
+	tab, err := e.db.Table(TreeTable)
+	if err != nil {
+		return nil, false, err
+	}
+	version := tab.Version()
+	if e.cache != nil {
+		if rows, _, ok := e.cache.Get(treeCacheKey, int64(lo), int64(hi), version); ok {
+			return rows, true, nil
+		}
+	}
+	start := time.Now()
+	res, err := e.Query(fmt.Sprintf(
+		"SELECT pre, name, parent_pre, depth, is_leaf, branch_length, root_dist, leaf_count, x, y FROM %s WHERE pre BETWEEN %d AND %d",
+		TreeTable, lo, hi))
+	if err != nil {
+		return nil, false, err
+	}
+	cost := time.Since(start)
+	if e.cache != nil {
+		e.cache.Put(&cache.Entry{
+			Key: treeCacheKey, Lo: int64(lo), Hi: int64(hi),
+			Columns: res.Columns, Rows: res.Rows, RangeIdx: 0,
+			Version: version, Cost: cost,
+		})
+	}
+	return res.Rows, false, nil
+}
+
+// RunPrefetch executes the prefetcher's current suggestions, warming
+// the cache. It returns the number of subtrees prefetched. The server
+// calls this in the background after answering each interaction; the
+// experiments call it synchronously for determinism.
+func (e *Engine) RunPrefetch() int {
+	if !e.cfg.EnablePrefetch || e.cache == nil {
+		return 0
+	}
+	suggestions := e.prefetcher.Suggest(e.tree)
+	n := 0
+	for _, id := range suggestions {
+		// Only prefetch what the cache does not already cover.
+		lo, hi := e.tree.SubtreeInterval(id)
+		tab, err := e.db.Table(TreeTable)
+		if err != nil {
+			return n
+		}
+		if _, _, ok := e.cache.Get(treeCacheKey, int64(lo), int64(hi), tab.Version()); ok {
+			continue
+		}
+		if _, _, err := e.subtreeRows(id); err == nil {
+			n++
+			e.Metrics.Counter("prefetch.executed").Inc()
+		}
+	}
+	return n
+}
+
+// ResetSession clears navigation history and cache counters between
+// simulated sessions.
+func (e *Engine) ResetSession() {
+	e.prefetcher.Reset()
+	if e.cache != nil {
+		e.cache.Clear()
+	}
+	if e.stmtCache != nil {
+		e.stmtCache.clear()
+	}
+	e.Metrics.Reset()
+}
+
+// Children returns the direct children of the named node.
+func (e *Engine) Children(nodeName string) ([]NodeView, error) {
+	id, err := e.NodeByName(nodeName)
+	if err != nil {
+		return nil, err
+	}
+	var out []NodeView
+	for _, c := range e.tree.Node(id).Children {
+		out = append(out, e.nodeView(c))
+	}
+	return out, nil
+}
+
+// nodeView builds a NodeView directly from the in-memory tree (used
+// for structural navigation that skips the query path).
+func (e *Engine) nodeView(id phylo.NodeID) NodeView {
+	n := e.tree.Node(id)
+	parentPre := int64(-1)
+	if n.Parent != phylo.None {
+		parentPre = int64(e.tree.Pre(n.Parent))
+	}
+	return NodeView{
+		Pre:       int64(e.tree.Pre(id)),
+		Name:      n.Name,
+		ParentPre: parentPre,
+		Depth:     int64(e.tree.Depth(id)),
+		IsLeaf:    n.IsLeaf(),
+		Length:    n.Length,
+		RootDist:  e.tree.RootDistance(id),
+		LeafCount: int64(e.tree.LeafCount(id)),
+		X:         e.layout.X[id],
+		Y:         e.layout.Y[id],
+	}
+}
+
+// Root returns the root node view.
+func (e *Engine) Root() NodeView {
+	return e.nodeView(e.tree.Root())
+}
+
+// Breadcrumbs returns the path from the root to the named node
+// (inclusive, root first) through the DTQL engine's ANCESTOR_OF
+// operator — the query behind the mobile client's breadcrumb bar.
+func (e *Engine) Breadcrumbs(nodeName string) ([]NodeView, error) {
+	if _, err := e.NodeByName(nodeName); err != nil {
+		return nil, err
+	}
+	res, err := e.Query(fmt.Sprintf(
+		"SELECT pre, name, parent_pre, depth, is_leaf, branch_length, root_dist, leaf_count, x, y FROM %s WHERE ANCESTOR_OF(pre, '%s') ORDER BY depth",
+		TreeTable, nodeName))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]NodeView, len(res.Rows))
+	for i, r := range res.Rows {
+		out[i] = viewFromRow(r)
+	}
+	return out, nil
+}

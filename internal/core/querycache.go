@@ -1,0 +1,109 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"drugtree/internal/query"
+)
+
+// queryCache is a statement-level LRU result cache: repeated DTQL
+// strings are answered without re-planning or re-executing, as long
+// as no table changed since the entry was filled. It complements the
+// range-semantic cache (which serves *subsumed* tree navigation);
+// this one serves exact repeats of arbitrary statements — the
+// dashboard-refresh pattern.
+//
+// Cached results are shared by pointer: callers must treat Result as
+// immutable (the engine's own callers do).
+type queryCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element
+	order    *list.List // front = most recent
+}
+
+type queryCacheEntry struct {
+	key     string
+	version int64 // sum of table versions at fill time
+	res     *query.Result
+}
+
+func newQueryCache(capacity int) *queryCache {
+	return &queryCache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element, capacity),
+		order:    list.New(),
+	}
+}
+
+// get returns the cached result when present and still current.
+func (c *queryCache) get(key string, version int64) (*query.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*queryCacheEntry)
+	if e.version != version {
+		c.order.Remove(el)
+		delete(c.entries, key)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return e.res, true
+}
+
+// put stores a result, evicting the least-recently-used entry at
+// capacity.
+func (c *queryCache) put(key string, version int64, res *query.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*queryCacheEntry).version = version
+		el.Value.(*queryCacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	for len(c.entries) >= c.capacity {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*queryCacheEntry).key)
+	}
+	el := c.order.PushFront(&queryCacheEntry{key: key, version: version, res: res})
+	c.entries[key] = el
+}
+
+// clear empties the cache.
+func (c *queryCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*list.Element, c.capacity)
+	c.order.Init()
+}
+
+// len reports the number of cached statements.
+func (c *queryCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// dbVersion sums every table's version — a cheap global change
+// counter that conservatively invalidates the statement cache on any
+// write anywhere.
+func (e *Engine) dbVersion() int64 {
+	var v int64
+	for _, name := range e.db.TableNames() {
+		t, err := e.db.Table(name)
+		if err != nil {
+			continue
+		}
+		v += t.Version()
+	}
+	return v
+}

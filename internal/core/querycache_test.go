@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"drugtree/internal/store"
+)
+
+func TestStatementCacheHitsOnRepeat(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueryCacheEntries = 16
+	e := buildEngine(t, cfg)
+	q := "SELECT family, COUNT(*) FROM proteins GROUP BY family ORDER BY family"
+	r1, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("repeat did not hit the statement cache (different pointers)")
+	}
+	if e.Metrics.Counter("query.stmt_cache_hits").Value() != 1 {
+		t.Fatalf("hits = %d", e.Metrics.Counter("query.stmt_cache_hits").Value())
+	}
+}
+
+func TestStatementCacheInvalidatedByWrite(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueryCacheEntries = 16
+	e := buildEngine(t, cfg)
+	q := "SELECT COUNT(*) FROM ligands"
+	r1, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the ligands table: any table version change invalidates.
+	lig, err := e.DB().Table("ligands")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lig.Insert(store.Row{
+		store.StringValue("LIGX"), store.StringValue("x"),
+		store.StringValue("CCO"), store.FloatValue(46), store.StringValue("C2H6O"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 == r2 {
+		t.Fatal("stale statement served after write")
+	}
+	if r2.Rows[0][0].I != r1.Rows[0][0].I+1 {
+		t.Fatalf("count did not reflect the write: %v vs %v", r2.Rows[0][0], r1.Rows[0][0])
+	}
+}
+
+func TestStatementCacheLRUEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueryCacheEntries = 2
+	e := buildEngine(t, cfg)
+	queries := []string{
+		"SELECT COUNT(*) FROM proteins",
+		"SELECT COUNT(*) FROM ligands",
+		"SELECT COUNT(*) FROM activities",
+	}
+	for _, q := range queries {
+		if _, err := e.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.stmtCache.len(); got != 2 {
+		t.Fatalf("cache holds %d statements, capacity 2", got)
+	}
+	// The first statement was evicted: querying it misses.
+	before := e.Metrics.Counter("query.stmt_cache_hits").Value()
+	if _, err := e.Query(queries[0]); err != nil {
+		t.Fatal(err)
+	}
+	if e.Metrics.Counter("query.stmt_cache_hits").Value() != before {
+		t.Fatal("evicted statement hit")
+	}
+	// The most recent one still hits.
+	if _, err := e.Query(queries[2]); err != nil {
+		t.Fatal(err)
+	}
+	if e.Metrics.Counter("query.stmt_cache_hits").Value() != before+1 {
+		t.Fatal("recent statement missed")
+	}
+}
+
+func TestStatementCacheDisabledByDefault(t *testing.T) {
+	e := buildEngine(t, DefaultConfig())
+	q := "SELECT COUNT(*) FROM proteins"
+	r1, _ := e.Query(q)
+	r2, _ := e.Query(q)
+	if r1 == r2 {
+		t.Fatal("statement cache active without opt-in")
+	}
+}
+
+func TestStatementCacheClearedByResetSession(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueryCacheEntries = 8
+	e := buildEngine(t, cfg)
+	q := "SELECT COUNT(*) FROM proteins"
+	e.Query(q)
+	e.ResetSession()
+	if e.stmtCache.len() != 0 {
+		t.Fatal("reset did not clear the statement cache")
+	}
+}
+
+func TestStatementCacheConcurrentAccess(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueryCacheEntries = 8
+	e := buildEngine(t, cfg)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 50; i++ {
+				q := fmt.Sprintf("SELECT COUNT(*) FROM proteins WHERE family = 'FAM%d'", i%3)
+				if _, err := e.Query(q); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

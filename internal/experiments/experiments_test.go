@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"drugtree/internal/mobile"
+	"drugtree/internal/query"
+)
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{
+		ID: "X", Title: "demo",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}, {"3", "4"}},
+		Notes:  "note",
+	}
+	out := r.Render()
+	if !strings.Contains(out, "=== X: demo ===") || !strings.Contains(out, "note") {
+		t.Fatalf("render:\n%s", out)
+	}
+	csv := r.CSV()
+	if !strings.HasPrefix(csv, "a,b\n1,2\n") {
+		t.Fatalf("csv:\n%s", csv)
+	}
+}
+
+func TestByID(t *testing.T) {
+	for _, r := range All() {
+		got, err := ByID(r.ID)
+		if err != nil || got.ID != r.ID {
+			t.Fatalf("ByID(%s): %v", r.ID, err)
+		}
+	}
+	if _, err := ByID("T9"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestRunT1(t *testing.T) {
+	rep, err := RunT1(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 5 {
+		t.Fatalf("T1 rows = %d, want 5", len(rep.Rows))
+	}
+	// The headline expectation: every class speeds up.
+	for _, row := range rep.Rows {
+		sp, err := strconv.ParseFloat(strings.TrimSuffix(row[3], "x"), 64)
+		if err != nil {
+			t.Fatalf("bad speedup cell %q", row[3])
+		}
+		if sp < 1 {
+			t.Errorf("class %q slowed down: %s (timing noise is possible but all five below 1 would be a bug)", row[0], row[3])
+		}
+	}
+}
+
+func TestRunT2(t *testing.T) {
+	rep, err := RunT2(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 6 {
+		t.Fatalf("T2 rows = %d, want 6", len(rep.Rows))
+	}
+	// Pushdown rows must move fewer bytes than their fetch-all twin.
+	for i := 0; i < len(rep.Rows); i += 2 {
+		all, _ := strconv.ParseInt(rep.Rows[i][4], 10, 64)
+		push, _ := strconv.ParseInt(rep.Rows[i+1][4], 10, 64)
+		if push >= all {
+			t.Errorf("scenario %q: pushdown %d ≥ fetch-all %d bytes", rep.Rows[i][0], push, all)
+		}
+	}
+}
+
+func TestRunT3(t *testing.T) {
+	rep, err := RunT3(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("T3 rows = %d", len(rep.Rows))
+	}
+	// Cost-based join work (rows joined) must not exceed syntactic.
+	for _, row := range rep.Rows {
+		parts := strings.Split(row[4], "/")
+		syn, _ := strconv.ParseInt(parts[0], 10, 64)
+		cb, _ := strconv.ParseInt(parts[1], 10, 64)
+		if cb > syn {
+			t.Errorf("%q: cost-based joined more rows (%d) than syntactic (%d)", row[0], cb, syn)
+		}
+	}
+}
+
+func TestRunT4(t *testing.T) {
+	rep, err := RunT4(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("T4 rows = %d", len(rep.Rows))
+	}
+	// 0-edit accuracy must be ~100%; 1-edit ≥ 99%.
+	acc0, _ := strconv.ParseFloat(strings.TrimSuffix(rep.Rows[0][4], "%"), 64)
+	acc1, _ := strconv.ParseFloat(strings.TrimSuffix(rep.Rows[1][4], "%"), 64)
+	if acc0 < 99.9 {
+		t.Errorf("0-edit accuracy %.1f%%", acc0)
+	}
+	if acc1 < 99 {
+		t.Errorf("1-edit accuracy %.1f%%", acc1)
+	}
+}
+
+func TestF1SmallScale(t *testing.T) {
+	// Full F1 sweeps to 50k leaves; the test checks the property at
+	// two sizes: the naive/optimized gap grows with tree size.
+	gap := func(n int) float64 {
+		naive, err := F1Engine(n, 1, query.NaiveOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := F1Engine(n, 1, query.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		clade := f1PickClades(naive.Tree())[0]
+		q := "SELECT pre FROM tree_nodes WHERE WITHIN_SUBTREE(pre, '" + clade + "')"
+		dn, err := MeasureQuery(naive, q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		do, err := MeasureQuery(opt, q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(dn) / float64(do)
+	}
+	small := gap(200)
+	large := gap(5000)
+	if large <= small {
+		t.Logf("warning: speedup at 5000 leaves (%.1fx) not above 200 leaves (%.1fx) — timing noise", large, small)
+	}
+	if large < 2 {
+		t.Errorf("optimized engine only %.1fx faster at 5000 leaves", large)
+	}
+}
+
+func TestF2SmallScale(t *testing.T) {
+	// 300-leaf, 60-step version of F2: semantic cache must hit more
+	// than exact-only, which must hit ≥ no cache (0).
+	hitRate := func(fc F2Config) float64 {
+		e, err := F2Engine(300, 1, fc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace := GenerateTrace(e.Tree(), 60, 2)
+		_, hits, err := RunSession(e, trace, fc.Prefetch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(hits) / 60
+	}
+	none := hitRate(F2Config{Name: "none"})
+	exact := hitRate(F2Config{Name: "exact", Cache: true, ExactOnly: true})
+	semantic := hitRate(F2Config{Name: "semantic", Cache: true})
+	prefetch := hitRate(F2Config{Name: "prefetch", Cache: true, Prefetch: true})
+	if none != 0 {
+		t.Errorf("no-cache hit rate = %g", none)
+	}
+	if semantic <= exact {
+		t.Errorf("semantic (%.2f) not above exact-only (%.2f)", semantic, exact)
+	}
+	if prefetch < semantic {
+		t.Errorf("prefetch (%.2f) below semantic (%.2f)", prefetch, semantic)
+	}
+	if prefetch < 0.5 {
+		t.Errorf("full stack hit rate only %.2f", prefetch)
+	}
+}
+
+func TestF3SmallScale(t *testing.T) {
+	e, err := F3Engine(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := GenerateTrace(e.Tree(), 10, 3)
+	full, n, err := f3RunStrategy(e, mobile.StrategyFull, 0, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.ResetSession()
+	lod, _, err := f3RunStrategy(e, mobile.StrategyLOD, 100, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.ResetSession()
+	delta, _, err := f3RunStrategy(e, mobile.StrategyLODDelta, 100, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("interactions = %d", n)
+	}
+	if !(delta < lod && lod < full) {
+		t.Fatalf("byte ordering wrong: delta=%d lod=%d full=%d", delta, lod, full)
+	}
+	if full < 10*lod {
+		t.Errorf("LOD saved less than 10x on a 2000-leaf tree: full=%d lod=%d", full, lod)
+	}
+}
+
+func TestF4SmallScale(t *testing.T) {
+	// 500-leaf, short session: full stack must beat naive everything
+	// on modelled 3G by a wide margin.
+	fullCfg := F4Configs()[0]
+	naiveCfg := F4Configs()[len(F4Configs())-1]
+	fullHist, err := RunF4Session(500, 1, fullCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naiveHist, err := RunF4Session(500, 1, naiveCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naiveHist.Mean() < 2*fullHist.Mean() {
+		t.Errorf("naive mean %v not ≥2x full-stack mean %v", naiveHist.Mean(), fullHist.Mean())
+	}
+	if fullHist.Count() != int64(F4Steps) {
+		t.Errorf("histogram count = %d", fullHist.Count())
+	}
+}
+
+func TestGenerateTraceProperties(t *testing.T) {
+	e, err := F2Engine(200, 5, F2Config{Name: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := GenerateTrace(e.Tree(), 100, 7)
+	if len(trace) != 100 {
+		t.Fatalf("trace length = %d", len(trace))
+	}
+	// Deterministic.
+	trace2 := GenerateTrace(e.Tree(), 100, 7)
+	for i := range trace {
+		if trace[i] != trace2[i] {
+			t.Fatal("trace not deterministic")
+		}
+	}
+	// All names resolve.
+	for _, name := range trace {
+		if _, err := e.NodeByName(name); err != nil {
+			t.Fatalf("trace step %q does not resolve", name)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"drugtree/internal/core"
+	"drugtree/internal/datagen"
+	"drugtree/internal/metrics"
+	"drugtree/internal/phylo"
+	"drugtree/internal/store"
+)
+
+// GenerateTrace produces a navigation trace over the tree: a random
+// walk mixing zooms into children (the dominant move), sibling pans,
+// pops back to the parent, and occasional jumps — the access pattern
+// interactive phylogeny browsing produces.
+func GenerateTrace(t *phylo.Tree, steps int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	var internal []phylo.NodeID
+	for i := 0; i < t.Len(); i++ {
+		if !t.Node(phylo.NodeID(i)).IsLeaf() {
+			internal = append(internal, phylo.NodeID(i))
+		}
+	}
+	cur := t.Root()
+	out := make([]string, 0, steps)
+	for len(out) < steps {
+		out = append(out, t.Node(cur).Name)
+		node := t.Node(cur)
+		r := rng.Float64()
+		switch {
+		case r < 0.60 && len(node.Children) > 0:
+			// Zoom: weighted toward the largest child.
+			best := node.Children[0]
+			for _, c := range node.Children {
+				if t.LeafCount(c) > t.LeafCount(best) && rng.Float64() < 0.7 {
+					best = c
+				}
+			}
+			if rng.Float64() < 0.3 {
+				best = node.Children[rng.Intn(len(node.Children))]
+			}
+			cur = best
+		case r < 0.85 && node.Parent != phylo.None:
+			// Pan: a sibling.
+			siblings := t.Node(node.Parent).Children
+			cur = siblings[rng.Intn(len(siblings))]
+		case r < 0.95 && node.Parent != phylo.None:
+			cur = node.Parent
+		default:
+			cur = internal[rng.Intn(len(internal))]
+		}
+		// Leaves terminate a drill-down: pop back up.
+		if t.Node(cur).IsLeaf() && t.Node(cur).Parent != phylo.None {
+			cur = t.Node(cur).Parent
+		}
+	}
+	return out
+}
+
+// F2Config is one cache configuration under test.
+type F2Config struct {
+	Name      string
+	Cache     bool
+	ExactOnly bool
+	Prefetch  bool
+}
+
+// F2Configs lists the ablation ladder.
+func F2Configs() []F2Config {
+	return []F2Config{
+		{Name: "no cache"},
+		{Name: "exact-match cache", Cache: true, ExactOnly: true},
+		{Name: "semantic cache", Cache: true},
+		{Name: "semantic cache + prefetch", Cache: true, Prefetch: true},
+	}
+}
+
+// F2Engine builds the session engine for one config.
+func F2Engine(leaves int, seed int64, fc F2Config) (*core.Engine, error) {
+	tree, err := datagen.RandomTopology(leaves, seed)
+	if err != nil {
+		return nil, err
+	}
+	db, err := store.Open("")
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.EnablePrefetch = fc.Prefetch
+	cfg.CacheExactOnly = fc.ExactOnly
+	if !fc.Cache {
+		cfg.CacheBytes = 0
+	} else {
+		// Deliberately smaller than the whole tree's row footprint at
+		// the 1000-leaf experiment scale: a root visit must not
+		// trivially subsume every later interaction, and eviction
+		// pressure is part of what the experiment measures.
+		cfg.CacheBytes = 64 << 10
+	}
+	return core.NewWithTree(db, tree, cfg)
+}
+
+// RunSession replays the trace, returning the latency histogram and
+// the hit count.
+func RunSession(e *core.Engine, trace []string, prefetchAfterEach bool) (*metrics.Histogram, int, error) {
+	hist := &metrics.Histogram{}
+	hits := 0
+	for _, node := range trace {
+		start := time.Now()
+		_, cached, err := e.OpenSubtree(node)
+		if err != nil {
+			return nil, 0, err
+		}
+		hist.Record(time.Since(start))
+		if cached {
+			hits++
+		}
+		if prefetchAfterEach {
+			// Synchronous here so measurements are deterministic; the
+			// production server overlaps it with client think time.
+			e.RunPrefetch()
+		}
+	}
+	return hist, hits, nil
+}
+
+// RunF2 replays a 200-step navigation trace on a 1000-leaf tree under
+// the cache ablation ladder.
+func RunF2(seed int64) (*Report, error) {
+	const leaves = 1000
+	const steps = 200
+	rep := &Report{
+		ID:     "F2",
+		Title:  fmt.Sprintf("Interactive session: %d-step trace over a %d-leaf tree", steps, leaves),
+		Header: []string{"config", "hit rate", "mean", "p50", "p95", "max"},
+	}
+	var baseMean, bestMean time.Duration
+	for _, fc := range F2Configs() {
+		e, err := F2Engine(leaves, seed, fc)
+		if err != nil {
+			return nil, err
+		}
+		trace := GenerateTrace(e.Tree(), steps, seed+1)
+		hist, hits, err := RunSession(e, trace, fc.Prefetch)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, []string{
+			fc.Name,
+			fmt.Sprintf("%.0f%%", 100*float64(hits)/float64(steps)),
+			fmt.Sprint(hist.Mean().Round(time.Microsecond)),
+			fmt.Sprint(hist.Percentile(0.50).Round(time.Microsecond)),
+			fmt.Sprint(hist.Percentile(0.95).Round(time.Microsecond)),
+			fmt.Sprint(hist.Max().Round(time.Microsecond)),
+		})
+		if fc.Name == "no cache" {
+			baseMean = hist.Mean()
+		}
+		bestMean = hist.Mean()
+	}
+	note := "expectation: hit rate climbs down the ladder (subsumption beats exact-match on zoom-ins; prefetch converts first-visit misses)"
+	if baseMean > 0 && bestMean > 0 {
+		note += fmt.Sprintf("; full stack cut mean latency %.1fx vs no cache", float64(baseMean)/float64(bestMean))
+	}
+	rep.Notes = note
+	return rep, nil
+}

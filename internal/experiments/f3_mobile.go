@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"drugtree/internal/core"
+	"drugtree/internal/datagen"
+	"drugtree/internal/mobile"
+	"drugtree/internal/netsim"
+	"drugtree/internal/store"
+)
+
+// F3Budgets are the viewport sizes swept by the mobile figure.
+var F3Budgets = []int{25, 50, 100, 200, 400}
+
+// f3RunStrategy drives a navigation session under one transfer
+// strategy over an unshaped pipe (compute is not the subject here)
+// and returns total bytes shipped down plus the interaction count.
+func f3RunStrategy(e *core.Engine, strategy mobile.Strategy, budget int, opens []string) (int64, int, error) {
+	return f3Run(e, strategy, budget, opens, false)
+}
+
+func f3Run(e *core.Engine, strategy mobile.Strategy, budget int, opens []string, compress bool) (int64, int, error) {
+	server := mobile.NewServer(e)
+	clientConn, serverConn := net.Pipe()
+	defer clientConn.Close()
+	defer serverConn.Close()
+	errc := make(chan error, 1)
+	go func() { errc <- server.ServeConn(serverConn) }()
+	var c *mobile.Client
+	var err error
+	if compress {
+		c, err = mobile.DialCompressed(clientConn, strategy, budget)
+	} else {
+		c, err = mobile.Dial(clientConn, strategy, budget)
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, node := range opens {
+		if _, err := c.Open(node); err != nil {
+			return 0, 0, err
+		}
+	}
+	c.Close()
+	clientConn.Close()
+	<-errc
+	return c.BytesDown, len(opens), nil
+}
+
+// modelledLatency computes the per-interaction network time of moving
+// the mean payload over a profile (deterministic: no jitter/loss).
+func modelledLatency(p netsim.Profile, bytesPerInteraction float64) time.Duration {
+	d := p.RTT // request up + response down each pay RTT/2
+	if p.DownBps > 0 {
+		d += time.Duration(bytesPerInteraction / float64(p.DownBps) * float64(time.Second))
+	}
+	return d
+}
+
+// F3Engine builds the mobile experiment engine over a 2000-leaf tree.
+func F3Engine(seed int64) (*core.Engine, error) {
+	tree, err := datagen.RandomTopology(2000, seed)
+	if err != nil {
+		return nil, err
+	}
+	db, err := store.Open("")
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.EnablePrefetch = false // isolate transfer strategies
+	return core.NewWithTree(db, tree, cfg)
+}
+
+// RunF3 sweeps viewport budget × transfer strategy over a 30-step
+// session on a 2000-leaf tree, then prices the mean payload on each
+// network profile.
+func RunF3(seed int64) (*Report, error) {
+	e, err := F3Engine(seed)
+	if err != nil {
+		return nil, err
+	}
+	trace := GenerateTrace(e.Tree(), 30, seed+2)
+
+	rep := &Report{
+		ID:     "F3",
+		Title:  "Mobile transfer strategies: bytes/interaction and modelled latency (2000-leaf tree, 30 interactions)",
+		Header: []string{"strategy", "budget", "bytes/interaction", "WiFi", "4G", "3G", "2G"},
+	}
+	profiles := []netsim.Profile{netsim.ProfileWiFi, netsim.Profile4G, netsim.Profile3G, netsim.Profile2G}
+	type variant struct {
+		strat    mobile.Strategy
+		compress bool
+		label    string
+		budgets  []int
+	}
+	variants := []variant{
+		{mobile.StrategyFull, false, "full", []int{0}},
+		{mobile.StrategyFull, true, "full+deflate", []int{0}},
+		{mobile.StrategyLOD, false, "lod", F3Budgets},
+		{mobile.StrategyLODDelta, false, "lod+delta", F3Budgets},
+		{mobile.StrategyLODDelta, true, "lod+delta+deflate", []int{100}},
+	}
+	var fullBytes, bestBytes float64
+	for _, v := range variants {
+		for _, budget := range v.budgets {
+			e.ResetSession()
+			bytes, n, err := f3Run(e, v.strat, budget, trace, v.compress)
+			if err != nil {
+				return nil, fmt.Errorf("F3 %s budget %d: %w", v.label, budget, err)
+			}
+			per := float64(bytes) / float64(n)
+			budgetCell := fmt.Sprint(budget)
+			if budget == 0 {
+				budgetCell = "-"
+			}
+			row := []string{v.label, budgetCell, fmt.Sprintf("%.0f", per)}
+			for _, p := range profiles {
+				row = append(row, fmtMs(float64(modelledLatency(p, per).Microseconds())/1e3))
+			}
+			if v.label == "full" {
+				fullBytes = per
+			}
+			bestBytes = per
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	rep.Notes = fmt.Sprintf(
+		"expectation: LOD wins by ≈ tree/viewport ratio and delta wins again on overlapping viewports; here full→best = %.0fx fewer bytes",
+		fullBytes/bestBytes)
+	return rep, nil
+}

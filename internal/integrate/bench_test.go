@@ -1,0 +1,63 @@
+package integrate
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchResolver(b *testing.B, n int) (*Resolver, []string) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	const alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	ids := make([]string, n)
+	for i := range ids {
+		buf := make([]byte, 8)
+		for j := range buf {
+			buf[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		ids[i] = "DT" + string(buf)
+	}
+	return NewResolver(ids), ids
+}
+
+func BenchmarkResolverTiers(b *testing.B) {
+	r, ids := benchResolver(b, 10000)
+	rng := rand.New(rand.NewSource(2))
+	exact := make([]string, 256)
+	norm := make([]string, 256)
+	fuzzy := make([]string, 256)
+	for i := range exact {
+		id := ids[rng.Intn(len(ids))]
+		exact[i] = id
+		norm[i] = " " + id[:4] + "-" + id[4:] + " "
+		fuzzy[i] = CorruptID(rng, id, 1)
+	}
+	b.Run("Exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r.Resolve(exact[i%len(exact)])
+		}
+	})
+	b.Run("Normalized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r.Resolve(norm[i%len(norm)])
+		}
+	})
+	b.Run("Fuzzy1Edit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r.Resolve(fuzzy[i%len(fuzzy)])
+		}
+	})
+}
+
+func BenchmarkResolverBuild(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("ids-%d", n), func(b *testing.B) {
+			_, ids := benchResolver(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				NewResolver(ids)
+			}
+		})
+	}
+}

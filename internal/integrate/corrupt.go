@@ -1,0 +1,40 @@
+package integrate
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// CorruptID produces a dirty variant of an identifier with the given
+// number of random character edits (substitute/insert/delete) plus
+// random case flips and decorative punctuation — the reference noise
+// the resolver exists to absorb. Used by the T4 experiment and tests.
+func CorruptID(rng *rand.Rand, id string, edits int) string {
+	b := []byte(id)
+	const alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	for e := 0; e < edits && len(b) > 1; e++ {
+		pos := rng.Intn(len(b))
+		switch rng.Intn(3) {
+		case 0: // substitute
+			b[pos] = alphabet[rng.Intn(len(alphabet))]
+		case 1: // insert
+			b = append(b[:pos], append([]byte{alphabet[rng.Intn(len(alphabet))]}, b[pos:]...)...)
+		case 2: // delete
+			b = append(b[:pos], b[pos+1:]...)
+		}
+	}
+	s := string(b)
+	// Cosmetic noise: case flips and separators (normalization-tier
+	// fodder — these do not count as edits).
+	if rng.Float64() < 0.5 {
+		s = strings.ToLower(s)
+	}
+	if rng.Float64() < 0.3 && len(s) > 3 {
+		cut := 1 + rng.Intn(len(s)-2)
+		s = s[:cut] + "-" + s[cut:]
+	}
+	if rng.Float64() < 0.2 {
+		s = " " + s + " "
+	}
+	return s
+}

@@ -1,0 +1,177 @@
+package integrate
+
+import (
+	"fmt"
+	"time"
+
+	"drugtree/internal/source"
+	"drugtree/internal/store"
+)
+
+// TableNames of the integrated relations in the local store.
+const (
+	TableProteins    = "proteins"
+	TableLigands     = "ligands"
+	TableActivities  = "activities"
+	TableAnnotations = "annotations"
+)
+
+// ImportStats reports what one sync moved and fixed.
+type ImportStats struct {
+	RowsImported  int64
+	RowsRejected  int64 // unresolvable entity references
+	ResolvedExact int64
+	ResolvedNorm  int64
+	ResolvedFuzzy int64
+	Elapsed       time.Duration // modelled network time
+}
+
+// Importer synchronizes the remote bundle into a local store DB.
+type Importer struct {
+	DB     *store.DB
+	Bundle *source.Bundle
+}
+
+// NewImporter wires an importer. The DB may be empty or already hold
+// the integrated tables from a previous run.
+func NewImporter(db *store.DB, bundle *source.Bundle) *Importer {
+	return &Importer{DB: db, Bundle: bundle}
+}
+
+// ensureTable creates the table with indexes if missing.
+func (im *Importer) ensureTable(name string, schema *store.Schema, indexes map[string]store.IndexType) (*store.Table, error) {
+	t, err := im.DB.Table(name)
+	if err != nil {
+		t, err = im.DB.CreateTable(name, schema)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for col, typ := range indexes {
+		if err := t.CreateIndex(col, typ); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// ImportAll pulls every source into the local store, resolving
+// activity and annotation references against the imported protein and
+// ligand IDs. Rows whose references cannot be resolved are counted
+// and dropped, not guessed.
+func (im *Importer) ImportAll() (*ImportStats, error) {
+	st := &ImportStats{}
+
+	if _, err := im.ensureTable(TableProteins, source.ProteinSchema, map[string]store.IndexType{
+		"accession": store.IndexHash,
+		"family":    store.IndexHash,
+		"length":    store.IndexBTree,
+	}); err != nil {
+		return nil, err
+	}
+	protRows, err := source.FetchAll(im.Bundle.Proteins, nil)
+	if err != nil {
+		return nil, fmt.Errorf("integrate: fetching proteins: %w", err)
+	}
+	accIdx := source.ProteinSchema.ColumnIndex("accession")
+	var protIDs []string
+	for _, r := range protRows {
+		if _, err := im.DB.Insert(TableProteins, r); err != nil {
+			return nil, err
+		}
+		protIDs = append(protIDs, r[accIdx].S)
+		st.RowsImported++
+	}
+
+	if _, err := im.ensureTable(TableLigands, source.LigandSchema, map[string]store.IndexType{
+		"ligand_id": store.IndexHash,
+		"weight":    store.IndexBTree,
+	}); err != nil {
+		return nil, err
+	}
+	ligRows, err := source.FetchAll(im.Bundle.Ligands, nil)
+	if err != nil {
+		return nil, fmt.Errorf("integrate: fetching ligands: %w", err)
+	}
+	ligIDIdx := source.LigandSchema.ColumnIndex("ligand_id")
+	var ligIDs []string
+	for _, r := range ligRows {
+		if _, err := im.DB.Insert(TableLigands, r); err != nil {
+			return nil, err
+		}
+		ligIDs = append(ligIDs, r[ligIDIdx].S)
+		st.RowsImported++
+	}
+
+	protResolver := NewResolver(protIDs)
+	ligResolver := NewResolver(ligIDs)
+
+	if _, err := im.ensureTable(TableActivities, source.ActivitySchema, map[string]store.IndexType{
+		"protein_id": store.IndexHash,
+		"ligand_id":  store.IndexHash,
+		"affinity":   store.IndexBTree,
+	}); err != nil {
+		return nil, err
+	}
+	actRows, err := source.FetchAll(im.Bundle.Activities, nil)
+	if err != nil {
+		return nil, fmt.Errorf("integrate: fetching activities: %w", err)
+	}
+	pIdx := source.ActivitySchema.ColumnIndex("protein_id")
+	lIdx := source.ActivitySchema.ColumnIndex("ligand_id")
+	for _, r := range actRows {
+		pid, pTier, pOK := protResolver.Resolve(r[pIdx].S)
+		lid, lTier, lOK := ligResolver.Resolve(r[lIdx].S)
+		if !pOK || !lOK {
+			st.RowsRejected++
+			continue
+		}
+		st.countTier(pTier)
+		st.countTier(lTier)
+		r[pIdx] = store.StringValue(pid)
+		r[lIdx] = store.StringValue(lid)
+		if _, err := im.DB.Insert(TableActivities, r); err != nil {
+			return nil, err
+		}
+		st.RowsImported++
+	}
+
+	if _, err := im.ensureTable(TableAnnotations, source.AnnotationSchema, map[string]store.IndexType{
+		"protein_id": store.IndexHash,
+		"organism":   store.IndexHash,
+	}); err != nil {
+		return nil, err
+	}
+	annRows, err := source.FetchAll(im.Bundle.Annotations, nil)
+	if err != nil {
+		return nil, fmt.Errorf("integrate: fetching annotations: %w", err)
+	}
+	apIdx := source.AnnotationSchema.ColumnIndex("protein_id")
+	for _, r := range annRows {
+		pid, tier, ok := protResolver.Resolve(r[apIdx].S)
+		if !ok {
+			st.RowsRejected++
+			continue
+		}
+		st.countTier(tier)
+		r[apIdx] = store.StringValue(pid)
+		if _, err := im.DB.Insert(TableAnnotations, r); err != nil {
+			return nil, err
+		}
+		st.RowsImported++
+	}
+
+	st.Elapsed = im.Bundle.TotalStats().Elapsed
+	return st, nil
+}
+
+func (s *ImportStats) countTier(t Tier) {
+	switch t {
+	case TierExact:
+		s.ResolvedExact++
+	case TierNormalized:
+		s.ResolvedNorm++
+	case TierFuzzy:
+		s.ResolvedFuzzy++
+	}
+}

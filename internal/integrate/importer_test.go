@@ -1,0 +1,117 @@
+package integrate
+
+import (
+	"testing"
+
+	"drugtree/internal/datagen"
+	"drugtree/internal/netsim"
+	"drugtree/internal/source"
+	"drugtree/internal/store"
+)
+
+func importedDB(t *testing.T) (*store.DB, *ImportStats) {
+	t.Helper()
+	cfg := datagen.DefaultConfig()
+	cfg.NumFamilies = 2
+	cfg.ProteinsPerFamily = 8
+	cfg.NumLigands = 10
+	ds, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle := source.NewBundle(ds, netsim.ProfileLAN, 3, true)
+	db, err := store.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewImporter(db, bundle).ImportAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, st
+}
+
+func TestImportAllMaterializesTables(t *testing.T) {
+	db, st := importedDB(t)
+	defer db.Close()
+	for _, name := range []string{TableProteins, TableLigands, TableActivities, TableAnnotations} {
+		tb, err := db.Table(name)
+		if err != nil {
+			t.Fatalf("missing table %s: %v", name, err)
+		}
+		if tb.Len() == 0 {
+			t.Fatalf("table %s is empty", name)
+		}
+	}
+	if st.RowsImported == 0 || st.RowsRejected != 0 {
+		t.Fatalf("unexpected import stats: %+v", st)
+	}
+	// All clean references resolve at the exact tier.
+	if st.ResolvedNorm != 0 || st.ResolvedFuzzy != 0 {
+		t.Fatalf("clean data used non-exact tiers: %+v", st)
+	}
+	if st.Elapsed <= 0 {
+		t.Fatalf("no network time charged: %+v", st)
+	}
+}
+
+func TestImportCreatesIndexes(t *testing.T) {
+	db, _ := importedDB(t)
+	defer db.Close()
+	tb, _ := db.Table(TableProteins)
+	if _, ok := tb.HasIndex("accession"); !ok {
+		t.Fatal("accession index missing")
+	}
+	if typ, ok := tb.HasIndex("length"); !ok || typ != store.IndexBTree {
+		t.Fatal("length btree index missing")
+	}
+	act, _ := db.Table(TableActivities)
+	if _, ok := act.HasIndex("affinity"); !ok {
+		t.Fatal("affinity index missing")
+	}
+}
+
+func TestImportResolvesForeignKeys(t *testing.T) {
+	db, _ := importedDB(t)
+	defer db.Close()
+	prot, _ := db.Table(TableProteins)
+	accIdx := source.ProteinSchema.ColumnIndex("accession")
+	valid := map[string]bool{}
+	prot.Scan(func(_ int64, r store.Row) bool {
+		valid[r[accIdx].S] = true
+		return true
+	})
+	act, _ := db.Table(TableActivities)
+	pIdx := source.ActivitySchema.ColumnIndex("protein_id")
+	act.Scan(func(_ int64, r store.Row) bool {
+		if !valid[r[pIdx].S] {
+			t.Errorf("activity references unknown protein %q", r[pIdx].S)
+			return false
+		}
+		return true
+	})
+}
+
+func TestImportIdempotentTables(t *testing.T) {
+	// A second ImportAll on the same DB must not fail on existing
+	// tables (it appends; dedup is the caller's policy).
+	cfg := datagen.DefaultConfig()
+	cfg.NumFamilies = 1
+	cfg.ProteinsPerFamily = 4
+	cfg.NumLigands = 5
+	ds, _ := datagen.Generate(cfg)
+	bundle := source.NewBundle(ds, netsim.ProfileLAN, 3, true)
+	db, _ := store.Open("")
+	defer db.Close()
+	im := NewImporter(db, bundle)
+	if _, err := im.ImportAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := im.ImportAll(); err != nil {
+		t.Fatalf("second import failed: %v", err)
+	}
+	tb, _ := db.Table(TableProteins)
+	if tb.Len() != 8 {
+		t.Fatalf("rows after double import = %d, want 8", tb.Len())
+	}
+}

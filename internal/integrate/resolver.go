@@ -1,0 +1,247 @@
+// Package integrate is DrugTree's mediator layer: it pulls rows from
+// the heterogeneous remote sources, reconciles entity references
+// (accessions arrive dirty — case changes, stray punctuation, typos),
+// and materializes the integrated relations into the embedded store
+// the query engine runs on.
+package integrate
+
+import (
+	"sort"
+	"strings"
+)
+
+// Resolver matches dirty entity references against a canonical ID set
+// using a three-tier strategy:
+//
+//  1. exact match,
+//  2. normalized match (case-folded, punctuation/whitespace stripped),
+//  3. fuzzy match: trigram-indexed candidate retrieval verified by
+//     banded edit distance ≤ MaxEdits.
+//
+// Tiers are tried in order; the first hit wins. Fuzzy matches require
+// a unique best candidate — ties are rejected rather than guessed.
+type Resolver struct {
+	// MaxEdits bounds the edit distance accepted by the fuzzy tier
+	// (default 2 via NewResolver).
+	MaxEdits int
+
+	exact      map[string]string   // raw canonical → canonical
+	normalized map[string][]string // normalized → canonicals
+	trigrams   map[string][]int    // trigram → indices into canon
+	canon      []string
+	canonNorm  []string
+}
+
+// NewResolver creates a resolver over the canonical ID set.
+func NewResolver(canonical []string) *Resolver {
+	r := &Resolver{
+		MaxEdits:   2,
+		exact:      make(map[string]string, len(canonical)),
+		normalized: make(map[string][]string),
+		trigrams:   make(map[string][]int),
+	}
+	for _, id := range canonical {
+		if _, dup := r.exact[id]; dup {
+			continue
+		}
+		r.exact[id] = id
+		n := Normalize(id)
+		r.normalized[n] = append(r.normalized[n], id)
+		idx := len(r.canon)
+		r.canon = append(r.canon, id)
+		r.canonNorm = append(r.canonNorm, n)
+		for _, g := range trigramSet(n) {
+			r.trigrams[g] = append(r.trigrams[g], idx)
+		}
+	}
+	return r
+}
+
+// Tier labels which strategy produced a match.
+type Tier uint8
+
+const (
+	TierNone Tier = iota
+	TierExact
+	TierNormalized
+	TierFuzzy
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierExact:
+		return "exact"
+	case TierNormalized:
+		return "normalized"
+	case TierFuzzy:
+		return "fuzzy"
+	}
+	return "none"
+}
+
+// Resolve maps a dirty reference to a canonical ID. ok is false when
+// no tier produces a confident match.
+func (r *Resolver) Resolve(ref string) (canonical string, tier Tier, ok bool) {
+	if id, hit := r.exact[ref]; hit {
+		return id, TierExact, true
+	}
+	n := Normalize(ref)
+	if ids := r.normalized[n]; len(ids) == 1 {
+		return ids[0], TierNormalized, true
+	} else if len(ids) > 1 {
+		return "", TierNone, false // ambiguous
+	}
+	return r.fuzzy(n)
+}
+
+// fuzzy retrieves candidates sharing trigrams with the query and
+// verifies them with banded edit distance.
+func (r *Resolver) fuzzy(n string) (string, Tier, bool) {
+	if len(n) < 3 {
+		return "", TierNone, false
+	}
+	counts := make(map[int]int)
+	for _, g := range trigramSet(n) {
+		for _, idx := range r.trigrams[g] {
+			counts[idx]++
+		}
+	}
+	if len(counts) == 0 {
+		return "", TierNone, false
+	}
+	// Rank candidates by shared trigram count, verify best-first.
+	type cand struct{ idx, shared int }
+	cands := make([]cand, 0, len(counts))
+	for idx, c := range counts {
+		// A string within k edits shares at least
+		// max(len) - 3k trigram positions with the query; prune far
+		// candidates cheaply.
+		need := len(n) - 2 - 3*r.MaxEdits
+		if c >= need || need <= 0 {
+			cands = append(cands, cand{idx, c})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].shared != cands[j].shared {
+			return cands[i].shared > cands[j].shared
+		}
+		return cands[i].idx < cands[j].idx
+	})
+	bestDist := r.MaxEdits + 1
+	bestIdx := -1
+	tie := false
+	for _, c := range cands {
+		d, within := boundedEditDistance(n, r.canonNorm[c.idx], r.MaxEdits)
+		if !within {
+			continue
+		}
+		switch {
+		case d < bestDist:
+			bestDist, bestIdx, tie = d, c.idx, false
+		case d == bestDist && bestIdx >= 0 && r.canonNorm[c.idx] != r.canonNorm[bestIdx]:
+			tie = true
+		}
+	}
+	if bestIdx < 0 || tie {
+		return "", TierNone, false
+	}
+	return r.canon[bestIdx], TierFuzzy, true
+}
+
+// Normalize case-folds and strips punctuation, whitespace, and
+// separator characters from an identifier.
+func Normalize(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z':
+			b.WriteByte(c - 'a' + 'A')
+		case c >= 'A' && c <= 'Z' || c >= '0' && c <= '9':
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// trigramSet returns the distinct trigrams of s.
+func trigramSet(s string) []string {
+	if len(s) < 3 {
+		return nil
+	}
+	seen := make(map[string]struct{}, len(s))
+	out := make([]string, 0, len(s))
+	for i := 0; i+3 <= len(s); i++ {
+		g := s[i : i+3]
+		if _, dup := seen[g]; dup {
+			continue
+		}
+		seen[g] = struct{}{}
+		out = append(out, g)
+	}
+	return out
+}
+
+// boundedEditDistance computes Levenshtein distance if it is ≤ k,
+// using a banded DP in O(len·k).
+func boundedEditDistance(a, b string, k int) (int, bool) {
+	la, lb := len(a), len(b)
+	if la > lb {
+		a, b, la, lb = b, a, lb, la
+	}
+	if lb-la > k {
+		return 0, false
+	}
+	// prev[j] = distance for b[:j]; band around the diagonal.
+	const inf = 1 << 20
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		if j <= k {
+			prev[j] = j
+		} else {
+			prev[j] = inf
+		}
+	}
+	for i := 1; i <= la; i++ {
+		lo := i - k
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + k
+		if hi > lb {
+			hi = lb
+		}
+		cur[lo-1] = inf
+		if lo == 1 {
+			if i <= k {
+				cur[0] = i
+			} else {
+				cur[0] = inf
+			}
+		}
+		for j := lo; j <= hi; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			best := prev[j-1] + cost
+			if v := prev[j] + 1; v < best {
+				best = v
+			}
+			if v := cur[j-1] + 1; v < best {
+				best = v
+			}
+			cur[j] = best
+		}
+		if hi < lb {
+			cur[hi+1] = inf
+		}
+		prev, cur = cur, prev
+	}
+	if prev[lb] > k {
+		return 0, false
+	}
+	return prev[lb], true
+}

@@ -1,0 +1,185 @@
+package integrate
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"DT00042", "DT00042"},
+		{"dt00042", "DT00042"},
+		{" DT-000.42 ", "DT00042"},
+		{"a_b c", "ABC"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBoundedEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b   string
+		k      int
+		want   int
+		within bool
+	}{
+		{"ABC", "ABC", 2, 0, true},
+		{"ABC", "ABD", 2, 1, true},
+		{"ABC", "AC", 2, 1, true},
+		{"ABC", "ABCD", 2, 1, true},
+		{"KITTEN", "SITTING", 3, 3, true},
+		{"ABC", "XYZ", 2, 0, false},
+		{"ABCDEFG", "ABC", 2, 0, false}, // length gap 4 > k
+		{"", "", 2, 0, true},
+		{"", "AB", 2, 2, true},
+	}
+	for _, c := range cases {
+		got, within := boundedEditDistance(c.a, c.b, c.k)
+		if within != c.within || (within && got != c.want) {
+			t.Errorf("boundedEditDistance(%q,%q,%d) = %d,%v want %d,%v",
+				c.a, c.b, c.k, got, within, c.want, c.within)
+		}
+	}
+}
+
+func TestBoundedEditDistanceSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const letters = "ABCD"
+	randStr := func() string {
+		n := rng.Intn(10)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = letters[rng.Intn(len(letters))]
+		}
+		return string(b)
+	}
+	for trial := 0; trial < 500; trial++ {
+		a, b := randStr(), randStr()
+		d1, w1 := boundedEditDistance(a, b, 3)
+		d2, w2 := boundedEditDistance(b, a, 3)
+		if w1 != w2 || (w1 && d1 != d2) {
+			t.Fatalf("asymmetric: (%q,%q) = %d,%v vs %d,%v", a, b, d1, w1, d2, w2)
+		}
+	}
+}
+
+func TestResolveExact(t *testing.T) {
+	r := NewResolver([]string{"DT00001", "DT00002"})
+	id, tier, ok := r.Resolve("DT00001")
+	if !ok || tier != TierExact || id != "DT00001" {
+		t.Fatalf("exact resolve = %q %v %v", id, tier, ok)
+	}
+}
+
+func TestResolveNormalized(t *testing.T) {
+	r := NewResolver([]string{"DT00001", "DT00002"})
+	id, tier, ok := r.Resolve("dt-00001")
+	if !ok || tier != TierNormalized || id != "DT00001" {
+		t.Fatalf("normalized resolve = %q %v %v", id, tier, ok)
+	}
+}
+
+func TestResolveFuzzy(t *testing.T) {
+	r := NewResolver([]string{"DT00001", "DT99999"})
+	// One substitution away from DT00001 after normalization.
+	id, tier, ok := r.Resolve("DT0001")
+	if !ok || tier != TierFuzzy || id != "DT00001" {
+		t.Fatalf("fuzzy resolve = %q %v %v", id, tier, ok)
+	}
+}
+
+func TestResolveAmbiguousNormalizedRejected(t *testing.T) {
+	// Two canonicals normalize identically.
+	r := NewResolver([]string{"AB-01", "ab01"})
+	if _, _, ok := r.Resolve("AB.01"); ok {
+		t.Fatal("ambiguous normalized match accepted")
+	}
+}
+
+func TestResolveFuzzyTieRejected(t *testing.T) {
+	// "DT0AA01" is equidistant from two canonicals → reject.
+	r := NewResolver([]string{"DTXAA01", "DTYAA01"})
+	if id, _, ok := r.Resolve("DTZAA01"); ok {
+		t.Fatalf("fuzzy tie accepted: %q", id)
+	}
+}
+
+func TestResolveMissRejected(t *testing.T) {
+	r := NewResolver([]string{"DT00001"})
+	if _, _, ok := r.Resolve("COMPLETELYDIFFERENT"); ok {
+		t.Fatal("garbage resolved")
+	}
+	if _, _, ok := r.Resolve(""); ok {
+		t.Fatal("empty string resolved")
+	}
+}
+
+func TestResolveAccuracyUnderCorruption(t *testing.T) {
+	// The T4 property: ≥95% of references corrupted with ≤1 edit must
+	// resolve correctly and none may resolve to the wrong ID.
+	// High-entropy accessions (like real UniProt IDs): single edits
+	// rarely land equidistant from two canonicals, so the tie-reject
+	// rule doesn't dominate as it would for dense numeric IDs.
+	rng := rand.New(rand.NewSource(11))
+	const alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	n := 2000
+	ids := make([]string, n)
+	seen := map[string]bool{}
+	for i := range ids {
+		for {
+			b := make([]byte, 10)
+			for j := range b {
+				b[j] = alphabet[rng.Intn(len(alphabet))]
+			}
+			id := fmt.Sprintf("DT%s", b)
+			if !seen[id] {
+				seen[id] = true
+				ids[i] = id
+				break
+			}
+		}
+	}
+	r := NewResolver(ids)
+	correct, wrong, missed := 0, 0, 0
+	for trial := 0; trial < 1000; trial++ {
+		want := ids[rng.Intn(n)]
+		dirty := CorruptID(rng, want, 1)
+		got, _, ok := r.Resolve(dirty)
+		switch {
+		case !ok:
+			missed++
+		case got == want:
+			correct++
+		default:
+			wrong++
+		}
+	}
+	if wrong > 10 {
+		t.Fatalf("wrong resolutions: %d (correct=%d missed=%d)", wrong, correct, missed)
+	}
+	if correct < 900 {
+		t.Fatalf("only %d/1000 resolved correctly (missed=%d wrong=%d)", correct, missed, wrong)
+	}
+}
+
+func TestResolverDuplicateCanonicals(t *testing.T) {
+	r := NewResolver([]string{"A1X", "A1X", "B2Y"})
+	if len(r.canon) != 2 {
+		t.Fatalf("duplicates not deduped: %d", len(r.canon))
+	}
+	if id, _, ok := r.Resolve("A1X"); !ok || id != "A1X" {
+		t.Fatal("dedup broke exact resolve")
+	}
+}
+
+func TestTierString(t *testing.T) {
+	if TierExact.String() != "exact" || TierNone.String() != "none" ||
+		TierNormalized.String() != "normalized" || TierFuzzy.String() != "fuzzy" {
+		t.Fatal("tier strings wrong")
+	}
+}

@@ -1,0 +1,274 @@
+// Package metrics provides lightweight counters and latency histograms
+// used by the DrugTree engine and the experiment harness.
+//
+// The histogram is a fixed-boundary log-scaled design (HDR-style): it
+// never allocates on the record path, is safe for concurrent use, and
+// supports percentile extraction with bounded relative error, which is
+// all the benchmark harness needs.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing concurrent counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Reset sets the counter back to zero.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// histBuckets is the number of log-scaled buckets. Bucket i covers
+// durations in [lowerBound(i), lowerBound(i+1)). With 8 sub-buckets per
+// power of two starting at 1µs the histogram spans 1µs..~35s with
+// ≤ 12.5% relative error, plenty for interaction latencies.
+const (
+	histSubBits = 3 // 2^3 = 8 sub-buckets per octave
+	histOctaves = 25
+	histBuckets = histOctaves << histSubBits
+)
+
+// Histogram records durations into fixed log-scaled buckets.
+// The zero value is ready to use.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	total  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	min    atomic.Int64
+	max    atomic.Int64
+	once   sync.Once
+}
+
+func (h *Histogram) init() {
+	h.min.Store(math.MaxInt64)
+}
+
+// bucketFor maps a duration in nanoseconds to a bucket index.
+func bucketFor(ns int64) int {
+	us := ns / 1000 // work in microseconds
+	if us < 1 {
+		return 0
+	}
+	// Position of the highest set bit gives the octave.
+	octave := bits.Len64(uint64(us)) - 1
+	if octave >= histOctaves {
+		return histBuckets - 1
+	}
+	var sub int64
+	if octave >= histSubBits {
+		sub = (us >> (uint(octave) - histSubBits)) & ((1 << histSubBits) - 1)
+	} else {
+		sub = (us << (histSubBits - uint(octave))) & ((1 << histSubBits) - 1)
+	}
+	idx := octave<<histSubBits + int(sub)
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// bucketLower returns the lower bound (µs) of bucket i, used when
+// reporting percentiles.
+func bucketLower(i int) int64 {
+	octave := i >> histSubBits
+	sub := int64(i & ((1 << histSubBits) - 1))
+	base := int64(1) << uint(octave)
+	if octave >= histSubBits {
+		return base + sub<<(uint(octave)-histSubBits)
+	}
+	return base + sub>>(histSubBits-uint(octave))
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	h.once.Do(h.init)
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketFor(ns)].Add(1)
+	h.total.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.min.Load()
+		if ns >= cur || h.min.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Mean returns the mean of recorded durations, or 0 when empty.
+func (h *Histogram) Mean() time.Duration {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Min returns the smallest recorded duration, or 0 when empty.
+func (h *Histogram) Min() time.Duration {
+	if h.total.Load() == 0 {
+		return 0
+	}
+	return time.Duration(h.min.Load())
+}
+
+// Max returns the largest recorded duration, or 0 when empty.
+func (h *Histogram) Max() time.Duration {
+	if h.total.Load() == 0 {
+		return 0
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Percentile returns the value at quantile q in [0,1]. The result is
+// the lower bound of the bucket containing the q-th observation, so it
+// underestimates by at most one bucket width (≤ 12.5%).
+func (h *Histogram) Percentile(q float64) time.Duration {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(n)))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.counts[i].Load()
+		if seen >= target {
+			return time.Duration(bucketLower(i)) * time.Microsecond
+		}
+	}
+	return h.Max()
+}
+
+// Reset clears all recorded observations.
+func (h *Histogram) Reset() {
+	h.once.Do(h.init)
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.total.Store(0)
+	h.sum.Store(0)
+	h.min.Store(math.MaxInt64)
+	h.max.Store(0)
+}
+
+// Summary returns a one-line human-readable digest.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		h.Count(), h.Mean(), h.Percentile(0.50), h.Percentile(0.95),
+		h.Percentile(0.99), h.Max())
+}
+
+// Registry is a named collection of counters and histograms, used so
+// the server and harness can dump everything at once.
+type Registry struct {
+	mu    sync.Mutex
+	ctrs  map[string]*Counter
+	hists map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		ctrs:  make(map[string]*Counter),
+		hists: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter with the given name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.ctrs[name]
+	if !ok {
+		c = &Counter{}
+		r.ctrs[name] = c
+	}
+	return c
+}
+
+// Histogram returns the histogram with the given name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Reset clears every metric in the registry.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.ctrs {
+		c.Reset()
+	}
+	for _, h := range r.hists {
+		h.Reset()
+	}
+}
+
+// Dump renders all metrics sorted by name, one per line.
+func (r *Registry) Dump() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var names []string
+	for n := range r.ctrs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "counter %-40s %d\n", n, r.ctrs[n].Value())
+	}
+	names = names[:0]
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "hist    %-40s %s\n", n, r.hists[n].Summary())
+	}
+	return b.String()
+}

@@ -1,0 +1,209 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero counter = %d, want 0", c.Value())
+	}
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	c.Reset()
+	if got := c.Value(); got != 0 {
+		t.Fatalf("counter after reset = %d, want 0", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("concurrent counter = %d, want 8000", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram should report zeros: %s", h.Summary())
+	}
+	if h.Percentile(0.5) != 0 {
+		t.Fatalf("empty p50 = %v, want 0", h.Percentile(0.5))
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	var h Histogram
+	h.Record(10 * time.Millisecond)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	if h.Min() != 10*time.Millisecond || h.Max() != 10*time.Millisecond {
+		t.Fatalf("min/max = %v/%v, want 10ms", h.Min(), h.Max())
+	}
+	p := h.Percentile(0.5)
+	if p > 10*time.Millisecond || p < 8*time.Millisecond {
+		t.Fatalf("p50 = %v, want within 12.5%% below 10ms", p)
+	}
+}
+
+func TestHistogramPercentileOrdering(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	p50 := h.Percentile(0.50)
+	p95 := h.Percentile(0.95)
+	p99 := h.Percentile(0.99)
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Fatalf("percentiles not monotone: p50=%v p95=%v p99=%v", p50, p95, p99)
+	}
+	// p50 of 1..1000ms should be near 500ms within bucket error.
+	if p50 < 400*time.Millisecond || p50 > 520*time.Millisecond {
+		t.Fatalf("p50 = %v, want ≈500ms", p50)
+	}
+	if p99 < 800*time.Millisecond {
+		t.Fatalf("p99 = %v, want ≥800ms", p99)
+	}
+}
+
+func TestHistogramMeanAndReset(t *testing.T) {
+	var h Histogram
+	h.Record(2 * time.Millisecond)
+	h.Record(4 * time.Millisecond)
+	if got := h.Mean(); got != 3*time.Millisecond {
+		t.Fatalf("mean = %v, want 3ms", got)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatalf("reset did not clear: %s", h.Summary())
+	}
+	h.Record(time.Millisecond)
+	if h.Count() != 1 {
+		t.Fatalf("record after reset failed")
+	}
+}
+
+func TestHistogramNegativeDurationClamped(t *testing.T) {
+	var h Histogram
+	h.Record(-5 * time.Millisecond)
+	if h.Count() != 1 {
+		t.Fatalf("negative duration not recorded")
+	}
+	if h.Max() != 0 {
+		t.Fatalf("negative duration should clamp to 0, max = %v", h.Max())
+	}
+}
+
+func TestBucketMonotone(t *testing.T) {
+	prev := -1
+	for us := int64(1); us < int64(30)*1e6; us = us*3/2 + 1 {
+		b := bucketFor(us * 1000)
+		if b < prev {
+			t.Fatalf("bucketFor not monotone at %dµs: %d < %d", us, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestBucketLowerWithinBucket(t *testing.T) {
+	// For a spread of durations, the reported bucket lower bound must
+	// not exceed the recorded value and must be within 12.5% + 1µs.
+	for _, us := range []int64{1, 7, 8, 9, 100, 999, 1000, 5000, 123456, 9999999} {
+		b := bucketFor(us * 1000)
+		lo := bucketLower(b)
+		if lo > us {
+			t.Errorf("bucketLower(%d)=%dµs exceeds value %dµs", b, lo, us)
+		}
+		if float64(us-lo) > float64(us)*0.125+1 {
+			t.Errorf("value %dµs reported as %dµs: error too large", us, lo)
+		}
+	}
+}
+
+func TestHistogramPercentileBoundsClamped(t *testing.T) {
+	var h Histogram
+	h.Record(5 * time.Millisecond)
+	if h.Percentile(-1) == 0 && h.Count() == 1 {
+		// q<0 clamps to 0 which still selects the first observation.
+		if h.Percentile(-1) != h.Percentile(0) {
+			t.Fatalf("q=-1 and q=0 differ")
+		}
+	}
+	if h.Percentile(2) != h.Percentile(1) {
+		t.Fatalf("q=2 and q=1 differ")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("a.requests")
+	c2 := r.Counter("a.requests")
+	if c1 != c2 {
+		t.Fatalf("same name returned different counters")
+	}
+	c1.Add(3)
+	h := r.Histogram("a.latency")
+	h.Record(time.Millisecond)
+	dump := r.Dump()
+	if !strings.Contains(dump, "a.requests") || !strings.Contains(dump, "a.latency") {
+		t.Fatalf("dump missing metrics:\n%s", dump)
+	}
+	r.Reset()
+	if c1.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("registry reset incomplete")
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 1; i <= 500; i++ {
+				h.Record(time.Duration(i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Fatalf("count = %d, want 4000", h.Count())
+	}
+	if h.Min() > time.Microsecond || h.Max() < 400*time.Microsecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramLargeDuration(t *testing.T) {
+	var h Histogram
+	h.Record(time.Duration(math.MaxInt64 / 2))
+	if h.Count() != 1 {
+		t.Fatalf("huge duration not recorded")
+	}
+	// Should land in the last bucket, not panic or overflow.
+	if h.Percentile(1) <= 0 {
+		t.Fatalf("p100 of huge duration = %v", h.Percentile(1))
+	}
+}

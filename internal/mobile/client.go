@@ -1,0 +1,149 @@
+package mobile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"time"
+
+	"drugtree/internal/store"
+)
+
+// Client is the simulated mobile client: it speaks the wire protocol
+// over any stream (typically a netsim-shaped connection), maintains
+// the node set a real app would render, and measures per-interaction
+// latency — the physical-handset substitute for the paper's mobile
+// front end.
+type Client struct {
+	conn io.ReadWriter
+	r    *bufio.Reader
+
+	strategy Strategy
+	budget   int
+
+	// Nodes is the client-side render model keyed by pre number.
+	Nodes map[int64]WireNode
+	// Latencies records one duration per interaction.
+	Latencies []time.Duration
+	// BytesDown sums the encoded sizes of server responses.
+	BytesDown int64
+}
+
+// Dial starts a session with the given strategy and viewport budget.
+func Dial(conn io.ReadWriter, strategy Strategy, budget int) (*Client, error) {
+	return dial(conn, strategy, budget, false)
+}
+
+// DialCompressed starts a session that asks the server to deflate
+// large responses.
+func DialCompressed(conn io.ReadWriter, strategy Strategy, budget int) (*Client, error) {
+	return dial(conn, strategy, budget, true)
+}
+
+func dial(conn io.ReadWriter, strategy Strategy, budget int, compress bool) (*Client, error) {
+	c := &Client{
+		conn:     conn,
+		r:        bufio.NewReader(conn),
+		strategy: strategy,
+		budget:   budget,
+		Nodes:    make(map[int64]WireNode),
+	}
+	if err := WriteMsg(conn, &Hello{Strategy: strategy, Budget: budget, Compress: compress}); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Open requests a subtree and applies the server's delta to the local
+// render model.
+func (c *Client) Open(node string) (*TreeDelta, error) {
+	start := time.Now()
+	if err := WriteMsg(c.conn, &Open{Node: node}); err != nil {
+		return nil, err
+	}
+	msg, wire, err := ReadMsg(c.r)
+	if err != nil {
+		return nil, err
+	}
+	c.Latencies = append(c.Latencies, time.Since(start))
+	switch m := msg.(type) {
+	case *TreeDelta:
+		c.BytesDown += wire
+		c.apply(m)
+		return m, nil
+	case *ErrorMsg:
+		return nil, fmt.Errorf("mobile: server error: %s", m.Text)
+	}
+	return nil, fmt.Errorf("mobile: unexpected response %T", msg)
+}
+
+// Query runs DTQL server-side and returns the result.
+func (c *Client) Query(dtql string) (*QueryResult, error) {
+	start := time.Now()
+	if err := WriteMsg(c.conn, &Query{DTQL: dtql}); err != nil {
+		return nil, err
+	}
+	msg, wire, err := ReadMsg(c.r)
+	if err != nil {
+		return nil, err
+	}
+	c.Latencies = append(c.Latencies, time.Since(start))
+	switch m := msg.(type) {
+	case *QueryResult:
+		c.BytesDown += wire
+		return m, nil
+	case *ErrorMsg:
+		return nil, fmt.Errorf("mobile: server error: %s", m.Text)
+	}
+	return nil, fmt.Errorf("mobile: unexpected response %T", msg)
+}
+
+// Close ends the session.
+func (c *Client) Close() error {
+	return WriteMsg(c.conn, &Bye{})
+}
+
+// apply folds a delta into the render model.
+func (c *Client) apply(d *TreeDelta) {
+	if d.Reset {
+		c.Nodes = make(map[int64]WireNode, len(d.Add))
+	}
+	for _, pre := range d.Remove {
+		delete(c.Nodes, pre)
+	}
+	for _, n := range d.Add {
+		c.Nodes[n.Pre] = n
+	}
+}
+
+// VisibleLeaves counts rendered leaf nodes (collapsed markers count
+// once).
+func (c *Client) VisibleLeaves() int {
+	n := 0
+	for _, node := range c.Nodes {
+		if node.IsLeaf || node.Collapsed {
+			n++
+		}
+	}
+	return n
+}
+
+// RowsAsStrings renders a query result's rows for assertions/demos.
+func RowsAsStrings(q *QueryResult) []string {
+	out := make([]string, len(q.Rows))
+	for i, r := range q.Rows {
+		s := ""
+		for j, v := range r {
+			if j > 0 {
+				s += " | "
+			}
+			if v.K == store.KindString {
+				s += v.S
+			} else {
+				s += v.String()
+			}
+		}
+		out[i] = s
+	}
+	return out
+}

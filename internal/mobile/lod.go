@@ -1,0 +1,142 @@
+package mobile
+
+import (
+	"container/heap"
+	"sort"
+
+	"drugtree/internal/core"
+	"drugtree/internal/phylo"
+)
+
+// BuildViewport selects the level-of-detail view of the subtree
+// rooted at focus under a node budget: a best-first expansion from
+// the focus that always expands the internal node with the largest
+// subtree (the clade the eye is drawn to), until the budget is
+// exhausted. Internal nodes whose children were pruned are marked
+// Collapsed, carrying their leaf count so the client can render a
+// "+N" placeholder.
+//
+// The returned nodes always form a connected subtree containing
+// focus, so the client can draw edges from ParentPre alone.
+func BuildViewport(e *core.Engine, focus phylo.NodeID, budget int) []WireNode {
+	t := e.Tree()
+	layout := e.Layout()
+	if budget < 1 {
+		budget = 1
+	}
+	pq := &itemHeap{}
+	heap.Init(pq)
+	taken := make(map[phylo.NodeID]bool, budget)
+	expanded := make(map[phylo.NodeID]bool, budget)
+
+	take := func(id phylo.NodeID) {
+		taken[id] = true
+		heap.Push(pq, heapItem{id: id, priority: int64(t.LeafCount(id))})
+	}
+	take(focus)
+	for pq.Len() > 0 && len(taken) < budget {
+		it := heap.Pop(pq).(heapItem)
+		node := t.Node(it.id)
+		if node.IsLeaf() {
+			continue
+		}
+		if len(taken)+len(node.Children) > budget {
+			continue // expanding would blow the budget; stays collapsed
+		}
+		expanded[it.id] = true
+		for _, c := range node.Children {
+			take(c)
+		}
+	}
+	// Emit in preorder for deterministic output.
+	out := make([]WireNode, 0, len(taken))
+	lo, hi := t.SubtreeInterval(focus)
+	for p := lo; p <= hi; p++ {
+		id := t.NodeAtPre(p)
+		if !taken[id] {
+			continue
+		}
+		node := t.Node(id)
+		parentPre := int64(-1)
+		if node.Parent != phylo.None && taken[node.Parent] {
+			parentPre = int64(t.Pre(node.Parent))
+		}
+		out = append(out, WireNode{
+			Pre:       int64(p),
+			Name:      node.Name,
+			ParentPre: parentPre,
+			IsLeaf:    node.IsLeaf(),
+			Collapsed: !node.IsLeaf() && !expanded[id],
+			LeafCount: int64(t.LeafCount(id)),
+			Length:    node.Length,
+			X:         layout.X[id],
+			Y:         layout.Y[id],
+		})
+	}
+	return out
+}
+
+// FullTree emits every node (the baseline strategy).
+func FullTree(e *core.Engine) []WireNode {
+	t := e.Tree()
+	layout := e.Layout()
+	out := make([]WireNode, 0, t.Len())
+	for p := 0; p < t.Len(); p++ {
+		id := t.NodeAtPre(p)
+		node := t.Node(id)
+		parentPre := int64(-1)
+		if node.Parent != phylo.None {
+			parentPre = int64(t.Pre(node.Parent))
+		}
+		out = append(out, WireNode{
+			Pre:       int64(p),
+			Name:      node.Name,
+			ParentPre: parentPre,
+			IsLeaf:    node.IsLeaf(),
+			LeafCount: int64(t.LeafCount(id)),
+			Length:    node.Length,
+			X:         layout.X[id],
+			Y:         layout.Y[id],
+		})
+	}
+	return out
+}
+
+// DiffViewports computes the delta from the node set the client holds
+// to the new viewport.
+func DiffViewports(held map[int64]bool, next []WireNode) (add []WireNode, remove []int64) {
+	nextSet := make(map[int64]bool, len(next))
+	for _, n := range next {
+		nextSet[n.Pre] = true
+		if !held[n.Pre] {
+			add = append(add, n)
+		}
+	}
+	for pre := range held {
+		if !nextSet[pre] {
+			remove = append(remove, pre)
+		}
+	}
+	sort.Slice(remove, func(i, j int) bool { return remove[i] < remove[j] })
+	return add, remove
+}
+
+// heapItem / itemHeap implement a max-heap on subtree leaf count.
+type heapItem struct {
+	id       phylo.NodeID
+	priority int64
+}
+
+type itemHeap []heapItem
+
+func (h itemHeap) Len() int           { return len(h) }
+func (h itemHeap) Less(i, j int) bool { return h[i].priority > h[j].priority }
+func (h itemHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x any)        { *h = append(*h, x.(heapItem)) }
+func (h *itemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

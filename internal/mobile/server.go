@@ -1,0 +1,178 @@
+package mobile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"drugtree/internal/core"
+)
+
+// Server speaks the mobile protocol over stream connections, one
+// session per connection.
+type Server struct {
+	engine *core.Engine
+	// Async controls whether prefetching runs in a goroutine after
+	// each interaction (production) or synchronously (deterministic
+	// experiments).
+	Async bool
+
+	mu       sync.Mutex
+	sessions int64
+}
+
+// NewServer wraps an engine.
+func NewServer(e *core.Engine) *Server {
+	return &Server{engine: e}
+}
+
+// Sessions returns the number of sessions served.
+func (s *Server) Sessions() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			_ = s.ServeConn(conn)
+		}()
+	}
+}
+
+// session is per-connection state.
+type session struct {
+	strategy Strategy
+	budget   int
+	compress bool
+	held     map[int64]bool // node pre numbers the client holds
+}
+
+// ServeConn runs one session to completion.
+func (s *Server) ServeConn(conn io.ReadWriter) error {
+	s.mu.Lock()
+	s.sessions++
+	s.mu.Unlock()
+
+	r := bufio.NewReader(conn)
+	// First message must be Hello.
+	first, _, err := ReadMsg(r)
+	if err != nil {
+		return fmt.Errorf("mobile: reading hello: %w", err)
+	}
+	hello, ok := first.(*Hello)
+	if !ok {
+		WriteMsg(conn, &ErrorMsg{Text: "expected HELLO"})
+		return fmt.Errorf("mobile: first message was %T", first)
+	}
+	sess := &session{
+		strategy: hello.Strategy,
+		budget:   hello.Budget,
+		compress: hello.Compress,
+		held:     make(map[int64]bool),
+	}
+	if sess.budget <= 0 {
+		sess.budget = 100
+	}
+	for {
+		msg, _, err := ReadMsg(r)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		switch m := msg.(type) {
+		case *Bye:
+			return nil
+		case *Open:
+			if err := s.handleOpen(conn, sess, m); err != nil {
+				return err
+			}
+		case *Query:
+			if err := s.handleQuery(conn, sess, m); err != nil {
+				return err
+			}
+		default:
+			if err := WriteMsg(conn, &ErrorMsg{Text: fmt.Sprintf("unexpected %T", msg)}); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (s *Server) handleOpen(w io.Writer, sess *session, m *Open) error {
+	id, err := s.engine.NodeByName(m.Node)
+	if err != nil {
+		return WriteMsg(w, &ErrorMsg{Text: err.Error()})
+	}
+	// Touch the cached navigation path so the semantic cache and
+	// prefetcher observe the interaction exactly as the poster's
+	// system would.
+	if _, _, err := s.engine.OpenSubtree(m.Node); err != nil {
+		return WriteMsg(w, &ErrorMsg{Text: err.Error()})
+	}
+	if s.Async {
+		go s.engine.RunPrefetch()
+	} else {
+		s.engine.RunPrefetch()
+	}
+
+	var delta *TreeDelta
+	switch sess.strategy {
+	case StrategyFull:
+		nodes := FullTree(s.engine)
+		delta = &TreeDelta{Reset: true, Add: nodes, Focus: int64(s.engine.Tree().Pre(id))}
+		sess.held = make(map[int64]bool, len(nodes))
+		for _, n := range nodes {
+			sess.held[n.Pre] = true
+		}
+	case StrategyLOD:
+		nodes := BuildViewport(s.engine, id, sess.budget)
+		delta = &TreeDelta{Reset: true, Add: nodes, Focus: int64(s.engine.Tree().Pre(id))}
+		sess.held = make(map[int64]bool, len(nodes))
+		for _, n := range nodes {
+			sess.held[n.Pre] = true
+		}
+	case StrategyLODDelta:
+		nodes := BuildViewport(s.engine, id, sess.budget)
+		add, remove := DiffViewports(sess.held, nodes)
+		delta = &TreeDelta{Add: add, Remove: remove, Focus: int64(s.engine.Tree().Pre(id))}
+		for _, n := range add {
+			sess.held[n.Pre] = true
+		}
+		for _, pre := range remove {
+			delete(sess.held, pre)
+		}
+	default:
+		return WriteMsg(w, &ErrorMsg{Text: fmt.Sprintf("unknown strategy %d", sess.strategy)})
+	}
+	return s.respond(w, sess, delta)
+}
+
+func (s *Server) handleQuery(w io.Writer, sess *session, m *Query) error {
+	res, err := s.engine.Query(m.DTQL)
+	if err != nil {
+		return WriteMsg(w, &ErrorMsg{Text: err.Error()})
+	}
+	return s.respond(w, sess, &QueryResult{Columns: res.Columns, Rows: res.Rows})
+}
+
+// respond writes a response honoring the session's compression
+// negotiation.
+func (s *Server) respond(w io.Writer, sess *session, msg any) error {
+	if sess.compress {
+		_, err := WriteMsgCompressed(w, msg)
+		return err
+	}
+	return WriteMsg(w, msg)
+}

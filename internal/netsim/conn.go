@@ -1,0 +1,82 @@
+package netsim
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn wraps a net.Conn and shapes traffic according to a Link
+// profile: each Write pays half-RTT latency once per message plus a
+// bandwidth-proportional serialization delay. It is used to run the
+// real mobile wire protocol over an in-process net.Pipe while still
+// observing cellular-like timing.
+type Conn struct {
+	net.Conn
+	link *Link
+
+	mu        sync.Mutex
+	writeBusy time.Time // when the uplink frees up
+	readBusy  time.Time // when the downlink frees up
+}
+
+// NewConn wraps inner with the link's shaping. The link must be in
+// real (non-simulated) mode; a simulated link has no meaningful
+// relationship to wall-clock I/O.
+func NewConn(inner net.Conn, link *Link) *Conn {
+	return &Conn{Conn: inner, link: link}
+}
+
+// shape computes the wall-clock delay a message of n bytes must wait
+// before delivery, modelling a serialized link: messages queue behind
+// previous ones (busy-until bookkeeping) and each pays latency.
+func (c *Conn) shape(n int, bps int64, busy *time.Time) time.Duration {
+	c.link.mu.Lock()
+	d := c.link.transferTime(int64(n), bps)
+	c.link.mu.Unlock()
+
+	c.mu.Lock()
+	now := time.Now()
+	start := now
+	if busy.After(now) {
+		start = *busy
+	}
+	done := start.Add(d)
+	*busy = done
+	c.mu.Unlock()
+	return done.Sub(now)
+}
+
+// Write delays by the uplink cost of the payload, then writes to the
+// underlying connection.
+func (c *Conn) Write(p []byte) (int, error) {
+	delay := c.shape(len(p), c.link.profile.UpBps, &c.writeBusy)
+	time.Sleep(delay)
+	c.link.mu.Lock()
+	c.link.bytesUp += int64(len(p))
+	c.link.mu.Unlock()
+	return c.Conn.Write(p)
+}
+
+// Read reads from the underlying connection and then delays by the
+// downlink cost of the data actually received, modelling arrival time.
+func (c *Conn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		delay := c.shape(n, c.link.profile.DownBps, &c.readBusy)
+		time.Sleep(delay)
+		c.link.mu.Lock()
+		c.link.bytesDown += int64(n)
+		c.link.mu.Unlock()
+	}
+	return n, err
+}
+
+// Pipe returns both ends of an in-process connection where the client
+// side is shaped by link. The server end is unshaped (the asymmetry
+// models a well-connected server talking to a mobile client; shaping
+// one side is sufficient to impose the link cost on every exchange).
+func Pipe(link *Link) (client net.Conn, server net.Conn) {
+	a, b := net.Pipe()
+	return NewConn(a, link), b
+}

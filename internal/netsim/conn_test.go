@@ -1,0 +1,60 @@
+package netsim
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+func TestShapedConnBandwidth(t *testing.T) {
+	// 64 KiB over a 1 MiB/s downlink must take ≥ ~50ms beyond RTT.
+	link := NewLink(Profile{
+		Name: "narrow", RTT: time.Millisecond,
+		DownBps: 1 << 20, UpBps: 1 << 20,
+	}, 0, false)
+	client, server := Pipe(link)
+	defer client.Close()
+	defer server.Close()
+
+	payload := make([]byte, 64<<10)
+	go func() {
+		client.Write(payload)
+	}()
+	start := time.Now()
+	buf := make([]byte, len(payload))
+	if _, err := io.ReadFull(server, buf); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	// 64 KiB at 1 MiB/s = 62.5ms serialization.
+	if elapsed < 40*time.Millisecond {
+		t.Fatalf("64KiB over 1MiB/s took %v, want ≥ 40ms", elapsed)
+	}
+}
+
+func TestShapedConnQueuesSequentialWrites(t *testing.T) {
+	// Two back-to-back writes serialize: the second waits for the
+	// first's transmission slot (busy-until bookkeeping).
+	link := NewLink(Profile{
+		Name: "narrow", RTT: 0,
+		DownBps: 1 << 30, UpBps: 256 << 10, // 256 KiB/s uplink
+	}, 0, false)
+	client, server := Pipe(link)
+	defer client.Close()
+	defer server.Close()
+
+	done := make(chan time.Duration, 1)
+	go func() {
+		start := time.Now()
+		client.Write(make([]byte, 32<<10)) // 125ms at 256KiB/s
+		client.Write(make([]byte, 32<<10)) // queued behind the first
+		done <- time.Since(start)
+	}()
+	buf := make([]byte, 64<<10)
+	if _, err := io.ReadFull(server, buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := <-done; elapsed < 180*time.Millisecond {
+		t.Fatalf("two queued 32KiB writes took %v, want ≥ 180ms", elapsed)
+	}
+}

@@ -1,0 +1,286 @@
+package phylo
+
+import (
+	"fmt"
+	"math"
+)
+
+// NeighborJoining builds an unrooted-then-rooted tree from a distance
+// matrix using the Saitou–Nei neighbor-joining algorithm with the
+// Studier–Keppler O(n³) formulation. The final three-way join is
+// resolved by rooting at the last internal node, which is the usual
+// convention for displaying NJ trees.
+func NeighborJoining(m *DistanceMatrix) (*Tree, error) {
+	n := m.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("phylo: empty distance matrix")
+	}
+	t := NewTree()
+	if n == 1 {
+		// Single taxon: a root with one leaf child keeps leaf
+		// semantics consistent for consumers.
+		root, _ := t.AddNode("", None, 0)
+		if _, err := t.AddNode(m.Names[0], root, 0); err != nil {
+			return nil, err
+		}
+		return t, nil
+	}
+	if n == 2 {
+		root, _ := t.AddNode("", None, 0)
+		d := m.At(0, 1)
+		t.AddNode(m.Names[0], root, d/2)
+		t.AddNode(m.Names[1], root, d/2)
+		return t, nil
+	}
+
+	// Working copy of distances between "active" cluster indices.
+	// dist is a full square matrix for cache-friendly row scans.
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		for j := range dist[i] {
+			dist[i][j] = m.At(i, j)
+		}
+	}
+	// The tree is assembled bottom-up, but Tree.AddNode requires the
+	// parent to exist first, so joins are recorded in a small forest
+	// representation and converted top-down at the end.
+	type fnode struct {
+		name     string
+		children []int // indices into forest
+		lengths  []float64
+	}
+	forest := make([]fnode, 0, 2*n)
+	active := make([]int, n) // active[i] = forest index of cluster i
+	for i := 0; i < n; i++ {
+		forest = append(forest, fnode{name: m.Names[i]})
+		active[i] = i
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	r := make([]float64, n) // row sums
+	remaining := n
+	for remaining > 3 {
+		// Row sums over alive entries.
+		for i := 0; i < n; i++ {
+			if !alive[i] {
+				continue
+			}
+			s := 0.0
+			for j := 0; j < n; j++ {
+				if alive[j] && j != i {
+					s += dist[i][j]
+				}
+			}
+			r[i] = s
+		}
+		// Find the pair minimizing Q(i,j) = (r-2)d(i,j) - r_i - r_j.
+		bestQ := math.Inf(1)
+		bi, bj := -1, -1
+		rm2 := float64(remaining - 2)
+		for i := 0; i < n; i++ {
+			if !alive[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !alive[j] {
+					continue
+				}
+				q := rm2*dist[i][j] - r[i] - r[j]
+				if q < bestQ {
+					bestQ, bi, bj = q, i, j
+				}
+			}
+		}
+		// Branch lengths from the new internal node u to i and j.
+		dij := dist[bi][bj]
+		li := dij/2 + (r[bi]-r[bj])/(2*rm2)
+		lj := dij - li
+		if li < 0 {
+			li = 0
+			lj = dij
+		}
+		if lj < 0 {
+			lj = 0
+			li = dij
+		}
+		u := len(forest)
+		forest = append(forest, fnode{
+			children: []int{active[bi], active[bj]},
+			lengths:  []float64{li, lj},
+		})
+		// Update distances: cluster bi becomes u; bj dies.
+		for k := 0; k < n; k++ {
+			if !alive[k] || k == bi || k == bj {
+				continue
+			}
+			duk := (dist[bi][k] + dist[bj][k] - dij) / 2
+			if duk < 0 {
+				duk = 0
+			}
+			dist[bi][k] = duk
+			dist[k][bi] = duk
+		}
+		active[bi] = u
+		alive[bj] = false
+		remaining--
+	}
+	// Three clusters left: join them at a star root with standard
+	// three-point branch lengths.
+	var idx []int
+	for i := 0; i < n; i++ {
+		if alive[i] {
+			idx = append(idx, i)
+		}
+	}
+	a, b, c := idx[0], idx[1], idx[2]
+	la := (dist[a][b] + dist[a][c] - dist[b][c]) / 2
+	lb := (dist[a][b] + dist[b][c] - dist[a][c]) / 2
+	lc := (dist[a][c] + dist[b][c] - dist[a][b]) / 2
+	clamp := func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		return x
+	}
+	root := len(forest)
+	forest = append(forest, fnode{
+		children: []int{active[a], active[b], active[c]},
+		lengths:  []float64{clamp(la), clamp(lb), clamp(lc)},
+	})
+
+	// Convert the forest to a Tree.
+	out := NewTree()
+	var convert func(fi int, parent NodeID, length float64) error
+	convert = func(fi int, parent NodeID, length float64) error {
+		id, err := out.AddNode(forest[fi].name, parent, length)
+		if err != nil {
+			return err
+		}
+		for k, ci := range forest[fi].children {
+			if err := convert(ci, id, forest[fi].lengths[k]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := convert(root, None, 0); err != nil {
+		return nil, err
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// UPGMA builds a rooted ultrametric tree by average-linkage
+// agglomerative clustering. It is the simpler baseline construction
+// and produces trees whose leaf depths are equal (an ultrametric).
+func UPGMA(m *DistanceMatrix) (*Tree, error) {
+	n := m.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("phylo: empty distance matrix")
+	}
+	type cluster struct {
+		forestIdx int
+		size      int
+		height    float64 // distance from cluster root to its leaves
+	}
+	type fnode struct {
+		name     string
+		children []int
+		lengths  []float64
+	}
+	forest := make([]fnode, 0, 2*n)
+	clusters := make([]cluster, 0, n)
+	for i := 0; i < n; i++ {
+		forest = append(forest, fnode{name: m.Names[i]})
+		clusters = append(clusters, cluster{forestIdx: i, size: 1})
+	}
+	if n == 1 {
+		out := NewTree()
+		root, _ := out.AddNode("", None, 0)
+		if _, err := out.AddNode(m.Names[0], root, 0); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	// Square working distance matrix between active clusters.
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		for j := range dist[i] {
+			dist[i][j] = m.At(i, j)
+		}
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	remaining := n
+	for remaining > 1 {
+		best := math.Inf(1)
+		bi, bj := -1, -1
+		for i := 0; i < n; i++ {
+			if !alive[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if alive[j] && dist[i][j] < best {
+					best, bi, bj = dist[i][j], i, j
+				}
+			}
+		}
+		h := best / 2
+		u := len(forest)
+		forest = append(forest, fnode{
+			children: []int{clusters[bi].forestIdx, clusters[bj].forestIdx},
+			lengths: []float64{
+				math.Max(0, h-clusters[bi].height),
+				math.Max(0, h-clusters[bj].height),
+			},
+		})
+		si, sj := float64(clusters[bi].size), float64(clusters[bj].size)
+		for k := 0; k < n; k++ {
+			if !alive[k] || k == bi || k == bj {
+				continue
+			}
+			d := (si*dist[bi][k] + sj*dist[bj][k]) / (si + sj)
+			dist[bi][k] = d
+			dist[k][bi] = d
+		}
+		clusters[bi] = cluster{forestIdx: u, size: clusters[bi].size + clusters[bj].size, height: h}
+		alive[bj] = false
+		remaining--
+	}
+	rootIdx := -1
+	for i := 0; i < n; i++ {
+		if alive[i] {
+			rootIdx = clusters[i].forestIdx
+			break
+		}
+	}
+	out := NewTree()
+	var convert func(fi int, parent NodeID, length float64) error
+	convert = func(fi int, parent NodeID, length float64) error {
+		id, err := out.AddNode(forest[fi].name, parent, length)
+		if err != nil {
+			return err
+		}
+		for k, ci := range forest[fi].children {
+			if err := convert(ci, id, forest[fi].lengths[k]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := convert(rootIdx, None, 0); err != nil {
+		return nil, err
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,98 @@
+package phylo
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// DistanceMatrix is a symmetric matrix of pairwise distances between
+// named taxa. Only the strict lower triangle is stored.
+type DistanceMatrix struct {
+	Names []string
+	// tri holds row i's entries for columns 0..i-1 at
+	// tri[i*(i-1)/2 : i*(i-1)/2+i].
+	tri []float64
+}
+
+// NewDistanceMatrix allocates a zero matrix over the given taxa.
+func NewDistanceMatrix(names []string) *DistanceMatrix {
+	n := len(names)
+	cp := make([]string, n)
+	copy(cp, names)
+	return &DistanceMatrix{Names: cp, tri: make([]float64, n*(n-1)/2)}
+}
+
+// Len returns the number of taxa.
+func (m *DistanceMatrix) Len() int { return len(m.Names) }
+
+func triIndex(i, j int) int {
+	if i < j {
+		i, j = j, i
+	}
+	return i*(i-1)/2 + j
+}
+
+// At returns the distance between taxa i and j.
+func (m *DistanceMatrix) At(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	return m.tri[triIndex(i, j)]
+}
+
+// Set stores the distance between taxa i and j (symmetric).
+func (m *DistanceMatrix) Set(i, j int, d float64) {
+	if i == j {
+		return
+	}
+	m.tri[triIndex(i, j)] = d
+}
+
+// Validate checks non-negativity and that no entry is NaN/Inf.
+func (m *DistanceMatrix) Validate() error {
+	for idx, d := range m.tri {
+		if d < 0 || d != d {
+			return fmt.Errorf("phylo: invalid distance %g at tri index %d", d, idx)
+		}
+	}
+	return nil
+}
+
+// PairwiseFunc computes the distance between taxa i and j. It must be
+// safe for concurrent calls.
+type PairwiseFunc func(i, j int) float64
+
+// ComputeDistances fills a matrix over names by evaluating f on every
+// pair in parallel.
+func ComputeDistances(names []string, f PairwiseFunc) *DistanceMatrix {
+	m := NewDistanceMatrix(names)
+	n := len(names)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	rows := make(chan int, n)
+	for i := 1; i < n; i++ {
+		rows <- i
+	}
+	close(rows)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range rows {
+				base := i * (i - 1) / 2
+				for j := 0; j < i; j++ {
+					m.tri[base+j] = f(i, j)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return m
+}

@@ -1,0 +1,53 @@
+package phylo
+
+// Layout assigns 2-D display coordinates to every node using the
+// standard rectangular phylogram convention: X is the cumulative
+// branch length from the root and Y places leaves at consecutive
+// integer rows (preorder) with internal nodes centered over their
+// children. The mobile layer uses these coordinates for viewport
+// clipping.
+type Layout struct {
+	// X and Y are indexed by NodeID.
+	X []float64
+	Y []float64
+	// Width is the maximum X (tree height in branch-length units).
+	Width float64
+	// HeightRows is the number of leaf rows.
+	HeightRows int
+}
+
+// NewLayout computes the layout of an indexed tree.
+func NewLayout(t *Tree) *Layout {
+	t.mustIndexed()
+	n := t.Len()
+	l := &Layout{X: make([]float64, n), Y: make([]float64, n)}
+	// First pass (preorder): X from root distance, leaf rows.
+	row := 0
+	for p := 0; p < n; p++ {
+		id := t.byPre[p]
+		l.X[id] = t.RootDistance(id)
+		if l.X[id] > l.Width {
+			l.Width = l.X[id]
+		}
+		if t.Node(id).IsLeaf() {
+			l.Y[id] = float64(row)
+			row++
+		}
+	}
+	l.HeightRows = row
+	// Second pass (reverse preorder = children before parents):
+	// internal Y is the mean of child Y.
+	for p := n - 1; p >= 0; p-- {
+		id := t.byPre[p]
+		node := t.Node(id)
+		if node.IsLeaf() {
+			continue
+		}
+		sum := 0.0
+		for _, c := range node.Children {
+			sum += l.Y[c]
+		}
+		l.Y[id] = sum / float64(len(node.Children))
+	}
+	return l
+}

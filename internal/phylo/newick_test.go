@@ -1,0 +1,121 @@
+package phylo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseNewickSimple(t *testing.T) {
+	tr, err := ParseNewick("((A:0.1,B:0.2):0.05,C:0.3);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.LeafNames(); strings.Join(got, ",") != "A,B,C" {
+		t.Fatalf("leaves = %v", got)
+	}
+	if err := tr.Index(); err != nil {
+		t.Fatal(err)
+	}
+	a := tr.FindLeaf("A")
+	if !approxEqual(tr.Node(a).Length, 0.1) {
+		t.Fatalf("A length = %g", tr.Node(a).Length)
+	}
+	if !approxEqual(tr.RootDistance(a), 0.15) {
+		t.Fatalf("A root distance = %g", tr.RootDistance(a))
+	}
+}
+
+func TestParseNewickQuotedAndSpaces(t *testing.T) {
+	tr, err := ParseNewick("('protein one':1, B :2);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.FindLeaf("protein one") == None {
+		t.Fatal("quoted leaf not found")
+	}
+	if tr.FindLeaf("B") == None {
+		t.Fatal("leaf B not found")
+	}
+}
+
+func TestParseNewickInternalLabels(t *testing.T) {
+	tr, err := ParseNewick("((A:1,B:1)ab:0.5,C:2)root;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for i := 0; i < tr.Len(); i++ {
+		if tr.Node(NodeID(i)).Name == "ab" && !tr.Node(NodeID(i)).IsLeaf() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("internal label lost")
+	}
+}
+
+func TestParseNewickErrors(t *testing.T) {
+	bad := []string{
+		"((A:1,B:2);",     // unbalanced
+		"(A:1,B:2);extra", // trailing garbage after terminator
+		"(A:abc,B:2);",    // bad length
+		"(A:1,A:2);",      // duplicate leaves (Validate)
+		"('unterminated:1);",
+		"",
+	}
+	for _, s := range bad {
+		if _, err := ParseNewick(s); err == nil {
+			t.Errorf("ParseNewick(%q) accepted", s)
+		}
+	}
+}
+
+func TestNewickRoundTrip(t *testing.T) {
+	src := "((A:0.1,B:0.2):0.05,(C:0.3,D:0.4):0.25);"
+	tr, err := ParseNewick(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tr.Newick()
+	tr2, err := ParseNewick(out)
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", out, err)
+	}
+	if strings.Join(tr.LeafNames(), ",") != strings.Join(tr2.LeafNames(), ",") {
+		t.Fatalf("leaf sets differ after round trip")
+	}
+	tr.Index()
+	tr2.Index()
+	for _, name := range tr.LeafNames() {
+		d1 := tr.RootDistance(tr.FindLeaf(name))
+		d2 := tr2.RootDistance(tr2.FindLeaf(name))
+		if !approxEqual(d1, d2) {
+			t.Fatalf("leaf %s root distance %g != %g", name, d1, d2)
+		}
+	}
+}
+
+func TestNewickQuotesSpecialNames(t *testing.T) {
+	tr := NewTree()
+	r, _ := tr.AddNode("", None, 0)
+	tr.AddNode("with space", r, 1)
+	tr.AddNode("with:colon", r, 2)
+	out := tr.Newick()
+	tr2, err := ParseNewick(out)
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", out, err)
+	}
+	if tr2.FindLeaf("with space") == None || tr2.FindLeaf("with:colon") == None {
+		t.Fatalf("special names lost: %q", out)
+	}
+}
+
+func TestNewickSingleLeaf(t *testing.T) {
+	tr, err := ParseNewick("A:1;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Leaves()) != 1 {
+		t.Fatalf("leaves = %v", tr.Leaves())
+	}
+}

@@ -1,0 +1,110 @@
+package phylo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Bipartitions returns the canonical encodings of the non-trivial
+// bipartitions (splits) the tree's internal edges induce on its leaf
+// set. Trees are compared as unrooted: each edge separating ≥2 leaves
+// from ≥2 leaves yields one split, encoded as the sorted leaf-name
+// list of the side NOT containing the lexicographically smallest leaf
+// (so the encoding is root-invariant).
+func Bipartitions(t *Tree) (map[string]bool, error) {
+	if !t.Indexed() {
+		if err := t.Index(); err != nil {
+			return nil, err
+		}
+	}
+	leaves := t.Leaves()
+	total := len(leaves)
+	if total < 4 {
+		return map[string]bool{}, nil // no non-trivial splits possible
+	}
+	ref := t.Node(leaves[0]).Name
+	for _, l := range leaves[1:] {
+		if name := t.Node(l).Name; name < ref {
+			ref = name
+		}
+	}
+	splits := make(map[string]bool)
+	for i := 0; i < t.Len(); i++ {
+		id := NodeID(i)
+		n := t.Node(id)
+		if n.Parent == None || n.IsLeaf() {
+			continue
+		}
+		inside := t.LeafCount(id)
+		if inside < 2 || total-inside < 2 {
+			continue
+		}
+		names := make([]string, 0, inside)
+		hasRef := false
+		for _, l := range t.SubtreeLeaves(id) {
+			name := t.Node(l).Name
+			if name == ref {
+				hasRef = true
+			}
+			names = append(names, name)
+		}
+		if hasRef {
+			// Take the complement side.
+			in := make(map[string]bool, len(names))
+			for _, n := range names {
+				in[n] = true
+			}
+			names = names[:0]
+			for _, l := range leaves {
+				if name := t.Node(l).Name; !in[name] {
+					names = append(names, name)
+				}
+			}
+		}
+		sort.Strings(names)
+		splits[strings.Join(names, "\x00")] = true
+	}
+	return splits, nil
+}
+
+// RobinsonFoulds computes the (unrooted) Robinson–Foulds distance
+// between two trees over the same leaf set: the number of
+// bipartitions present in exactly one tree. normalized divides by the
+// total number of splits in both trees, giving 0 for topologically
+// identical trees and 1 for trees sharing no splits.
+func RobinsonFoulds(a, b *Tree) (distance int, normalized float64, err error) {
+	an := a.LeafNames()
+	bn := b.LeafNames()
+	if len(an) != len(bn) {
+		return 0, 0, fmt.Errorf("phylo: trees have %d and %d leaves", len(an), len(bn))
+	}
+	for i := range an {
+		if an[i] != bn[i] {
+			return 0, 0, fmt.Errorf("phylo: leaf sets differ (%q vs %q)", an[i], bn[i])
+		}
+	}
+	sa, err := Bipartitions(a)
+	if err != nil {
+		return 0, 0, err
+	}
+	sb, err := Bipartitions(b)
+	if err != nil {
+		return 0, 0, err
+	}
+	for s := range sa {
+		if !sb[s] {
+			distance++
+		}
+	}
+	for s := range sb {
+		if !sa[s] {
+			distance++
+		}
+	}
+	denom := len(sa) + len(sb)
+	if denom == 0 {
+		return 0, 0, nil
+	}
+	return distance, float64(distance) / float64(denom), nil
+}

@@ -1,0 +1,110 @@
+package phylo
+
+import (
+	"testing"
+)
+
+func mustNewick(t *testing.T, s string) *Tree {
+	t.Helper()
+	tr, err := ParseNewick(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRFIdenticalTrees(t *testing.T) {
+	a := mustNewick(t, "((A:1,B:1):1,(C:1,(D:1,E:1):1):1);")
+	b := mustNewick(t, "((A:2,B:3):1,(C:1,(D:9,E:1):1):4);")
+	d, norm, err := RobinsonFoulds(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 || norm != 0 {
+		t.Fatalf("identical topologies: d=%d norm=%g", d, norm)
+	}
+}
+
+func TestRFRootInvariant(t *testing.T) {
+	// The same unrooted topology rooted differently must have RF 0.
+	a := mustNewick(t, "((A:1,B:1):1,(C:1,D:1):1);")
+	b := mustNewick(t, "(A:1,(B:1,((C:1,D:1):1):1):1);")
+	d, _, err := RobinsonFoulds(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("rerooted topology: d=%d, want 0", d)
+	}
+}
+
+func TestRFDifferentTopologies(t *testing.T) {
+	// ((A,B),(C,D)) vs ((A,C),(B,D)): the single non-trivial split of
+	// each is absent from the other → distance 2, normalized 1.
+	a := mustNewick(t, "((A:1,B:1):1,(C:1,D:1):1);")
+	b := mustNewick(t, "((A:1,C:1):1,(B:1,D:1):1);")
+	d, norm, err := RobinsonFoulds(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2 || norm != 1 {
+		t.Fatalf("conflicting topologies: d=%d norm=%g", d, norm)
+	}
+}
+
+func TestRFPartialOverlap(t *testing.T) {
+	// 5 taxa: a shares the {D,E} split with b but not {A,B}.
+	a := mustNewick(t, "(((A:1,B:1):1,C:1):1,(D:1,E:1):1);")
+	b := mustNewick(t, "(((A:1,C:1):1,B:1):1,(D:1,E:1):1);")
+	d, norm, err := RobinsonFoulds(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2 {
+		t.Fatalf("d = %d, want 2", d)
+	}
+	if norm <= 0 || norm >= 1 {
+		t.Fatalf("norm = %g, want in (0,1)", norm)
+	}
+}
+
+func TestRFMismatchedLeaves(t *testing.T) {
+	a := mustNewick(t, "((A:1,B:1):1,C:1);")
+	b := mustNewick(t, "((A:1,B:1):1,D:1);")
+	if _, _, err := RobinsonFoulds(a, b); err == nil {
+		t.Fatal("mismatched leaf sets accepted")
+	}
+	c := mustNewick(t, "((A:1,B:1):1,(C:1,D:1):1);")
+	if _, _, err := RobinsonFoulds(a, c); err == nil {
+		t.Fatal("different leaf counts accepted")
+	}
+}
+
+func TestRFTinyTrees(t *testing.T) {
+	a := mustNewick(t, "(A:1,B:1);")
+	b := mustNewick(t, "(A:1,B:1);")
+	d, norm, err := RobinsonFoulds(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 || norm != 0 {
+		t.Fatalf("2-leaf trees: d=%d norm=%g", d, norm)
+	}
+}
+
+func TestRFNJRecoversTopology(t *testing.T) {
+	// NJ on an additive matrix reproduces the unrooted topology.
+	src := mustNewick(t, "((A:2,B:3):1,(C:4,(D:2,E:1):2):3,F:7);")
+	m := additiveMatrix(t, src)
+	got, err := NeighborJoining(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := RobinsonFoulds(src, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("NJ did not recover the topology: RF=%d", d)
+	}
+}

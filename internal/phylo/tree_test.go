@@ -1,0 +1,335 @@
+package phylo
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// buildSample builds the tree ((A:1,B:2)ab:0.5,(C:3,D:4)cd:0.25)root
+// and indexes it, returning the tree and a name→ID map.
+func buildSample(t *testing.T) (*Tree, map[string]NodeID) {
+	t.Helper()
+	tr := NewTree()
+	root, err := tr.AddNode("root", None, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, _ := tr.AddNode("ab", root, 0.5)
+	cd, _ := tr.AddNode("cd", root, 0.25)
+	a, _ := tr.AddNode("A", ab, 1)
+	b, _ := tr.AddNode("B", ab, 2)
+	c, _ := tr.AddNode("C", cd, 3)
+	d, _ := tr.AddNode("D", cd, 4)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Index(); err != nil {
+		t.Fatal(err)
+	}
+	return tr, map[string]NodeID{
+		"root": root, "ab": ab, "cd": cd, "A": a, "B": b, "C": c, "D": d,
+	}
+}
+
+func TestAddNodeErrors(t *testing.T) {
+	tr := NewTree()
+	if _, err := tr.AddNode("x", 5, 1); err == nil {
+		t.Error("out-of-range parent accepted")
+	}
+	tr.AddNode("r", None, 0)
+	if _, err := tr.AddNode("r2", None, 0); err == nil {
+		t.Error("second root accepted")
+	}
+}
+
+func TestIndexImmutability(t *testing.T) {
+	tr, _ := buildSample(t)
+	if _, err := tr.AddNode("E", tr.Root(), 1); err == nil {
+		t.Error("mutation after Index accepted")
+	}
+}
+
+func TestSubtreeIntervalCoversExactSubtree(t *testing.T) {
+	tr, ids := buildSample(t)
+	lo, hi := tr.SubtreeInterval(ids["ab"])
+	got := map[NodeID]bool{}
+	for p := lo; p <= hi; p++ {
+		got[tr.NodeAtPre(p)] = true
+	}
+	want := map[NodeID]bool{ids["ab"]: true, ids["A"]: true, ids["B"]: true}
+	if len(got) != len(want) {
+		t.Fatalf("interval covers %d nodes, want %d", len(got), len(want))
+	}
+	for id := range want {
+		if !got[id] {
+			t.Errorf("interval missing node %d", id)
+		}
+	}
+}
+
+func TestSubtreeNaiveMatchesIndexed(t *testing.T) {
+	tr := randomTree(t, 200, 17)
+	for trial := 0; trial < 20; trial++ {
+		id := NodeID(trial * 7 % tr.Len())
+		naive := tr.SubtreeNaive(id)
+		indexed := tr.SubtreeIndexed(id)
+		sortIDs(naive)
+		sortIDs(indexed)
+		if len(naive) != len(indexed) {
+			t.Fatalf("node %d: naive %d nodes, indexed %d", id, len(naive), len(indexed))
+		}
+		for i := range naive {
+			if naive[i] != indexed[i] {
+				t.Fatalf("node %d: subtree mismatch at %d", id, i)
+			}
+		}
+	}
+}
+
+func sortIDs(ids []NodeID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+func TestIsAncestor(t *testing.T) {
+	tr, ids := buildSample(t)
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"root", "A", true}, {"ab", "A", true}, {"ab", "B", true},
+		{"ab", "C", false}, {"A", "ab", false}, {"A", "A", true},
+		{"cd", "D", true}, {"ab", "cd", false},
+	}
+	for _, c := range cases {
+		if got := tr.IsAncestor(ids[c.a], ids[c.b]); got != c.want {
+			t.Errorf("IsAncestor(%s,%s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLCA(t *testing.T) {
+	tr, ids := buildSample(t)
+	cases := []struct {
+		a, b, want string
+	}{
+		{"A", "B", "ab"}, {"A", "C", "root"}, {"C", "D", "cd"},
+		{"A", "A", "A"}, {"ab", "B", "ab"}, {"A", "cd", "root"},
+	}
+	for _, c := range cases {
+		if got := tr.LCA(ids[c.a], ids[c.b]); got != ids[c.want] {
+			t.Errorf("LCA(%s,%s) = %d, want %s", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLCAMatchesNaiveOnRandomTrees(t *testing.T) {
+	tr := randomTree(t, 300, 5)
+	naiveLCA := func(a, b NodeID) NodeID {
+		anc := map[NodeID]bool{}
+		for v := a; v != None; v = tr.Node(v).Parent {
+			anc[v] = true
+		}
+		for v := b; v != None; v = tr.Node(v).Parent {
+			if anc[v] {
+				return v
+			}
+		}
+		return None
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 500; trial++ {
+		a := NodeID(rng.Intn(tr.Len()))
+		b := NodeID(rng.Intn(tr.Len()))
+		if got, want := tr.LCA(a, b), naiveLCA(a, b); got != want {
+			t.Fatalf("LCA(%d,%d) = %d, want %d", a, b, got, want)
+		}
+	}
+}
+
+func TestPathDistance(t *testing.T) {
+	tr, ids := buildSample(t)
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"A", "B", 3},       // 1 + 2
+		{"A", "C", 4.75},    // 1 + 0.5 + 0.25 + 3
+		{"A", "A", 0},       //
+		{"root", "D", 4.25}, // 0.25 + 4
+	}
+	for _, c := range cases {
+		if got := tr.PathDistance(ids[c.a], ids[c.b]); !approxEqual(got, c.want) {
+			t.Errorf("PathDistance(%s,%s) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func approxEqual(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+func TestDepthAndRootDistance(t *testing.T) {
+	tr, ids := buildSample(t)
+	if tr.Depth(ids["root"]) != 0 || tr.Depth(ids["A"]) != 2 {
+		t.Errorf("depths wrong: root=%d A=%d", tr.Depth(ids["root"]), tr.Depth(ids["A"]))
+	}
+	if !approxEqual(tr.RootDistance(ids["B"]), 2.5) {
+		t.Errorf("RootDistance(B) = %g, want 2.5", tr.RootDistance(ids["B"]))
+	}
+	if !approxEqual(tr.Height(), 4.25) {
+		t.Errorf("Height = %g, want 4.25", tr.Height())
+	}
+}
+
+func TestLeafCount(t *testing.T) {
+	tr, ids := buildSample(t)
+	if tr.LeafCount(ids["root"]) != 4 {
+		t.Errorf("LeafCount(root) = %d, want 4", tr.LeafCount(ids["root"]))
+	}
+	if tr.LeafCount(ids["ab"]) != 2 {
+		t.Errorf("LeafCount(ab) = %d, want 2", tr.LeafCount(ids["ab"]))
+	}
+	if tr.LeafCount(ids["A"]) != 1 {
+		t.Errorf("LeafCount(A) = %d, want 1", tr.LeafCount(ids["A"]))
+	}
+}
+
+func TestAncestors(t *testing.T) {
+	tr, ids := buildSample(t)
+	anc := tr.Ancestors(ids["A"])
+	want := []NodeID{ids["A"], ids["ab"], ids["root"]}
+	if len(anc) != len(want) {
+		t.Fatalf("Ancestors(A) = %v, want %v", anc, want)
+	}
+	for i := range want {
+		if anc[i] != want[i] {
+			t.Fatalf("Ancestors(A)[%d] = %d, want %d", i, anc[i], want[i])
+		}
+	}
+}
+
+func TestSubtreeLeaves(t *testing.T) {
+	tr, ids := buildSample(t)
+	leaves := tr.SubtreeLeaves(ids["cd"])
+	if len(leaves) != 2 {
+		t.Fatalf("SubtreeLeaves(cd) = %v", leaves)
+	}
+	names := []string{tr.Node(leaves[0]).Name, tr.Node(leaves[1]).Name}
+	if names[0] != "C" || names[1] != "D" {
+		t.Fatalf("leaf names = %v, want [C D]", names)
+	}
+}
+
+func TestValidateCatchesBadTrees(t *testing.T) {
+	// Duplicate leaf names.
+	tr := NewTree()
+	r, _ := tr.AddNode("", None, 0)
+	tr.AddNode("A", r, 1)
+	tr.AddNode("A", r, 1)
+	if err := tr.Validate(); err == nil {
+		t.Error("duplicate leaf names accepted")
+	}
+	// Negative branch length.
+	tr2 := NewTree()
+	r2, _ := tr2.AddNode("", None, 0)
+	tr2.AddNode("A", r2, -1)
+	if err := tr2.Validate(); err == nil {
+		t.Error("negative branch length accepted")
+	}
+	// Empty leaf name.
+	tr3 := NewTree()
+	r3, _ := tr3.AddNode("", None, 0)
+	tr3.AddNode("", r3, 1)
+	if err := tr3.Validate(); err == nil {
+		t.Error("empty leaf name accepted")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := NewTree()
+	if err := tr.Validate(); err != nil {
+		t.Errorf("empty tree invalid: %v", err)
+	}
+	if err := tr.Index(); err == nil {
+		t.Error("indexing empty tree accepted")
+	}
+	if tr.Root() != None {
+		t.Error("empty tree has a root")
+	}
+}
+
+func TestFindLeaf(t *testing.T) {
+	tr, ids := buildSample(t)
+	if got := tr.FindLeaf("C"); got != ids["C"] {
+		t.Errorf("FindLeaf(C) = %d, want %d", got, ids["C"])
+	}
+	if got := tr.FindLeaf("missing"); got != None {
+		t.Errorf("FindLeaf(missing) = %d, want None", got)
+	}
+	// Internal node names must not match FindLeaf.
+	if got := tr.FindLeaf("ab"); got != None {
+		t.Errorf("FindLeaf(ab) = %d, want None (internal)", got)
+	}
+}
+
+// randomTree builds and indexes a random tree with n nodes.
+func randomTree(t *testing.T, n int, seed int64) *Tree {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tr := NewTree()
+	tr.AddNode("", None, 0)
+	for i := 1; i < n; i++ {
+		parent := NodeID(rng.Intn(i))
+		name := ""
+		// Give every node a unique leaf-ish name; internal nodes keep
+		// their names too (Validate only dedups leaves, names unique
+		// anyway).
+		name = fmt.Sprintf("n%d", i)
+		if _, err := tr.AddNode(name, parent, rng.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Index(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestDeepCaterpillarTree(t *testing.T) {
+	// A 10 000-deep chain must index without stack issues.
+	tr := NewTree()
+	prev, _ := tr.AddNode("", None, 0)
+	for i := 0; i < 10000; i++ {
+		var err error
+		prev, err = tr.AddNode(fmt.Sprintf("n%d", i), prev, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Index(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth(prev) != 10000 {
+		t.Fatalf("depth = %d, want 10000", tr.Depth(prev))
+	}
+	leaf := prev
+	if got := tr.LCA(leaf, tr.Root()); got != tr.Root() {
+		t.Fatalf("LCA(leaf, root) = %d, want root", got)
+	}
+}
+
+func TestIndexIdempotent(t *testing.T) {
+	tr, _ := buildSample(t)
+	if err := tr.Index(); err != nil {
+		t.Fatalf("second Index: %v", err)
+	}
+}

@@ -1,0 +1,212 @@
+package query
+
+import (
+	"drugtree/internal/store"
+)
+
+// buildAgg lowers an AggNode to a hash-aggregation operator.
+func buildAgg(n *AggNode, ctx *execCtx, depth int) (iterator, error) {
+	env := bindEnv{schema: n.Input.Schema(), cat: ctx.cat, tree: ctx.cat.Tree(), opts: ctx.opts}
+	groups := make([]*boundExpr, len(n.GroupBy))
+	for i, g := range n.GroupBy {
+		be, err := bind(g, env)
+		if err != nil {
+			return nil, err
+		}
+		groups[i] = be
+	}
+	args := make([]*boundExpr, len(n.Aggs))
+	for i, a := range n.Aggs {
+		if a.Star {
+			continue
+		}
+		be, err := bind(a.Arg, env)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = be
+	}
+	ctx.note(depth, "%s", n.describe())
+	in, err := buildIterator(n.Input, ctx, depth+1)
+	if err != nil {
+		return nil, err
+	}
+	return &aggIter{in: in, groups: groups, aggs: n.Aggs, args: args}, nil
+}
+
+// aggState accumulates one aggregate for one group.
+type aggState struct {
+	count int64
+	sum   float64
+	min   store.Value
+	max   store.Value
+	seen  bool
+}
+
+func (s *aggState) add(fn AggFunc, v store.Value) {
+	if v.IsNull() {
+		return
+	}
+	s.count++
+	if v.Numeric() {
+		s.sum += v.AsFloat()
+	}
+	if !s.seen {
+		s.min, s.max = v, v
+		s.seen = true
+		return
+	}
+	if store.Compare(v, s.min) < 0 {
+		s.min = v
+	}
+	if store.Compare(v, s.max) > 0 {
+		s.max = v
+	}
+}
+
+func (s *aggState) result(fn AggFunc) store.Value {
+	switch fn {
+	case AggCount:
+		return store.IntValue(s.count)
+	case AggSum:
+		if s.count == 0 {
+			return store.NullValue()
+		}
+		return store.FloatValue(s.sum)
+	case AggAvg:
+		if s.count == 0 {
+			return store.NullValue()
+		}
+		return store.FloatValue(s.sum / float64(s.count))
+	case AggMin:
+		if !s.seen {
+			return store.NullValue()
+		}
+		return s.min
+	case AggMax:
+		if !s.seen {
+			return store.NullValue()
+		}
+		return s.max
+	}
+	return store.NullValue()
+}
+
+// aggIter performs hash aggregation: it drains its input on first
+// Next, then streams one row per group (group keys, then aggregates).
+type aggIter struct {
+	in     iterator
+	groups []*boundExpr
+	aggs   []*AggExpr
+	args   []*boundExpr
+
+	out []store.Row
+	pos int
+	run bool
+}
+
+// groupEntry pairs the group's key values with per-aggregate states.
+type groupEntry struct {
+	keys   []store.Value
+	states []aggState
+	stars  int64
+	// distinct[i] tracks seen value hashes for COUNT(DISTINCT ...)
+	// aggregates; nil for plain aggregates.
+	distinct []map[uint64]struct{}
+}
+
+func (a *aggIter) Next() (store.Row, bool, error) {
+	if !a.run {
+		if err := a.drain(); err != nil {
+			return nil, false, err
+		}
+		a.run = true
+	}
+	if a.pos >= len(a.out) {
+		return nil, false, nil
+	}
+	r := a.out[a.pos]
+	a.pos++
+	return r, true, nil
+}
+
+func (a *aggIter) drain() error {
+	table := make(map[string]*groupEntry)
+	var order []string // deterministic output: first-seen order
+	for {
+		r, ok, err := a.in.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		keys := make([]store.Value, len(a.groups))
+		keyBuf := make([]byte, 0, 32)
+		for i, g := range a.groups {
+			v, err := g.eval(r)
+			if err != nil {
+				return err
+			}
+			keys[i] = v
+			keyBuf = store.AppendValue(keyBuf, v)
+		}
+		k := string(keyBuf)
+		e, found := table[k]
+		if !found {
+			e = &groupEntry{
+				keys:     keys,
+				states:   make([]aggState, len(a.aggs)),
+				distinct: make([]map[uint64]struct{}, len(a.aggs)),
+			}
+			for i, agg := range a.aggs {
+				if agg.Distinct {
+					e.distinct[i] = make(map[uint64]struct{})
+				}
+			}
+			table[k] = e
+			order = append(order, k)
+		}
+		for i, agg := range a.aggs {
+			if agg.Star {
+				e.stars++
+				continue
+			}
+			v, err := a.args[i].eval(r)
+			if err != nil {
+				return err
+			}
+			if agg.Distinct {
+				if v.IsNull() {
+					continue
+				}
+				h := v.Hash()
+				if _, seen := e.distinct[i][h]; seen {
+					continue
+				}
+				e.distinct[i][h] = struct{}{}
+			}
+			e.states[i].add(agg.Func, v)
+		}
+	}
+	// A global aggregate over an empty input still yields one row.
+	if len(a.groups) == 0 && len(order) == 0 {
+		e := &groupEntry{states: make([]aggState, len(a.aggs))}
+		table[""] = e
+		order = append(order, "")
+	}
+	for _, k := range order {
+		e := table[k]
+		row := make(store.Row, 0, len(e.keys)+len(a.aggs))
+		row = append(row, e.keys...)
+		for i, agg := range a.aggs {
+			if agg.Star {
+				row = append(row, store.IntValue(e.stars))
+				continue
+			}
+			row = append(row, e.states[i].result(agg.Func))
+		}
+		a.out = append(a.out, row)
+	}
+	return nil
+}

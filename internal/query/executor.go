@@ -1,0 +1,207 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"drugtree/internal/phylo"
+	"drugtree/internal/store"
+)
+
+// Result is the materialized output of one query.
+type Result struct {
+	// Columns are the output column names in SELECT order.
+	Columns []string
+	// Rows are the result rows.
+	Rows []store.Row
+	// Plan is the physical plan rendered as indented text.
+	Plan string
+	// Stats counts the work the execution performed.
+	Stats ExecStats
+}
+
+// Engine executes DTQL against a catalog.
+type Engine struct {
+	cat  Catalog
+	opts Options
+}
+
+// NewEngine creates an engine. Use DefaultOptions for the optimized
+// engine, NaiveOptions for the experimental baseline.
+func NewEngine(cat Catalog, opts Options) *Engine {
+	return &Engine{cat: cat, opts: opts}
+}
+
+// Options returns the engine's optimizer options.
+func (e *Engine) Options() Options { return e.opts }
+
+// Catalog returns the engine's catalog.
+func (e *Engine) Catalog() Catalog { return e.cat }
+
+// Query parses, plans, optimizes, and executes a DTQL string. For
+// EXPLAIN statements the plan is produced but not executed.
+func (e *Engine) Query(src string) (*Result, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(stmt)
+}
+
+// Run executes a parsed statement.
+func (e *Engine) Run(stmt *SelectStmt) (*Result, error) {
+	logical, err := BuildLogical(stmt, e.cat)
+	if err != nil {
+		return nil, err
+	}
+	optimized, err := Optimize(logical, e.cat, e.opts)
+	if err != nil {
+		return nil, err
+	}
+	cols := outputColumns(optimized)
+	ctx := &execCtx{cat: e.cat, opts: e.opts, stats: &ExecStats{}}
+	iter, err := buildIterator(optimized, ctx, 0)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Columns: cols,
+		Plan:    strings.Join(ctx.plan, "\n"),
+		Stats:   *ctx.stats,
+	}
+	if stmt.Explain {
+		return res, nil
+	}
+	for {
+		r, ok, err := iter.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		res.Rows = append(res.Rows, r)
+	}
+	ctx.stats.RowsReturned = int64(len(res.Rows))
+	res.Stats = *ctx.stats
+	return res, nil
+}
+
+// outputColumns extracts the final column names of a plan.
+func outputColumns(p LogicalPlan) []string {
+	switch n := p.(type) {
+	case *ProjectNode:
+		return n.Names
+	case *AggNode:
+		return n.Names
+	case *SortNode:
+		return outputColumns(n.Input)
+	case *LimitNode:
+		return outputColumns(n.Input)
+	case *FilterNode:
+		return outputColumns(n.Input)
+	}
+	cols := p.Schema().cols
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// FormatResult renders a result as an aligned text table (used by the
+// CLI and examples).
+func FormatResult(r *Result) string {
+	if len(r.Columns) == 0 {
+		return "(no columns)\n"
+	}
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			if v.K == store.KindString {
+				s = v.S // unquoted for display
+			}
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, c := range r.Columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for i := range r.Columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", widths[i]))
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		for i, s := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], s)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "(%d row(s))\n", len(r.Rows))
+	return b.String()
+}
+
+// DBCatalog is a Catalog over a store.DB with version-checked cached
+// statistics and an optional phylogenetic tree.
+type DBCatalog struct {
+	DB        *store.DB
+	PhyloTree *phylo.Tree
+
+	mu         sync.Mutex
+	statsCache map[string]cachedStats
+}
+
+type cachedStats struct {
+	stats   *store.TableStats
+	version int64
+}
+
+// NewDBCatalog wires a catalog; tree may be nil for tables-only use.
+func NewDBCatalog(db *store.DB, tree *phylo.Tree) *DBCatalog {
+	return &DBCatalog{DB: db, PhyloTree: tree, statsCache: make(map[string]cachedStats)}
+}
+
+// Table implements Catalog.
+func (c *DBCatalog) Table(name string) (*store.Table, error) { return c.DB.Table(name) }
+
+// Stats implements Catalog, recomputing only when the table version
+// changed since the cached snapshot.
+func (c *DBCatalog) Stats(name string) (*store.TableStats, error) {
+	t, err := c.DB.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	v := t.Version()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cached, ok := c.statsCache[name]; ok && cached.version == v {
+		return cached.stats, nil
+	}
+	st := t.Stats()
+	c.statsCache[name] = cachedStats{stats: st, version: v}
+	return st, nil
+}
+
+// Tree implements Catalog.
+func (c *DBCatalog) Tree() *phylo.Tree { return c.PhyloTree }

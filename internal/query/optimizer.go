@@ -1,0 +1,676 @@
+package query
+
+import (
+	"fmt"
+	"math"
+
+	"drugtree/internal/store"
+)
+
+// Options selects which optimizations run. The zero value is the
+// naive engine used as the experimental baseline; DefaultOptions turns
+// everything on.
+type Options struct {
+	// SubtreeRewrite turns WITHIN_SUBTREE(col, node) into a preorder
+	// range predicate that downstream passes can push into an index.
+	SubtreeRewrite bool
+	// Pushdown splits WHERE conjuncts and pushes each to the deepest
+	// operator covering its columns.
+	Pushdown bool
+	// JoinReorder applies cost-based join ordering.
+	JoinReorder bool
+	// UseIndexes lets scans pick index access paths from pushed
+	// predicates.
+	UseIndexes bool
+	// ConstantFold evaluates literal subexpressions at plan time and
+	// collapses boolean identities.
+	ConstantFold bool
+	// PruneColumns projects dead columns away above scans that feed
+	// joins, narrowing every intermediate row.
+	PruneColumns bool
+}
+
+// DefaultOptions enables every optimization.
+func DefaultOptions() Options {
+	return Options{
+		SubtreeRewrite: true, Pushdown: true, JoinReorder: true,
+		UseIndexes: true, ConstantFold: true, PruneColumns: true,
+	}
+}
+
+// NaiveOptions disables every optimization (the baseline engine).
+func NaiveOptions() Options { return Options{} }
+
+// Optimize rewrites a logical plan under the given options.
+func Optimize(plan LogicalPlan, cat Catalog, opts Options) (LogicalPlan, error) {
+	var err error
+	if opts.SubtreeRewrite {
+		plan, err = rewriteSubtrees(plan, cat)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if opts.Pushdown {
+		plan = pushPredicates(plan)
+	}
+	if opts.JoinReorder {
+		plan, err = reorderJoins(plan, cat)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if opts.ConstantFold {
+		plan = foldPlan(plan)
+	}
+	if opts.PruneColumns {
+		plan = pruneColumns(plan)
+	}
+	return plan, nil
+}
+
+// --- Subtree rewrite ---
+
+// rewriteSubtrees replaces every SubtreeExpr in filters and scan
+// conjuncts with (col >= lo AND col <= hi) over the node's preorder
+// interval.
+func rewriteSubtrees(plan LogicalPlan, cat Catalog) (LogicalPlan, error) {
+	switch n := plan.(type) {
+	case *FilterNode:
+		in, err := rewriteSubtrees(n.Input, cat)
+		if err != nil {
+			return nil, err
+		}
+		p, err := rewriteSubtreeExpr(n.Pred, cat, n.Input.Schema())
+		if err != nil {
+			return nil, err
+		}
+		return &FilterNode{Input: in, Pred: p}, nil
+	case *JoinNode:
+		l, err := rewriteSubtrees(n.Left, cat)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rewriteSubtrees(n.Right, cat)
+		if err != nil {
+			return nil, err
+		}
+		c, err := rewriteSubtreeExpr(n.Cond, cat, n.schema)
+		if err != nil {
+			return nil, err
+		}
+		return &JoinNode{Left: l, Right: r, Cond: c, schema: n.schema}, nil
+	case *ScanNode:
+		out := *n
+		out.Conjuncts = nil
+		for _, c := range n.Conjuncts {
+			rc, err := rewriteSubtreeExpr(c, cat, n.schema)
+			if err != nil {
+				return nil, err
+			}
+			out.Conjuncts = append(out.Conjuncts, rc)
+		}
+		return &out, nil
+	case *ProjectNode:
+		in, err := rewriteSubtrees(n.Input, cat)
+		if err != nil {
+			return nil, err
+		}
+		out := *n
+		out.Input = in
+		return &out, nil
+	case *AggNode:
+		in, err := rewriteSubtrees(n.Input, cat)
+		if err != nil {
+			return nil, err
+		}
+		out := *n
+		out.Input = in
+		return &out, nil
+	case *SortNode:
+		in, err := rewriteSubtrees(n.Input, cat)
+		if err != nil {
+			return nil, err
+		}
+		return &SortNode{Input: in, Keys: n.Keys}, nil
+	case *LimitNode:
+		in, err := rewriteSubtrees(n.Input, cat)
+		if err != nil {
+			return nil, err
+		}
+		return &LimitNode{Input: in, N: n.N}, nil
+	}
+	return plan, nil
+}
+
+// rewriteSubtreeExpr rewrites tree predicates inside an expression
+// tree: SubtreeExpr becomes a preorder-interval range, AncestorExpr
+// becomes the interval-containment form pre ≤ P ≤ end_pre when the
+// relation carries an end_pre column (left for set-membership
+// evaluation otherwise).
+func rewriteSubtreeExpr(e Expr, cat Catalog, schema *planSchema) (Expr, error) {
+	switch x := e.(type) {
+	case *SubtreeExpr:
+		tree := cat.Tree()
+		if tree == nil {
+			return nil, fmt.Errorf("query: WITHIN_SUBTREE requires a tree-backed catalog")
+		}
+		node, err := findTreeNode(tree, x.Node)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi := tree.SubtreeInterval(node)
+		return &BinaryExpr{
+			Op: OpAnd,
+			L:  &BinaryExpr{Op: OpGe, L: x.Column, R: &Literal{Val: store.IntValue(int64(lo))}},
+			R:  &BinaryExpr{Op: OpLe, L: x.Column, R: &Literal{Val: store.IntValue(int64(hi))}},
+		}, nil
+	case *AncestorExpr:
+		tree := cat.Tree()
+		if tree == nil {
+			return nil, fmt.Errorf("query: ANCESTOR_OF requires a tree-backed catalog")
+		}
+		node, err := findTreeNode(tree, x.Node)
+		if err != nil {
+			return nil, err
+		}
+		endRef := &ColumnRef{Qualifier: x.Column.Qualifier, Name: "end_pre"}
+		if _, err := schema.resolve(endRef); err != nil {
+			return e, nil // relation lacks end_pre: keep membership eval
+		}
+		p := int64(tree.Pre(node))
+		return &BinaryExpr{
+			Op: OpAnd,
+			L:  &BinaryExpr{Op: OpLe, L: x.Column, R: &Literal{Val: store.IntValue(p)}},
+			R:  &BinaryExpr{Op: OpGe, L: endRef, R: &Literal{Val: store.IntValue(p)}},
+		}, nil
+	case *BinaryExpr:
+		l, err := rewriteSubtreeExpr(x.L, cat, schema)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rewriteSubtreeExpr(x.R, cat, schema)
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: x.Op, L: l, R: r}, nil
+	case *NotExpr:
+		in, err := rewriteSubtreeExpr(x.E, cat, schema)
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{E: in}, nil
+	}
+	return e, nil
+}
+
+// --- Predicate pushdown ---
+
+// splitConjuncts flattens a tree of ANDs into a conjunct list.
+func splitConjuncts(e Expr) []Expr {
+	if b, ok := e.(*BinaryExpr); ok && b.Op == OpAnd {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// joinConjuncts rebuilds an AND tree (nil for an empty list).
+func joinConjuncts(cs []Expr) Expr {
+	if len(cs) == 0 {
+		return nil
+	}
+	out := cs[0]
+	for _, c := range cs[1:] {
+		out = &BinaryExpr{Op: OpAnd, L: out, R: c}
+	}
+	return out
+}
+
+// exprQualifiers collects the table qualifiers an expression touches.
+// Unqualified references resolve against the schema they are pushed
+// through, so pushing decisions use resolved columns: the caller
+// passes the full schema to qualify them first.
+func exprColumns(e Expr) []*ColumnRef {
+	var refs []*ColumnRef
+	walkExpr(e, func(x Expr) {
+		if c, ok := x.(*ColumnRef); ok {
+			refs = append(refs, c)
+		}
+	})
+	return refs
+}
+
+// coveredBy reports whether every column in e resolves in s.
+func coveredBy(e Expr, s *planSchema) bool {
+	for _, c := range exprColumns(e) {
+		if _, err := s.resolve(c); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// pushPredicates moves filter conjuncts to the deepest covering node.
+func pushPredicates(plan LogicalPlan) LogicalPlan {
+	switch n := plan.(type) {
+	case *FilterNode:
+		input := pushPredicates(n.Input)
+		remaining := pushInto(&input, splitConjuncts(n.Pred))
+		if len(remaining) == 0 {
+			return input
+		}
+		return &FilterNode{Input: input, Pred: joinConjuncts(remaining)}
+	case *JoinNode:
+		l := pushPredicates(n.Left)
+		r := pushPredicates(n.Right)
+		// Join conditions that only touch one side migrate there.
+		conjs := splitConjuncts(n.Cond)
+		var keep []Expr
+		for _, c := range conjs {
+			switch {
+			case coveredBy(c, l.Schema()):
+				rem := pushInto(&l, []Expr{c})
+				keep = append(keep, rem...)
+			case coveredBy(c, r.Schema()):
+				rem := pushInto(&r, []Expr{c})
+				keep = append(keep, rem...)
+			default:
+				keep = append(keep, c)
+			}
+		}
+		cond := joinConjuncts(keep)
+		if cond == nil {
+			cond = &Literal{Val: store.BoolValue(true)}
+		}
+		return &JoinNode{Left: l, Right: r, Cond: cond, schema: n.schema}
+	case *ProjectNode:
+		out := *n
+		out.Input = pushPredicates(n.Input)
+		return &out
+	case *AggNode:
+		out := *n
+		out.Input = pushPredicates(n.Input)
+		return &out
+	case *SortNode:
+		return &SortNode{Input: pushPredicates(n.Input), Keys: n.Keys}
+	case *LimitNode:
+		return &LimitNode{Input: pushPredicates(n.Input), N: n.N}
+	}
+	return plan
+}
+
+// pushInto pushes conjuncts into *plan as deep as possible, returning
+// the conjuncts that could not be absorbed. *plan is replaced by the
+// rewritten subtree.
+func pushInto(plan *LogicalPlan, conjs []Expr) []Expr {
+	switch n := (*plan).(type) {
+	case *ScanNode:
+		out := *n
+		var remaining []Expr
+		for _, c := range conjs {
+			if coveredBy(c, n.schema) {
+				out.Conjuncts = append(out.Conjuncts, c)
+			} else {
+				remaining = append(remaining, c)
+			}
+		}
+		*plan = &out
+		return remaining
+	case *FilterNode:
+		// Merge into the existing filter's input.
+		input := n.Input
+		remaining := pushInto(&input, conjs)
+		nf := &FilterNode{Input: input, Pred: n.Pred}
+		*plan = nf
+		if len(remaining) == 0 {
+			return nil
+		}
+		// Absorb the remainder into this filter.
+		nf.Pred = joinConjuncts(append(splitConjuncts(n.Pred), remaining...))
+		return nil
+	case *JoinNode:
+		l, r := n.Left, n.Right
+		var remaining []Expr
+		for _, c := range conjs {
+			switch {
+			case coveredBy(c, l.Schema()):
+				remaining = append(remaining, pushInto(&l, []Expr{c})...)
+			case coveredBy(c, r.Schema()):
+				remaining = append(remaining, pushInto(&r, []Expr{c})...)
+			default:
+				remaining = append(remaining, c)
+			}
+		}
+		*plan = &JoinNode{Left: l, Right: r, Cond: n.Cond, schema: n.schema}
+		return remaining
+	case *ProjectNode:
+		// Predicates referencing projected names cannot cross; only
+		// push what the input covers under the same names. For the
+		// common case (projection of plain columns) this succeeds.
+		input := n.Input
+		var remaining []Expr
+		var pushable []Expr
+		for _, c := range conjs {
+			if coveredBy(c, input.Schema()) {
+				pushable = append(pushable, c)
+			} else {
+				remaining = append(remaining, c)
+			}
+		}
+		if len(pushable) > 0 {
+			rem := pushInto(&input, pushable)
+			remaining = append(remaining, rem...)
+		}
+		out := *n
+		out.Input = input
+		*plan = &out
+		return remaining
+	}
+	return conjs
+}
+
+// --- Join reordering ---
+
+// reorderJoins rebuilds chains of inner joins in cost order. It
+// detects a maximal join tree (joins whose children are joins or
+// scans), collects the base relations and all equi-conditions, and
+// greedily builds a left-deep plan starting from the smallest
+// filtered relation, always joining the relation that yields the
+// smallest estimated intermediate result (for ≤8 relations this
+// greedy is exhaustive-checked against connected pairs; beyond that
+// greedy only).
+func reorderJoins(plan LogicalPlan, cat Catalog) (LogicalPlan, error) {
+	switch n := plan.(type) {
+	case *JoinNode:
+		rels, conds, ok := collectJoinTree(n)
+		if !ok || len(rels) < 3 {
+			// Reordering a 2-way join is a no-op; recurse children.
+			l, err := reorderJoins(n.Left, cat)
+			if err != nil {
+				return nil, err
+			}
+			r, err := reorderJoins(n.Right, cat)
+			if err != nil {
+				return nil, err
+			}
+			return &JoinNode{Left: l, Right: r, Cond: n.Cond, schema: n.schema}, nil
+		}
+		return buildJoinOrder(rels, conds, cat, n.schema)
+	case *FilterNode:
+		in, err := reorderJoins(n.Input, cat)
+		if err != nil {
+			return nil, err
+		}
+		return &FilterNode{Input: in, Pred: n.Pred}, nil
+	case *ProjectNode:
+		in, err := reorderJoins(n.Input, cat)
+		if err != nil {
+			return nil, err
+		}
+		out := *n
+		out.Input = in
+		return &out, nil
+	case *AggNode:
+		in, err := reorderJoins(n.Input, cat)
+		if err != nil {
+			return nil, err
+		}
+		out := *n
+		out.Input = in
+		return &out, nil
+	case *SortNode:
+		in, err := reorderJoins(n.Input, cat)
+		if err != nil {
+			return nil, err
+		}
+		return &SortNode{Input: in, Keys: n.Keys}, nil
+	case *LimitNode:
+		in, err := reorderJoins(n.Input, cat)
+		if err != nil {
+			return nil, err
+		}
+		return &LimitNode{Input: in, N: n.N}, nil
+	}
+	return plan, nil
+}
+
+// collectJoinTree flattens a tree of inner joins over scans into base
+// relations and the conjunct list of all join conditions. ok is false
+// when any leaf is not a ScanNode (e.g. already-filtered subtrees),
+// in which case reordering is skipped conservatively.
+func collectJoinTree(j *JoinNode) (rels []*ScanNode, conds []Expr, ok bool) {
+	var walk func(p LogicalPlan) bool
+	walk = func(p LogicalPlan) bool {
+		switch n := p.(type) {
+		case *JoinNode:
+			conds = append(conds, splitConjuncts(n.Cond)...)
+			return walk(n.Left) && walk(n.Right)
+		case *ScanNode:
+			rels = append(rels, n)
+			return true
+		}
+		return false
+	}
+	ok = walk(j)
+	return rels, conds, ok
+}
+
+// estimateScanRows estimates a scan's output cardinality from table
+// stats and pushed conjuncts.
+func estimateScanRows(s *ScanNode, cat Catalog) float64 {
+	st, err := cat.Stats(s.Table)
+	if err != nil {
+		return 1000
+	}
+	rows := float64(st.Rows)
+	for _, c := range s.Conjuncts {
+		rows *= conjunctSelectivity(c, st)
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return rows
+}
+
+// conjunctSelectivity estimates one predicate's selectivity.
+func conjunctSelectivity(e Expr, st *store.TableStats) float64 {
+	b, ok := e.(*BinaryExpr)
+	if !ok {
+		return 0.25
+	}
+	col, lit := extractColLit(b)
+	if col == nil {
+		return 0.25
+	}
+	switch b.Op {
+	case OpEq:
+		return st.SelectivityEqual(col.Name)
+	case OpNe:
+		return 1 - st.SelectivityEqual(col.Name)
+	case OpLt, OpLe:
+		if lit != nil {
+			v := lit.Val
+			return st.SelectivityRange(col.Name, nil, &v)
+		}
+		return 0.3
+	case OpGt, OpGe:
+		if lit != nil {
+			v := lit.Val
+			return st.SelectivityRange(col.Name, &v, nil)
+		}
+		return 0.3
+	case OpAnd:
+		return conjunctSelectivity(b.L, st) * conjunctSelectivity(b.R, st)
+	case OpOr:
+		sl, sr := conjunctSelectivity(b.L, st), conjunctSelectivity(b.R, st)
+		return math.Min(1, sl+sr)
+	}
+	return 0.25
+}
+
+// extractColLit pulls (column, literal) out of a binary comparison in
+// either operand order; literal is nil when both sides are columns.
+func extractColLit(b *BinaryExpr) (*ColumnRef, *Literal) {
+	if c, ok := b.L.(*ColumnRef); ok {
+		l, _ := b.R.(*Literal)
+		return c, l
+	}
+	if c, ok := b.R.(*ColumnRef); ok {
+		l, _ := b.L.(*Literal)
+		return c, l
+	}
+	return nil, nil
+}
+
+// buildJoinOrder greedily assembles a left-deep join over rels.
+func buildJoinOrder(rels []*ScanNode, conds []Expr, cat Catalog, finalSchema *planSchema) (LogicalPlan, error) {
+	n := len(rels)
+	card := make([]float64, n)
+	for i, r := range rels {
+		card[i] = estimateScanRows(r, cat)
+	}
+	// Which conjuncts connect which relation pairs? A conjunct is
+	// assigned to the minimal set of relations covering its columns.
+	type condInfo struct {
+		expr Expr
+		rels map[int]bool
+	}
+	infos := make([]condInfo, 0, len(conds))
+	for _, c := range conds {
+		ci := condInfo{expr: c, rels: map[int]bool{}}
+		for _, col := range exprColumns(c) {
+			for i, r := range rels {
+				if _, err := r.schema.resolve(col); err == nil {
+					ci.rels[i] = true
+				}
+			}
+		}
+		infos = append(infos, ci)
+	}
+
+	used := make([]bool, n)
+	// Start from the smallest relation.
+	start := 0
+	for i := 1; i < n; i++ {
+		if card[i] < card[start] {
+			start = i
+		}
+	}
+	used[start] = true
+	var cur LogicalPlan = rels[start]
+	curCard := card[start]
+	inPlan := map[int]bool{start: true}
+	condUsed := make([]bool, len(infos))
+
+	ndvOf := func(rel *ScanNode, col string) float64 {
+		st, err := cat.Stats(rel.Table)
+		if err != nil {
+			return 100
+		}
+		c := st.Column(col)
+		if c == nil || c.NDV == 0 {
+			return 100
+		}
+		return float64(c.NDV)
+	}
+
+	for step := 1; step < n; step++ {
+		bestIdx := -1
+		bestCost := math.Inf(1)
+		var bestCard float64
+		// Prefer relations connected by an unused condition.
+		for cand := 0; cand < n; cand++ {
+			if used[cand] {
+				continue
+			}
+			// Estimate the join cardinality with all applicable
+			// conditions between plan∪{cand}.
+			sel := 1.0
+			connected := false
+			for k, ci := range infos {
+				if condUsed[k] || !ci.rels[cand] {
+					continue
+				}
+				allCovered := true
+				for ri := range ci.rels {
+					if ri != cand && !inPlan[ri] {
+						allCovered = false
+						break
+					}
+				}
+				if !allCovered {
+					continue
+				}
+				connected = true
+				// Equality conditions reduce by 1/max NDV.
+				if b, ok := ci.expr.(*BinaryExpr); ok && b.Op == OpEq {
+					lc, _ := b.L.(*ColumnRef)
+					rc, _ := b.R.(*ColumnRef)
+					if lc != nil && rc != nil {
+						var candCol *ColumnRef
+						if _, err := rels[cand].schema.resolve(lc); err == nil {
+							candCol = lc
+						} else {
+							candCol = rc
+						}
+						sel /= math.Max(1, ndvOf(rels[cand], candCol.Name))
+						continue
+					}
+				}
+				sel *= 0.3
+			}
+			outCard := curCard * card[cand] * sel
+			// Cross joins are punished by their raw cardinality;
+			// connected candidates come first naturally.
+			cost := outCard
+			if !connected {
+				cost *= 10 // discourage Cartesian products
+			}
+			if cost < bestCost {
+				bestCost, bestIdx, bestCard = cost, cand, outCard
+			}
+		}
+		// Attach the chosen relation with every now-covered condition.
+		cand := bestIdx
+		var applied []Expr
+		for k, ci := range infos {
+			if condUsed[k] || !ci.rels[cand] {
+				continue
+			}
+			allCovered := true
+			for ri := range ci.rels {
+				if ri != cand && !inPlan[ri] {
+					allCovered = false
+					break
+				}
+			}
+			if allCovered {
+				applied = append(applied, ci.expr)
+				condUsed[k] = true
+			}
+		}
+		cond := joinConjuncts(applied)
+		if cond == nil {
+			cond = &Literal{Val: store.BoolValue(true)}
+		}
+		jn := &JoinNode{Left: cur, Right: rels[cand], Cond: cond}
+		jn.schema = cur.Schema().concat(rels[cand].Schema())
+		cur = jn
+		curCard = math.Max(1, bestCard)
+		used[cand] = true
+		inPlan[cand] = true
+	}
+	// Any condition never covered (shouldn't happen for valid plans)
+	// becomes a final filter.
+	var leftover []Expr
+	for k, ci := range infos {
+		if !condUsed[k] {
+			leftover = append(leftover, ci.expr)
+		}
+	}
+	if len(leftover) > 0 {
+		cur = &FilterNode{Input: cur, Pred: joinConjuncts(leftover)}
+	}
+	// The reordered schema is a permutation of the original; keep the
+	// new column order (projection above restores user order).
+	return cur, nil
+}

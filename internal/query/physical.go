@@ -1,0 +1,730 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"drugtree/internal/store"
+)
+
+// iterator is the Volcano operator interface. Next returns the next
+// row, a validity flag (false at end of stream), and any error.
+type iterator interface {
+	Next() (store.Row, bool, error)
+}
+
+// ExecStats counts work done by one execution, used by experiments to
+// show *why* the optimized engine is faster.
+type ExecStats struct {
+	RowsScanned  int64 // rows read from base tables
+	RowsIndexed  int64 // rows fetched through an index
+	RowsJoined   int64 // rows emitted by join operators
+	RowsReturned int64
+}
+
+// execCtx threads shared execution state through operator builders.
+type execCtx struct {
+	cat   Catalog
+	opts  Options
+	stats *ExecStats
+	plan  []string // physical plan description lines (depth-first)
+}
+
+func (c *execCtx) note(depth int, format string, args ...any) {
+	c.plan = append(c.plan, strings.Repeat("  ", depth)+fmt.Sprintf(format, args...))
+}
+
+// buildIterator lowers a logical plan node to a physical operator.
+func buildIterator(p LogicalPlan, ctx *execCtx, depth int) (iterator, error) {
+	switch n := p.(type) {
+	case *ScanNode:
+		return buildScan(n, ctx, depth)
+	case *FilterNode:
+		pred, err := bind(n.Pred, bindEnv{schema: n.Input.Schema(), cat: ctx.cat, tree: ctx.cat.Tree(), opts: ctx.opts})
+		if err != nil {
+			return nil, err
+		}
+		ctx.note(depth, "Filter %s", n.Pred)
+		in, err := buildIterator(n.Input, ctx, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		return &filterIter{in: in, pred: pred}, nil
+	case *ProjectNode:
+		ctx.note(depth, "%s", n.describe())
+		exprs := make([]*boundExpr, len(n.Exprs))
+		for i, e := range n.Exprs {
+			be, err := bind(e, bindEnv{schema: n.Input.Schema(), cat: ctx.cat, tree: ctx.cat.Tree(), opts: ctx.opts})
+			if err != nil {
+				return nil, err
+			}
+			exprs[i] = be
+		}
+		in, err := buildIterator(n.Input, ctx, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		return &projectIter{in: in, exprs: exprs}, nil
+	case *JoinNode:
+		return buildJoin(n, ctx, depth)
+	case *AggNode:
+		return buildAgg(n, ctx, depth)
+	case *SortNode:
+		keys := make([]*boundExpr, len(n.Keys))
+		descs := make([]bool, len(n.Keys))
+		for i, k := range n.Keys {
+			be, err := bind(k.Expr, bindEnv{schema: n.Input.Schema(), cat: ctx.cat, tree: ctx.cat.Tree(), opts: ctx.opts})
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = be
+			descs[i] = k.Desc
+		}
+		ctx.note(depth, "%s", n.describe())
+		in, err := buildIterator(n.Input, ctx, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		return &sortIter{in: in, keys: keys, descs: descs}, nil
+	case *LimitNode:
+		// ORDER BY + LIMIT fuses into a bounded-heap top-k when the
+		// optimizer is allowed to choose physical operators. The sort
+		// may sit directly below the limit, or below a projection
+		// (the hidden-sort-column shape): Limit(Project(Sort)) runs
+		// as Project(TopK) — projection preserves order and count.
+		if proj, ok := n.Input.(*ProjectNode); ok && ctx.opts.UseIndexes && n.N > 0 {
+			if sortNode, ok := proj.Input.(*SortNode); ok {
+				inner := &LimitNode{Input: sortNode, N: n.N}
+				outer := *proj
+				outer.Input = inner
+				return buildIterator(&outer, ctx, depth)
+			}
+		}
+		if sortNode, ok := n.Input.(*SortNode); ok && ctx.opts.UseIndexes && n.N > 0 {
+			keys := make([]*boundExpr, len(sortNode.Keys))
+			descs := make([]bool, len(sortNode.Keys))
+			for i, k := range sortNode.Keys {
+				be, err := bind(k.Expr, bindEnv{schema: sortNode.Input.Schema(), cat: ctx.cat, tree: ctx.cat.Tree(), opts: ctx.opts})
+				if err != nil {
+					return nil, err
+				}
+				keys[i] = be
+				descs[i] = k.Desc
+			}
+			ctx.note(depth, "TopK %d (%s)", n.N, sortNode.describe())
+			in, err := buildIterator(sortNode.Input, ctx, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			return &topKIter{in: in, keys: keys, descs: descs, k: n.N}, nil
+		}
+		ctx.note(depth, "Limit %d", n.N)
+		in, err := buildIterator(n.Input, ctx, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		return &limitIter{in: in, n: n.N}, nil
+	}
+	return nil, fmt.Errorf("query: cannot execute %T", p)
+}
+
+// --- Scans ---
+
+// accessPath describes the chosen way into a table.
+type accessPath struct {
+	kind   string // "seqscan", "indexeq", "indexrange"
+	column string
+	eq     store.Value
+	lo, hi *store.Value
+	loOpen bool // lo bound is exclusive (>)
+	hiOpen bool // hi bound is exclusive (<)
+	// residual predicates evaluated per row.
+	residual []Expr
+}
+
+// chooseAccessPath inspects pushed conjuncts and the table's indexes.
+func chooseAccessPath(n *ScanNode, t *store.Table, useIndexes bool) accessPath {
+	path := accessPath{kind: "seqscan", residual: n.Conjuncts}
+	if !useIndexes {
+		return path
+	}
+	// Equality on an indexed column wins.
+	for i, c := range n.Conjuncts {
+		b, ok := c.(*BinaryExpr)
+		if !ok || b.Op != OpEq {
+			continue
+		}
+		col, lit := extractColLit(b)
+		if col == nil || lit == nil {
+			continue
+		}
+		if _, indexed := t.HasIndex(col.Name); !indexed {
+			continue
+		}
+		res := make([]Expr, 0, len(n.Conjuncts)-1)
+		res = append(res, n.Conjuncts[:i]...)
+		res = append(res, n.Conjuncts[i+1:]...)
+		return accessPath{kind: "indexeq", column: col.Name, eq: lit.Val, residual: res}
+	}
+	// Range bounds on one B+-tree-indexed column.
+	type bound struct {
+		v    store.Value
+		open bool
+	}
+	los := map[string]bound{}
+	his := map[string]bound{}
+	usable := map[string][]int{}
+	for i, c := range n.Conjuncts {
+		b, ok := c.(*BinaryExpr)
+		if !ok {
+			continue
+		}
+		col, lit := extractColLit(b)
+		if col == nil || lit == nil {
+			continue
+		}
+		if typ, indexed := t.HasIndex(col.Name); !indexed || typ != store.IndexBTree {
+			continue
+		}
+		// Normalize to col OP lit orientation.
+		op := b.Op
+		if _, isCol := b.R.(*ColumnRef); isCol {
+			// lit OP col → flip.
+			switch op {
+			case OpLt:
+				op = OpGt
+			case OpLe:
+				op = OpGe
+			case OpGt:
+				op = OpLt
+			case OpGe:
+				op = OpLe
+			}
+		}
+		switch op {
+		case OpGe:
+			if cur, ok := los[col.Name]; !ok || store.Compare(lit.Val, cur.v) > 0 {
+				los[col.Name] = bound{lit.Val, false}
+			}
+			usable[col.Name] = append(usable[col.Name], i)
+		case OpGt:
+			if cur, ok := los[col.Name]; !ok || store.Compare(lit.Val, cur.v) >= 0 {
+				los[col.Name] = bound{lit.Val, true}
+			}
+			usable[col.Name] = append(usable[col.Name], i)
+		case OpLe:
+			if cur, ok := his[col.Name]; !ok || store.Compare(lit.Val, cur.v) < 0 {
+				his[col.Name] = bound{lit.Val, false}
+			}
+			usable[col.Name] = append(usable[col.Name], i)
+		case OpLt:
+			if cur, ok := his[col.Name]; !ok || store.Compare(lit.Val, cur.v) <= 0 {
+				his[col.Name] = bound{lit.Val, true}
+			}
+			usable[col.Name] = append(usable[col.Name], i)
+		}
+	}
+	// Pick the column with both bounds if any, else any bounded one.
+	bestCol := ""
+	for col := range usable {
+		_, hasLo := los[col]
+		_, hasHi := his[col]
+		if hasLo && hasHi {
+			bestCol = col
+			break
+		}
+		if bestCol == "" {
+			bestCol = col
+		}
+	}
+	if bestCol == "" {
+		return path
+	}
+	out := accessPath{kind: "indexrange", column: bestCol}
+	if b, ok := los[bestCol]; ok {
+		v := b.v
+		out.lo = &v
+		out.loOpen = b.open
+	}
+	if b, ok := his[bestCol]; ok {
+		v := b.v
+		out.hi = &v
+		out.hiOpen = b.open
+	}
+	used := map[int]bool{}
+	for _, i := range usable[bestCol] {
+		used[i] = true
+	}
+	for i, c := range n.Conjuncts {
+		if !used[i] {
+			out.residual = append(out.residual, c)
+		}
+	}
+	// Exclusive bounds are re-checked as residuals (the index range
+	// is inclusive).
+	if out.loOpen || out.hiOpen {
+		for _, i := range usable[bestCol] {
+			out.residual = append(out.residual, n.Conjuncts[i])
+		}
+	}
+	return out
+}
+
+func buildScan(n *ScanNode, ctx *execCtx, depth int) (iterator, error) {
+	t, err := ctx.cat.Table(n.Table)
+	if err != nil {
+		return nil, err
+	}
+	path := chooseAccessPath(n, t, ctx.opts.UseIndexes)
+	var residual *boundExpr
+	if len(path.residual) > 0 {
+		be, err := bind(joinConjuncts(path.residual), bindEnv{schema: n.schema, cat: ctx.cat, tree: ctx.cat.Tree(), opts: ctx.opts})
+		if err != nil {
+			return nil, err
+		}
+		residual = be
+	}
+	switch path.kind {
+	case "indexeq":
+		ctx.note(depth, "IndexScan %s (%s = %v)%s", n.Table, path.column, path.eq, residualNote(path))
+		ids, err := t.LookupEqual(path.column, path.eq)
+		if err != nil {
+			return nil, err
+		}
+		rows := t.Rows(ids)
+		ctx.stats.RowsIndexed += int64(len(rows))
+		return &sliceIter{rows: rows, residual: residual, stats: ctx.stats}, nil
+	case "indexrange":
+		ctx.note(depth, "IndexRangeScan %s (%s in [%s, %s])%s", n.Table, path.column,
+			boundStr(path.lo), boundStr(path.hi), residualNote(path))
+		ids, err := t.LookupRange(path.column, path.lo, path.hi)
+		if err != nil {
+			return nil, err
+		}
+		rows := t.Rows(ids)
+		ctx.stats.RowsIndexed += int64(len(rows))
+		return &sliceIter{rows: rows, residual: residual, stats: ctx.stats}, nil
+	default:
+		ctx.note(depth, "SeqScan %s%s", n.Table, residualNote(path))
+		var rows []store.Row
+		t.Scan(func(_ int64, r store.Row) bool {
+			rows = append(rows, r.Clone())
+			return true
+		})
+		ctx.stats.RowsScanned += int64(len(rows))
+		return &sliceIter{rows: rows, residual: residual, stats: ctx.stats}, nil
+	}
+}
+
+func residualNote(p accessPath) string {
+	if len(p.residual) == 0 {
+		return ""
+	}
+	parts := make([]string, len(p.residual))
+	for i, c := range p.residual {
+		parts[i] = c.String()
+	}
+	return " filter: " + strings.Join(parts, " AND ")
+}
+
+func boundStr(v *store.Value) string {
+	if v == nil {
+		return "∞"
+	}
+	return v.String()
+}
+
+// sliceIter iterates a materialized row slice with an optional
+// residual predicate.
+type sliceIter struct {
+	rows     []store.Row
+	pos      int
+	residual *boundExpr
+	stats    *ExecStats
+}
+
+func (s *sliceIter) Next() (store.Row, bool, error) {
+	for s.pos < len(s.rows) {
+		r := s.rows[s.pos]
+		s.pos++
+		if s.residual != nil {
+			ok, err := s.residual.evalBool(r)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		return r, true, nil
+	}
+	return nil, false, nil
+}
+
+// --- Filter / Project ---
+
+type filterIter struct {
+	in   iterator
+	pred *boundExpr
+}
+
+func (f *filterIter) Next() (store.Row, bool, error) {
+	for {
+		r, ok, err := f.in.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		match, err := f.pred.evalBool(r)
+		if err != nil {
+			return nil, false, err
+		}
+		if match {
+			return r, true, nil
+		}
+	}
+}
+
+type projectIter struct {
+	in    iterator
+	exprs []*boundExpr
+}
+
+func (p *projectIter) Next() (store.Row, bool, error) {
+	r, ok, err := p.in.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(store.Row, len(p.exprs))
+	for i, e := range p.exprs {
+		v, err := e.eval(r)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = v
+	}
+	return out, true, nil
+}
+
+// --- Joins ---
+
+// buildJoin picks hash join for equi-conditions, nested loop
+// otherwise.
+func buildJoin(n *JoinNode, ctx *execCtx, depth int) (iterator, error) {
+	leftSchema, rightSchema := n.Left.Schema(), n.Right.Schema()
+	conjs := splitConjuncts(n.Cond)
+	var leftKeys, rightKeys []*boundExpr
+	var residual []Expr
+	for _, c := range conjs {
+		if b, ok := c.(*BinaryExpr); ok && b.Op == OpEq {
+			lcol, lOK := b.L.(*ColumnRef)
+			rcol, rOK := b.R.(*ColumnRef)
+			if lOK && rOK {
+				// Which side does each belong to?
+				if _, err := leftSchema.resolve(lcol); err == nil {
+					if _, err := rightSchema.resolve(rcol); err == nil {
+						lk, _ := bind(lcol, bindEnv{schema: leftSchema, cat: ctx.cat, tree: ctx.cat.Tree(), opts: ctx.opts})
+						rk, _ := bind(rcol, bindEnv{schema: rightSchema, cat: ctx.cat, tree: ctx.cat.Tree(), opts: ctx.opts})
+						leftKeys = append(leftKeys, lk)
+						rightKeys = append(rightKeys, rk)
+						continue
+					}
+				}
+				if _, err := leftSchema.resolve(rcol); err == nil {
+					if _, err := rightSchema.resolve(lcol); err == nil {
+						lk, _ := bind(rcol, bindEnv{schema: leftSchema, cat: ctx.cat, tree: ctx.cat.Tree(), opts: ctx.opts})
+						rk, _ := bind(lcol, bindEnv{schema: rightSchema, cat: ctx.cat, tree: ctx.cat.Tree(), opts: ctx.opts})
+						leftKeys = append(leftKeys, lk)
+						rightKeys = append(rightKeys, rk)
+						continue
+					}
+				}
+			}
+		}
+		if lit, ok := c.(*Literal); ok && lit.Val.K == store.KindBool && lit.Val.Bool() {
+			continue // constant TRUE from pushdown
+		}
+		residual = append(residual, c)
+	}
+	var residualBound *boundExpr
+	if len(residual) > 0 {
+		be, err := bind(joinConjuncts(residual), bindEnv{schema: n.schema, cat: ctx.cat, tree: ctx.cat.Tree(), opts: ctx.opts})
+		if err != nil {
+			return nil, err
+		}
+		residualBound = be
+	}
+	// Index merge join: both sides are scans whose join columns carry
+	// B+-tree indexes and neither side has a better access path.
+	if ls, rs, lcol, rcol, ok := mergeJoinable(n, leftKeys, rightKeys, ctx); ok {
+		lt, _ := ctx.cat.Table(ls.Table)
+		rt, _ := ctx.cat.Table(rs.Table)
+		if chooseAccessPath(ls, lt, true).kind == "seqscan" &&
+			chooseAccessPath(rs, rt, true).kind == "seqscan" {
+			ctx.note(depth, "MergeJoin (%s = %s)%s", lcol, rcol, joinResidualNote(residual))
+			li, lkIdx, err := buildOrderedScan(ls, lcol, ctx, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			ri, rkIdx, err := buildOrderedScan(rs, rcol, ctx, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			return newMergeJoin(li, ri, lkIdx, rkIdx, residualBound, ctx.stats)
+		}
+	}
+	if len(leftKeys) > 0 {
+		ctx.note(depth, "HashJoin (%d key(s))%s", len(leftKeys), joinResidualNote(residual))
+	} else {
+		ctx.note(depth, "NestedLoopJoin%s", joinResidualNote(residual))
+	}
+	left, err := buildIterator(n.Left, ctx, depth+1)
+	if err != nil {
+		return nil, err
+	}
+	right, err := buildIterator(n.Right, ctx, depth+1)
+	if err != nil {
+		return nil, err
+	}
+	if len(leftKeys) > 0 {
+		return newHashJoin(left, right, leftKeys, rightKeys, residualBound, ctx.stats)
+	}
+	return newNestedLoopJoin(left, right, residualBound, ctx.stats)
+}
+
+func joinResidualNote(res []Expr) string {
+	if len(res) == 0 {
+		return ""
+	}
+	parts := make([]string, len(res))
+	for i, c := range res {
+		parts[i] = c.String()
+	}
+	return " residual: " + strings.Join(parts, " AND ")
+}
+
+// hashJoin builds a hash table on the right input and probes with the
+// left, emitting left⧺right rows.
+type hashJoin struct {
+	left      iterator
+	leftKeys  []*boundExpr
+	table     map[uint64][]store.Row
+	rightRows [][]store.Row // current match list
+	cur       store.Row     // current left row
+	matchPos  int
+	matches   []store.Row
+	residual  *boundExpr
+	stats     *ExecStats
+}
+
+func hashKeys(keys []*boundExpr, r store.Row) (uint64, bool, error) {
+	var h uint64 = 14695981039346656037
+	for _, k := range keys {
+		v, err := k.eval(r)
+		if err != nil {
+			return 0, false, err
+		}
+		if v.IsNull() {
+			return 0, false, nil // NULL keys never join
+		}
+		h = h*1099511628211 ^ v.Hash()
+	}
+	return h, true, nil
+}
+
+func newHashJoin(left, right iterator, leftKeys, rightKeys []*boundExpr, residual *boundExpr, stats *ExecStats) (iterator, error) {
+	table := make(map[uint64][]store.Row)
+	for {
+		r, ok, err := right.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		h, valid, err := hashKeys(rightKeys, r)
+		if err != nil {
+			return nil, err
+		}
+		if valid {
+			table[h] = append(table[h], r)
+		}
+	}
+	return &hashJoin{left: left, leftKeys: leftKeys, table: table, residual: residual, stats: stats}, nil
+}
+
+func (j *hashJoin) Next() (store.Row, bool, error) {
+	for {
+		for j.matchPos < len(j.matches) {
+			right := j.matches[j.matchPos]
+			j.matchPos++
+			out := make(store.Row, 0, len(j.cur)+len(right))
+			out = append(out, j.cur...)
+			out = append(out, right...)
+			if j.residual != nil {
+				ok, err := j.residual.evalBool(out)
+				if err != nil {
+					return nil, false, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			j.stats.RowsJoined++
+			return out, true, nil
+		}
+		l, ok, err := j.left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		h, valid, err := hashKeys(j.leftKeys, l)
+		if err != nil {
+			return nil, false, err
+		}
+		if !valid {
+			continue
+		}
+		j.cur = l
+		j.matches = j.table[h]
+		j.matchPos = 0
+	}
+}
+
+// nestedLoopJoin materializes the right side and loops.
+type nestedLoopJoin struct {
+	left     iterator
+	rights   []store.Row
+	cur      store.Row
+	pos      int
+	started  bool
+	residual *boundExpr
+	stats    *ExecStats
+}
+
+func newNestedLoopJoin(left, right iterator, residual *boundExpr, stats *ExecStats) (iterator, error) {
+	var rights []store.Row
+	for {
+		r, ok, err := right.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		rights = append(rights, r)
+	}
+	return &nestedLoopJoin{left: left, rights: rights, residual: residual, stats: stats}, nil
+}
+
+func (j *nestedLoopJoin) Next() (store.Row, bool, error) {
+	for {
+		if !j.started || j.pos >= len(j.rights) {
+			l, ok, err := j.left.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			j.cur = l
+			j.pos = 0
+			j.started = true
+		}
+		for j.pos < len(j.rights) {
+			right := j.rights[j.pos]
+			j.pos++
+			out := make(store.Row, 0, len(j.cur)+len(right))
+			out = append(out, j.cur...)
+			out = append(out, right...)
+			if j.residual != nil {
+				ok, err := j.residual.evalBool(out)
+				if err != nil {
+					return nil, false, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			j.stats.RowsJoined++
+			return out, true, nil
+		}
+	}
+}
+
+// --- Sort / Limit ---
+
+type sortIter struct {
+	in     iterator
+	keys   []*boundExpr
+	descs  []bool
+	rows   []store.Row
+	sorted bool
+	pos    int
+}
+
+func (s *sortIter) Next() (store.Row, bool, error) {
+	if !s.sorted {
+		type keyed struct {
+			row  store.Row
+			keys []store.Value
+		}
+		var all []keyed
+		for {
+			r, ok, err := s.in.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				break
+			}
+			ks := make([]store.Value, len(s.keys))
+			for i, k := range s.keys {
+				v, err := k.eval(r)
+				if err != nil {
+					return nil, false, err
+				}
+				ks[i] = v
+			}
+			all = append(all, keyed{r, ks})
+		}
+		sort.SliceStable(all, func(i, j int) bool {
+			for k := range s.keys {
+				c := store.Compare(all[i].keys[k], all[j].keys[k])
+				if c == 0 {
+					continue
+				}
+				if s.descs[k] {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		s.rows = make([]store.Row, len(all))
+		for i, kr := range all {
+			s.rows[i] = kr.row
+		}
+		s.sorted = true
+	}
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+type limitIter struct {
+	in   iterator
+	n    int
+	seen int
+}
+
+func (l *limitIter) Next() (store.Row, bool, error) {
+	if l.seen >= l.n {
+		return nil, false, nil
+	}
+	r, ok, err := l.in.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	l.seen++
+	return r, true, nil
+}

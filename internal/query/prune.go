@@ -1,0 +1,136 @@
+package query
+
+// Projection pruning: narrow the rows flowing out of scans to the
+// columns the rest of the plan actually touches. Joins copy and hash
+// rows, so dropping dead columns early shrinks every intermediate.
+
+// colKey identifies a column requirement by qualifier and name.
+type colKey struct {
+	qualifier string
+	name      string
+}
+
+// requiredFrom accumulates the columns an expression needs.
+func requiredFrom(e Expr, into map[colKey]bool) {
+	for _, c := range exprColumns(e) {
+		into[colKey{c.Qualifier, c.Name}] = true
+	}
+	// Tree/similarity predicates reference sibling columns the
+	// rewrites may introduce later; keep end_pre when its relation is
+	// touched by an AncestorExpr.
+	walkExpr(e, func(x Expr) {
+		if a, ok := x.(*AncestorExpr); ok {
+			into[colKey{a.Column.Qualifier, "end_pre"}] = true
+		}
+	})
+}
+
+// pruneColumns rewrites the plan so scans feeding joins project away
+// unused columns. The pass only fires below joins — the single-table
+// pipeline already streams full rows cheaply, and pruning the final
+// output would change the query result.
+func pruneColumns(plan LogicalPlan) LogicalPlan {
+	switch n := plan.(type) {
+	case *ProjectNode:
+		need := map[colKey]bool{}
+		for _, e := range n.Exprs {
+			requiredFrom(e, need)
+		}
+		out := *n
+		out.Input = pruneInput(n.Input, need)
+		return &out
+	case *AggNode:
+		need := map[colKey]bool{}
+		for _, g := range n.GroupBy {
+			requiredFrom(g, need)
+		}
+		for _, a := range n.Aggs {
+			if !a.Star {
+				requiredFrom(a.Arg, need)
+			}
+		}
+		out := *n
+		out.Input = pruneInput(n.Input, need)
+		return &out
+	case *FilterNode:
+		// Cannot know the ancestor requirements without context; the
+		// interesting shapes (Project/Agg on top) are handled above.
+		out := *n
+		out.Input = pruneColumns(n.Input)
+		return &out
+	case *SortNode:
+		out := *n
+		out.Input = pruneColumns(n.Input)
+		return &out
+	case *LimitNode:
+		return &LimitNode{Input: pruneColumns(n.Input), N: n.N}
+	case *JoinNode:
+		out := *n
+		out.Left = pruneColumns(n.Left)
+		out.Right = pruneColumns(n.Right)
+		out.schema = out.Left.Schema().concat(out.Right.Schema())
+		return &out
+	}
+	return plan
+}
+
+// pruneInput pushes a requirement set down through filters, sorts and
+// joins to the scans.
+func pruneInput(plan LogicalPlan, need map[colKey]bool) LogicalPlan {
+	switch n := plan.(type) {
+	case *FilterNode:
+		sub := copyNeed(need)
+		requiredFrom(n.Pred, sub)
+		return &FilterNode{Input: pruneInput(n.Input, sub), Pred: n.Pred}
+	case *SortNode:
+		sub := copyNeed(need)
+		for _, k := range n.Keys {
+			requiredFrom(k.Expr, sub)
+		}
+		return &SortNode{Input: pruneInput(n.Input, sub), Keys: n.Keys}
+	case *LimitNode:
+		return &LimitNode{Input: pruneInput(n.Input, need), N: n.N}
+	case *JoinNode:
+		sub := copyNeed(need)
+		requiredFrom(n.Cond, sub)
+		left := pruneInput(n.Left, sub)
+		right := pruneInput(n.Right, sub)
+		out := &JoinNode{Left: left, Right: right, Cond: n.Cond}
+		out.schema = left.Schema().concat(right.Schema())
+		return out
+	case *ScanNode:
+		return pruneScan(n, need)
+	}
+	return plan
+}
+
+func copyNeed(need map[colKey]bool) map[colKey]bool {
+	out := make(map[colKey]bool, len(need))
+	for k := range need {
+		out[k] = true
+	}
+	return out
+}
+
+// pruneScan wraps a scan in a projection keeping only the required
+// columns (plus the scan's own conjunct columns, which evaluate below
+// the projection). A column is required when an unqualified or
+// alias-qualified requirement resolves to it.
+func pruneScan(n *ScanNode, need map[colKey]bool) LogicalPlan {
+	var keep []planCol
+	for _, c := range n.schema.cols {
+		if need[colKey{"", c.Name}] || need[colKey{c.Qualifier, c.Name}] {
+			keep = append(keep, c)
+		}
+	}
+	if len(keep) == len(n.schema.cols) || len(keep) == 0 {
+		return n // nothing to prune, or a degenerate requirement set
+	}
+	proj := &ProjectNode{Input: n, schema: &planSchema{}}
+	for _, c := range keep {
+		proj.Exprs = append(proj.Exprs, &ColumnRef{Qualifier: c.Qualifier, Name: c.Name})
+		proj.Names = append(proj.Names, c.Name)
+		proj.schema.cols = append(proj.schema.cols, c)
+	}
+	return proj
+}

@@ -1,0 +1,139 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSubqueries(t *testing.T) {
+	stmt := mustParseQ(t, "SELECT * FROM proteins WHERE accession IN (SELECT protein_id FROM activities)")
+	in, ok := stmt.Where.(*InSubqueryExpr)
+	if !ok {
+		t.Fatalf("where = %T", stmt.Where)
+	}
+	if in.Stmt.From.Name != "activities" {
+		t.Fatalf("subquery from = %q", in.Stmt.From.Name)
+	}
+	stmt2 := mustParseQ(t, "SELECT * FROM proteins WHERE length > (SELECT AVG(length) FROM proteins)")
+	cmp := stmt2.Where.(*BinaryExpr)
+	if _, ok := cmp.R.(*SubqueryExpr); !ok {
+		t.Fatalf("scalar subquery = %T", cmp.R)
+	}
+	// NOT IN subquery.
+	stmt3 := mustParseQ(t, "SELECT * FROM p WHERE x NOT IN (SELECT y FROM q)")
+	if _, ok := stmt3.Where.(*NotExpr); !ok {
+		t.Fatalf("not-in = %T", stmt3.Where)
+	}
+}
+
+func TestInSubqueryExecution(t *testing.T) {
+	cat := testCatalog(t)
+	// Proteins with at least one strong activity.
+	q := `SELECT accession FROM proteins
+		WHERE accession IN (SELECT protein_id FROM activities WHERE affinity >= 10)`
+	res := runQ(t, cat, DefaultOptions(), q)
+	// Cross-check against the join formulation (deduplicated by the
+	// grouped variant).
+	check := runQ(t, cat, DefaultOptions(), `SELECT p.accession, COUNT(*) FROM proteins p
+		JOIN activities a ON p.accession = a.protein_id
+		WHERE a.affinity >= 10 GROUP BY p.accession`)
+	if len(res.Rows) != len(check.Rows) {
+		t.Fatalf("IN subquery = %d rows, join check = %d", len(res.Rows), len(check.Rows))
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows matched")
+	}
+}
+
+func TestNotInSubqueryExecution(t *testing.T) {
+	cat := testCatalog(t)
+	inQ := `SELECT accession FROM proteins
+		WHERE accession IN (SELECT protein_id FROM activities WHERE affinity >= 9)`
+	notInQ := `SELECT accession FROM proteins
+		WHERE accession NOT IN (SELECT protein_id FROM activities WHERE affinity >= 9)`
+	inRes := runQ(t, cat, DefaultOptions(), inQ)
+	notInRes := runQ(t, cat, DefaultOptions(), notInQ)
+	if len(inRes.Rows)+len(notInRes.Rows) != 60 {
+		t.Fatalf("IN (%d) + NOT IN (%d) != 60 proteins", len(inRes.Rows), len(notInRes.Rows))
+	}
+}
+
+func TestScalarSubqueryExecution(t *testing.T) {
+	cat := testCatalog(t)
+	// Proteins longer than average: lengths 100..159, avg 129.5 → 30.
+	res := runQ(t, cat, DefaultOptions(),
+		"SELECT accession FROM proteins WHERE length > (SELECT AVG(length) FROM proteins)")
+	if len(res.Rows) != 30 {
+		t.Fatalf("above-average rows = %d, want 30", len(res.Rows))
+	}
+	// Scalar subquery in the select list.
+	res2 := runQ(t, cat, DefaultOptions(),
+		"SELECT accession, (SELECT MAX(length) FROM proteins) AS maxlen FROM proteins LIMIT 2")
+	if res2.Rows[0][1].I != 159 {
+		t.Fatalf("scalar in select list = %v", res2.Rows[0])
+	}
+}
+
+func TestScalarSubqueryEmptyIsNull(t *testing.T) {
+	cat := testCatalog(t)
+	// Empty subquery → NULL → comparison false → no rows.
+	res := runQ(t, cat, DefaultOptions(),
+		"SELECT accession FROM proteins WHERE length > (SELECT MIN(length) FROM proteins WHERE family = 'NOPE')")
+	// MIN over empty group is NULL; NULL comparison is false.
+	if len(res.Rows) != 0 {
+		t.Fatalf("NULL-scalar comparison matched %d rows", len(res.Rows))
+	}
+}
+
+func TestScalarSubqueryMultiRowRejected(t *testing.T) {
+	cat := testCatalog(t)
+	_, err := NewEngine(cat, DefaultOptions()).Query(
+		"SELECT accession FROM proteins WHERE length > (SELECT length FROM proteins)")
+	if err == nil || !strings.Contains(err.Error(), "scalar subquery") {
+		t.Fatalf("multi-row scalar accepted: %v", err)
+	}
+}
+
+func TestSubqueryMultiColumnRejected(t *testing.T) {
+	cat := testCatalog(t)
+	_, err := NewEngine(cat, DefaultOptions()).Query(
+		"SELECT accession FROM proteins WHERE accession IN (SELECT protein_id, ligand_id FROM activities)")
+	if err == nil || !strings.Contains(err.Error(), "one column") {
+		t.Fatalf("multi-column subquery accepted: %v", err)
+	}
+}
+
+func TestSubqueryNaiveOptimizedAgree(t *testing.T) {
+	cat := testCatalog(t)
+	queries := []string{
+		`SELECT accession FROM proteins WHERE accession IN
+		 (SELECT protein_id FROM activities WHERE affinity >= 8)`,
+		`SELECT accession, length FROM proteins WHERE length >
+		 (SELECT AVG(length) FROM proteins WHERE family = 'FAM1')`,
+		`SELECT p.family, COUNT(*) FROM proteins p
+		 WHERE p.accession NOT IN (SELECT protein_id FROM activities WHERE affinity < 5)
+		 GROUP BY p.family`,
+	}
+	for _, q := range queries {
+		naive := runQ(t, cat, NaiveOptions(), q)
+		opt := runQ(t, cat, DefaultOptions(), q)
+		if !sameRowMultiset(naive.Rows, opt.Rows) {
+			t.Fatalf("%q: engines disagree (%d vs %d rows)", q, len(naive.Rows), len(opt.Rows))
+		}
+	}
+}
+
+func TestNestedSubquery(t *testing.T) {
+	cat := testCatalog(t)
+	q := `SELECT accession FROM proteins WHERE accession IN
+		(SELECT protein_id FROM activities WHERE ligand_id IN
+			(SELECT ligand_id FROM ligands WHERE weight >= 180))`
+	res := runQ(t, cat, DefaultOptions(), q)
+	naive := runQ(t, cat, NaiveOptions(), q)
+	if !sameRowMultiset(res.Rows, naive.Rows) {
+		t.Fatal("nested subquery engines disagree")
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("nested subquery matched nothing")
+	}
+}

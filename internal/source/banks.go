@@ -1,0 +1,162 @@
+package source
+
+import (
+	"drugtree/internal/datagen"
+	"drugtree/internal/netsim"
+	"drugtree/internal/store"
+)
+
+// Schemas of the four simulated services. Exported so the integration
+// layer and tests can reference column positions by name.
+var (
+	ProteinSchema = store.MustSchema(
+		store.Column{Name: "accession", Kind: store.KindString},
+		store.Column{Name: "name", Kind: store.KindString},
+		store.Column{Name: "family", Kind: store.KindString},
+		store.Column{Name: "sequence", Kind: store.KindString},
+		store.Column{Name: "length", Kind: store.KindInt},
+	)
+	LigandSchema = store.MustSchema(
+		store.Column{Name: "ligand_id", Kind: store.KindString},
+		store.Column{Name: "name", Kind: store.KindString},
+		store.Column{Name: "smiles", Kind: store.KindString},
+		store.Column{Name: "weight", Kind: store.KindFloat},
+		store.Column{Name: "formula", Kind: store.KindString},
+	)
+	ActivitySchema = store.MustSchema(
+		store.Column{Name: "protein_id", Kind: store.KindString},
+		store.Column{Name: "ligand_id", Kind: store.KindString},
+		store.Column{Name: "affinity", Kind: store.KindFloat},
+		store.Column{Name: "assay", Kind: store.KindString},
+	)
+	AnnotationSchema = store.MustSchema(
+		store.Column{Name: "protein_id", Kind: store.KindString},
+		store.Column{Name: "organism", Kind: store.KindString},
+		store.Column{Name: "ec", Kind: store.KindString},
+		store.Column{Name: "keywords", Kind: store.KindString},
+	)
+)
+
+// defaultPageSize matches typical REST service paging.
+const defaultPageSize = 100
+
+// NewProteinBank serves the dataset's proteins. Server-side filtering:
+// accession=, family=, length ranges.
+func NewProteinBank(ds *datagen.Dataset, link *netsim.Link) Source {
+	b := newBank("ProteinBank", ProteinSchema, link, defaultPageSize)
+	b.allow("accession", OpEQ)
+	b.allow("family", OpEQ)
+	b.allow("length", OpEQ, OpLT, OpLE, OpGT, OpGE)
+	for _, p := range ds.Proteins {
+		b.rows = append(b.rows, store.Row{
+			store.StringValue(p.ID),
+			store.StringValue(p.Name),
+			store.StringValue(p.Family),
+			store.StringValue(p.Residues),
+			store.IntValue(int64(len(p.Residues))),
+		})
+	}
+	return b
+}
+
+// NewLigandBank serves the dataset's ligands. Server-side filtering:
+// ligand_id=, weight ranges.
+func NewLigandBank(ds *datagen.Dataset, link *netsim.Link) Source {
+	b := newBank("LigandBank", LigandSchema, link, defaultPageSize)
+	b.allow("ligand_id", OpEQ)
+	b.allow("weight", OpLT, OpLE, OpGT, OpGE)
+	for _, l := range ds.Ligands {
+		b.rows = append(b.rows, store.Row{
+			store.StringValue(l.ID),
+			store.StringValue(l.Name),
+			store.StringValue(l.SMILES),
+			store.FloatValue(l.Weight),
+			store.StringValue(l.Formula),
+		})
+	}
+	return b
+}
+
+// NewActivityBank serves binding activities. Server-side filtering:
+// protein_id=, ligand_id=, affinity ranges.
+func NewActivityBank(ds *datagen.Dataset, link *netsim.Link) Source {
+	b := newBank("ActivityBank", ActivitySchema, link, defaultPageSize)
+	b.allow("protein_id", OpEQ)
+	b.allow("ligand_id", OpEQ)
+	b.allow("affinity", OpLT, OpLE, OpGT, OpGE)
+	for _, a := range ds.Activities {
+		b.rows = append(b.rows, store.Row{
+			store.StringValue(a.ProteinID),
+			store.StringValue(a.LigandID),
+			store.FloatValue(a.Affinity),
+			store.StringValue(a.Assay),
+		})
+	}
+	return b
+}
+
+// NewAnnotationBank serves protein annotations. Server-side filtering:
+// protein_id=, organism=. Note: no keyword filtering — queries on
+// keywords must fetch-and-filter, exercising the "cannot push" path.
+func NewAnnotationBank(ds *datagen.Dataset, link *netsim.Link) Source {
+	b := newBank("AnnotationBank", AnnotationSchema, link, defaultPageSize)
+	b.allow("protein_id", OpEQ)
+	b.allow("organism", OpEQ)
+	for _, a := range ds.Annotations {
+		b.rows = append(b.rows, store.Row{
+			store.StringValue(a.ProteinID),
+			store.StringValue(a.Organism),
+			store.StringValue(a.EC),
+			store.StringValue(a.Keywords),
+		})
+	}
+	return b
+}
+
+// Bundle groups the four sources over one dataset, each on its own
+// link (mirroring four independent services).
+type Bundle struct {
+	Proteins    Source
+	Ligands     Source
+	Activities  Source
+	Annotations Source
+}
+
+// NewBundle creates all four sources over the dataset. Each source
+// gets an independent link with the given profile; seeds are derived
+// so runs are reproducible. simulated selects virtual-clock links.
+func NewBundle(ds *datagen.Dataset, profile netsim.Profile, seed int64, simulated bool) *Bundle {
+	return &Bundle{
+		Proteins:    NewProteinBank(ds, netsim.NewLink(profile, seed+1, simulated)),
+		Ligands:     NewLigandBank(ds, netsim.NewLink(profile, seed+2, simulated)),
+		Activities:  NewActivityBank(ds, netsim.NewLink(profile, seed+3, simulated)),
+		Annotations: NewAnnotationBank(ds, netsim.NewLink(profile, seed+4, simulated)),
+	}
+}
+
+// All returns the sources in a fixed order.
+func (b *Bundle) All() []Source {
+	return []Source{b.Proteins, b.Ligands, b.Activities, b.Annotations}
+}
+
+// TotalStats sums traffic over all sources in the bundle.
+func (b *Bundle) TotalStats() Stats {
+	var t Stats
+	for _, s := range b.All() {
+		st := s.Stats()
+		t.Requests += st.Requests
+		t.RowsMoved += st.RowsMoved
+		t.BytesUp += st.BytesUp
+		t.BytesDown += st.BytesDown
+		t.Failures += st.Failures
+		t.Elapsed += st.Elapsed
+	}
+	return t
+}
+
+// ResetStats zeroes every source's counters.
+func (b *Bundle) ResetStats() {
+	for _, s := range b.All() {
+		s.ResetStats()
+	}
+}

@@ -1,0 +1,317 @@
+// Package source simulates the remote heterogeneous data services the
+// original DrugTree system integrated (UniProt/ChEMBL/BindingDB-style
+// web services). Each source serves one dataset slice behind a
+// netsim.Link so every fetch pays realistic request latency and
+// bandwidth-proportional transfer cost, and each source advertises
+// which predicates it can evaluate server-side — the capability matrix
+// the optimizer's pushdown rule consults.
+package source
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"drugtree/internal/netsim"
+	"drugtree/internal/store"
+)
+
+// FilterOp enumerates predicate operators a source may support.
+type FilterOp uint8
+
+const (
+	OpEQ FilterOp = iota
+	OpLT
+	OpLE
+	OpGT
+	OpGE
+)
+
+func (op FilterOp) String() string {
+	switch op {
+	case OpEQ:
+		return "="
+	case OpLT:
+		return "<"
+	case OpLE:
+		return "<="
+	case OpGT:
+		return ">"
+	case OpGE:
+		return ">="
+	}
+	return "?"
+}
+
+// Eval applies the operator to a row value and a constant.
+func (op FilterOp) Eval(v, c store.Value) bool {
+	if v.IsNull() || c.IsNull() {
+		return false
+	}
+	cmp := store.Compare(v, c)
+	switch op {
+	case OpEQ:
+		return cmp == 0
+	case OpLT:
+		return cmp < 0
+	case OpLE:
+		return cmp <= 0
+	case OpGT:
+		return cmp > 0
+	case OpGE:
+		return cmp >= 0
+	}
+	return false
+}
+
+// Filter is one pushable predicate: column op value.
+type Filter struct {
+	Column string
+	Op     FilterOp
+	Value  store.Value
+}
+
+func (f Filter) String() string {
+	return fmt.Sprintf("%s %v %v", f.Column, f.Op, f.Value)
+}
+
+// Request describes one page fetch.
+type Request struct {
+	// Filters are predicates the caller wants evaluated server-side.
+	// Every filter must be supported (see Source.CanFilter); an
+	// unsupported filter is an error, forcing callers to make
+	// pushdown decisions explicitly.
+	Filters []Filter
+	// Offset/Limit page through the (filtered) result. Limit 0 means
+	// the source's default page size.
+	Offset int
+	Limit  int
+}
+
+// Result is one fetched page.
+type Result struct {
+	Rows []store.Row
+	// Total is the total number of matching rows (so callers can plan
+	// pagination).
+	Total int
+	// BytesOnWire is the modelled response size.
+	BytesOnWire int64
+	// Elapsed is the modelled network time charged for this fetch.
+	Elapsed time.Duration
+}
+
+// ErrTransient is the (wrapped) error simulated sources return for
+// injected transient failures — the 5xx/timeout class a real web
+// service produces. Callers retry on it; see FetchAll.
+var ErrTransient = errors.New("source: transient failure (simulated)")
+
+// Source is a simulated remote data service.
+type Source interface {
+	// Name identifies the source in plans and metrics.
+	Name() string
+	// Schema describes the rows the source returns.
+	Schema() *store.Schema
+	// CanFilter reports whether the source evaluates column/op
+	// predicates server-side.
+	CanFilter(column string, op FilterOp) bool
+	// Fetch returns one page of rows matching the request filters.
+	Fetch(req Request) (*Result, error)
+	// Stats reports cumulative traffic.
+	Stats() Stats
+	// ResetStats zeroes the traffic counters.
+	ResetStats()
+	// SetFailureRate injects transient failures: each Fetch fails
+	// with probability pct (deterministic under the source's seed).
+	SetFailureRate(pct float64)
+}
+
+// Stats is cumulative per-source traffic accounting.
+type Stats struct {
+	Requests  int64
+	RowsMoved int64
+	BytesUp   int64
+	BytesDown int64
+	// Failures counts injected transient failures served.
+	Failures int64
+	Elapsed  time.Duration
+}
+
+// capability keys the support matrix.
+type capability struct {
+	column string
+	op     FilterOp
+}
+
+// bank is the shared implementation of all simulated sources: a
+// static row set, a link, a capability matrix and a page size.
+type bank struct {
+	name     string
+	schema   *store.Schema
+	rows     []store.Row
+	link     *netsim.Link
+	caps     map[capability]bool
+	pageSize int
+
+	failPct float64
+	failRng *rand.Rand
+
+	stats Stats
+}
+
+// requestOverheadBytes approximates the HTTP/query envelope of one
+// request; responseOverheadBytes the response framing.
+const (
+	requestOverheadBytes  = 220
+	responseOverheadBytes = 160
+)
+
+func newBank(name string, schema *store.Schema, link *netsim.Link, pageSize int) *bank {
+	return &bank{
+		name:     name,
+		schema:   schema,
+		link:     link,
+		caps:     make(map[capability]bool),
+		pageSize: pageSize,
+		failRng:  rand.New(rand.NewSource(int64(len(name)) * 7919)),
+	}
+}
+
+// SetFailureRate implements Source.
+func (b *bank) SetFailureRate(pct float64) { b.failPct = pct }
+
+func (b *bank) allow(column string, ops ...FilterOp) {
+	for _, op := range ops {
+		b.caps[capability{column, op}] = true
+	}
+}
+
+func (b *bank) Name() string          { return b.name }
+func (b *bank) Schema() *store.Schema { return b.schema }
+
+func (b *bank) CanFilter(column string, op FilterOp) bool {
+	return b.caps[capability{column, op}]
+}
+
+// Capabilities lists the supported (column, op) pairs, sorted, for
+// EXPLAIN output.
+func (b *bank) Capabilities() []string {
+	var out []string
+	for c := range b.caps {
+		out = append(out, fmt.Sprintf("%s%v", c.column, c.op))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (b *bank) Fetch(req Request) (*Result, error) {
+	// Validate filters against schema and capabilities.
+	for _, f := range req.Filters {
+		ci := b.schema.ColumnIndex(f.Column)
+		if ci < 0 {
+			return nil, fmt.Errorf("source %s: no column %q", b.name, f.Column)
+		}
+		if !b.CanFilter(f.Column, f.Op) {
+			return nil, fmt.Errorf("source %s: cannot evaluate %v server-side", b.name, f)
+		}
+	}
+	if req.Offset < 0 {
+		return nil, fmt.Errorf("source %s: negative offset", b.name)
+	}
+	// Injected transient failure: the request still costs a round
+	// trip (with a small error body) before the caller can retry.
+	if b.failPct > 0 && b.failRng.Float64() < b.failPct {
+		elapsed := b.link.RequestCost(requestOverheadBytes, responseOverheadBytes)
+		b.stats.Requests++
+		b.stats.Failures++
+		b.stats.BytesUp += requestOverheadBytes
+		b.stats.BytesDown += responseOverheadBytes
+		b.stats.Elapsed += elapsed
+		return nil, fmt.Errorf("source %s: %w", b.name, ErrTransient)
+	}
+	limit := req.Limit
+	if limit <= 0 {
+		limit = b.pageSize
+	}
+
+	// Server-side evaluation.
+	var matched []store.Row
+	for _, r := range b.rows {
+		ok := true
+		for _, f := range req.Filters {
+			ci := b.schema.ColumnIndex(f.Column)
+			if !f.Op.Eval(r[ci], f.Value) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			matched = append(matched, r)
+		}
+	}
+	total := len(matched)
+	start := req.Offset
+	if start > total {
+		start = total
+	}
+	end := start + limit
+	if end > total {
+		end = total
+	}
+	page := matched[start:end]
+
+	// Charge the link.
+	respBytes := int64(responseOverheadBytes)
+	for _, r := range page {
+		respBytes += int64(store.EncodedRowSize(r))
+	}
+	reqBytes := int64(requestOverheadBytes + 24*len(req.Filters))
+	elapsed := b.link.RequestCost(reqBytes, respBytes)
+
+	b.stats.Requests++
+	b.stats.RowsMoved += int64(len(page))
+	b.stats.BytesUp += reqBytes
+	b.stats.BytesDown += respBytes
+	b.stats.Elapsed += elapsed
+
+	out := make([]store.Row, len(page))
+	for i, r := range page {
+		out[i] = r.Clone()
+	}
+	return &Result{Rows: out, Total: total, BytesOnWire: respBytes, Elapsed: elapsed}, nil
+}
+
+func (b *bank) Stats() Stats { return b.stats }
+
+func (b *bank) ResetStats() { b.stats = Stats{} }
+
+// maxFetchAttempts bounds per-page retries on transient failures.
+const maxFetchAttempts = 5
+
+// FetchAll drains every page matching the filters, retrying each page
+// on transient failures (the retry's network cost is charged to the
+// link like any request). It is the helper wrappers use when the plan
+// pulls a whole (filtered) relation.
+func FetchAll(s Source, filters []Filter) ([]store.Row, error) {
+	var rows []store.Row
+	offset := 0
+	for {
+		var res *Result
+		var err error
+		for attempt := 0; attempt < maxFetchAttempts; attempt++ {
+			res, err = s.Fetch(Request{Filters: filters, Offset: offset})
+			if err == nil || !errors.Is(err, ErrTransient) {
+				break
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("source: fetching offset %d: %w", offset, err)
+		}
+		rows = append(rows, res.Rows...)
+		offset += len(res.Rows)
+		if offset >= res.Total || len(res.Rows) == 0 {
+			return rows, nil
+		}
+	}
+}

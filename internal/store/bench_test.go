@@ -1,0 +1,128 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchTable(b *testing.B, rows int, indexed bool) *Table {
+	b.Helper()
+	t := NewTable("bench", MustSchema(
+		Column{Name: "id", Kind: KindInt},
+		Column{Name: "name", Kind: KindString},
+		Column{Name: "score", Kind: KindFloat},
+	))
+	if indexed {
+		t.CreateIndex("id", IndexBTree)
+		t.CreateIndex("name", IndexHash)
+	}
+	for i := 0; i < rows; i++ {
+		t.Insert(Row{
+			IntValue(int64(i)),
+			StringValue(fmt.Sprintf("row-%06d", i)),
+			FloatValue(float64(i) * 0.5)})
+	}
+	return t
+}
+
+// BenchmarkLookup is the index-vs-scan asymmetry the cost model
+// depends on.
+func BenchmarkLookup(b *testing.B) {
+	const rows = 100000
+	indexed := benchTable(b, rows, true)
+	plain := benchTable(b, rows, false)
+	b.Run("HashIndexEqual", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			indexed.LookupEqual("name", StringValue("row-042000"))
+		}
+	})
+	b.Run("BTreeIndexEqual", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			indexed.LookupEqual("id", IntValue(42000))
+		}
+	})
+	b.Run("ScanEqual", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			plain.LookupEqual("id", IntValue(42000))
+		}
+	})
+	lo, hi := IntValue(40000), IntValue(41000)
+	b.Run("BTreeRange1k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			indexed.LookupRange("id", &lo, &hi)
+		}
+	})
+	b.Run("ScanRange1k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			plain.LookupRange("id", &lo, &hi)
+		}
+	})
+}
+
+func BenchmarkInsert(b *testing.B) {
+	for _, indexed := range []bool{false, true} {
+		name := "NoIndex"
+		if indexed {
+			name = "TwoIndexes"
+		}
+		b.Run(name, func(b *testing.B) {
+			t := benchTable(b, 0, indexed)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.Insert(Row{
+					IntValue(int64(i)),
+					StringValue(fmt.Sprintf("row-%06d", i)),
+					FloatValue(float64(i)),
+				})
+			}
+		})
+	}
+}
+
+func BenchmarkRowEncoding(b *testing.B) {
+	row := Row{IntValue(123456), StringValue("DT0004213 synthetic protein"), FloatValue(6.125), BoolValue(true)}
+	b.Run("Append", func(b *testing.B) {
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			buf = AppendRow(buf[:0], row)
+		}
+	})
+}
+
+func BenchmarkWALInsert(b *testing.B) {
+	dir := b.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	db.CreateTable("t", MustSchema(Column{Name: "id", Kind: KindInt}, Column{Name: "v", Kind: KindString}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Insert("t", Row{IntValue(int64(i)), StringValue("payload-payload")}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStats(b *testing.B) {
+	t := benchTable(b, 50000, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Stats()
+	}
+}
+
+func BenchmarkBTreeInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]int64, 1<<16)
+	for i := range keys {
+		keys[i] = rng.Int63n(1 << 20)
+	}
+	b.ResetTimer()
+	bt := newBTree()
+	for i := 0; i < b.N; i++ {
+		bt.Insert(IntValue(keys[i%len(keys)]), int64(i))
+	}
+}

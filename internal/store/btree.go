@@ -1,0 +1,256 @@
+package store
+
+// btree is an in-memory B+ tree mapping Value keys to row-ID postings
+// lists. It backs ordered secondary indexes: equality probes, range
+// scans, and ordered iteration for merge joins.
+//
+// Keys are unique within the tree; duplicate inserts append to the
+// key's postings list. Leaves are chained for range scans.
+
+const (
+	btreeOrder   = 64             // max children per interior node
+	btreeMaxKeys = btreeOrder - 1 // max keys per node
+	btreeMinKeys = btreeOrder / 2 // min keys per non-root after delete
+)
+
+type btreeNode struct {
+	keys     []Value
+	children []*btreeNode // nil for leaves
+	postings [][]int64    // leaf only: row IDs per key
+	next     *btreeNode   // leaf chain
+}
+
+func (n *btreeNode) isLeaf() bool { return n.children == nil }
+
+type btree struct {
+	root *btreeNode
+	size int // number of distinct keys
+}
+
+func newBTree() *btree {
+	return &btree{root: &btreeNode{postings: [][]int64{}}}
+}
+
+// findKey returns the position of the first key ≥ k in node n.
+func findKey(n *btreeNode, k Value) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if Compare(n.keys[mid], k) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Insert adds rowID under key k.
+func (t *btree) Insert(k Value, rowID int64) {
+	root := t.root
+	if len(root.keys) == btreeMaxKeys {
+		newRoot := &btreeNode{children: []*btreeNode{root}}
+		t.splitChild(newRoot, 0)
+		t.root = newRoot
+	}
+	t.insertNonFull(t.root, k, rowID)
+}
+
+func (t *btree) insertNonFull(n *btreeNode, k Value, rowID int64) {
+	for {
+		i := findKey(n, k)
+		if n.isLeaf() {
+			if i < len(n.keys) && Equal(n.keys[i], k) {
+				n.postings[i] = append(n.postings[i], rowID)
+				return
+			}
+			n.keys = append(n.keys, Value{})
+			copy(n.keys[i+1:], n.keys[i:])
+			n.keys[i] = k
+			n.postings = append(n.postings, nil)
+			copy(n.postings[i+1:], n.postings[i:])
+			n.postings[i] = []int64{rowID}
+			t.size++
+			return
+		}
+		if i < len(n.keys) && Compare(k, n.keys[i]) >= 0 {
+			i++
+		}
+		if len(n.children[i].keys) == btreeMaxKeys {
+			t.splitChild(n, i)
+			if Compare(k, n.keys[i]) >= 0 {
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+}
+
+// splitChild splits the full child at index i of parent p.
+func (t *btree) splitChild(p *btreeNode, i int) {
+	child := p.children[i]
+	mid := btreeMaxKeys / 2
+	var sib *btreeNode
+	var up Value
+	if child.isLeaf() {
+		// Leaf split: sibling keeps keys[mid:], separator is the
+		// sibling's first key (B+ tree: keys stay in leaves).
+		sib = &btreeNode{
+			keys:     append([]Value(nil), child.keys[mid:]...),
+			postings: append([][]int64(nil), child.postings[mid:]...),
+			next:     child.next,
+		}
+		child.keys = child.keys[:mid:mid]
+		child.postings = child.postings[:mid:mid]
+		child.next = sib
+		up = sib.keys[0]
+	} else {
+		// Interior split: middle key moves up.
+		up = child.keys[mid]
+		sib = &btreeNode{
+			keys:     append([]Value(nil), child.keys[mid+1:]...),
+			children: append([]*btreeNode(nil), child.children[mid+1:]...),
+		}
+		child.keys = child.keys[:mid:mid]
+		child.children = child.children[: mid+1 : mid+1]
+	}
+	p.keys = append(p.keys, Value{})
+	copy(p.keys[i+1:], p.keys[i:])
+	p.keys[i] = up
+	p.children = append(p.children, nil)
+	copy(p.children[i+2:], p.children[i+1:])
+	p.children[i+1] = sib
+}
+
+// leafFor descends to the leaf that would contain k.
+func (t *btree) leafFor(k Value) *btreeNode {
+	n := t.root
+	for !n.isLeaf() {
+		i := findKey(n, k)
+		if i < len(n.keys) && Compare(k, n.keys[i]) >= 0 {
+			i++
+		}
+		n = n.children[i]
+	}
+	return n
+}
+
+// Get returns the postings list for k, or nil.
+func (t *btree) Get(k Value) []int64 {
+	n := t.leafFor(k)
+	i := findKey(n, k)
+	if i < len(n.keys) && Equal(n.keys[i], k) {
+		return n.postings[i]
+	}
+	return nil
+}
+
+// Delete removes rowID from key k's postings, dropping the key when
+// its postings list becomes empty. Structural underflow is tolerated
+// (nodes may become sparse); the tree never loses keys and lookup
+// correctness is unaffected, which is the right trade-off for an
+// index whose tables are overwhelmingly append-mostly.
+func (t *btree) Delete(k Value, rowID int64) bool {
+	n := t.leafFor(k)
+	i := findKey(n, k)
+	if i >= len(n.keys) || !Equal(n.keys[i], k) {
+		return false
+	}
+	post := n.postings[i]
+	for j, id := range post {
+		if id == rowID {
+			post[j] = post[len(post)-1]
+			post = post[:len(post)-1]
+			n.postings[i] = post
+			if len(post) == 0 {
+				copy(n.keys[i:], n.keys[i+1:])
+				n.keys = n.keys[:len(n.keys)-1]
+				copy(n.postings[i:], n.postings[i+1:])
+				n.postings = n.postings[:len(n.postings)-1]
+				t.size--
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of distinct keys.
+func (t *btree) Len() int { return t.size }
+
+// Range calls fn for each (key, postings) pair with lo ≤ key ≤ hi in
+// ascending order. A nil lo means unbounded below; nil hi unbounded
+// above. Iteration stops early when fn returns false.
+func (t *btree) Range(lo, hi *Value, fn func(k Value, postings []int64) bool) {
+	var n *btreeNode
+	if lo != nil {
+		n = t.leafFor(*lo)
+	} else {
+		n = t.root
+		for !n.isLeaf() {
+			n = n.children[0]
+		}
+	}
+	for n != nil {
+		for i := 0; i < len(n.keys); i++ {
+			if lo != nil && Compare(n.keys[i], *lo) < 0 {
+				continue
+			}
+			if hi != nil && Compare(n.keys[i], *hi) > 0 {
+				return
+			}
+			if !fn(n.keys[i], n.postings[i]) {
+				return
+			}
+		}
+		n = n.next
+	}
+}
+
+// Min returns the smallest key, or false when empty. Because deletes
+// may leave empty leaves, the leftmost non-empty leaf is found by
+// following the leaf chain.
+func (t *btree) Min() (Value, bool) {
+	n := t.root
+	for !n.isLeaf() {
+		n = n.children[0]
+	}
+	for n != nil {
+		if len(n.keys) > 0 {
+			return n.keys[0], true
+		}
+		n = n.next
+	}
+	return Value{}, false
+}
+
+// Max returns the largest key, or false when empty. The rightmost
+// leaf may be empty after deletes, in which case the leaf chain is
+// scanned for the last non-empty leaf (O(#leaves); acceptable for the
+// append-mostly workloads this index serves).
+func (t *btree) Max() (Value, bool) {
+	n := t.root
+	for !n.isLeaf() {
+		n = n.children[len(n.children)-1]
+	}
+	if len(n.keys) > 0 {
+		return n.keys[len(n.keys)-1], true
+	}
+	if t.size == 0 {
+		return Value{}, false
+	}
+	// Fallback: walk the leaf chain from the left.
+	n = t.root
+	for !n.isLeaf() {
+		n = n.children[0]
+	}
+	var best Value
+	found := false
+	for ; n != nil; n = n.next {
+		if len(n.keys) > 0 {
+			best = n.keys[len(n.keys)-1]
+			found = true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,236 @@
+package store
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestBTreeInsertGet(t *testing.T) {
+	bt := newBTree()
+	for i := int64(0); i < 1000; i++ {
+		bt.Insert(IntValue(i%100), i)
+	}
+	if bt.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", bt.Len())
+	}
+	post := bt.Get(IntValue(42))
+	if len(post) != 10 {
+		t.Fatalf("postings for 42 = %d entries, want 10", len(post))
+	}
+	for _, id := range post {
+		if id%100 != 42 {
+			t.Fatalf("posting %d not ≡42 mod 100", id)
+		}
+	}
+	if bt.Get(IntValue(1000)) != nil {
+		t.Fatal("missing key returned postings")
+	}
+}
+
+func TestBTreeOrderedIteration(t *testing.T) {
+	bt := newBTree()
+	rng := rand.New(rand.NewSource(42))
+	keys := rng.Perm(5000)
+	for _, k := range keys {
+		bt.Insert(IntValue(int64(k)), int64(k))
+	}
+	var got []int64
+	bt.Range(nil, nil, func(k Value, _ []int64) bool {
+		got = append(got, k.I)
+		return true
+	})
+	if len(got) != 5000 {
+		t.Fatalf("iterated %d keys, want 5000", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("iteration not sorted")
+	}
+}
+
+func TestBTreeRangeBounds(t *testing.T) {
+	bt := newBTree()
+	for i := int64(0); i < 100; i++ {
+		bt.Insert(IntValue(i), i)
+	}
+	lo, hi := IntValue(10), IntValue(19)
+	var got []int64
+	bt.Range(&lo, &hi, func(k Value, _ []int64) bool {
+		got = append(got, k.I)
+		return true
+	})
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Fatalf("range [10,19] = %v", got)
+	}
+	// Open bounds.
+	var below []int64
+	bt.Range(nil, &lo, func(k Value, _ []int64) bool {
+		below = append(below, k.I)
+		return true
+	})
+	if len(below) != 11 {
+		t.Fatalf("range (-inf,10] = %d keys, want 11", len(below))
+	}
+	var above []int64
+	bt.Range(&hi, nil, func(k Value, _ []int64) bool {
+		above = append(above, k.I)
+		return true
+	})
+	if len(above) != 81 {
+		t.Fatalf("range [19,inf) = %d keys, want 81", len(above))
+	}
+}
+
+func TestBTreeRangeEarlyStop(t *testing.T) {
+	bt := newBTree()
+	for i := int64(0); i < 100; i++ {
+		bt.Insert(IntValue(i), i)
+	}
+	count := 0
+	bt.Range(nil, nil, func(Value, []int64) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop iterated %d, want 5", count)
+	}
+}
+
+func TestBTreeDelete(t *testing.T) {
+	bt := newBTree()
+	for i := int64(0); i < 500; i++ {
+		bt.Insert(IntValue(i), i)
+		bt.Insert(IntValue(i), i+1000)
+	}
+	// Remove one posting: key stays.
+	if !bt.Delete(IntValue(7), 7) {
+		t.Fatal("delete existing posting failed")
+	}
+	if post := bt.Get(IntValue(7)); len(post) != 1 || post[0] != 1007 {
+		t.Fatalf("postings after partial delete = %v", post)
+	}
+	// Remove the other: key goes.
+	if !bt.Delete(IntValue(7), 1007) {
+		t.Fatal("delete second posting failed")
+	}
+	if bt.Get(IntValue(7)) != nil {
+		t.Fatal("key survived full delete")
+	}
+	if bt.Len() != 499 {
+		t.Fatalf("Len = %d, want 499", bt.Len())
+	}
+	// Deleting a missing posting fails cleanly.
+	if bt.Delete(IntValue(8), 9999) {
+		t.Fatal("delete of missing posting succeeded")
+	}
+	if bt.Delete(IntValue(99999), 0) {
+		t.Fatal("delete of missing key succeeded")
+	}
+}
+
+func TestBTreeMinMax(t *testing.T) {
+	bt := newBTree()
+	if _, ok := bt.Min(); ok {
+		t.Fatal("empty tree has Min")
+	}
+	if _, ok := bt.Max(); ok {
+		t.Fatal("empty tree has Max")
+	}
+	for _, k := range []int64{50, 10, 90, 30, 70} {
+		bt.Insert(IntValue(k), k)
+	}
+	if mn, _ := bt.Min(); mn.I != 10 {
+		t.Fatalf("Min = %v", mn)
+	}
+	if mx, _ := bt.Max(); mx.I != 90 {
+		t.Fatalf("Max = %v", mx)
+	}
+	bt.Delete(IntValue(90), 90)
+	if mx, ok := bt.Max(); !ok || mx.I != 70 {
+		t.Fatalf("Max after delete = %v (%v)", mx, ok)
+	}
+}
+
+func TestBTreeStringKeys(t *testing.T) {
+	bt := newBTree()
+	words := []string{"kinase", "ligase", "hydrolase", "transferase", "oxidoreductase"}
+	for i, w := range words {
+		bt.Insert(StringValue(w), int64(i))
+	}
+	var got []string
+	bt.Range(nil, nil, func(k Value, _ []int64) bool {
+		got = append(got, k.S)
+		return true
+	})
+	if !sort.StringsAreSorted(got) {
+		t.Fatalf("string keys not sorted: %v", got)
+	}
+}
+
+func TestBTreeMatchesReferenceModel(t *testing.T) {
+	// Property test against a map+sort reference model under a random
+	// insert/delete workload.
+	bt := newBTree()
+	ref := map[int64]map[int64]bool{}
+	rng := rand.New(rand.NewSource(99))
+	for op := 0; op < 20000; op++ {
+		k := int64(rng.Intn(300))
+		id := int64(rng.Intn(50))
+		if rng.Float64() < 0.7 {
+			// Avoid duplicate (k,id) postings in the model; the tree
+			// allows them but the model would diverge.
+			if ref[k] == nil {
+				ref[k] = map[int64]bool{}
+			}
+			if !ref[k][id] {
+				ref[k][id] = true
+				bt.Insert(IntValue(k), id)
+			}
+		} else {
+			want := ref[k] != nil && ref[k][id]
+			got := bt.Delete(IntValue(k), id)
+			if got != want {
+				t.Fatalf("op %d: Delete(%d,%d) = %v, want %v", op, k, id, got, want)
+			}
+			if want {
+				delete(ref[k], id)
+				if len(ref[k]) == 0 {
+					delete(ref, k)
+				}
+			}
+		}
+	}
+	if bt.Len() != len(ref) {
+		t.Fatalf("Len = %d, model = %d", bt.Len(), len(ref))
+	}
+	for k, ids := range ref {
+		post := bt.Get(IntValue(k))
+		if len(post) != len(ids) {
+			t.Fatalf("key %d: %d postings, model %d", k, len(post), len(ids))
+		}
+		for _, id := range post {
+			if !ids[id] {
+				t.Fatalf("key %d: unexpected posting %d", k, id)
+			}
+		}
+	}
+	// Ordered iteration matches the sorted model keys.
+	var modelKeys []int64
+	for k := range ref {
+		modelKeys = append(modelKeys, k)
+	}
+	sort.Slice(modelKeys, func(i, j int) bool { return modelKeys[i] < modelKeys[j] })
+	var treeKeys []int64
+	bt.Range(nil, nil, func(k Value, _ []int64) bool {
+		treeKeys = append(treeKeys, k.I)
+		return true
+	})
+	if len(treeKeys) != len(modelKeys) {
+		t.Fatalf("iteration found %d keys, model %d", len(treeKeys), len(modelKeys))
+	}
+	for i := range treeKeys {
+		if treeKeys[i] != modelKeys[i] {
+			t.Fatalf("key %d: %d != %d", i, treeKeys[i], modelKeys[i])
+		}
+	}
+}

@@ -1,0 +1,625 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// DB is a named collection of tables with optional durability: when
+// opened with a directory, every mutation is appended to a write-ahead
+// log and Checkpoint() writes a snapshot and truncates the log. Opened
+// with an empty dir, the DB is purely in-memory.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	dir    string
+	wal    *walWriter
+}
+
+// Open creates or reopens a database. dir == "" gives an in-memory
+// database; otherwise dir is created if needed, the latest snapshot is
+// loaded, and the WAL is replayed.
+func Open(dir string) (*DB, error) {
+	db := &DB{tables: make(map[string]*Table), dir: dir}
+	if dir == "" {
+		return db, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	if err := db.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := db.replayWAL(); err != nil {
+		return nil, err
+	}
+	w, err := openWAL(db.walPath())
+	if err != nil {
+		return nil, err
+	}
+	db.wal = w
+	return db, nil
+}
+
+// Close flushes and closes the WAL.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.wal != nil {
+		return db.wal.Close()
+	}
+	return nil
+}
+
+func (db *DB) snapshotPath() string { return filepath.Join(db.dir, "snapshot.dts") }
+func (db *DB) walPath() string      { return filepath.Join(db.dir, "wal.dtl") }
+
+// CreateTable creates a table. The schema is logged so reopening
+// recreates it.
+func (db *DB) CreateTable(name string, schema *Schema) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("store: table %q already exists", name)
+	}
+	t := NewTable(name, schema)
+	db.tables[name] = t
+	if db.wal != nil {
+		if err := db.wal.logCreateTable(name, schema); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Table returns the named table, or an error.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("store: no table %q", name)
+	}
+	return t, nil
+}
+
+// TableNames returns the sorted table names.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Insert inserts a row through the DB so it is WAL-logged.
+func (db *DB) Insert(table string, r Row) (int64, error) {
+	t, err := db.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	id, err := t.Insert(r)
+	if err != nil {
+		return 0, err
+	}
+	if db.wal != nil {
+		if err := db.wal.logInsert(table, r); err != nil {
+			return 0, err
+		}
+	}
+	return id, nil
+}
+
+// Delete removes a row through the DB so it is WAL-logged. Row IDs
+// are not stable across recovery, so the log records the row's value;
+// replay removes one matching row.
+func (db *DB) Delete(table string, id int64) (bool, error) {
+	t, err := db.Table(table)
+	if err != nil {
+		return false, err
+	}
+	row, ok := t.Get(id)
+	if !ok {
+		return false, nil
+	}
+	if !t.Delete(id) {
+		return false, nil
+	}
+	if db.wal != nil {
+		if err := db.wal.logDelete(table, row); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
+}
+
+// Update replaces a row through the DB so it is WAL-logged (as a
+// delete of the old value plus an insert of the new one).
+func (db *DB) Update(table string, id int64, r Row) error {
+	t, err := db.Table(table)
+	if err != nil {
+		return err
+	}
+	old, ok := t.Get(id)
+	if !ok {
+		return fmt.Errorf("store: table %s has no row %d", table, id)
+	}
+	if err := t.Update(id, r); err != nil {
+		return err
+	}
+	if db.wal != nil {
+		if err := db.wal.logDelete(table, old); err != nil {
+			return err
+		}
+		if err := db.wal.logInsert(table, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deleteByValue removes one row equal to r (used by WAL replay).
+func (t *Table) deleteByValue(r Row) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for id, existing := range t.rows {
+		if len(existing) != len(r) {
+			continue
+		}
+		match := true
+		for i := range r {
+			if existing[i].K != r[i].K || !Equal(existing[i], r[i]) {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		for _, idx := range t.indexes {
+			idx.remove(existing[idx.column], id)
+		}
+		delete(t.rows, id)
+		t.version++
+		return true
+	}
+	return false
+}
+
+// Checkpoint writes a full snapshot and truncates the WAL.
+func (db *DB) Checkpoint() error {
+	if db.dir == "" {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	tmp := db.snapshotPath() + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := db.writeSnapshot(w); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, db.snapshotPath()); err != nil {
+		return err
+	}
+	// Truncate the WAL: everything it held is in the snapshot.
+	if db.wal != nil {
+		if err := db.wal.Reset(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// snapshotMagic identifies DrugTree snapshot files.
+var snapshotMagic = []byte("DTSNAP1\n")
+
+func (db *DB) writeSnapshot(w *bufio.Writer) error {
+	if _, err := w.Write(snapshotMagic); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	for _, name := range names {
+		t := db.tables[name]
+		t.mu.RLock()
+		err := writeTableSnapshot(w, t)
+		t.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeTableSnapshot(w *bufio.Writer, t *Table) error {
+	var buf []byte
+	buf = appendString(buf, t.name)
+	// Schema.
+	buf = binary.AppendUvarint(buf, uint64(t.schema.Len()))
+	for _, c := range t.schema.Columns {
+		buf = appendString(buf, c.Name)
+		buf = append(buf, byte(c.Kind))
+	}
+	// Indexes.
+	type ixent struct {
+		col string
+		typ IndexType
+	}
+	var ixs []ixent
+	for col, ix := range t.indexes {
+		ixs = append(ixs, ixent{col, ix.typ})
+	}
+	sort.Slice(ixs, func(i, j int) bool { return ixs[i].col < ixs[j].col })
+	buf = binary.AppendUvarint(buf, uint64(len(ixs)))
+	for _, ix := range ixs {
+		buf = appendString(buf, ix.col)
+		buf = append(buf, byte(ix.typ))
+	}
+	// Rows.
+	buf = binary.AppendUvarint(buf, uint64(len(t.rows)))
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	var rowBuf []byte
+	for _, r := range t.rows {
+		rowBuf = AppendRow(rowBuf[:0], r)
+		if _, err := w.Write(rowBuf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", fmt.Errorf("store: string length %d exceeds limit", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (db *DB) loadSnapshot() error {
+	f, err := os.Open(db.snapshotPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return fmt.Errorf("store: reading snapshot magic: %w", err)
+	}
+	if string(magic) != string(snapshotMagic) {
+		return fmt.Errorf("store: %s is not a DrugTree snapshot", db.snapshotPath())
+	}
+	nTables, err := binary.ReadUvarint(r)
+	if err != nil {
+		return err
+	}
+	for ti := uint64(0); ti < nTables; ti++ {
+		if err := db.loadTableSnapshot(r); err != nil {
+			return fmt.Errorf("store: loading table %d: %w", ti, err)
+		}
+	}
+	return nil
+}
+
+func (db *DB) loadTableSnapshot(r *bufio.Reader) error {
+	name, err := readString(r)
+	if err != nil {
+		return err
+	}
+	nCols, err := binary.ReadUvarint(r)
+	if err != nil {
+		return err
+	}
+	if nCols > maxRowCells {
+		return fmt.Errorf("store: column count %d exceeds limit", nCols)
+	}
+	cols := make([]Column, nCols)
+	for i := range cols {
+		cname, err := readString(r)
+		if err != nil {
+			return err
+		}
+		kb, err := r.ReadByte()
+		if err != nil {
+			return err
+		}
+		cols[i] = Column{Name: cname, Kind: Kind(kb)}
+	}
+	schema, err := NewSchema(cols...)
+	if err != nil {
+		return err
+	}
+	t := NewTable(name, schema)
+	nIx, err := binary.ReadUvarint(r)
+	if err != nil {
+		return err
+	}
+	type ixent struct {
+		col string
+		typ IndexType
+	}
+	ixs := make([]ixent, nIx)
+	for i := range ixs {
+		col, err := readString(r)
+		if err != nil {
+			return err
+		}
+		tb, err := r.ReadByte()
+		if err != nil {
+			return err
+		}
+		ixs[i] = ixent{col, IndexType(tb)}
+	}
+	nRows, err := binary.ReadUvarint(r)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nRows; i++ {
+		row, err := ReadRow(r)
+		if err != nil {
+			return fmt.Errorf("row %d: %w", i, err)
+		}
+		if _, err := t.Insert(row); err != nil {
+			return fmt.Errorf("row %d: %w", i, err)
+		}
+	}
+	// Build indexes after bulk load (cheaper than per-row upkeep).
+	for _, ix := range ixs {
+		if err := t.CreateIndex(ix.col, ix.typ); err != nil {
+			return err
+		}
+	}
+	db.tables[name] = t
+	return nil
+}
+
+// --- WAL ---
+
+// WAL record types.
+const (
+	walCreateTable = 1
+	walInsert      = 2
+	walDelete      = 3
+)
+
+// walWriter appends length-prefixed CRC-protected records.
+type walWriter struct {
+	mu  sync.Mutex
+	f   *os.File
+	buf []byte
+}
+
+func openWAL(path string) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &walWriter{f: f}, nil
+}
+
+func (w *walWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// Reset truncates the log (called after a checkpoint).
+func (w *walWriter) Reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	_, err := w.f.Seek(0, io.SeekStart)
+	return err
+}
+
+// writeRecord frames payload as: uvarint length, payload, crc32.
+func (w *walWriter) writeRecord(payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf = w.buf[:0]
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(payload)))
+	w.buf = append(w.buf, payload...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	w.buf = append(w.buf, crc[:]...)
+	_, err := w.f.Write(w.buf)
+	return err
+}
+
+func (w *walWriter) logCreateTable(name string, schema *Schema) error {
+	var p []byte
+	p = append(p, walCreateTable)
+	p = appendString(p, name)
+	p = binary.AppendUvarint(p, uint64(schema.Len()))
+	for _, c := range schema.Columns {
+		p = appendString(p, c.Name)
+		p = append(p, byte(c.Kind))
+	}
+	return w.writeRecord(p)
+}
+
+func (w *walWriter) logInsert(table string, r Row) error {
+	var p []byte
+	p = append(p, walInsert)
+	p = appendString(p, table)
+	p = AppendRow(p, r)
+	return w.writeRecord(p)
+}
+
+func (w *walWriter) logDelete(table string, r Row) error {
+	var p []byte
+	p = append(p, walDelete)
+	p = appendString(p, table)
+	p = AppendRow(p, r)
+	return w.writeRecord(p)
+}
+
+// replayWAL applies logged mutations after the snapshot. A torn or
+// corrupt tail record ends replay cleanly (standard WAL semantics).
+func (db *DB) replayWAL() error {
+	f, err := os.Open(db.walPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	for {
+		n, err := binary.ReadUvarint(r)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return nil // torn length: stop replay
+		}
+		if n > 64<<20 {
+			return nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil // torn payload
+		}
+		var crc [4]byte
+		if _, err := io.ReadFull(r, crc[:]); err != nil {
+			return nil
+		}
+		if binary.LittleEndian.Uint32(crc[:]) != crc32.ChecksumIEEE(payload) {
+			return nil // corrupt record: stop
+		}
+		if err := db.applyWALRecord(payload); err != nil {
+			return fmt.Errorf("store: replaying WAL: %w", err)
+		}
+	}
+}
+
+func (db *DB) applyWALRecord(p []byte) error {
+	r := bufio.NewReader(bytes.NewReader(p))
+	typ, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	switch typ {
+	case walCreateTable:
+		name, err := readString(r)
+		if err != nil {
+			return err
+		}
+		nCols, err := binary.ReadUvarint(r)
+		if err != nil {
+			return err
+		}
+		cols := make([]Column, nCols)
+		for i := range cols {
+			cname, err := readString(r)
+			if err != nil {
+				return err
+			}
+			kb, err := r.ReadByte()
+			if err != nil {
+				return err
+			}
+			cols[i] = Column{Name: cname, Kind: Kind(kb)}
+		}
+		schema, err := NewSchema(cols...)
+		if err != nil {
+			return err
+		}
+		if _, exists := db.tables[name]; exists {
+			return nil // snapshot already has it
+		}
+		db.tables[name] = NewTable(name, schema)
+		return nil
+	case walInsert:
+		name, err := readString(r)
+		if err != nil {
+			return err
+		}
+		row, err := ReadRow(r)
+		if err != nil {
+			return err
+		}
+		t, ok := db.tables[name]
+		if !ok {
+			return fmt.Errorf("insert into unknown table %q", name)
+		}
+		_, err = t.Insert(row)
+		return err
+	case walDelete:
+		name, err := readString(r)
+		if err != nil {
+			return err
+		}
+		row, err := ReadRow(r)
+		if err != nil {
+			return err
+		}
+		t, ok := db.tables[name]
+		if !ok {
+			return fmt.Errorf("delete from unknown table %q", name)
+		}
+		t.deleteByValue(row)
+		return nil
+	}
+	return fmt.Errorf("unknown WAL record type %d", p[0])
+}

@@ -1,0 +1,277 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestInMemoryDB(t *testing.T) {
+	db, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s := MustSchema(Column{"id", KindInt}, Column{"name", KindString})
+	if _, err := db.CreateTable("t", s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("t", s); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+	if _, err := db.Insert("t", Row{IntValue(1), StringValue("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Insert("missing", Row{}); err == nil {
+		t.Fatal("insert into missing table accepted")
+	}
+	tb, err := db.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	names := db.TableNames()
+	if len(names) != 1 || names[0] != "t" {
+		t.Fatalf("TableNames = %v", names)
+	}
+	// Checkpoint on an in-memory DB is a no-op.
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALReplayAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := MustSchema(Column{"id", KindInt}, Column{"name", KindString})
+	if _, err := db.CreateTable("prot", s); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := db.Insert("prot", Row{IntValue(int64(i)), StringValue(fmt.Sprintf("P%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// "Crash": close without checkpoint.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tb, err := db2.Table("prot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 50 {
+		t.Fatalf("replayed %d rows, want 50", tb.Len())
+	}
+	ids, _ := tb.LookupEqual("name", StringValue("P7"))
+	if len(ids) != 1 {
+		t.Fatalf("lookup after replay = %v", ids)
+	}
+}
+
+func TestSnapshotAndWALTruncation(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := MustSchema(Column{"id", KindInt}, Column{"v", KindFloat})
+	db.CreateTable("m", s)
+	for i := 0; i < 100; i++ {
+		db.Insert("m", Row{IntValue(int64(i)), FloatValue(float64(i) / 2)})
+	}
+	tb, _ := db.Table("m")
+	tb.CreateIndex("id", IndexBTree)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// WAL should be empty now.
+	fi, err := os.Stat(filepath.Join(dir, "wal.dtl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 0 {
+		t.Fatalf("WAL size after checkpoint = %d, want 0", fi.Size())
+	}
+	// More inserts after the checkpoint land in the WAL.
+	for i := 100; i < 120; i++ {
+		db.Insert("m", Row{IntValue(int64(i)), FloatValue(float64(i))})
+	}
+	db.Close()
+
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tb2, err := db2.Table("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb2.Len() != 120 {
+		t.Fatalf("reloaded %d rows, want 120", tb2.Len())
+	}
+	// Index definition survived the snapshot.
+	if typ, ok := tb2.HasIndex("id"); !ok || typ != IndexBTree {
+		t.Fatalf("index lost across snapshot: %v %v", typ, ok)
+	}
+	ids, _ := tb2.LookupEqual("id", IntValue(110))
+	if len(ids) != 1 {
+		t.Fatalf("post-checkpoint row lost: %v", ids)
+	}
+}
+
+func TestWALReplaysDeletesAndUpdates(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := MustSchema(Column{"id", KindInt}, Column{"v", KindString})
+	db.CreateTable("t", s)
+	var ids []int64
+	for i := 0; i < 10; i++ {
+		id, err := db.Insert("t", Row{IntValue(int64(i)), StringValue(fmt.Sprintf("v%d", i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Delete two rows, update one; crash (no checkpoint).
+	if ok, err := db.Delete("t", ids[3]); !ok || err != nil {
+		t.Fatalf("delete: %v %v", ok, err)
+	}
+	if ok, err := db.Delete("t", ids[7]); !ok || err != nil {
+		t.Fatalf("delete: %v %v", ok, err)
+	}
+	if err := db.Update("t", ids[5], Row{IntValue(5), StringValue("updated")}); err != nil {
+		t.Fatal(err)
+	}
+	// Deleting a missing row is a clean no-op.
+	if ok, err := db.Delete("t", 9999); ok || err != nil {
+		t.Fatalf("missing delete: %v %v", ok, err)
+	}
+	db.Close()
+
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tb, _ := db2.Table("t")
+	if tb.Len() != 8 {
+		t.Fatalf("recovered %d rows, want 8", tb.Len())
+	}
+	seen := map[string]bool{}
+	tb.Scan(func(_ int64, r Row) bool {
+		seen[r[1].S] = true
+		return true
+	})
+	if seen["v3"] || seen["v7"] {
+		t.Fatal("deleted rows survived recovery")
+	}
+	if seen["v5"] || !seen["updated"] {
+		t.Fatal("update did not survive recovery")
+	}
+}
+
+func TestWALDeleteDuplicateRowsRemovesOne(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := Open(dir)
+	s := MustSchema(Column{"v", KindString})
+	db.CreateTable("t", s)
+	var first int64
+	for i := 0; i < 3; i++ {
+		id, _ := db.Insert("t", Row{StringValue("dup")})
+		if i == 0 {
+			first = id
+		}
+	}
+	db.Delete("t", first)
+	db.Close()
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tb, _ := db2.Table("t")
+	if tb.Len() != 2 {
+		t.Fatalf("recovered %d duplicate rows, want 2", tb.Len())
+	}
+}
+
+func TestWALToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := Open(dir)
+	s := MustSchema(Column{"id", KindInt})
+	db.CreateTable("t", s)
+	for i := 0; i < 10; i++ {
+		db.Insert("t", Row{IntValue(int64(i))})
+	}
+	db.Close()
+	// Append garbage to simulate a torn write.
+	f, err := os.OpenFile(filepath.Join(dir, "wal.dtl"), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0x55, 0x03, 0x01})
+	f.Close()
+
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen with torn WAL: %v", err)
+	}
+	defer db2.Close()
+	tb, _ := db2.Table("t")
+	if tb.Len() != 10 {
+		t.Fatalf("replayed %d rows, want 10", tb.Len())
+	}
+}
+
+func TestSnapshotRejectsWrongMagic(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "snapshot.dts"), []byte("NOTASNAPSHOT....."), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("bogus snapshot accepted")
+	}
+}
+
+func TestMultipleCheckpointCycles(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := Open(dir)
+	s := MustSchema(Column{"id", KindInt})
+	db.CreateTable("t", s)
+	total := 0
+	for cycle := 0; cycle < 3; cycle++ {
+		for i := 0; i < 25; i++ {
+			db.Insert("t", Row{IntValue(int64(total))})
+			total++
+		}
+		if err := db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Close()
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tb, _ := db2.Table("t")
+	if tb.Len() != total {
+		t.Fatalf("rows = %d, want %d", tb.Len(), total)
+	}
+}

@@ -1,0 +1,81 @@
+package store
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered set of columns.
+type Schema struct {
+	Columns []Column
+	byName  map[string]int
+}
+
+// NewSchema builds a schema, validating that column names are unique
+// and non-empty.
+func NewSchema(cols ...Column) (*Schema, error) {
+	s := &Schema{Columns: cols, byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("store: column %d has empty name", i)
+		}
+		if _, dup := s.byName[c.Name]; dup {
+			return nil, fmt.Errorf("store: duplicate column %q", c.Name)
+		}
+		if c.Kind == KindNull {
+			return nil, fmt.Errorf("store: column %q has NULL type", c.Name)
+		}
+		s.byName[c.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema for statically known-good schemas.
+func MustSchema(cols ...Column) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Columns) }
+
+// ColumnIndex returns the position of the named column, or -1.
+func (s *Schema) ColumnIndex(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// CheckRow validates a row against the schema: length and per-cell
+// kind (NULL is allowed in any column).
+func (s *Schema) CheckRow(r Row) error {
+	if len(r) != len(s.Columns) {
+		return fmt.Errorf("store: row has %d cells, schema has %d columns", len(r), len(s.Columns))
+	}
+	for i, v := range r {
+		if v.K != KindNull && v.K != s.Columns[i].Kind {
+			return fmt.Errorf("store: column %q expects %v, got %v",
+				s.Columns[i].Name, s.Columns[i].Kind, v.K)
+		}
+	}
+	return nil
+}
+
+// String renders the schema as "name TYPE, ...".
+func (s *Schema) String() string {
+	parts := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		parts[i] = fmt.Sprintf("%s %v", c.Name, c.Kind)
+	}
+	return strings.Join(parts, ", ")
+}

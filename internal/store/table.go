@@ -1,0 +1,304 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+)
+
+// IndexType selects a secondary index implementation.
+type IndexType uint8
+
+const (
+	// IndexHash supports equality probes only.
+	IndexHash IndexType = iota
+	// IndexBTree supports equality, range scans, and ordered
+	// iteration.
+	IndexBTree
+)
+
+func (t IndexType) String() string {
+	if t == IndexHash {
+		return "hash"
+	}
+	return "btree"
+}
+
+// index is a secondary index over one column.
+type index struct {
+	column int
+	typ    IndexType
+	hash   map[uint64][]int64 // IndexHash: value hash → row IDs
+	tree   *btree             // IndexBTree
+}
+
+// Table is a heap of rows with optional secondary indexes. Row IDs are
+// stable int64 handles that survive unrelated deletes. Tables are safe
+// for concurrent use: reads take a shared lock, mutations exclusive.
+type Table struct {
+	name   string
+	schema *Schema
+
+	mu      sync.RWMutex
+	rows    map[int64]Row
+	nextID  int64
+	indexes map[string]*index // keyed by column name
+	version int64             // bumped on every mutation (cache invalidation)
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, schema *Schema) *Table {
+	return &Table{
+		name:    name,
+		schema:  schema,
+		rows:    make(map[int64]Row),
+		indexes: make(map[string]*index),
+	}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Len returns the number of rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Version returns a counter bumped on every mutation; the semantic
+// cache uses it to detect staleness.
+func (t *Table) Version() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
+}
+
+// CreateIndex builds a secondary index over the named column,
+// backfilling existing rows. Creating an index that already exists
+// with the same type is a no-op.
+func (t *Table) CreateIndex(column string, typ IndexType) error {
+	ci := t.schema.ColumnIndex(column)
+	if ci < 0 {
+		return fmt.Errorf("store: table %s has no column %q", t.name, column)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if existing, ok := t.indexes[column]; ok {
+		if existing.typ == typ {
+			return nil
+		}
+		return fmt.Errorf("store: column %q already indexed as %v", column, existing.typ)
+	}
+	idx := &index{column: ci, typ: typ}
+	if typ == IndexHash {
+		idx.hash = make(map[uint64][]int64)
+	} else {
+		idx.tree = newBTree()
+	}
+	for id, row := range t.rows {
+		idx.insert(row[ci], id)
+	}
+	t.indexes[column] = idx
+	return nil
+}
+
+// HasIndex reports whether column has an index and of which type.
+func (t *Table) HasIndex(column string) (IndexType, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx, ok := t.indexes[column]
+	if !ok {
+		return 0, false
+	}
+	return idx.typ, true
+}
+
+func (ix *index) insert(v Value, id int64) {
+	if ix.typ == IndexHash {
+		h := v.Hash()
+		ix.hash[h] = append(ix.hash[h], id)
+	} else {
+		ix.tree.Insert(v, id)
+	}
+}
+
+func (ix *index) remove(v Value, id int64) {
+	if ix.typ == IndexHash {
+		h := v.Hash()
+		post := ix.hash[h]
+		for i, pid := range post {
+			if pid == id {
+				post[i] = post[len(post)-1]
+				ix.hash[h] = post[:len(post)-1]
+				if len(ix.hash[h]) == 0 {
+					delete(ix.hash, h)
+				}
+				return
+			}
+		}
+	} else {
+		ix.tree.Delete(v, id)
+	}
+}
+
+// Insert validates and appends a row, returning its row ID.
+func (t *Table) Insert(r Row) (int64, error) {
+	if err := t.schema.CheckRow(r); err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := t.nextID
+	t.nextID++
+	t.rows[id] = r.Clone()
+	for _, idx := range t.indexes {
+		idx.insert(r[idx.column], id)
+	}
+	t.version++
+	return id, nil
+}
+
+// Get returns the row with the given ID.
+func (t *Table) Get(id int64) (Row, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	r, ok := t.rows[id]
+	if !ok {
+		return nil, false
+	}
+	return r.Clone(), true
+}
+
+// Delete removes the row with the given ID.
+func (t *Table) Delete(id int64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.rows[id]
+	if !ok {
+		return false
+	}
+	for _, idx := range t.indexes {
+		idx.remove(r[idx.column], id)
+	}
+	delete(t.rows, id)
+	t.version++
+	return true
+}
+
+// Update replaces the row with the given ID.
+func (t *Table) Update(id int64, r Row) error {
+	if err := t.schema.CheckRow(r); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old, ok := t.rows[id]
+	if !ok {
+		return fmt.Errorf("store: table %s has no row %d", t.name, id)
+	}
+	for _, idx := range t.indexes {
+		if !Equal(old[idx.column], r[idx.column]) {
+			idx.remove(old[idx.column], id)
+			idx.insert(r[idx.column], id)
+		}
+	}
+	t.rows[id] = r.Clone()
+	t.version++
+	return nil
+}
+
+// Scan calls fn for every row in unspecified order until fn returns
+// false. The row passed to fn must not be retained or mutated.
+func (t *Table) Scan(fn func(id int64, r Row) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for id, r := range t.rows {
+		if !fn(id, r) {
+			return
+		}
+	}
+}
+
+// LookupEqual returns the IDs of rows whose column equals v, using an
+// index when one exists and falling back to a scan.
+func (t *Table) LookupEqual(column string, v Value) ([]int64, error) {
+	ci := t.schema.ColumnIndex(column)
+	if ci < 0 {
+		return nil, fmt.Errorf("store: table %s has no column %q", t.name, column)
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if idx, ok := t.indexes[column]; ok {
+		var ids []int64
+		if idx.typ == IndexHash {
+			// Hash collisions require verification against the rows.
+			for _, id := range idx.hash[v.Hash()] {
+				if Equal(t.rows[id][ci], v) {
+					ids = append(ids, id)
+				}
+			}
+		} else {
+			ids = append(ids, idx.tree.Get(v)...)
+		}
+		return ids, nil
+	}
+	var ids []int64
+	for id, r := range t.rows {
+		if Equal(r[ci], v) {
+			ids = append(ids, id)
+		}
+	}
+	return ids, nil
+}
+
+// LookupRange returns the IDs of rows with lo ≤ column ≤ hi (nil
+// bounds are open). A B+-tree index is used when available; otherwise
+// the table is scanned.
+func (t *Table) LookupRange(column string, lo, hi *Value) ([]int64, error) {
+	ci := t.schema.ColumnIndex(column)
+	if ci < 0 {
+		return nil, fmt.Errorf("store: table %s has no column %q", t.name, column)
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if idx, ok := t.indexes[column]; ok && idx.typ == IndexBTree {
+		var ids []int64
+		idx.tree.Range(lo, hi, func(_ Value, postings []int64) bool {
+			ids = append(ids, postings...)
+			return true
+		})
+		return ids, nil
+	}
+	var ids []int64
+	for id, r := range t.rows {
+		v := r[ci]
+		if v.IsNull() {
+			continue
+		}
+		if lo != nil && Compare(v, *lo) < 0 {
+			continue
+		}
+		if hi != nil && Compare(v, *hi) > 0 {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// Rows returns copies of the rows with the given IDs, skipping IDs
+// that no longer exist.
+func (t *Table) Rows(ids []int64) []Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Row, 0, len(ids))
+	for _, id := range ids {
+		if r, ok := t.rows[id]; ok {
+			out = append(out, r.Clone())
+		}
+	}
+	return out
+}

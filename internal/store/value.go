@@ -1,0 +1,229 @@
+// Package store implements DrugTree's embedded row store: typed
+// tables with hash and B+-tree secondary indexes, table statistics for
+// the cost-based optimizer, and WAL + snapshot persistence.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+)
+
+// Kind enumerates value types.
+type Kind uint8
+
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "STRING"
+	case KindBool:
+		return "BOOL"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// KindFromString parses a type name as written in schema DDL.
+func KindFromString(s string) (Kind, error) {
+	switch s {
+	case "INT", "int":
+		return KindInt, nil
+	case "FLOAT", "float":
+		return KindFloat, nil
+	case "STRING", "string", "TEXT", "text":
+		return KindString, nil
+	case "BOOL", "bool":
+		return KindBool, nil
+	}
+	return KindNull, fmt.Errorf("store: unknown type %q", s)
+}
+
+// Value is a compact tagged union holding one cell. The zero Value is
+// NULL.
+type Value struct {
+	K Kind
+	I int64   // KindInt and KindBool (0/1)
+	F float64 // KindFloat
+	S string  // KindString
+}
+
+// Typed constructors.
+
+// NullValue returns the NULL value.
+func NullValue() Value { return Value{} }
+
+// IntValue returns an INT value.
+func IntValue(i int64) Value { return Value{K: KindInt, I: i} }
+
+// FloatValue returns a FLOAT value.
+func FloatValue(f float64) Value { return Value{K: KindFloat, F: f} }
+
+// StringValue returns a STRING value.
+func StringValue(s string) Value { return Value{K: KindString, S: s} }
+
+// BoolValue returns a BOOL value.
+func BoolValue(b bool) Value {
+	v := Value{K: KindBool}
+	if b {
+		v.I = 1
+	}
+	return v
+}
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.K == KindNull }
+
+// Bool returns the boolean interpretation (only valid for KindBool).
+func (v Value) Bool() bool { return v.K == KindBool && v.I != 0 }
+
+// AsFloat widens INT to FLOAT for mixed-type numeric comparison and
+// arithmetic; other kinds return NaN.
+func (v Value) AsFloat() float64 {
+	switch v.K {
+	case KindInt:
+		return float64(v.I)
+	case KindFloat:
+		return v.F
+	}
+	return math.NaN()
+}
+
+// Numeric reports whether the value is INT or FLOAT.
+func (v Value) Numeric() bool { return v.K == KindInt || v.K == KindFloat }
+
+// Compare orders two values. NULL sorts before everything; numeric
+// kinds compare by value across INT/FLOAT; distinct non-numeric kinds
+// compare by kind tag (deterministic but meaningless, queries
+// type-check before reaching here). Returns -1, 0, or +1.
+func Compare(a, b Value) int {
+	if a.K == KindNull || b.K == KindNull {
+		switch {
+		case a.K == b.K:
+			return 0
+		case a.K == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.Numeric() && b.Numeric() {
+		if a.K == KindInt && b.K == KindInt {
+			switch {
+			case a.I < b.I:
+				return -1
+			case a.I > b.I:
+				return 1
+			}
+			return 0
+		}
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		}
+		return 0
+	}
+	if a.K != b.K {
+		if a.K < b.K {
+			return -1
+		}
+		return 1
+	}
+	switch a.K {
+	case KindString:
+		switch {
+		case a.S < b.S:
+			return -1
+		case a.S > b.S:
+			return 1
+		}
+		return 0
+	case KindBool:
+		switch {
+		case a.I < b.I:
+			return -1
+		case a.I > b.I:
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// Equal reports whether two values compare equal.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Hash returns a hash of the value consistent with Equal (numeric
+// values hash by their float64 widening so 1 and 1.0 collide, matching
+// Compare).
+func (v Value) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [9]byte
+	switch v.K {
+	case KindNull:
+		buf[0] = 0
+		h.Write(buf[:1])
+	case KindInt, KindFloat:
+		buf[0] = 1
+		binary.LittleEndian.PutUint64(buf[1:], math.Float64bits(v.AsFloat()))
+		h.Write(buf[:9])
+	case KindString:
+		buf[0] = 2
+		h.Write(buf[:1])
+		h.Write([]byte(v.S))
+	case KindBool:
+		buf[0] = 3
+		buf[1] = byte(v.I)
+		h.Write(buf[:2])
+	}
+	return h.Sum64()
+}
+
+// String renders the value for display and EXPLAIN output.
+func (v Value) String() string {
+	switch v.K {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.S)
+	case KindBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	}
+	return "?"
+}
+
+// Row is one record: a dense slice of cells matching a table schema.
+type Row []Value
+
+// Clone returns a deep-enough copy of the row (Values are value types;
+// strings share backing storage, which is safe because Values are
+// immutable by convention).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
