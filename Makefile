@@ -1,0 +1,35 @@
+# DrugTree build & verification entry points.
+#
+# `make check` is the default gate: vet + full test suite + the race
+# detector over the packages with concurrent execution paths (the
+# parallel query executor and the engine that serves it).
+
+GO ?= go
+
+.PHONY: all build test race vet bench check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel executor's thread-safety certificate: differential,
+# cancellation, and stress tests under the race detector.
+race:
+	$(GO) test -race ./internal/query/... ./internal/core/...
+
+vet:
+	$(GO) vet ./...
+
+# Parallel-executor microbenchmarks plus the experiment tables.
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkParallel' -benchmem ./internal/query/...
+	$(GO) test -run xxx -bench 'BenchmarkT7Parallelism' -benchmem .
+
+check: vet build test race
+
+clean:
+	$(GO) clean ./...

@@ -6,9 +6,11 @@ package drugtree
 // formatted tables.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net"
+	"runtime"
 	"testing"
 
 	"drugtree/internal/core"
@@ -59,12 +61,12 @@ func BenchmarkT1QueryClasses(b *testing.B) {
 		}{{"Naive", naive}, {"Optimized", opt}} {
 			b.Run(cls.name+"/"+eng.name, func(b *testing.B) {
 				q := cls.mk(eng.e)
-				if _, err := eng.e.Query(q); err != nil {
+				if _, err := eng.e.Query(context.Background(), q); err != nil {
 					b.Fatal(err)
 				}
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, err := eng.e.Query(q); err != nil {
+					if _, err := eng.e.Query(context.Background(), q); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -131,7 +133,7 @@ func BenchmarkT3JoinOrdering(b *testing.B) {
 			e := mk(mode.reorder)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := e.Query(q); err != nil {
+				if _, err := e.Query(context.Background(), q); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -228,7 +230,7 @@ func BenchmarkT6StatementCache(b *testing.B) {
 		WHERE p.family = 'FAM01' AND a.affinity >= 7`
 	b.Run("Uncached", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := opt.Query(q); err != nil {
+			if _, err := opt.Query(context.Background(), q); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -244,7 +246,7 @@ func BenchmarkT6StatementCache(b *testing.B) {
 	}
 	b.Run("Cached", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := cached.Query(q); err != nil {
+			if _, err := cached.Query(context.Background(), q); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -289,12 +291,12 @@ func BenchmarkF1SubtreeScaling(b *testing.B) {
 					}
 				}
 				q := fmt.Sprintf("SELECT pre FROM tree_nodes WHERE WITHIN_SUBTREE(pre, '%s')", clade)
-				if _, err := e.Query(q); err != nil {
+				if _, err := e.Query(context.Background(), q); err != nil {
 					b.Fatal(err)
 				}
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, err := e.Query(q); err != nil {
+					if _, err := e.Query(context.Background(), q); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -316,11 +318,11 @@ func BenchmarkF2Session(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				node := trace[i%len(trace)]
-				if _, _, err := e.OpenSubtree(node); err != nil {
+				if _, _, err := e.OpenSubtree(context.Background(), node); err != nil {
 					b.Fatal(err)
 				}
 				if fc.Prefetch {
-					e.RunPrefetch()
+					e.RunPrefetch(context.Background())
 				}
 			}
 		})
@@ -342,7 +344,7 @@ func BenchmarkF3Strategies(b *testing.B) {
 			clientConn, serverConn := net.Pipe()
 			defer clientConn.Close()
 			defer serverConn.Close()
-			go server.ServeConn(serverConn)
+			go server.ServeConn(context.Background(), serverConn)
 			c, err := mobile.Dial(clientConn, strat, 100)
 			if err != nil {
 				b.Fatal(err)
@@ -381,5 +383,53 @@ func BenchmarkF4Ablation(b *testing.B) {
 			b.ReportMetric(float64(last.Mean().Microseconds())/1e3, "ms-mean-3G")
 			b.ReportMetric(float64(last.Percentile(0.99).Microseconds())/1e3, "ms-p99-3G")
 		})
+	}
+}
+
+// --- T7: parallel execution (serial vs morsel-driven workers) ---
+
+// BenchmarkT7Parallelism compares the serial executor (Parallelism: 1)
+// against morsel-driven execution at 2 and GOMAXPROCS workers over the
+// heavy query classes the parallel operators target: residual scans,
+// hash joins, and grouped aggregation. On a single-core runner the
+// variants collapse to roughly serial cost; the speedup claim is
+// evaluated on multi-core hardware.
+func BenchmarkT7Parallelism(b *testing.B) {
+	workerCounts := []int{1, 2}
+	if p := runtime.GOMAXPROCS(0); p > 2 {
+		workerCounts = append(workerCounts, p)
+	}
+	queries := []struct {
+		name string
+		q    string
+	}{
+		{"Scan", "SELECT protein_id, affinity FROM activities WHERE affinity > 5.5 AND assay != 'x'"},
+		{"Join", `SELECT p.accession, a.ligand_id FROM proteins p
+			JOIN activities a ON p.accession = a.protein_id WHERE a.affinity > 6`},
+		{"Aggregate", "SELECT protein_id, COUNT(*), AVG(affinity) FROM activities GROUP BY protein_id"},
+	}
+	for _, workers := range workerCounts {
+		cfg := core.DefaultConfig()
+		cfg.Method = core.TreeNJKmer
+		cfg.CacheBytes = 0
+		cfg.QueryOptions.Parallelism = workers
+		cfg.QueryOptions.UseIndexes = false
+		e, err := experiments.EngineWithConfig(1, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, qc := range queries {
+			b.Run(fmt.Sprintf("%s/workers=%d", qc.name, workers), func(b *testing.B) {
+				if _, err := e.Query(context.Background(), qc.q); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := e.Query(context.Background(), qc.q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }

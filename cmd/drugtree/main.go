@@ -13,9 +13,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"drugtree/internal/core"
@@ -27,11 +29,18 @@ import (
 	"drugtree/internal/store"
 )
 
+// rootCtx is cancelled on SIGINT so a Ctrl-C aborts a running query
+// instead of waiting for it to finish.
+var rootCtx = context.Background()
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	rootCtx = ctx
 	var err error
 	switch os.Args[1] {
 	case "init":
@@ -79,7 +88,7 @@ func cmdCrumbs(args []string) error {
 		return err
 	}
 	defer db.Close()
-	crumbs, err := eng.Breadcrumbs(*node)
+	crumbs, err := eng.Breadcrumbs(rootCtx, *node)
 	if err != nil {
 		return err
 	}
@@ -105,7 +114,7 @@ func cmdSimilar(args []string) error {
 		return err
 	}
 	defer db.Close()
-	hits, err := eng.SimilarLigands(*smiles, *k, *threshold)
+	hits, err := eng.SimilarLigands(rootCtx, *smiles, *k, *threshold)
 	if err != nil {
 		return err
 	}
@@ -199,7 +208,7 @@ func cmdQuery(args []string) error {
 		return err
 	}
 	defer db.Close()
-	res, err := eng.Query(fs.Arg(0))
+	res, err := eng.Query(rootCtx, fs.Arg(0))
 	if err != nil {
 		return err
 	}
@@ -240,11 +249,11 @@ func cmdTop(args []string) error {
 		return err
 	}
 	defer db.Close()
-	hits, err := eng.TopLigands(*node, *k, 1)
+	hits, err := eng.TopLigands(rootCtx, *node, *k, 1)
 	if err != nil {
 		return err
 	}
-	sum, err := eng.SubtreeActivity(*node)
+	sum, err := eng.SubtreeActivity(rootCtx, *node)
 	if err != nil {
 		return err
 	}

@@ -54,7 +54,7 @@ func newMux(eng *core.Engine) *http.ServeMux {
 			http.Error(w, "missing q parameter", http.StatusBadRequest)
 			return
 		}
-		res, err := eng.Query(q)
+		res, err := eng.Query(r.Context(), q)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
@@ -80,7 +80,7 @@ func newMux(eng *core.Engine) *http.ServeMux {
 			http.Error(w, "missing node parameter", http.StatusBadRequest)
 			return
 		}
-		crumbs, err := eng.Breadcrumbs(node)
+		crumbs, err := eng.Breadcrumbs(r.Context(), node)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusNotFound)
 			return
@@ -94,7 +94,7 @@ func newMux(eng *core.Engine) *http.ServeMux {
 			http.Error(w, "missing node parameter", http.StatusBadRequest)
 			return
 		}
-		sum, err := eng.SubtreeActivity(node)
+		sum, err := eng.SubtreeActivity(r.Context(), node)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusNotFound)
 			return

@@ -16,12 +16,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 
 	"drugtree/internal/core"
 	"drugtree/internal/datagen"
@@ -43,6 +45,9 @@ func main() {
 	httpAddr := flag.String("http", ":8047", "HTTP listen address")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	eng, cleanup, err := buildEngine(*dir, *generate, *seed, *families, *perFamily, *ligands)
 	if err != nil {
 		log.Fatal(err)
@@ -58,7 +63,7 @@ func main() {
 	}
 	log.Printf("wire protocol on %s", l.Addr())
 	go func() {
-		if err := server.Serve(l); err != nil {
+		if err := server.Serve(ctx, l); err != nil {
 			log.Printf("wire server stopped: %v", err)
 		}
 	}()

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -83,7 +84,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sum, err := eng.SubtreeActivity(eng.Root().Name)
+	sum, err := eng.SubtreeActivity(context.Background(), eng.Root().Name)
 	if err != nil {
 		log.Fatal(err)
 	}

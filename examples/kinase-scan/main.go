@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -47,7 +48,7 @@ func main() {
 
 	// Pick the lead compound: the ligand with the single strongest
 	// measured affinity anywhere in the screen.
-	res, err := eng.Query(`SELECT ligand_id, MAX(affinity) AS best FROM activities
+	res, err := eng.Query(context.Background(), `SELECT ligand_id, MAX(affinity) AS best FROM activities
 		GROUP BY ligand_id ORDER BY best DESC LIMIT 1`)
 	if err != nil {
 		log.Fatal(err)
@@ -56,7 +57,7 @@ func main() {
 	fmt.Printf("lead compound: %s (best pKd %.2f)\n\n", lead, res.Rows[0][1].AsFloat())
 
 	// Which clades are enriched for binders of the lead?
-	clades, err := eng.FamilyEnrichment(lead, 6, 5)
+	clades, err := eng.FamilyEnrichment(context.Background(), lead, 6, 5)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func main() {
 	// they bind (selectivity risk).
 	best := clades[0].Clade
 	fmt.Printf("\ndrilling into %s:\n", best)
-	hits, err := eng.TopLigands(best, 5, 1)
+	hits, err := eng.TopLigands(context.Background(), best, 5, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -88,11 +89,11 @@ func main() {
 
 	// Chemical neighborhood of the lead: analogues in the screen by
 	// Tanimoto similarity (the scaffold-hopping question).
-	leadRow, err := eng.Query(fmt.Sprintf("SELECT smiles FROM ligands WHERE ligand_id = '%s'", lead))
+	leadRow, err := eng.Query(context.Background(), fmt.Sprintf("SELECT smiles FROM ligands WHERE ligand_id = '%s'", lead))
 	if err != nil {
 		log.Fatal(err)
 	}
-	analogues, err := eng.SimilarLigands(leadRow.Rows[0][0].S, 4, 0.2)
+	analogues, err := eng.SimilarLigands(context.Background(), leadRow.Rows[0][0].S, 4, 0.2)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func main() {
 	}
 
 	// Cross-source profile of one member protein.
-	leaves, _, err := eng.OpenSubtree(best)
+	leaves, _, err := eng.OpenSubtree(context.Background(), best)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func main() {
 			break
 		}
 	}
-	prof, err := eng.ProteinProfile(member)
+	prof, err := eng.ProteinProfile(context.Background(), member)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -69,7 +70,7 @@ func main() {
 		link := netsim.NewLink(profile, 1, false)
 		clientConn, serverConn := netsim.Pipe(link)
 		server := mobile.NewServer(eng)
-		go server.ServeConn(serverConn)
+		go server.ServeConn(context.Background(), serverConn)
 
 		c, err := mobile.Dial(clientConn, strategy, 60)
 		if err != nil {

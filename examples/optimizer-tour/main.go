@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -80,7 +81,7 @@ func main() {
 	fmt.Println()
 	for _, step := range steps {
 		eng := buildEngine(step.opts)
-		res, err := eng.Query(q)
+		res, err := eng.Query(context.Background(), q)
 		if err != nil {
 			log.Fatal(err)
 		}

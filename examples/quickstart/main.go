@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -65,7 +66,7 @@ func main() {
 		 WHERE WITHIN_SUBTREE(pre, '%s') AND is_leaf = TRUE`, eng.Root().Name),
 	} {
 		fmt.Println(">", q)
-		res, err := eng.Query(q)
+		res, err := eng.Query(context.Background(), q)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -74,7 +75,7 @@ func main() {
 	}
 
 	// 5. The overlay API: activity summarized along the phylogeny.
-	sum, err := eng.SubtreeActivity(eng.Root().Name)
+	sum, err := eng.SubtreeActivity(context.Background(), eng.Root().Name)
 	if err != nil {
 		log.Fatal(err)
 	}

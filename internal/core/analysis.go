@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 )
 
@@ -18,12 +19,12 @@ type ActivitySummary struct {
 
 // SubtreeActivity computes the activity summary under the named node
 // through the DTQL engine (exercising the subtree rewrite + joins).
-func (e *Engine) SubtreeActivity(nodeName string) (*ActivitySummary, error) {
+func (e *Engine) SubtreeActivity(ctx context.Context, nodeName string) (*ActivitySummary, error) {
 	id, err := e.NodeByName(nodeName)
 	if err != nil {
 		return nil, err
 	}
-	res, err := e.Query(fmt.Sprintf(
+	res, err := e.Query(ctx, fmt.Sprintf(
 		`SELECT COUNT(*) AS n, AVG(a.affinity) AS mean_aff, MAX(a.affinity) AS max_aff
 		 FROM tree_nodes t
 		 JOIN activities a ON t.name = a.protein_id
@@ -43,7 +44,7 @@ func (e *Engine) SubtreeActivity(nodeName string) (*ActivitySummary, error) {
 		}
 	}
 	// Distinct ligands: count grouped ligand_ids.
-	res2, err := e.Query(fmt.Sprintf(
+	res2, err := e.Query(ctx, fmt.Sprintf(
 		`SELECT a.ligand_id, COUNT(*) FROM tree_nodes t
 		 JOIN activities a ON t.name = a.protein_id
 		 WHERE WITHIN_SUBTREE(t.pre, '%s') AND t.is_leaf = TRUE
@@ -65,11 +66,11 @@ type LigandHit struct {
 
 // TopLigands ranks ligands by mean affinity across the subtree's
 // proteins, strongest first, requiring at least minMeasurements.
-func (e *Engine) TopLigands(nodeName string, k, minMeasurements int) ([]LigandHit, error) {
+func (e *Engine) TopLigands(ctx context.Context, nodeName string, k, minMeasurements int) ([]LigandHit, error) {
 	if _, err := e.NodeByName(nodeName); err != nil {
 		return nil, err
 	}
-	res, err := e.Query(fmt.Sprintf(
+	res, err := e.Query(ctx, fmt.Sprintf(
 		`SELECT a.ligand_id AS lig, COUNT(*) AS n, AVG(a.affinity) AS mean_aff, MAX(a.affinity) AS max_aff
 		 FROM tree_nodes t
 		 JOIN activities a ON t.name = a.protein_id
@@ -111,8 +112,8 @@ type ProteinProfile struct {
 
 // ProteinProfile gathers the cross-source profile of one protein (the
 // three-source integration query class).
-func (e *Engine) ProteinProfile(accession string) (*ProteinProfile, error) {
-	res, err := e.Query(fmt.Sprintf(
+func (e *Engine) ProteinProfile(ctx context.Context, accession string) (*ProteinProfile, error) {
+	res, err := e.Query(ctx, fmt.Sprintf(
 		`SELECT p.accession, p.family, n.organism, n.ec
 		 FROM proteins p JOIN annotations n ON p.accession = n.protein_id
 		 WHERE p.accession = '%s'`, accession))
@@ -124,7 +125,7 @@ func (e *Engine) ProteinProfile(accession string) (*ProteinProfile, error) {
 	}
 	r := res.Rows[0]
 	out := &ProteinProfile{Accession: r[0].S, Family: r[1].S, Organism: r[2].S, EC: r[3].S}
-	res2, err := e.Query(fmt.Sprintf(
+	res2, err := e.Query(ctx, fmt.Sprintf(
 		`SELECT a.ligand_id, a.affinity FROM activities a
 		 WHERE a.protein_id = '%s' ORDER BY a.affinity DESC`, accession))
 	if err != nil {
@@ -149,11 +150,11 @@ type SimilarLigand struct {
 // query structure, strongest first, returning up to k hits with
 // similarity ≥ threshold. It runs through DTQL so the TANIMOTO
 // operator, top-k execution, and caching all apply.
-func (e *Engine) SimilarLigands(smiles string, k int, threshold float64) ([]SimilarLigand, error) {
+func (e *Engine) SimilarLigands(ctx context.Context, smiles string, k int, threshold float64) ([]SimilarLigand, error) {
 	if k <= 0 {
 		k = 10
 	}
-	res, err := e.Query(fmt.Sprintf(
+	res, err := e.Query(ctx, fmt.Sprintf(
 		`SELECT ligand_id, smiles, TANIMOTO(smiles, '%s') AS sim
 		 FROM ligands
 		 WHERE TANIMOTO(smiles, '%s') >= %g
@@ -183,7 +184,7 @@ type EnrichedClade struct {
 }
 
 // FamilyEnrichment ranks clades by mean affinity for the ligand.
-func (e *Engine) FamilyEnrichment(ligandID string, maxDepth, topK int) ([]EnrichedClade, error) {
+func (e *Engine) FamilyEnrichment(ctx context.Context, ligandID string, maxDepth, topK int) ([]EnrichedClade, error) {
 	var out []EnrichedClade
 	for i := 0; i < e.tree.Len(); i++ {
 		id := e.tree.NodeAtPre(i)
@@ -191,7 +192,7 @@ func (e *Engine) FamilyEnrichment(ligandID string, maxDepth, topK int) ([]Enrich
 		if n.IsLeaf() || e.tree.Depth(id) > maxDepth {
 			continue
 		}
-		res, err := e.Query(fmt.Sprintf(
+		res, err := e.Query(ctx, fmt.Sprintf(
 			`SELECT COUNT(*) AS n, AVG(a.affinity) AS mean_aff
 			 FROM tree_nodes t JOIN activities a ON t.name = a.protein_id
 			 WHERE WITHIN_SUBTREE(t.pre, '%s') AND t.is_leaf = TRUE AND a.ligand_id = '%s'`,

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -323,8 +324,10 @@ func (e *Engine) NodeByName(name string) (phylo.NodeID, error) {
 
 // Query runs a DTQL statement through the engine's optimizer
 // settings, consulting the statement cache first when enabled. The
-// returned result must be treated as immutable.
-func (e *Engine) Query(src string) (*query.Result, error) {
+// returned result must be treated as immutable. The context cancels
+// mid-flight execution — a client that navigates away mid-query
+// aborts the work instead of waiting it out.
+func (e *Engine) Query(ctx context.Context, src string) (*query.Result, error) {
 	start := time.Now()
 	var version int64
 	if e.stmtCache != nil {
@@ -336,7 +339,7 @@ func (e *Engine) Query(src string) (*query.Result, error) {
 		}
 		e.Metrics.Counter("query.stmt_cache_misses").Inc()
 	}
-	res, err := e.sql.Query(src)
+	res, err := e.sql.Query(ctx, src)
 	e.Metrics.Histogram("query.latency").Record(time.Since(start))
 	if err != nil {
 		e.Metrics.Counter("query.errors").Inc()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -97,7 +98,7 @@ func TestNodeByName(t *testing.T) {
 func TestOpenSubtreeAndCache(t *testing.T) {
 	e := buildEngine(t, DefaultConfig())
 	rootName := e.Root().Name
-	views, cached, err := e.OpenSubtree(rootName)
+	views, cached, err := e.OpenSubtree(context.Background(), rootName)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestOpenSubtreeAndCache(t *testing.T) {
 		t.Fatalf("root subtree = %d nodes, want %d", len(views), e.Tree().Len())
 	}
 	// Second open hits the cache.
-	_, cached, err = e.OpenSubtree(rootName)
+	_, cached, err = e.OpenSubtree(context.Background(), rootName)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestOpenSubtreeAndCache(t *testing.T) {
 	if len(children) == 0 {
 		t.Fatal("root has no children")
 	}
-	_, cached, err = e.OpenSubtree(children[0].Name)
+	_, cached, err = e.OpenSubtree(context.Background(), children[0].Name)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,8 +141,8 @@ func TestOpenSubtreeNoCacheConfig(t *testing.T) {
 	cfg.CacheBytes = 0
 	e := buildEngine(t, cfg)
 	name := e.Root().Name
-	e.OpenSubtree(name)
-	_, cached, err := e.OpenSubtree(name)
+	e.OpenSubtree(context.Background(), name)
+	_, cached, err := e.OpenSubtree(context.Background(), name)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,15 +159,15 @@ func TestPrefetchWarmsCache(t *testing.T) {
 		t.Skip("root too narrow for the prefetch scenario")
 	}
 	// Visit a child (not the root, whose entry would subsume all).
-	_, _, err := e.OpenSubtree(children[0].Name)
+	_, _, err := e.OpenSubtree(context.Background(), children[0].Name)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n := e.RunPrefetch(); n == 0 {
+	if n := e.RunPrefetch(context.Background()); n == 0 {
 		t.Fatal("prefetch did nothing")
 	}
 	// The sibling should now be cached.
-	_, cached, err := e.OpenSubtree(children[1].Name)
+	_, cached, err := e.OpenSubtree(context.Background(), children[1].Name)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,8 +180,8 @@ func TestPrefetchDisabled(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.EnablePrefetch = false
 	e := buildEngine(t, cfg)
-	e.OpenSubtree(e.Root().Name)
-	if n := e.RunPrefetch(); n != 0 {
+	e.OpenSubtree(context.Background(), e.Root().Name)
+	if n := e.RunPrefetch(context.Background()); n != 0 {
 		t.Fatalf("prefetch ran while disabled: %d", n)
 	}
 }
@@ -188,7 +189,7 @@ func TestPrefetchDisabled(t *testing.T) {
 func TestSubtreeActivity(t *testing.T) {
 	e := buildEngine(t, DefaultConfig())
 	rootName := e.Root().Name
-	sum, err := e.SubtreeActivity(rootName)
+	sum, err := e.SubtreeActivity(context.Background(), rootName)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestSubtreeActivity(t *testing.T) {
 
 func TestSubtreeActivityOnLeaf(t *testing.T) {
 	e := buildEngine(t, DefaultConfig())
-	sum, err := e.SubtreeActivity("DT00000")
+	sum, err := e.SubtreeActivity(context.Background(), "DT00000")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +223,7 @@ func TestSubtreeActivityOnLeaf(t *testing.T) {
 
 func TestTopLigands(t *testing.T) {
 	e := buildEngine(t, DefaultConfig())
-	hits, err := e.TopLigands(e.Root().Name, 5, 1)
+	hits, err := e.TopLigands(context.Background(), e.Root().Name, 5, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,14 +235,14 @@ func TestTopLigands(t *testing.T) {
 			t.Fatalf("hits not sorted by mean affinity: %v", hits)
 		}
 	}
-	if _, err := e.TopLigands("nope", 5, 1); err == nil {
+	if _, err := e.TopLigands(context.Background(), "nope", 5, 1); err == nil {
 		t.Fatal("missing node accepted")
 	}
 }
 
 func TestProteinProfile(t *testing.T) {
 	e := buildEngine(t, DefaultConfig())
-	p, err := e.ProteinProfile("DT00003")
+	p, err := e.ProteinProfile(context.Background(), "DT00003")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func TestProteinProfile(t *testing.T) {
 			t.Fatal("activities not sorted")
 		}
 	}
-	if _, err := e.ProteinProfile("nope"); err == nil {
+	if _, err := e.ProteinProfile(context.Background(), "nope"); err == nil {
 		t.Fatal("missing protein accepted")
 	}
 }
@@ -261,12 +262,12 @@ func TestProteinProfile(t *testing.T) {
 func TestFamilyEnrichment(t *testing.T) {
 	e := buildEngine(t, DefaultConfig())
 	// Find a ligand that actually has activity.
-	res, err := e.Query("SELECT ligand_id, COUNT(*) FROM activities GROUP BY ligand_id ORDER BY COUNT(*) DESC LIMIT 1")
+	res, err := e.Query(context.Background(), "SELECT ligand_id, COUNT(*) FROM activities GROUP BY ligand_id ORDER BY COUNT(*) DESC LIMIT 1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	lig := res.Rows[0][0].S
-	clades, err := e.FamilyEnrichment(lig, 5, 3)
+	clades, err := e.FamilyEnrichment(context.Background(), lig, 5, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,11 +291,11 @@ func TestNaiveAndOptimizedEngineAgree(t *testing.T) {
 	opt := buildEngine(t, optCfg)
 	naive := buildEngine(t, naiveCfg)
 	// Same seed → same tree → same answers.
-	oSum, err := opt.SubtreeActivity(opt.Root().Name)
+	oSum, err := opt.SubtreeActivity(context.Background(), opt.Root().Name)
 	if err != nil {
 		t.Fatal(err)
 	}
-	nSum, err := naive.SubtreeActivity(naive.Root().Name)
+	nSum, err := naive.SubtreeActivity(context.Background(), naive.Root().Name)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,12 +309,12 @@ func TestNaiveAndOptimizedEngineAgree(t *testing.T) {
 
 func TestResetSession(t *testing.T) {
 	e := buildEngine(t, DefaultConfig())
-	e.OpenSubtree(e.Root().Name)
+	e.OpenSubtree(context.Background(), e.Root().Name)
 	e.ResetSession()
 	if e.CacheStats().Hits != 0 {
 		t.Fatal("reset did not clear stats")
 	}
-	_, cached, _ := e.OpenSubtree(e.Root().Name)
+	_, cached, _ := e.OpenSubtree(context.Background(), e.Root().Name)
 	if cached {
 		t.Fatal("cache survived reset")
 	}
@@ -345,7 +346,7 @@ func TestEnginePersistenceRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sum1, err := e1.SubtreeActivity(e1.Root().Name)
+	sum1, err := e1.SubtreeActivity(context.Background(), e1.Root().Name)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,7 +374,7 @@ func TestEnginePersistenceRoundTrip(t *testing.T) {
 	if tab.Len() != rowsBefore {
 		t.Fatalf("tree_nodes grew on reopen: %d → %d", rowsBefore, tab.Len())
 	}
-	sum2, err := e2.SubtreeActivity(e2.Root().Name)
+	sum2, err := e2.SubtreeActivity(context.Background(), e2.Root().Name)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -384,7 +385,7 @@ func TestEnginePersistenceRoundTrip(t *testing.T) {
 
 func TestBreadcrumbs(t *testing.T) {
 	e := buildEngine(t, DefaultConfig())
-	crumbs, err := e.Breadcrumbs("DT00005")
+	crumbs, err := e.Breadcrumbs(context.Background(), "DT00005")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -405,7 +406,7 @@ func TestBreadcrumbs(t *testing.T) {
 			t.Fatalf("crumb %d not child of previous", i)
 		}
 	}
-	if _, err := e.Breadcrumbs("missing"); err == nil {
+	if _, err := e.Breadcrumbs(context.Background(), "missing"); err == nil {
 		t.Fatal("missing node accepted")
 	}
 }
@@ -414,12 +415,12 @@ func TestSimilarLigands(t *testing.T) {
 	e := buildEngine(t, DefaultConfig())
 	// Use one of the dataset's own ligands as the query: it must rank
 	// itself first with similarity 1.
-	res, err := e.Query("SELECT smiles FROM ligands LIMIT 1")
+	res, err := e.Query(context.Background(), "SELECT smiles FROM ligands LIMIT 1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	probe := res.Rows[0][0].S
-	hits, err := e.SimilarLigands(probe, 5, 0.0)
+	hits, err := e.SimilarLigands(context.Background(), probe, 5, 0.0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -435,7 +436,7 @@ func TestSimilarLigands(t *testing.T) {
 		}
 	}
 	// Threshold trims the tail.
-	strict, err := e.SimilarLigands(probe, 50, 0.999)
+	strict, err := e.SimilarLigands(context.Background(), probe, 50, 0.999)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -445,7 +446,7 @@ func TestSimilarLigands(t *testing.T) {
 		}
 	}
 	// Garbage query structure errors.
-	if _, err := e.SimilarLigands("((((", 5, 0); err == nil {
+	if _, err := e.SimilarLigands(context.Background(), "((((", 5, 0); err == nil {
 		t.Fatal("invalid SMILES accepted")
 	}
 }
@@ -463,7 +464,7 @@ func TestEngineWithSyntheticTopology(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	views, _, err := e.OpenSubtree(e.Root().Name)
+	views, _, err := e.OpenSubtree(context.Background(), e.Root().Name)
 	if err != nil {
 		t.Fatal(err)
 	}

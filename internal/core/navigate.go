@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -44,7 +45,7 @@ var treeCacheKey = cache.Key{Relation: TreeTable, RangeCol: "pre", Residual: ""}
 // node, serving from the semantic cache when possible and recording
 // the visit for the prefetcher. cached reports whether the cache
 // answered.
-func (e *Engine) OpenSubtree(nodeName string) (views []NodeView, cached bool, err error) {
+func (e *Engine) OpenSubtree(ctx context.Context, nodeName string) (views []NodeView, cached bool, err error) {
 	id, err := e.NodeByName(nodeName)
 	if err != nil {
 		return nil, false, err
@@ -54,7 +55,7 @@ func (e *Engine) OpenSubtree(nodeName string) (views []NodeView, cached bool, er
 		e.Metrics.Histogram("navigate.latency").Record(time.Since(start))
 	}()
 	e.prefetcher.RecordVisit(id)
-	rows, hit, err := e.subtreeRows(id)
+	rows, hit, err := e.subtreeRows(ctx, id)
 	if err != nil {
 		return nil, false, err
 	}
@@ -72,7 +73,7 @@ func (e *Engine) OpenSubtree(nodeName string) (views []NodeView, cached bool, er
 
 // subtreeRows fetches the tree_nodes rows of a subtree through the
 // cache.
-func (e *Engine) subtreeRows(id phylo.NodeID) ([]store.Row, bool, error) {
+func (e *Engine) subtreeRows(ctx context.Context, id phylo.NodeID) ([]store.Row, bool, error) {
 	lo, hi := e.tree.SubtreeInterval(id)
 	tab, err := e.db.Table(TreeTable)
 	if err != nil {
@@ -85,7 +86,7 @@ func (e *Engine) subtreeRows(id phylo.NodeID) ([]store.Row, bool, error) {
 		}
 	}
 	start := time.Now()
-	res, err := e.Query(fmt.Sprintf(
+	res, err := e.Query(ctx, fmt.Sprintf(
 		"SELECT pre, name, parent_pre, depth, is_leaf, branch_length, root_dist, leaf_count, x, y FROM %s WHERE pre BETWEEN %d AND %d",
 		TreeTable, lo, hi))
 	if err != nil {
@@ -106,7 +107,7 @@ func (e *Engine) subtreeRows(id phylo.NodeID) ([]store.Row, bool, error) {
 // the cache. It returns the number of subtrees prefetched. The server
 // calls this in the background after answering each interaction; the
 // experiments call it synchronously for determinism.
-func (e *Engine) RunPrefetch() int {
+func (e *Engine) RunPrefetch(ctx context.Context) int {
 	if !e.cfg.EnablePrefetch || e.cache == nil {
 		return 0
 	}
@@ -122,7 +123,7 @@ func (e *Engine) RunPrefetch() int {
 		if _, _, ok := e.cache.Get(treeCacheKey, int64(lo), int64(hi), tab.Version()); ok {
 			continue
 		}
-		if _, _, err := e.subtreeRows(id); err == nil {
+		if _, _, err := e.subtreeRows(ctx, id); err == nil {
 			n++
 			e.Metrics.Counter("prefetch.executed").Inc()
 		}
@@ -186,11 +187,11 @@ func (e *Engine) Root() NodeView {
 // Breadcrumbs returns the path from the root to the named node
 // (inclusive, root first) through the DTQL engine's ANCESTOR_OF
 // operator — the query behind the mobile client's breadcrumb bar.
-func (e *Engine) Breadcrumbs(nodeName string) ([]NodeView, error) {
+func (e *Engine) Breadcrumbs(ctx context.Context, nodeName string) ([]NodeView, error) {
 	if _, err := e.NodeByName(nodeName); err != nil {
 		return nil, err
 	}
-	res, err := e.Query(fmt.Sprintf(
+	res, err := e.Query(ctx, fmt.Sprintf(
 		"SELECT pre, name, parent_pre, depth, is_leaf, branch_length, root_dist, leaf_count, x, y FROM %s WHERE ANCESTOR_OF(pre, '%s') ORDER BY depth",
 		TreeTable, nodeName))
 	if err != nil {

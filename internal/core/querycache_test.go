@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -12,11 +13,11 @@ func TestStatementCacheHitsOnRepeat(t *testing.T) {
 	cfg.QueryCacheEntries = 16
 	e := buildEngine(t, cfg)
 	q := "SELECT family, COUNT(*) FROM proteins GROUP BY family ORDER BY family"
-	r1, err := e.Query(q)
+	r1, err := e.Query(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := e.Query(q)
+	r2, err := e.Query(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestStatementCacheInvalidatedByWrite(t *testing.T) {
 	cfg.QueryCacheEntries = 16
 	e := buildEngine(t, cfg)
 	q := "SELECT COUNT(*) FROM ligands"
-	r1, err := e.Query(q)
+	r1, err := e.Query(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestStatementCacheInvalidatedByWrite(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	r2, err := e.Query(q)
+	r2, err := e.Query(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestStatementCacheLRUEviction(t *testing.T) {
 		"SELECT COUNT(*) FROM activities",
 	}
 	for _, q := range queries {
-		if _, err := e.Query(q); err != nil {
+		if _, err := e.Query(context.Background(), q); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -79,14 +80,14 @@ func TestStatementCacheLRUEviction(t *testing.T) {
 	}
 	// The first statement was evicted: querying it misses.
 	before := e.Metrics.Counter("query.stmt_cache_hits").Value()
-	if _, err := e.Query(queries[0]); err != nil {
+	if _, err := e.Query(context.Background(), queries[0]); err != nil {
 		t.Fatal(err)
 	}
 	if e.Metrics.Counter("query.stmt_cache_hits").Value() != before {
 		t.Fatal("evicted statement hit")
 	}
 	// The most recent one still hits.
-	if _, err := e.Query(queries[2]); err != nil {
+	if _, err := e.Query(context.Background(), queries[2]); err != nil {
 		t.Fatal(err)
 	}
 	if e.Metrics.Counter("query.stmt_cache_hits").Value() != before+1 {
@@ -97,8 +98,8 @@ func TestStatementCacheLRUEviction(t *testing.T) {
 func TestStatementCacheDisabledByDefault(t *testing.T) {
 	e := buildEngine(t, DefaultConfig())
 	q := "SELECT COUNT(*) FROM proteins"
-	r1, _ := e.Query(q)
-	r2, _ := e.Query(q)
+	r1, _ := e.Query(context.Background(), q)
+	r2, _ := e.Query(context.Background(), q)
 	if r1 == r2 {
 		t.Fatal("statement cache active without opt-in")
 	}
@@ -109,7 +110,7 @@ func TestStatementCacheClearedByResetSession(t *testing.T) {
 	cfg.QueryCacheEntries = 8
 	e := buildEngine(t, cfg)
 	q := "SELECT COUNT(*) FROM proteins"
-	e.Query(q)
+	e.Query(context.Background(), q)
 	e.ResetSession()
 	if e.stmtCache.len() != 0 {
 		t.Fatal("reset did not clear the statement cache")
@@ -125,7 +126,7 @@ func TestStatementCacheConcurrentAccess(t *testing.T) {
 		go func(g int) {
 			for i := 0; i < 50; i++ {
 				q := fmt.Sprintf("SELECT COUNT(*) FROM proteins WHERE family = 'FAM%d'", i%3)
-				if _, err := e.Query(q); err != nil {
+				if _, err := e.Query(context.Background(), q); err != nil {
 					done <- err
 					return
 				}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"drugtree/internal/datagen"
+	"drugtree/internal/integrate"
+	"drugtree/internal/netsim"
+	"drugtree/internal/query"
+	"drugtree/internal/source"
+	"drugtree/internal/store"
+)
+
+// TestConcurrentQueriesDuringResync hammers one engine from many
+// goroutines while the importer re-syncs the source tables — the
+// server's steady state when a background refresh lands mid-session.
+// Run under -race this is the executor's thread-safety certificate:
+// parallel scans share row snapshots with writers, ExecStats counters
+// are updated from worker pools, and the statement cache is off so
+// every query truly executes.
+func TestConcurrentQueriesDuringResync(t *testing.T) {
+	gen := datagen.DefaultConfig()
+	gen.NumFamilies = 3
+	gen.ProteinsPerFamily = 8
+	gen.NumLigands = 15
+	gen.ActivityDensity = 0.5
+	ds, err := datagen.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := store.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	bundle := source.NewBundle(ds, netsim.ProfileLAN, 5, true)
+	importer := integrate.NewImporter(db, bundle)
+	if _, err := importer.ImportAll(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.QueryOptions.Parallelism = 4 // force parallel operators even on 1 CPU
+	e, err := New(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{
+		"SELECT COUNT(*) FROM proteins",
+		"SELECT family, COUNT(*), AVG(length) FROM proteins GROUP BY family",
+		"SELECT p.accession, a.ligand_id FROM proteins p JOIN activities a ON p.accession = a.protein_id WHERE a.affinity > 6",
+		"SELECT protein_id, COUNT(DISTINCT ligand_id) FROM activities GROUP BY protein_id",
+		"SELECT name FROM tree_nodes WHERE is_leaf = TRUE ORDER BY name LIMIT 5",
+	}
+
+	const (
+		workers      = 8
+		perWorker    = 25
+		resyncRounds = 10
+	)
+	var (
+		wg       sync.WaitGroup
+		ran      int64
+		firstErr atomic.Value
+	)
+	stop := make(chan struct{})
+	// Re-sync loop: the importer is idempotent, so each round rewrites
+	// the same logical rows while readers are mid-scan.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < resyncRounds; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := importer.ImportAll(); err != nil {
+				firstErr.Store(fmt.Errorf("resync: %w", err))
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				q := queries[(w+i)%len(queries)]
+				if _, err := e.Query(context.Background(), q); err != nil {
+					firstErr.Store(fmt.Errorf("worker %d: %q: %w", w, q, err))
+					return
+				}
+				atomic.AddInt64(&ran, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		t.Fatal(err)
+	}
+	if ran != workers*perWorker {
+		t.Fatalf("ran %d queries, want %d", ran, workers*perWorker)
+	}
+}
+
+// TestQueryCancellationThroughCore verifies the context threads all
+// the way from the core API into the executor.
+func TestQueryCancellationThroughCore(t *testing.T) {
+	e := buildEngine(t, DefaultConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := e.Query(ctx, "SELECT COUNT(*) FROM proteins")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Navigation APIs share the same path.
+	if _, err := e.Breadcrumbs(ctx, e.Root().Name); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Breadcrumbs err = %v, want context.Canceled", err)
+	}
+}
+
+// TestParallelMatchesSerialThroughCore runs the analysis layer's
+// query shapes under both executors via core engines sharing one
+// database, pinning end-to-end equivalence above the query package.
+func TestParallelMatchesSerialThroughCore(t *testing.T) {
+	serialCfg := DefaultConfig()
+	serialCfg.QueryOptions.Parallelism = 1
+	serialCfg.CacheBytes = 0
+	e := buildEngine(t, serialCfg)
+
+	parallelOpts := query.DefaultOptions()
+	parallelOpts.Parallelism = 4
+	par := query.NewEngine(query.NewDBCatalog(e.DB(), e.Tree()), parallelOpts)
+
+	queries := []string{
+		"SELECT family, COUNT(*), AVG(length) FROM proteins GROUP BY family",
+		`SELECT p.family, COUNT(*), AVG(a.affinity) FROM proteins p
+		 JOIN activities a ON p.accession = a.protein_id GROUP BY p.family`,
+		"SELECT COUNT(*) FROM tree_nodes WHERE is_leaf = TRUE",
+	}
+	for _, q := range queries {
+		sres, err := e.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("serial %q: %v", q, err)
+		}
+		pres, err := par.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("parallel %q: %v", q, err)
+		}
+		if len(sres.Rows) != len(pres.Rows) {
+			t.Fatalf("%q: %d vs %d rows", q, len(sres.Rows), len(pres.Rows))
+		}
+		if sres.Plan != pres.Plan {
+			t.Fatalf("%q: plans diverge:\n%s\nvs\n%s", q, sres.Plan, pres.Plan)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -110,7 +111,7 @@ func RunSession(e *core.Engine, trace []string, prefetchAfterEach bool) (*metric
 	hits := 0
 	for _, node := range trace {
 		start := time.Now()
-		_, cached, err := e.OpenSubtree(node)
+		_, cached, err := e.OpenSubtree(context.Background(), node)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -121,7 +122,7 @@ func RunSession(e *core.Engine, trace []string, prefetchAfterEach bool) (*metric
 		if prefetchAfterEach {
 			// Synchronous here so measurements are deterministic; the
 			// production server overlaps it with client think time.
-			e.RunPrefetch()
+			e.RunPrefetch(context.Background())
 		}
 	}
 	return hist, hits, nil

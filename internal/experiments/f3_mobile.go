@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"time"
@@ -28,7 +29,7 @@ func f3Run(e *core.Engine, strategy mobile.Strategy, budget int, opens []string,
 	defer clientConn.Close()
 	defer serverConn.Close()
 	errc := make(chan error, 1)
-	go func() { errc <- server.ServeConn(serverConn) }()
+	go func() { errc <- server.ServeConn(context.Background(), serverConn) }()
 	var c *mobile.Client
 	var err error
 	if compress {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"time"
@@ -99,7 +100,7 @@ func RunF4SessionSplit(leaves int, seed int64, fc F4Config) (total, compute, net
 	defer clientConn.Close()
 	defer serverConn.Close()
 	errc := make(chan error, 1)
-	go func() { errc <- server.ServeConn(serverConn) }()
+	go func() { errc <- server.ServeConn(context.Background(), serverConn) }()
 	c, err := mobile.Dial(clientConn, fc.Strategy, fc.Budget)
 	if err != nil {
 		return nil, nil, nil, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -75,12 +76,12 @@ func t1MidClade(e *core.Engine) string {
 // MeasureQuery runs a query repeatedly and returns the mean latency.
 func MeasureQuery(e *core.Engine, dtql string, reps int) (time.Duration, error) {
 	// Warm once (and validate).
-	if _, err := e.Query(dtql); err != nil {
+	if _, err := e.Query(context.Background(), dtql); err != nil {
 		return 0, err
 	}
 	start := time.Now()
 	for i := 0; i < reps; i++ {
-		if _, err := e.Query(dtql); err != nil {
+		if _, err := e.Query(context.Background(), dtql); err != nil {
 			return 0, err
 		}
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"drugtree/internal/core"
@@ -75,11 +76,11 @@ func RunT3(seed int64) (*Report, error) {
 			return nil, fmt.Errorf("T3 %s ordered: %w", q.name, err)
 		}
 		// Row-level work comparison.
-		rs, err := syn.Query(q.dtql)
+		rs, err := syn.Query(context.Background(), q.dtql)
 		if err != nil {
 			return nil, err
 		}
-		ro, err := ord.Query(q.dtql)
+		ro, err := ord.Query(context.Background(), q.dtql)
 		if err != nil {
 			return nil, err
 		}

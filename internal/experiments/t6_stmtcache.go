@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -29,13 +30,13 @@ func RunT6(seed int64) (*Report, error) {
 	for _, cls := range t1QueryClasses() {
 		q := cls.mk(e)
 		start := time.Now()
-		if _, err := e.Query(q); err != nil {
+		if _, err := e.Query(context.Background(), q); err != nil {
 			return nil, fmt.Errorf("T6 %s: %w", cls.name, err)
 		}
 		first := time.Since(start)
 		start = time.Now()
 		for i := 0; i < repeats; i++ {
-			if _, err := e.Query(q); err != nil {
+			if _, err := e.Query(context.Background(), q); err != nil {
 				return nil, err
 			}
 		}

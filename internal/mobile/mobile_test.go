@@ -3,6 +3,7 @@ package mobile
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"net"
 	"testing"
 	"time"
@@ -254,7 +255,7 @@ func runSession(t *testing.T, e *core.Engine, strategy Strategy, budget int, ope
 	clientConn, serverConn := net.Pipe()
 	done := make(chan error, 1)
 	go func() {
-		done <- server.ServeConn(serverConn)
+		done <- server.ServeConn(context.Background(), serverConn)
 	}()
 	c, err := Dial(clientConn, strategy, budget)
 	if err != nil {
@@ -328,7 +329,7 @@ func TestSessionQuery(t *testing.T) {
 	e := testEngine(t)
 	server := NewServer(e)
 	clientConn, serverConn := net.Pipe()
-	go server.ServeConn(serverConn)
+	go server.ServeConn(context.Background(), serverConn)
 	defer clientConn.Close()
 	c, err := Dial(clientConn, StrategyLOD, 50)
 	if err != nil {
@@ -356,7 +357,7 @@ func TestSessionOpenUnknownNode(t *testing.T) {
 	e := testEngine(t)
 	server := NewServer(e)
 	clientConn, serverConn := net.Pipe()
-	go server.ServeConn(serverConn)
+	go server.ServeConn(context.Background(), serverConn)
 	defer clientConn.Close()
 	c, err := Dial(clientConn, StrategyLOD, 50)
 	if err != nil {
@@ -373,7 +374,7 @@ func TestServerRejectsMissingHello(t *testing.T) {
 	server := NewServer(e)
 	clientConn, serverConn := net.Pipe()
 	done := make(chan error, 1)
-	go func() { done <- server.ServeConn(serverConn) }()
+	go func() { done <- server.ServeConn(context.Background(), serverConn) }()
 	WriteMsg(clientConn, &Open{Node: "x"})
 	r := bufio.NewReader(clientConn)
 	msg, _, err := ReadMsg(r)
@@ -401,7 +402,7 @@ func TestSessionOverShapedLink(t *testing.T) {
 	clientConn, serverConn := netsim.Pipe(link)
 	defer clientConn.Close()
 	defer serverConn.Close()
-	go server.ServeConn(serverConn)
+	go server.ServeConn(context.Background(), serverConn)
 	c, err := Dial(clientConn, StrategyLOD, 25)
 	if err != nil {
 		t.Fatal(err)
@@ -424,7 +425,7 @@ func TestServeOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	go server.Serve(l)
+	go server.Serve(context.Background(), l)
 
 	conn, err := net.Dial("tcp", l.Addr().String())
 	if err != nil {
@@ -477,7 +478,7 @@ func TestCompressedSessionFewerBytes(t *testing.T) {
 		clientConn, serverConn := net.Pipe()
 		defer clientConn.Close()
 		defer serverConn.Close()
-		go server.ServeConn(serverConn)
+		go server.ServeConn(context.Background(), serverConn)
 		var c *Client
 		var err error
 		if compress {

@@ -2,6 +2,7 @@ package mobile
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -35,8 +36,9 @@ func (s *Server) Sessions() int64 {
 	return s.sessions
 }
 
-// Serve accepts connections until the listener closes.
-func (s *Server) Serve(l net.Listener) error {
+// Serve accepts connections until the listener closes. Sessions run
+// under ctx: cancelling it aborts every in-flight query.
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -44,7 +46,7 @@ func (s *Server) Serve(l net.Listener) error {
 		}
 		go func() {
 			defer conn.Close()
-			_ = s.ServeConn(conn)
+			_ = s.ServeConn(ctx, conn)
 		}()
 	}
 }
@@ -57,8 +59,12 @@ type session struct {
 	held     map[int64]bool // node pre numbers the client holds
 }
 
-// ServeConn runs one session to completion.
-func (s *Server) ServeConn(conn io.ReadWriter) error {
+// ServeConn runs one session to completion. Queries execute under
+// ctx, so cancelling it aborts a session mid-query.
+func (s *Server) ServeConn(ctx context.Context, conn io.ReadWriter) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s.mu.Lock()
 	s.sessions++
 	s.mu.Unlock()
@@ -95,11 +101,11 @@ func (s *Server) ServeConn(conn io.ReadWriter) error {
 		case *Bye:
 			return nil
 		case *Open:
-			if err := s.handleOpen(conn, sess, m); err != nil {
+			if err := s.handleOpen(ctx, conn, sess, m); err != nil {
 				return err
 			}
 		case *Query:
-			if err := s.handleQuery(conn, sess, m); err != nil {
+			if err := s.handleQuery(ctx, conn, sess, m); err != nil {
 				return err
 			}
 		default:
@@ -110,7 +116,7 @@ func (s *Server) ServeConn(conn io.ReadWriter) error {
 	}
 }
 
-func (s *Server) handleOpen(w io.Writer, sess *session, m *Open) error {
+func (s *Server) handleOpen(ctx context.Context, w io.Writer, sess *session, m *Open) error {
 	id, err := s.engine.NodeByName(m.Node)
 	if err != nil {
 		return WriteMsg(w, &ErrorMsg{Text: err.Error()})
@@ -118,13 +124,15 @@ func (s *Server) handleOpen(w io.Writer, sess *session, m *Open) error {
 	// Touch the cached navigation path so the semantic cache and
 	// prefetcher observe the interaction exactly as the poster's
 	// system would.
-	if _, _, err := s.engine.OpenSubtree(m.Node); err != nil {
+	if _, _, err := s.engine.OpenSubtree(ctx, m.Node); err != nil {
 		return WriteMsg(w, &ErrorMsg{Text: err.Error()})
 	}
 	if s.Async {
-		go s.engine.RunPrefetch()
+		// Background prefetch outlives the interaction that triggered
+		// it, so it runs under its own context, not the session's.
+		go s.engine.RunPrefetch(context.Background())
 	} else {
-		s.engine.RunPrefetch()
+		s.engine.RunPrefetch(ctx)
 	}
 
 	var delta *TreeDelta
@@ -159,8 +167,8 @@ func (s *Server) handleOpen(w io.Writer, sess *session, m *Open) error {
 	return s.respond(w, sess, delta)
 }
 
-func (s *Server) handleQuery(w io.Writer, sess *session, m *Query) error {
-	res, err := s.engine.Query(m.DTQL)
+func (s *Server) handleQuery(ctx context.Context, w io.Writer, sess *session, m *Query) error {
+	res, err := s.engine.Query(ctx, m.DTQL)
 	if err != nil {
 		return WriteMsg(w, &ErrorMsg{Text: err.Error()})
 	}

@@ -4,9 +4,12 @@ import (
 	"drugtree/internal/store"
 )
 
-// buildAgg lowers an AggNode to a hash-aggregation operator.
-func buildAgg(n *AggNode, ctx *execCtx, depth int) (iterator, error) {
-	env := bindEnv{schema: n.Input.Schema(), cat: ctx.cat, tree: ctx.cat.Tree(), opts: ctx.opts}
+// buildAgg lowers an AggNode to a hash-aggregation operator. With
+// Parallelism > 1 the operator aggregates per-worker partials over
+// contiguous input chunks and merges them in chunk order, which
+// reproduces the serial first-seen group order exactly.
+func buildAgg(n *AggNode, ec *execCtx, depth int) (iterator, error) {
+	env := ec.env(n.Input.Schema())
 	groups := make([]*boundExpr, len(n.GroupBy))
 	for i, g := range n.GroupBy {
 		be, err := bind(g, env)
@@ -26,12 +29,12 @@ func buildAgg(n *AggNode, ctx *execCtx, depth int) (iterator, error) {
 		}
 		args[i] = be
 	}
-	ctx.note(depth, "%s", n.describe())
-	in, err := buildIterator(n.Input, ctx, depth+1)
+	ec.note(depth, "%s", n.describe())
+	in, err := buildIterator(n.Input, ec, depth+1)
 	if err != nil {
 		return nil, err
 	}
-	return &aggIter{in: in, groups: groups, aggs: n.Aggs, args: args}, nil
+	return &aggIter{in: in, groups: groups, aggs: n.Aggs, args: args, ec: ec}, nil
 }
 
 // aggState accumulates one aggregate for one group.
@@ -64,6 +67,26 @@ func (s *aggState) add(fn AggFunc, v store.Value) {
 	}
 }
 
+// merge folds another partial state into s (plain aggregates only;
+// DISTINCT partials replay value-by-value through distinctSet).
+func (s *aggState) merge(o *aggState) {
+	s.count += o.count
+	s.sum += o.sum
+	if !o.seen {
+		return
+	}
+	if !s.seen {
+		s.min, s.max, s.seen = o.min, o.max, true
+		return
+	}
+	if store.Compare(o.min, s.min) < 0 {
+		s.min = o.min
+	}
+	if store.Compare(o.max, s.max) > 0 {
+		s.max = o.max
+	}
+}
+
 func (s *aggState) result(fn AggFunc) store.Value {
 	switch fn {
 	case AggCount:
@@ -92,17 +115,27 @@ func (s *aggState) result(fn AggFunc) store.Value {
 	return store.NullValue()
 }
 
-// aggIter performs hash aggregation: it drains its input on first
-// Next, then streams one row per group (group keys, then aggregates).
-type aggIter struct {
-	in     iterator
-	groups []*boundExpr
-	aggs   []*AggExpr
-	args   []*boundExpr
+// distinctSet dedups a DISTINCT aggregate's inputs by value hash,
+// remembering values in first-seen order so partial sets merge with
+// the same semantics the serial accumulation has.
+type distinctSet struct {
+	seen map[uint64]struct{}
+	vals []store.Value
+}
 
-	out []store.Row
-	pos int
-	run bool
+func newDistinctSet() *distinctSet {
+	return &distinctSet{seen: make(map[uint64]struct{})}
+}
+
+// insert reports whether v's hash was new.
+func (d *distinctSet) insert(v store.Value) bool {
+	h := v.Hash()
+	if _, ok := d.seen[h]; ok {
+		return false
+	}
+	d.seen[h] = struct{}{}
+	d.vals = append(d.vals, v)
+	return true
 }
 
 // groupEntry pairs the group's key values with per-aggregate states.
@@ -110,9 +143,136 @@ type groupEntry struct {
 	keys   []store.Value
 	states []aggState
 	stars  int64
-	// distinct[i] tracks seen value hashes for COUNT(DISTINCT ...)
-	// aggregates; nil for plain aggregates.
-	distinct []map[uint64]struct{}
+	// distinct[i] dedups inputs for DISTINCT aggregates; nil for
+	// plain aggregates.
+	distinct []*distinctSet
+}
+
+// aggTable is one (partial or final) aggregation hash table with
+// deterministic first-seen group order.
+type aggTable struct {
+	groups []*boundExpr
+	aggs   []*AggExpr
+	args   []*boundExpr
+	table  map[string]*groupEntry
+	order  []string
+}
+
+func newAggTable(groups []*boundExpr, aggs []*AggExpr, args []*boundExpr) *aggTable {
+	return &aggTable{groups: groups, aggs: aggs, args: args, table: make(map[string]*groupEntry)}
+}
+
+// add accumulates one input row.
+func (t *aggTable) add(r store.Row) error {
+	keys := make([]store.Value, len(t.groups))
+	keyBuf := make([]byte, 0, 32)
+	for i, g := range t.groups {
+		v, err := g.eval(r)
+		if err != nil {
+			return err
+		}
+		keys[i] = v
+		keyBuf = store.AppendValue(keyBuf, v)
+	}
+	k := string(keyBuf)
+	e, found := t.table[k]
+	if !found {
+		e = &groupEntry{
+			keys:     keys,
+			states:   make([]aggState, len(t.aggs)),
+			distinct: make([]*distinctSet, len(t.aggs)),
+		}
+		for i, agg := range t.aggs {
+			if agg.Distinct {
+				e.distinct[i] = newDistinctSet()
+			}
+		}
+		t.table[k] = e
+		t.order = append(t.order, k)
+	}
+	for i, agg := range t.aggs {
+		if agg.Star {
+			e.stars++
+			continue
+		}
+		v, err := t.args[i].eval(r)
+		if err != nil {
+			return err
+		}
+		if agg.Distinct {
+			if v.IsNull() || !e.distinct[i].insert(v) {
+				continue
+			}
+		}
+		e.states[i].add(agg.Func, v)
+	}
+	return nil
+}
+
+// merge folds another partial table into t. Partials built over
+// contiguous input chunks merged in chunk order reproduce the global
+// first-seen group order: every row of chunk w precedes every row of
+// chunk w+1 in the original input.
+func (t *aggTable) merge(o *aggTable) {
+	for _, k := range o.order {
+		oe := o.table[k]
+		e, found := t.table[k]
+		if !found {
+			t.table[k] = oe
+			t.order = append(t.order, k)
+			continue
+		}
+		e.stars += oe.stars
+		for i, agg := range t.aggs {
+			if agg.Star {
+				continue
+			}
+			if agg.Distinct {
+				// Replay the other partial's distinct values in
+				// first-seen order; cross-chunk duplicates drop out.
+				for _, v := range oe.distinct[i].vals {
+					if e.distinct[i].insert(v) {
+						e.states[i].add(agg.Func, v)
+					}
+				}
+				continue
+			}
+			e.states[i].merge(&oe.states[i])
+		}
+	}
+}
+
+// rows renders the final one-row-per-group output.
+func (t *aggTable) rows() []store.Row {
+	out := make([]store.Row, 0, len(t.order))
+	for _, k := range t.order {
+		e := t.table[k]
+		row := make(store.Row, 0, len(e.keys)+len(t.aggs))
+		row = append(row, e.keys...)
+		for i, agg := range t.aggs {
+			if agg.Star {
+				row = append(row, store.IntValue(e.stars))
+				continue
+			}
+			row = append(row, e.states[i].result(agg.Func))
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// aggIter performs hash aggregation: it drains its input on first
+// Next, then streams one row per group (group keys, then aggregates).
+type aggIter struct {
+	in     iterator
+	groups []*boundExpr
+	aggs   []*AggExpr
+	args   []*boundExpr
+	ec     *execCtx
+
+	out []store.Row
+	pos int
+	run bool
 }
 
 func (a *aggIter) Next() (store.Row, bool, error) {
@@ -131,82 +291,84 @@ func (a *aggIter) Next() (store.Row, bool, error) {
 }
 
 func (a *aggIter) drain() error {
-	table := make(map[string]*groupEntry)
-	var order []string // deterministic output: first-seen order
-	for {
-		r, ok, err := a.in.Next()
+	var final *aggTable
+	if a.ec.para > 1 {
+		t, err := a.drainParallel()
 		if err != nil {
 			return err
 		}
-		if !ok {
-			break
-		}
-		keys := make([]store.Value, len(a.groups))
-		keyBuf := make([]byte, 0, 32)
-		for i, g := range a.groups {
-			v, err := g.eval(r)
+		final = t
+	} else {
+		final = newAggTable(a.groups, a.aggs, a.args)
+		cancel := canceller{ctx: a.ec.ctx}
+		for {
+			if err := cancel.check(); err != nil {
+				return err
+			}
+			r, ok, err := a.in.Next()
 			if err != nil {
 				return err
 			}
-			keys[i] = v
-			keyBuf = store.AppendValue(keyBuf, v)
-		}
-		k := string(keyBuf)
-		e, found := table[k]
-		if !found {
-			e = &groupEntry{
-				keys:     keys,
-				states:   make([]aggState, len(a.aggs)),
-				distinct: make([]map[uint64]struct{}, len(a.aggs)),
+			if !ok {
+				break
 			}
-			for i, agg := range a.aggs {
-				if agg.Distinct {
-					e.distinct[i] = make(map[uint64]struct{})
-				}
-			}
-			table[k] = e
-			order = append(order, k)
-		}
-		for i, agg := range a.aggs {
-			if agg.Star {
-				e.stars++
-				continue
-			}
-			v, err := a.args[i].eval(r)
-			if err != nil {
+			if err := final.add(r); err != nil {
 				return err
 			}
-			if agg.Distinct {
-				if v.IsNull() {
-					continue
-				}
-				h := v.Hash()
-				if _, seen := e.distinct[i][h]; seen {
-					continue
-				}
-				e.distinct[i][h] = struct{}{}
-			}
-			e.states[i].add(agg.Func, v)
 		}
 	}
 	// A global aggregate over an empty input still yields one row.
-	if len(a.groups) == 0 && len(order) == 0 {
-		e := &groupEntry{states: make([]aggState, len(a.aggs))}
-		table[""] = e
-		order = append(order, "")
+	if len(a.groups) == 0 && len(final.order) == 0 {
+		final.table[""] = &groupEntry{states: make([]aggState, len(a.aggs))}
+		final.order = append(final.order, "")
 	}
-	for _, k := range order {
-		e := table[k]
-		row := make(store.Row, 0, len(e.keys)+len(a.aggs))
-		row = append(row, e.keys...)
-		for i, agg := range a.aggs {
-			if agg.Star {
-				row = append(row, store.IntValue(e.stars))
-				continue
-			}
-			row = append(row, e.states[i].result(agg.Func))
-		}
-		a.out = append(a.out, row)
-	}
+	a.out = final.rows()
 	return nil
+}
+
+// drainParallel materializes the input and aggregates contiguous
+// chunks into per-worker partial tables, merged in chunk order.
+func (a *aggIter) drainParallel() (*aggTable, error) {
+	rows, err := drainAll(a.ec.ctx, a.in)
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) < 2*morselSize {
+		// Partial tables would cost more than they save.
+		t := newAggTable(a.groups, a.aggs, a.args)
+		cancel := canceller{ctx: a.ec.ctx}
+		for _, r := range rows {
+			if err := cancel.check(); err != nil {
+				return nil, err
+			}
+			if err := t.add(r); err != nil {
+				return nil, err
+			}
+		}
+		return t, nil
+	}
+	chunks := splitChunks(len(rows), a.ec.para)
+	partials := make([]*aggTable, len(chunks))
+	err = runChunks(a.ec.ctx, chunks, func(w int, r morselRange) error {
+		cancel := canceller{ctx: a.ec.ctx}
+		part := newAggTable(a.groups, a.aggs, a.args)
+		for _, row := range rows[r.lo:r.hi] {
+			if err := cancel.check(); err != nil {
+				return err
+			}
+			if err := part.add(row); err != nil {
+				return err
+			}
+		}
+		partials[w] = part
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	final := partials[0]
+	for _, p := range partials[1:] {
+		final.merge(p)
+	}
+	return final, nil
 }

@@ -1,0 +1,127 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// The cancellation contract: a context cancelled before or during
+// execution surfaces context.Canceled promptly, and no executor
+// goroutine outlives the Query call (workers are joined before any
+// operator returns).
+
+// waitGoroutines polls until the goroutine count drops back to at
+// most baseline+slack, failing after the deadline. Polling is needed
+// because runtime bookkeeping goroutines exit asynchronously.
+func waitGoroutines(t *testing.T, baseline int, deadline time.Duration) {
+	t.Helper()
+	const slack = 2
+	start := time.Now()
+	for {
+		if runtime.NumGoroutine() <= baseline+slack {
+			return
+		}
+		if time.Since(start) > deadline {
+			t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestCancelBeforeRun(t *testing.T) {
+	cat := testCatalog(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, para := range []int{1, 4} {
+		opts := DefaultOptions()
+		opts.Parallelism = para
+		_, err := NewEngine(cat, opts).Query(ctx, "SELECT * FROM proteins")
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("parallelism %d: err = %v, want context.Canceled", para, err)
+		}
+	}
+}
+
+// slowQueries are heavy enough (seconds uncancelled) that a cancel
+// landing mid-flight is overwhelmingly likely; the budget asserts the
+// abort actually cut execution short.
+var slowCancelQueries = []struct {
+	name string
+	q    string
+}{
+	// Mid-scan: a fat cross-ish nested-loop join driven by scans.
+	{"mid-join-nested", `SELECT COUNT(*) FROM activities a JOIN activities b ON a.affinity < b.affinity`},
+	// Mid-hash-join + aggregation over the joined stream.
+	{"mid-join-hash", `SELECT a.ligand_id, COUNT(*) FROM activities a
+		JOIN activities b ON a.protein_id = b.protein_id
+		JOIN activities c ON b.protein_id = c.protein_id
+		GROUP BY a.ligand_id`},
+}
+
+func TestCancelMidQuery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow cancellation corpus")
+	}
+	cat := datagenCatalog(t, 3)
+	for _, para := range []int{1, 4} {
+		opts := DefaultOptions()
+		opts.Parallelism = para
+		eng := NewEngine(cat, opts)
+		for _, tc := range slowCancelQueries {
+			baseline := runtime.NumGoroutine()
+			ctx, cancel := context.WithCancel(context.Background())
+			timer := time.AfterFunc(20*time.Millisecond, cancel)
+			start := time.Now()
+			_, err := eng.Query(ctx, tc.q)
+			elapsed := time.Since(start)
+			timer.Stop()
+			cancel()
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("%s (parallelism %d): err = %v, want context.Canceled", tc.name, para, err)
+			}
+			// Uncancelled these queries take seconds; a prompt abort
+			// lands well under this generous CI-safe budget.
+			if elapsed > 3*time.Second {
+				t.Fatalf("%s (parallelism %d): cancellation took %v", tc.name, para, elapsed)
+			}
+			waitGoroutines(t, baseline, 2*time.Second)
+		}
+	}
+}
+
+// TestCancelDeadline covers the other common cancellation shape: a
+// deadline expiring mid-flight surfaces context.DeadlineExceeded.
+func TestCancelDeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow cancellation corpus")
+	}
+	cat := datagenCatalog(t, 3)
+	opts := DefaultOptions()
+	opts.Parallelism = 4
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := NewEngine(cat, opts).Query(ctx, slowCancelQueries[0].q)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestNilContextRuns pins the compatibility contract: Run(nil, ...)
+// behaves like context.Background().
+func TestNilContextRuns(t *testing.T) {
+	cat := testCatalog(t)
+	stmt, err := Parse("SELECT COUNT(*) FROM proteins")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewEngine(cat, DefaultOptions()).Run(nil, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 60 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}

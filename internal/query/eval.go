@@ -1,8 +1,10 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"drugtree/internal/chem"
 	"drugtree/internal/phylo"
@@ -80,6 +82,7 @@ type boundExpr struct {
 // binds that must not execute subqueries (they run again at physical
 // binding).
 type bindEnv struct {
+	ctx          context.Context
 	schema       *planSchema
 	tree         *phylo.Tree
 	cat          Catalog
@@ -186,7 +189,7 @@ func runSubquery(stmt *SelectStmt, env bindEnv) (*Result, *planSchema, error) {
 	if env.validateOnly {
 		return nil, logical.Schema(), nil
 	}
-	res, err := NewEngine(env.cat, env.opts).Run(stmt)
+	res, err := NewEngine(env.cat, env.opts).Run(env.ctx, stmt)
 	if err != nil {
 		return nil, nil, fmt.Errorf("query: subquery: %w", err)
 	}
@@ -294,6 +297,10 @@ func bindTanimoto(x *TanimotoExpr, env bindEnv) (*boundExpr, error) {
 		return nil, err
 	}
 	const memoCap = 1 << 16
+	// The memo is shared by every worker evaluating this bound
+	// expression under parallel execution, so guard it with a mutex
+	// (fingerprinting dwarfs the lock cost).
+	var memoMu sync.Mutex
 	memo := make(map[string]*chem.Fingerprint)
 	return &boundExpr{
 		eval: func(r store.Row) (store.Value, error) {
@@ -301,7 +308,9 @@ func bindTanimoto(x *TanimotoExpr, env bindEnv) (*boundExpr, error) {
 			if v.K != store.KindString {
 				return store.NullValue(), nil
 			}
+			memoMu.Lock()
 			fp, ok := memo[v.S]
+			memoMu.Unlock()
 			if !ok {
 				m, err := chem.ParseSMILES(v.S)
 				if err != nil {
@@ -309,9 +318,11 @@ func bindTanimoto(x *TanimotoExpr, env bindEnv) (*boundExpr, error) {
 				} else {
 					fp = m.ComputeFingerprint()
 				}
+				memoMu.Lock()
 				if len(memo) < memoCap {
 					memo[v.S] = fp
 				}
+				memoMu.Unlock()
 			}
 			if fp == nil {
 				return store.NullValue(), nil

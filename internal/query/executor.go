@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -40,17 +41,27 @@ func (e *Engine) Options() Options { return e.opts }
 func (e *Engine) Catalog() Catalog { return e.cat }
 
 // Query parses, plans, optimizes, and executes a DTQL string. For
-// EXPLAIN statements the plan is produced but not executed.
-func (e *Engine) Query(src string) (*Result, error) {
+// EXPLAIN statements the plan is produced but not executed. The
+// context cancels mid-flight execution: scans, joins, aggregation,
+// and sorts all poll it and unwind with ctx.Err() — the abandonment
+// path a mobile client takes when it navigates away from a viewport
+// whose query is still running.
+func (e *Engine) Query(ctx context.Context, src string) (*Result, error) {
 	stmt, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(stmt)
+	return e.Run(ctx, stmt)
 }
 
-// Run executes a parsed statement.
-func (e *Engine) Run(stmt *SelectStmt) (*Result, error) {
+// Run executes a parsed statement under the given context.
+func (e *Engine) Run(ctx context.Context, stmt *SelectStmt) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	logical, err := BuildLogical(stmt, e.cat)
 	if err != nil {
 		return nil, err
@@ -60,20 +71,24 @@ func (e *Engine) Run(stmt *SelectStmt) (*Result, error) {
 		return nil, err
 	}
 	cols := outputColumns(optimized)
-	ctx := &execCtx{cat: e.cat, opts: e.opts, stats: &ExecStats{}}
-	iter, err := buildIterator(optimized, ctx, 0)
+	ec := &execCtx{ctx: ctx, cat: e.cat, opts: e.opts, stats: &ExecStats{}, para: e.opts.EffectiveParallelism()}
+	iter, err := buildIterator(optimized, ec, 0)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{
 		Columns: cols,
-		Plan:    strings.Join(ctx.plan, "\n"),
-		Stats:   *ctx.stats,
+		Plan:    strings.Join(ec.plan, "\n"),
+		Stats:   *ec.stats,
 	}
 	if stmt.Explain {
 		return res, nil
 	}
+	cancel := canceller{ctx: ctx}
 	for {
+		if err := cancel.check(); err != nil {
+			return nil, err
+		}
 		r, ok, err := iter.Next()
 		if err != nil {
 			return nil, err
@@ -83,8 +98,8 @@ func (e *Engine) Run(stmt *SelectStmt) (*Result, error) {
 		}
 		res.Rows = append(res.Rows, r)
 	}
-	ctx.stats.RowsReturned = int64(len(res.Rows))
-	res.Stats = *ctx.stats
+	ec.stats.RowsReturned = int64(len(res.Rows))
+	res.Stats = *ec.stats
 	return res, nil
 }
 

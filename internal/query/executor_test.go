@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -99,7 +100,7 @@ func testCatalog(t *testing.T) *DBCatalog {
 
 func runQ(t *testing.T, cat Catalog, opts Options, src string) *Result {
 	t.Helper()
-	res, err := NewEngine(cat, opts).Query(src)
+	res, err := NewEngine(cat, opts).Query(context.Background(), src)
 	if err != nil {
 		t.Fatalf("Query(%q): %v", src, err)
 	}
@@ -321,7 +322,7 @@ func TestQueryErrors(t *testing.T) {
 		"SELECT * FROM tree_nodes WHERE WITHIN_SUBTREE(pre, 'NOSUCHNODE')",
 	}
 	for _, src := range bad {
-		if _, err := NewEngine(cat, DefaultOptions()).Query(src); err == nil {
+		if _, err := NewEngine(cat, DefaultOptions()).Query(context.Background(), src); err == nil {
 			t.Errorf("Query(%q) accepted", src)
 		}
 	}
@@ -329,7 +330,7 @@ func TestQueryErrors(t *testing.T) {
 
 func TestAmbiguousColumnRejected(t *testing.T) {
 	cat := testCatalog(t)
-	_, err := NewEngine(cat, DefaultOptions()).Query(
+	_, err := NewEngine(cat, DefaultOptions()).Query(context.Background(),
 		"SELECT ligand_id FROM activities a JOIN ligands l ON a.ligand_id = l.ligand_id")
 	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
 		t.Fatalf("ambiguous column: %v", err)

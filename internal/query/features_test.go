@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -84,7 +85,7 @@ func TestHavingExecution(t *testing.T) {
 		t.Fatalf("hidden agg leaked into output: %v", res2.Columns)
 	}
 	// HAVING without aggregation is rejected.
-	if _, err := NewEngine(cat, DefaultOptions()).Query(
+	if _, err := NewEngine(cat, DefaultOptions()).Query(context.Background(),
 		"SELECT accession FROM proteins HAVING COUNT(*) > 1"); err == nil {
 		t.Fatal("HAVING without GROUP BY accepted")
 	}
@@ -156,7 +157,7 @@ func TestAncestorOfExecution(t *testing.T) {
 		t.Fatalf("naive %d rows, optimized %d", len(naive.Rows), len(res.Rows))
 	}
 	// Unknown node errors.
-	if _, err := NewEngine(cat, DefaultOptions()).Query(
+	if _, err := NewEngine(cat, DefaultOptions()).Query(context.Background(),
 		"SELECT * FROM tree_nodes WHERE ANCESTOR_OF(pre, 'missing')"); err == nil {
 		t.Fatal("unknown node accepted")
 	}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -13,6 +14,9 @@ import (
 // the naive and fully optimized engines.
 type queryGen struct {
 	rng *rand.Rand
+	// strLits overrides the string literal pool (the differential
+	// harness points it at the datagen catalog's ID universe).
+	strLits []string
 }
 
 // column universe of the test catalog, per table.
@@ -42,6 +46,9 @@ func (g *queryGen) literal(kind string) string {
 		return fmt.Sprintf("%.1f", g.rng.Float64()*10)
 	case "string":
 		opts := []string{"'FAM0'", "'FAM1'", "'FAM2'", "'P001'", "'P010'", "'L03'", "'zzz'"}
+		if g.strLits != nil {
+			opts = g.strLits
+		}
 		return opts[g.rng.Intn(len(opts))]
 	case "bool":
 		if g.rng.Intn(2) == 0 {
@@ -176,11 +183,11 @@ func TestFuzzNaiveOptimizedEquivalence(t *testing.T) {
 	const trials = 300
 	for i := 0; i < trials; i++ {
 		q, ordered := g.generate()
-		rn, err := naive.Query(q)
+		rn, err := naive.Query(context.Background(), q)
 		if err != nil {
 			t.Fatalf("query %d (%s): naive: %v", i, q, err)
 		}
-		ro, err := opt.Query(q)
+		ro, err := opt.Query(context.Background(), q)
 		if err != nil {
 			t.Fatalf("query %d (%s): optimized: %v", i, q, err)
 		}

@@ -1,6 +1,8 @@
 package query
 
 import (
+	"sync/atomic"
+
 	"drugtree/internal/store"
 )
 
@@ -12,8 +14,8 @@ import (
 
 // mergeJoinable reports whether the join can run as an index merge
 // join and returns the scan nodes and key column names.
-func mergeJoinable(n *JoinNode, leftKeys, rightKeys []*boundExpr, ctx *execCtx) (l, r *ScanNode, lcol, rcol string, ok bool) {
-	if len(leftKeys) != 1 || !ctx.opts.UseIndexes {
+func mergeJoinable(n *JoinNode, leftKeys, rightKeys []*boundExpr, ec *execCtx) (l, r *ScanNode, lcol, rcol string, ok bool) {
+	if len(leftKeys) != 1 || !ec.opts.UseIndexes {
 		return nil, nil, "", "", false
 	}
 	ls, lok := n.Left.(*ScanNode)
@@ -26,11 +28,11 @@ func mergeJoinable(n *JoinNode, leftKeys, rightKeys []*boundExpr, ctx *execCtx) 
 	if !lok || !rok {
 		return nil, nil, "", "", false
 	}
-	lt, err := ctx.cat.Table(ls.Table)
+	lt, err := ec.cat.Table(ls.Table)
 	if err != nil {
 		return nil, nil, "", "", false
 	}
-	rt, err := ctx.cat.Table(rs.Table)
+	rt, err := ec.cat.Table(rs.Table)
 	if err != nil {
 		return nil, nil, "", "", false
 	}
@@ -46,8 +48,8 @@ func mergeJoinable(n *JoinNode, leftKeys, rightKeys []*boundExpr, ctx *execCtx) 
 // buildOrderedScan materializes a scan's rows in key order via the
 // B+-tree index, applying every pushed conjunct as a residual filter
 // (filtering preserves order).
-func buildOrderedScan(n *ScanNode, col string, ctx *execCtx, depth int) (iterator, int, error) {
-	t, err := ctx.cat.Table(n.Table)
+func buildOrderedScan(n *ScanNode, col string, ec *execCtx, depth int) (iterator, int, error) {
+	t, err := ec.cat.Table(n.Table)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -56,19 +58,19 @@ func buildOrderedScan(n *ScanNode, col string, ctx *execCtx, depth int) (iterato
 		return nil, 0, err
 	}
 	rows := t.Rows(ids)
-	ctx.stats.RowsIndexed += int64(len(rows))
-	ctx.note(depth, "OrderedIndexScan %s (by %s)%s", n.Table, col,
+	atomic.AddInt64(&ec.stats.RowsIndexed, int64(len(rows)))
+	ec.note(depth, "OrderedIndexScan %s (by %s)%s", n.Table, col,
 		residualNote(accessPath{residual: n.Conjuncts}))
 	var residual *boundExpr
 	if len(n.Conjuncts) > 0 {
-		be, err := bind(joinConjuncts(n.Conjuncts), bindEnv{schema: n.schema, cat: ctx.cat, tree: ctx.cat.Tree(), opts: ctx.opts})
+		be, err := bind(joinConjuncts(n.Conjuncts), ec.env(n.schema))
 		if err != nil {
 			return nil, 0, err
 		}
 		residual = be
 	}
 	keyIdx := t.Schema().ColumnIndex(col)
-	return &sliceIter{rows: rows, residual: residual, stats: ctx.stats}, keyIdx, nil
+	return &sliceIter{rows: rows, residual: residual, stats: ec.stats, cancel: canceller{ctx: ec.ctx}}, keyIdx, nil
 }
 
 // mergeJoinIter merges two key-ordered inputs on one key column each,
@@ -78,6 +80,7 @@ type mergeJoinIter struct {
 	lkIdx, rkIdx int
 	residual     *boundExpr
 	stats        *ExecStats
+	cancel       canceller
 
 	lRow    store.Row
 	lValid  bool
@@ -92,11 +95,12 @@ type mergeJoinIter struct {
 	emitPos int
 }
 
-func newMergeJoin(left, right iterator, lkIdx, rkIdx int, residual *boundExpr, stats *ExecStats) (*mergeJoinIter, error) {
+func newMergeJoin(left, right iterator, lkIdx, rkIdx int, residual *boundExpr, ec *execCtx) (*mergeJoinIter, error) {
 	return &mergeJoinIter{
 		left: left, right: right,
 		lkIdx: lkIdx, rkIdx: rkIdx,
-		residual: residual, stats: stats,
+		residual: residual, stats: ec.stats,
+		cancel: canceller{ctx: ec.ctx},
 	}, nil
 }
 
@@ -166,6 +170,9 @@ func (m *mergeJoinIter) loadBlockFor(key store.Value) (bool, error) {
 
 func (m *mergeJoinIter) Next() (store.Row, bool, error) {
 	for {
+		if err := m.cancel.check(); err != nil {
+			return nil, false, err
+		}
 		if !m.started {
 			if err := m.advanceLeft(); err != nil {
 				return nil, false, err
@@ -207,7 +214,7 @@ func (m *mergeJoinIter) Next() (store.Row, bool, error) {
 					continue
 				}
 			}
-			m.stats.RowsJoined++
+			atomic.AddInt64(&m.stats.RowsJoined, 1)
 			return out, true, nil
 		}
 		m.emitPos = 0

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -65,7 +66,7 @@ func TestUnaryMinus(t *testing.T) {
 		t.Fatalf("float negation = %v", res2.Rows[0])
 	}
 	// Negating a string errors at evaluation.
-	if _, err := NewEngine(cat, DefaultOptions()).Query(
+	if _, err := NewEngine(cat, DefaultOptions()).Query(context.Background(),
 		"SELECT -accession FROM proteins LIMIT 1"); err == nil {
 		t.Fatal("string negation accepted")
 	}
@@ -82,7 +83,7 @@ func TestDivisionByZeroIsNull(t *testing.T) {
 
 func TestArithmeticOnStringsRejectedAtRuntime(t *testing.T) {
 	cat := testCatalog(t)
-	if _, err := NewEngine(cat, DefaultOptions()).Query(
+	if _, err := NewEngine(cat, DefaultOptions()).Query(context.Background(),
 		"SELECT accession + 1 FROM proteins LIMIT 1"); err == nil {
 		t.Fatal("string arithmetic accepted")
 	}

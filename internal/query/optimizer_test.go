@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -180,12 +181,12 @@ func TestFuzzWithAllPassesIndividuallyToggled(t *testing.T) {
 		"SELECT family, COUNT(*) FROM proteins GROUP BY family HAVING COUNT(*) > 1",
 	}
 	for _, q := range queries {
-		want, err := naive.Query(q)
+		want, err := naive.Query(context.Background(), q)
 		if err != nil {
 			t.Fatalf("naive %q: %v", q, err)
 		}
 		for ci, o := range configs {
-			got, err := NewEngine(cat, o).Query(q)
+			got, err := NewEngine(cat, o).Query(context.Background(), q)
 			if err != nil {
 				t.Fatalf("config %d %q: %v", ci, q, err)
 			}

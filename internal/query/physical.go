@@ -1,9 +1,11 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"drugtree/internal/store"
 )
@@ -15,7 +17,9 @@ type iterator interface {
 }
 
 // ExecStats counts work done by one execution, used by experiments to
-// show *why* the optimized engine is faster.
+// show *why* the optimized engine is faster. Counters are updated with
+// atomic adds so parallel workers can share one ExecStats; read them
+// only after the query returns (all workers are joined by then).
 type ExecStats struct {
 	RowsScanned  int64 // rows read from base tables
 	RowsIndexed  int64 // rows fetched through an index
@@ -25,10 +29,18 @@ type ExecStats struct {
 
 // execCtx threads shared execution state through operator builders.
 type execCtx struct {
+	ctx   context.Context
 	cat   Catalog
 	opts  Options
 	stats *ExecStats
 	plan  []string // physical plan description lines (depth-first)
+	para  int      // effective worker count (≥1); 1 is the serial path
+}
+
+// env builds a binding environment carrying the execution context (so
+// uncorrelated subqueries run under the same cancellation scope).
+func (c *execCtx) env(schema *planSchema) bindEnv {
+	return bindEnv{ctx: c.ctx, schema: schema, cat: c.cat, tree: c.cat.Tree(), opts: c.opts}
 }
 
 func (c *execCtx) note(depth int, format string, args ...any) {
@@ -36,91 +48,91 @@ func (c *execCtx) note(depth int, format string, args ...any) {
 }
 
 // buildIterator lowers a logical plan node to a physical operator.
-func buildIterator(p LogicalPlan, ctx *execCtx, depth int) (iterator, error) {
+func buildIterator(p LogicalPlan, ec *execCtx, depth int) (iterator, error) {
 	switch n := p.(type) {
 	case *ScanNode:
-		return buildScan(n, ctx, depth)
+		return buildScan(n, ec, depth)
 	case *FilterNode:
-		pred, err := bind(n.Pred, bindEnv{schema: n.Input.Schema(), cat: ctx.cat, tree: ctx.cat.Tree(), opts: ctx.opts})
+		pred, err := bind(n.Pred, ec.env(n.Input.Schema()))
 		if err != nil {
 			return nil, err
 		}
-		ctx.note(depth, "Filter %s", n.Pred)
-		in, err := buildIterator(n.Input, ctx, depth+1)
+		ec.note(depth, "Filter %s", n.Pred)
+		in, err := buildIterator(n.Input, ec, depth+1)
 		if err != nil {
 			return nil, err
 		}
-		return &filterIter{in: in, pred: pred}, nil
+		return &filterIter{in: in, pred: pred, cancel: canceller{ctx: ec.ctx}}, nil
 	case *ProjectNode:
-		ctx.note(depth, "%s", n.describe())
+		ec.note(depth, "%s", n.describe())
 		exprs := make([]*boundExpr, len(n.Exprs))
 		for i, e := range n.Exprs {
-			be, err := bind(e, bindEnv{schema: n.Input.Schema(), cat: ctx.cat, tree: ctx.cat.Tree(), opts: ctx.opts})
+			be, err := bind(e, ec.env(n.Input.Schema()))
 			if err != nil {
 				return nil, err
 			}
 			exprs[i] = be
 		}
-		in, err := buildIterator(n.Input, ctx, depth+1)
+		in, err := buildIterator(n.Input, ec, depth+1)
 		if err != nil {
 			return nil, err
 		}
 		return &projectIter{in: in, exprs: exprs}, nil
 	case *JoinNode:
-		return buildJoin(n, ctx, depth)
+		return buildJoin(n, ec, depth)
 	case *AggNode:
-		return buildAgg(n, ctx, depth)
+		return buildAgg(n, ec, depth)
 	case *SortNode:
 		keys := make([]*boundExpr, len(n.Keys))
 		descs := make([]bool, len(n.Keys))
 		for i, k := range n.Keys {
-			be, err := bind(k.Expr, bindEnv{schema: n.Input.Schema(), cat: ctx.cat, tree: ctx.cat.Tree(), opts: ctx.opts})
+			be, err := bind(k.Expr, ec.env(n.Input.Schema()))
 			if err != nil {
 				return nil, err
 			}
 			keys[i] = be
 			descs[i] = k.Desc
 		}
-		ctx.note(depth, "%s", n.describe())
-		in, err := buildIterator(n.Input, ctx, depth+1)
+		ec.note(depth, "%s", n.describe())
+		in, err := buildIterator(n.Input, ec, depth+1)
 		if err != nil {
 			return nil, err
 		}
-		return &sortIter{in: in, keys: keys, descs: descs}, nil
+		return &sortIter{in: in, keys: keys, descs: descs, cancel: canceller{ctx: ec.ctx}}, nil
 	case *LimitNode:
 		// ORDER BY + LIMIT fuses into a bounded-heap top-k when the
 		// optimizer is allowed to choose physical operators. The sort
 		// may sit directly below the limit, or below a projection
 		// (the hidden-sort-column shape): Limit(Project(Sort)) runs
 		// as Project(TopK) — projection preserves order and count.
-		if proj, ok := n.Input.(*ProjectNode); ok && ctx.opts.UseIndexes && n.N > 0 {
+		if proj, ok := n.Input.(*ProjectNode); ok && ec.opts.UseIndexes && n.N > 0 {
 			if sortNode, ok := proj.Input.(*SortNode); ok {
 				inner := &LimitNode{Input: sortNode, N: n.N}
 				outer := *proj
 				outer.Input = inner
-				return buildIterator(&outer, ctx, depth)
+				return buildIterator(&outer, ec, depth)
 			}
 		}
-		if sortNode, ok := n.Input.(*SortNode); ok && ctx.opts.UseIndexes && n.N > 0 {
+		if sortNode, ok := n.Input.(*SortNode); ok && ec.opts.UseIndexes && n.N > 0 {
 			keys := make([]*boundExpr, len(sortNode.Keys))
 			descs := make([]bool, len(sortNode.Keys))
 			for i, k := range sortNode.Keys {
-				be, err := bind(k.Expr, bindEnv{schema: sortNode.Input.Schema(), cat: ctx.cat, tree: ctx.cat.Tree(), opts: ctx.opts})
+				be, err := bind(k.Expr, ec.env(sortNode.Input.Schema()))
 				if err != nil {
 					return nil, err
 				}
 				keys[i] = be
 				descs[i] = k.Desc
 			}
-			ctx.note(depth, "TopK %d (%s)", n.N, sortNode.describe())
-			in, err := buildIterator(sortNode.Input, ctx, depth+1)
+			ec.note(depth, "TopK %d (%s)", n.N, sortNode.describe())
+			in, err := buildIterator(sortNode.Input, ec, depth+1)
 			if err != nil {
 				return nil, err
 			}
-			return &topKIter{in: in, keys: keys, descs: descs, k: n.N}, nil
+			return &topKIter{in: in, keys: keys, descs: descs, k: n.N, cancel: canceller{ctx: ec.ctx}}, nil
 		}
-		ctx.note(depth, "Limit %d", n.N)
-		in, err := buildIterator(n.Input, ctx, depth+1)
+		ec.note(depth, "Limit %d", n.N)
+		in, err := buildIterator(n.Input, ec, depth+1)
 		if err != nil {
 			return nil, err
 		}
@@ -271,15 +283,15 @@ func chooseAccessPath(n *ScanNode, t *store.Table, useIndexes bool) accessPath {
 	return out
 }
 
-func buildScan(n *ScanNode, ctx *execCtx, depth int) (iterator, error) {
-	t, err := ctx.cat.Table(n.Table)
+func buildScan(n *ScanNode, ec *execCtx, depth int) (iterator, error) {
+	t, err := ec.cat.Table(n.Table)
 	if err != nil {
 		return nil, err
 	}
-	path := chooseAccessPath(n, t, ctx.opts.UseIndexes)
+	path := chooseAccessPath(n, t, ec.opts.UseIndexes)
 	var residual *boundExpr
 	if len(path.residual) > 0 {
-		be, err := bind(joinConjuncts(path.residual), bindEnv{schema: n.schema, cat: ctx.cat, tree: ctx.cat.Tree(), opts: ctx.opts})
+		be, err := bind(joinConjuncts(path.residual), ec.env(n.schema))
 		if err != nil {
 			return nil, err
 		}
@@ -287,33 +299,53 @@ func buildScan(n *ScanNode, ctx *execCtx, depth int) (iterator, error) {
 	}
 	switch path.kind {
 	case "indexeq":
-		ctx.note(depth, "IndexScan %s (%s = %v)%s", n.Table, path.column, path.eq, residualNote(path))
+		ec.note(depth, "IndexScan %s (%s = %v)%s", n.Table, path.column, path.eq, residualNote(path))
 		ids, err := t.LookupEqual(path.column, path.eq)
 		if err != nil {
 			return nil, err
 		}
 		rows := t.Rows(ids)
-		ctx.stats.RowsIndexed += int64(len(rows))
-		return &sliceIter{rows: rows, residual: residual, stats: ctx.stats}, nil
+		atomic.AddInt64(&ec.stats.RowsIndexed, int64(len(rows)))
+		return &sliceIter{rows: rows, residual: residual, stats: ec.stats, cancel: canceller{ctx: ec.ctx}}, nil
 	case "indexrange":
-		ctx.note(depth, "IndexRangeScan %s (%s in [%s, %s])%s", n.Table, path.column,
+		ec.note(depth, "IndexRangeScan %s (%s in [%s, %s])%s", n.Table, path.column,
 			boundStr(path.lo), boundStr(path.hi), residualNote(path))
 		ids, err := t.LookupRange(path.column, path.lo, path.hi)
 		if err != nil {
 			return nil, err
 		}
 		rows := t.Rows(ids)
-		ctx.stats.RowsIndexed += int64(len(rows))
-		return &sliceIter{rows: rows, residual: residual, stats: ctx.stats}, nil
+		atomic.AddInt64(&ec.stats.RowsIndexed, int64(len(rows)))
+		return &sliceIter{rows: rows, residual: residual, stats: ec.stats, cancel: canceller{ctx: ec.ctx}}, nil
 	default:
-		ctx.note(depth, "SeqScan %s%s", n.Table, residualNote(path))
+		ec.note(depth, "SeqScan %s%s", n.Table, residualNote(path))
+		if ec.para > 1 {
+			// Morsel-driven scan: snapshot row references (the store
+			// never mutates a stored row in place, so shared reads are
+			// safe), then clone+filter the morsels on the worker pool.
+			refs := t.Snapshot()
+			atomic.AddInt64(&ec.stats.RowsScanned, int64(len(refs)))
+			rows, err := parallelFilter(ec.ctx, refs, residual, ec.para)
+			if err != nil {
+				return nil, err
+			}
+			return &sliceIter{rows: rows, stats: ec.stats, cancel: canceller{ctx: ec.ctx}}, nil
+		}
 		var rows []store.Row
+		cancel := canceller{ctx: ec.ctx}
+		var scanErr error
 		t.Scan(func(_ int64, r store.Row) bool {
+			if scanErr = cancel.check(); scanErr != nil {
+				return false
+			}
 			rows = append(rows, r.Clone())
 			return true
 		})
-		ctx.stats.RowsScanned += int64(len(rows))
-		return &sliceIter{rows: rows, residual: residual, stats: ctx.stats}, nil
+		if scanErr != nil {
+			return nil, scanErr
+		}
+		atomic.AddInt64(&ec.stats.RowsScanned, int64(len(rows)))
+		return &sliceIter{rows: rows, residual: residual, stats: ec.stats, cancel: canceller{ctx: ec.ctx}}, nil
 	}
 }
 
@@ -342,10 +374,14 @@ type sliceIter struct {
 	pos      int
 	residual *boundExpr
 	stats    *ExecStats
+	cancel   canceller
 }
 
 func (s *sliceIter) Next() (store.Row, bool, error) {
 	for s.pos < len(s.rows) {
+		if err := s.cancel.check(); err != nil {
+			return nil, false, err
+		}
 		r := s.rows[s.pos]
 		s.pos++
 		if s.residual != nil {
@@ -365,12 +401,16 @@ func (s *sliceIter) Next() (store.Row, bool, error) {
 // --- Filter / Project ---
 
 type filterIter struct {
-	in   iterator
-	pred *boundExpr
+	in     iterator
+	pred   *boundExpr
+	cancel canceller
 }
 
 func (f *filterIter) Next() (store.Row, bool, error) {
 	for {
+		if err := f.cancel.check(); err != nil {
+			return nil, false, err
+		}
 		r, ok, err := f.in.Next()
 		if err != nil || !ok {
 			return nil, false, err
@@ -410,7 +450,7 @@ func (p *projectIter) Next() (store.Row, bool, error) {
 
 // buildJoin picks hash join for equi-conditions, nested loop
 // otherwise.
-func buildJoin(n *JoinNode, ctx *execCtx, depth int) (iterator, error) {
+func buildJoin(n *JoinNode, ec *execCtx, depth int) (iterator, error) {
 	leftSchema, rightSchema := n.Left.Schema(), n.Right.Schema()
 	conjs := splitConjuncts(n.Cond)
 	var leftKeys, rightKeys []*boundExpr
@@ -423,8 +463,8 @@ func buildJoin(n *JoinNode, ctx *execCtx, depth int) (iterator, error) {
 				// Which side does each belong to?
 				if _, err := leftSchema.resolve(lcol); err == nil {
 					if _, err := rightSchema.resolve(rcol); err == nil {
-						lk, _ := bind(lcol, bindEnv{schema: leftSchema, cat: ctx.cat, tree: ctx.cat.Tree(), opts: ctx.opts})
-						rk, _ := bind(rcol, bindEnv{schema: rightSchema, cat: ctx.cat, tree: ctx.cat.Tree(), opts: ctx.opts})
+						lk, _ := bind(lcol, ec.env(leftSchema))
+						rk, _ := bind(rcol, ec.env(rightSchema))
 						leftKeys = append(leftKeys, lk)
 						rightKeys = append(rightKeys, rk)
 						continue
@@ -432,8 +472,8 @@ func buildJoin(n *JoinNode, ctx *execCtx, depth int) (iterator, error) {
 				}
 				if _, err := leftSchema.resolve(rcol); err == nil {
 					if _, err := rightSchema.resolve(lcol); err == nil {
-						lk, _ := bind(rcol, bindEnv{schema: leftSchema, cat: ctx.cat, tree: ctx.cat.Tree(), opts: ctx.opts})
-						rk, _ := bind(lcol, bindEnv{schema: rightSchema, cat: ctx.cat, tree: ctx.cat.Tree(), opts: ctx.opts})
+						lk, _ := bind(rcol, ec.env(leftSchema))
+						rk, _ := bind(lcol, ec.env(rightSchema))
 						leftKeys = append(leftKeys, lk)
 						rightKeys = append(rightKeys, rk)
 						continue
@@ -448,7 +488,7 @@ func buildJoin(n *JoinNode, ctx *execCtx, depth int) (iterator, error) {
 	}
 	var residualBound *boundExpr
 	if len(residual) > 0 {
-		be, err := bind(joinConjuncts(residual), bindEnv{schema: n.schema, cat: ctx.cat, tree: ctx.cat.Tree(), opts: ctx.opts})
+		be, err := bind(joinConjuncts(residual), ec.env(n.schema))
 		if err != nil {
 			return nil, err
 		}
@@ -456,40 +496,43 @@ func buildJoin(n *JoinNode, ctx *execCtx, depth int) (iterator, error) {
 	}
 	// Index merge join: both sides are scans whose join columns carry
 	// B+-tree indexes and neither side has a better access path.
-	if ls, rs, lcol, rcol, ok := mergeJoinable(n, leftKeys, rightKeys, ctx); ok {
-		lt, _ := ctx.cat.Table(ls.Table)
-		rt, _ := ctx.cat.Table(rs.Table)
+	if ls, rs, lcol, rcol, ok := mergeJoinable(n, leftKeys, rightKeys, ec); ok {
+		lt, _ := ec.cat.Table(ls.Table)
+		rt, _ := ec.cat.Table(rs.Table)
 		if chooseAccessPath(ls, lt, true).kind == "seqscan" &&
 			chooseAccessPath(rs, rt, true).kind == "seqscan" {
-			ctx.note(depth, "MergeJoin (%s = %s)%s", lcol, rcol, joinResidualNote(residual))
-			li, lkIdx, err := buildOrderedScan(ls, lcol, ctx, depth+1)
+			ec.note(depth, "MergeJoin (%s = %s)%s", lcol, rcol, joinResidualNote(residual))
+			li, lkIdx, err := buildOrderedScan(ls, lcol, ec, depth+1)
 			if err != nil {
 				return nil, err
 			}
-			ri, rkIdx, err := buildOrderedScan(rs, rcol, ctx, depth+1)
+			ri, rkIdx, err := buildOrderedScan(rs, rcol, ec, depth+1)
 			if err != nil {
 				return nil, err
 			}
-			return newMergeJoin(li, ri, lkIdx, rkIdx, residualBound, ctx.stats)
+			return newMergeJoin(li, ri, lkIdx, rkIdx, residualBound, ec)
 		}
 	}
 	if len(leftKeys) > 0 {
-		ctx.note(depth, "HashJoin (%d key(s))%s", len(leftKeys), joinResidualNote(residual))
+		ec.note(depth, "HashJoin (%d key(s))%s", len(leftKeys), joinResidualNote(residual))
 	} else {
-		ctx.note(depth, "NestedLoopJoin%s", joinResidualNote(residual))
+		ec.note(depth, "NestedLoopJoin%s", joinResidualNote(residual))
 	}
-	left, err := buildIterator(n.Left, ctx, depth+1)
+	left, err := buildIterator(n.Left, ec, depth+1)
 	if err != nil {
 		return nil, err
 	}
-	right, err := buildIterator(n.Right, ctx, depth+1)
+	right, err := buildIterator(n.Right, ec, depth+1)
 	if err != nil {
 		return nil, err
 	}
 	if len(leftKeys) > 0 {
-		return newHashJoin(left, right, leftKeys, rightKeys, residualBound, ctx.stats)
+		if ec.para > 1 {
+			return newParallelHashJoin(ec, left, right, leftKeys, rightKeys, residualBound)
+		}
+		return newHashJoin(left, right, leftKeys, rightKeys, residualBound, ec)
 	}
-	return newNestedLoopJoin(left, right, residualBound, ctx.stats)
+	return newNestedLoopJoin(left, right, residualBound, ec)
 }
 
 func joinResidualNote(res []Expr) string {
@@ -515,6 +558,7 @@ type hashJoin struct {
 	matches   []store.Row
 	residual  *boundExpr
 	stats     *ExecStats
+	cancel    canceller
 }
 
 func hashKeys(keys []*boundExpr, r store.Row) (uint64, bool, error) {
@@ -532,9 +576,13 @@ func hashKeys(keys []*boundExpr, r store.Row) (uint64, bool, error) {
 	return h, true, nil
 }
 
-func newHashJoin(left, right iterator, leftKeys, rightKeys []*boundExpr, residual *boundExpr, stats *ExecStats) (iterator, error) {
+func newHashJoin(left, right iterator, leftKeys, rightKeys []*boundExpr, residual *boundExpr, ec *execCtx) (iterator, error) {
 	table := make(map[uint64][]store.Row)
+	cancel := canceller{ctx: ec.ctx}
 	for {
+		if err := cancel.check(); err != nil {
+			return nil, err
+		}
 		r, ok, err := right.Next()
 		if err != nil {
 			return nil, err
@@ -550,11 +598,14 @@ func newHashJoin(left, right iterator, leftKeys, rightKeys []*boundExpr, residua
 			table[h] = append(table[h], r)
 		}
 	}
-	return &hashJoin{left: left, leftKeys: leftKeys, table: table, residual: residual, stats: stats}, nil
+	return &hashJoin{left: left, leftKeys: leftKeys, table: table, residual: residual, stats: ec.stats, cancel: canceller{ctx: ec.ctx}}, nil
 }
 
 func (j *hashJoin) Next() (store.Row, bool, error) {
 	for {
+		if err := j.cancel.check(); err != nil {
+			return nil, false, err
+		}
 		for j.matchPos < len(j.matches) {
 			right := j.matches[j.matchPos]
 			j.matchPos++
@@ -570,7 +621,7 @@ func (j *hashJoin) Next() (store.Row, bool, error) {
 					continue
 				}
 			}
-			j.stats.RowsJoined++
+			atomic.AddInt64(&j.stats.RowsJoined, 1)
 			return out, true, nil
 		}
 		l, ok, err := j.left.Next()
@@ -599,25 +650,22 @@ type nestedLoopJoin struct {
 	started  bool
 	residual *boundExpr
 	stats    *ExecStats
+	cancel   canceller
 }
 
-func newNestedLoopJoin(left, right iterator, residual *boundExpr, stats *ExecStats) (iterator, error) {
-	var rights []store.Row
-	for {
-		r, ok, err := right.Next()
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			break
-		}
-		rights = append(rights, r)
+func newNestedLoopJoin(left, right iterator, residual *boundExpr, ec *execCtx) (iterator, error) {
+	rights, err := drainAll(ec.ctx, right)
+	if err != nil {
+		return nil, err
 	}
-	return &nestedLoopJoin{left: left, rights: rights, residual: residual, stats: stats}, nil
+	return &nestedLoopJoin{left: left, rights: rights, residual: residual, stats: ec.stats, cancel: canceller{ctx: ec.ctx}}, nil
 }
 
 func (j *nestedLoopJoin) Next() (store.Row, bool, error) {
 	for {
+		if err := j.cancel.check(); err != nil {
+			return nil, false, err
+		}
 		if !j.started || j.pos >= len(j.rights) {
 			l, ok, err := j.left.Next()
 			if err != nil || !ok {
@@ -642,7 +690,7 @@ func (j *nestedLoopJoin) Next() (store.Row, bool, error) {
 					continue
 				}
 			}
-			j.stats.RowsJoined++
+			atomic.AddInt64(&j.stats.RowsJoined, 1)
 			return out, true, nil
 		}
 	}
@@ -654,6 +702,7 @@ type sortIter struct {
 	in     iterator
 	keys   []*boundExpr
 	descs  []bool
+	cancel canceller
 	rows   []store.Row
 	sorted bool
 	pos    int
@@ -667,6 +716,9 @@ func (s *sortIter) Next() (store.Row, bool, error) {
 		}
 		var all []keyed
 		for {
+			if err := s.cancel.check(); err != nil {
+				return nil, false, err
+			}
 			r, ok, err := s.in.Next()
 			if err != nil {
 				return nil, false, err

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -87,7 +88,7 @@ func TestScalarSubqueryEmptyIsNull(t *testing.T) {
 
 func TestScalarSubqueryMultiRowRejected(t *testing.T) {
 	cat := testCatalog(t)
-	_, err := NewEngine(cat, DefaultOptions()).Query(
+	_, err := NewEngine(cat, DefaultOptions()).Query(context.Background(),
 		"SELECT accession FROM proteins WHERE length > (SELECT length FROM proteins)")
 	if err == nil || !strings.Contains(err.Error(), "scalar subquery") {
 		t.Fatalf("multi-row scalar accepted: %v", err)
@@ -96,7 +97,7 @@ func TestScalarSubqueryMultiRowRejected(t *testing.T) {
 
 func TestSubqueryMultiColumnRejected(t *testing.T) {
 	cat := testCatalog(t)
-	_, err := NewEngine(cat, DefaultOptions()).Query(
+	_, err := NewEngine(cat, DefaultOptions()).Query(context.Background(),
 		"SELECT accession FROM proteins WHERE accession IN (SELECT protein_id, ligand_id FROM activities)")
 	if err == nil || !strings.Contains(err.Error(), "one column") {
 		t.Fatalf("multi-column subquery accepted: %v", err)

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"testing"
 
 	"drugtree/internal/store"
@@ -83,7 +84,7 @@ func TestTanimotoThresholdFilter(t *testing.T) {
 
 func TestTanimotoInvalidReferenceRejected(t *testing.T) {
 	cat := tanimotoCatalog(t)
-	if _, err := NewEngine(cat, DefaultOptions()).Query(
+	if _, err := NewEngine(cat, DefaultOptions()).Query(context.Background(),
 		"SELECT TANIMOTO(smiles, 'not smiles !!!') FROM ligands"); err == nil {
 		t.Fatal("invalid reference SMILES accepted")
 	}

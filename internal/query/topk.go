@@ -11,10 +11,11 @@ import (
 // physical planner substitutes it whenever a LimitNode sits directly
 // on a SortNode.
 type topKIter struct {
-	in    iterator
-	keys  []*boundExpr
-	descs []bool
-	k     int
+	in     iterator
+	keys   []*boundExpr
+	descs  []bool
+	k      int
+	cancel canceller
 
 	out []store.Row
 	pos int
@@ -82,6 +83,9 @@ func (t *topKIter) drain() error {
 	h := &rowHeap{descs: t.descs}
 	heap.Init(h)
 	for {
+		if err := t.cancel.check(); err != nil {
+			return err
+		}
 		r, ok, err := t.in.Next()
 		if err != nil {
 			return err

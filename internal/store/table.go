@@ -222,6 +222,22 @@ func (t *Table) Scan(fn func(id int64, r Row) bool) {
 	}
 }
 
+// Snapshot returns references to every stored row in unspecified
+// order. The references are safe for shared concurrent reads even
+// while writers run: Insert and Update clone incoming rows into the
+// map and never mutate a stored row in place, so a row reachable from
+// a snapshot is immutable. Callers must not mutate the returned rows;
+// clone before modifying (the parallel executor clones on output).
+func (t *Table) Snapshot() []Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Row, 0, len(t.rows))
+	for _, r := range t.rows {
+		out = append(out, r)
+	}
+	return out
+}
+
 // LookupEqual returns the IDs of rows whose column equals v, using an
 // index when one exists and falling back to a scan.
 func (t *Table) LookupEqual(column string, v Value) ([]int64, error) {
