@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench check clean
+.PHONY: all build test race vet bench chaos check clean
 
 all: check
 
@@ -16,10 +16,13 @@ build:
 test:
 	$(GO) test ./...
 
-# The parallel executor's thread-safety certificate: differential,
-# cancellation, and stress tests under the race detector.
+# The concurrency certificate: differential, cancellation, and stress
+# tests under the race detector — the parallel query executor, the
+# engine serving it, and the resilience layer (sources hammered by
+# concurrent fetchers, health map read during sync, mobile sessions).
 race:
-	$(GO) test -race ./internal/query/... ./internal/core/...
+	$(GO) test -race ./internal/query/... ./internal/core/... \
+		./internal/source/... ./internal/integrate/... ./internal/mobile/...
 
 vet:
 	$(GO) vet ./...
@@ -28,6 +31,12 @@ vet:
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkParallel' -benchmem ./internal/query/...
 	$(GO) test -run xxx -bench 'BenchmarkT7Parallelism' -benchmem .
+
+# The T8 chaos experiment: scripted outage/brownout/error-burst
+# timeline with the resilience stack on vs off, plus its gate test.
+chaos:
+	$(GO) test -run TestRunT8 -v ./internal/experiments/
+	$(GO) run ./cmd/drugtree-bench -exp T8
 
 check: vet build test race
 

@@ -12,6 +12,7 @@ import (
 	"net"
 	"runtime"
 	"testing"
+	"time"
 
 	"drugtree/internal/core"
 	"drugtree/internal/datagen"
@@ -94,7 +95,7 @@ func BenchmarkT2SourceTraffic(b *testing.B) {
 			bundle := source.NewBundle(ds, netsim.Profile4G, 1, true)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := source.FetchAll(bundle.Proteins, mode.filters); err != nil {
+				if _, err := source.FetchAll(context.Background(), bundle.Proteins, mode.filters); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -431,5 +432,60 @@ func BenchmarkT7Parallelism(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// --- T8: resilient sync under faults ---
+
+// BenchmarkT8ResilientSync prices one mediator refresh cycle with the
+// resilience stack on: the fresh path (full replace of every table)
+// against the degraded path (breaker + last-good serving while a
+// source is dark). Backoff sleeps ride the virtual clock, so the
+// numbers isolate compute, not waiting.
+func BenchmarkT8ResilientSync(b *testing.B) {
+	gen := datagen.DefaultConfig()
+	gen.NumFamilies = 4
+	gen.ProteinsPerFamily = 10
+	gen.NumLigands = 20
+	ds, err := datagen.Generate(gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name   string
+		outage bool
+	}{{"fresh", false}, {"degraded", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			db, err := store.Open("")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			bundle := source.NewBundle(ds, netsim.ProfileLAN, 1, true)
+			vclock := netsim.NewVirtualClock()
+			for _, s := range bundle.All() {
+				s.SetClock(vclock)
+			}
+			im := integrate.NewImporter(db, bundle)
+			r := integrate.DefaultResilience()
+			r.Retry = source.RetryPolicy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond, MaxDelay: 100 * time.Millisecond, JitterSeed: 1}
+			r.Clock = vclock
+			r.Metrics = metrics.NewRegistry()
+			im.EnableResilience(r)
+			if _, err := im.Sync(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+			if mode.outage {
+				bundle.Activities.SetFaultPlan(&source.FaultPlan{Windows: []source.FaultWindow{
+					{Mode: source.FaultOutage, Start: 0, End: 1 << 62},
+				}})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := im.Sync(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

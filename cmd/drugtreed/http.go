@@ -28,6 +28,42 @@ func newMux(eng *core.Engine) *http.ServeMux {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprint(w, eng.Metrics.Dump())
 	})
+	mux.HandleFunc("GET /health/sources", func(w http.ResponseWriter, r *http.Request) {
+		type sourceHealthPayload struct {
+			Source       string `json:"source"`
+			Status       string `json:"status"`
+			Stale        bool   `json:"stale"`
+			Rows         int    `json:"rows"`
+			AgeMs        int64  `json:"age_ms"`
+			LastError    string `json:"last_error,omitempty"`
+			BreakerState string `json:"breaker_state,omitempty"`
+			BreakerTrips int64  `json:"breaker_trips,omitempty"`
+		}
+		out := []sourceHealthPayload{}
+		degraded := false
+		for _, h := range eng.SourceHealth() {
+			out = append(out, sourceHealthPayload{
+				Source:       h.Source,
+				Status:       h.Status.String(),
+				Stale:        h.Stale,
+				Rows:         h.Rows,
+				AgeMs:        h.Age.Milliseconds(),
+				LastError:    h.LastError,
+				BreakerState: h.BreakerState,
+				BreakerTrips: h.BreakerTrips,
+			})
+			if h.Stale {
+				degraded = true
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if degraded {
+			// 200 would hide staleness from load balancers; 207-style
+			// signalling keeps the endpoint scrapeable but visible.
+			w.WriteHeader(http.StatusMultiStatus)
+		}
+		json.NewEncoder(w).Encode(out)
+	})
 	mux.HandleFunc("GET /tree", func(w http.ResponseWriter, r *http.Request) {
 		node := r.URL.Query().Get("node")
 		if node == "" {

@@ -10,6 +10,7 @@
 // HTTP endpoints:
 //
 //	GET  /healthz                   liveness
+//	GET  /health/sources            per-source freshness JSON (207 when degraded)
 //	GET  /tree?node=NAME&budget=N   viewport JSON
 //	GET  /query?q=DTQL              query results JSON
 //	GET  /metrics                   engine counters (text)
@@ -74,6 +75,7 @@ func main() {
 
 func buildEngine(dir string, generate bool, seed int64, families, perFamily, ligands int) (*core.Engine, func(), error) {
 	var db *store.DB
+	var importer *integrate.Importer
 	var err error
 	switch {
 	case generate:
@@ -91,7 +93,9 @@ func buildEngine(dir string, generate bool, seed int64, families, perFamily, lig
 			return nil, nil, err
 		}
 		bundle := source.NewBundle(ds, netsim.Profile4G, seed, true)
-		if _, err := integrate.NewImporter(db, bundle).ImportAll(); err != nil {
+		importer = integrate.NewImporter(db, bundle)
+		importer.EnableResilience(integrate.DefaultResilience())
+		if _, err := importer.Sync(context.Background()); err != nil {
 			return nil, nil, err
 		}
 	case dir != "":
@@ -111,6 +115,9 @@ func buildEngine(dir string, generate bool, seed int64, families, perFamily, lig
 	if err != nil {
 		db.Close()
 		return nil, nil, err
+	}
+	if importer != nil {
+		eng.AttachHealth(importer.Health)
 	}
 	return eng, func() { db.Close() }, nil
 }

@@ -107,6 +107,8 @@ type Engine struct {
 	prefetcher *cache.Prefetcher
 	Metrics    *metrics.Registry
 
+	healthFn func() []integrate.SourceHealth
+
 	byName map[string]phylo.NodeID
 }
 
@@ -311,6 +313,19 @@ func (e *Engine) CacheStats() cache.Stats {
 		return cache.Stats{}
 	}
 	return e.cache.Stats()
+}
+
+// AttachHealth connects a per-source freshness provider (normally the
+// importer's Health method) so servers can surface degraded sources.
+func (e *Engine) AttachHealth(fn func() []integrate.SourceHealth) { e.healthFn = fn }
+
+// SourceHealth reports per-source freshness, or nil when no provider
+// is attached (engines built from a static snapshot).
+func (e *Engine) SourceHealth() []integrate.SourceHealth {
+	if e.healthFn == nil {
+		return nil
+	}
+	return e.healthFn()
 }
 
 // NodeByName resolves a node name (protein accession or clade label).

@@ -114,6 +114,52 @@ func TestRunT4(t *testing.T) {
 	}
 }
 
+func TestRunT8(t *testing.T) {
+	rep, err := RunT8(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("T8 rows = %d, want 2", len(rep.Rows))
+	}
+	avail := func(row []string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[1], "%"), 64)
+		if err != nil {
+			t.Fatalf("bad availability cell %q", row[1])
+		}
+		return v
+	}
+	wasted := func(row []string) int64 {
+		v, err := strconv.ParseInt(row[5], 10, 64)
+		if err != nil {
+			t.Fatalf("bad wasted cell %q", row[5])
+		}
+		return v
+	}
+	res, naive := rep.Rows[0], rep.Rows[1]
+	// The headline claim: resilience keeps ≥99% of rounds answered
+	// through a 30%-of-wall-clock outage; the naive stack does not.
+	if avail(res) < 99 {
+		t.Errorf("resilient availability %.1f%% < 99%%", avail(res))
+	}
+	if avail(naive) >= avail(res) {
+		t.Errorf("naive availability %.1f%% not below resilient %.1f%%", avail(naive), avail(res))
+	}
+	// The cost: some rounds served stale (degraded > 0).
+	deg, _ := strconv.ParseFloat(strings.TrimSuffix(res[3], "%"), 64)
+	if deg <= 0 {
+		t.Error("resilient mode reported no degraded rounds under a 36s outage")
+	}
+	// Breaker + backoff must cut wasted traffic.
+	if wasted(res) >= wasted(naive) {
+		t.Errorf("resilient wasted %d ≥ naive %d", wasted(res), wasted(naive))
+	}
+	trips, _ := strconv.ParseInt(res[6], 10, 64)
+	if trips == 0 {
+		t.Error("breakers never tripped")
+	}
+}
+
 func TestF1SmallScale(t *testing.T) {
 	// Full F1 sweeps to 50k leaves; the test checks the property at
 	// two sizes: the naive/optimized gap grows with tree size.

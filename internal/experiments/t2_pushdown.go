@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"drugtree/internal/datagen"
@@ -75,7 +76,7 @@ func RunT2(seed int64) (*Report, error) {
 		// Without pushdown: drain everything, filter at the mediator.
 		bundleA := source.NewBundle(ds, netsim.Profile4G, seed, true)
 		srcA := sc.source(bundleA)
-		rows, err := source.FetchAll(srcA, nil)
+		rows, err := source.FetchAll(context.Background(), srcA, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -90,7 +91,7 @@ func RunT2(seed int64) (*Report, error) {
 		// With pushdown.
 		bundleB := source.NewBundle(ds, netsim.Profile4G, seed, true)
 		srcB := sc.source(bundleB)
-		pushRows, err := source.FetchAll(srcB, sc.filters)
+		pushRows, err := source.FetchAll(context.Background(), srcB, sc.filters)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,62 @@
+package integrate
+
+import (
+	"fmt"
+	"time"
+)
+
+// SyncStatus classifies one source's contribution to the last sync.
+type SyncStatus uint8
+
+const (
+	// StatusFresh means the last sync replaced the table with live
+	// rows from the source.
+	StatusFresh SyncStatus = iota
+	// StatusDegraded means the source was unreachable (circuit open or
+	// retries exhausted) and the mediator is serving the last
+	// successfully imported rows, now stale.
+	StatusDegraded
+	// StatusFailed means the source was unreachable and no last-good
+	// rows exist to serve.
+	StatusFailed
+)
+
+func (s SyncStatus) String() string {
+	switch s {
+	case StatusFresh:
+		return "fresh"
+	case StatusDegraded:
+		return "degraded"
+	case StatusFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("SyncStatus(%d)", uint8(s))
+}
+
+// SourceHealth is the per-source freshness record the mediator exposes
+// to clients (HTTP /health/sources, mobile MsgStatus). Mobile users
+// triaging compounds in a meeting would rather see slightly stale
+// binding data flagged as such than an error page, so staleness is a
+// first-class, reportable state instead of a silent failure.
+type SourceHealth struct {
+	// Source is the source name.
+	Source string
+	// Status is the outcome of the most recent sync for this source.
+	Status SyncStatus
+	// Stale is true when the served rows predate the last sync.
+	Stale bool
+	// Rows is the number of rows currently served for this source.
+	Rows int
+	// LastError is the most recent fetch error ("" when fresh).
+	LastError string
+	// LastGood is the timeline timestamp of the last successful sync
+	// (zero if the source has never synced).
+	LastGood time.Duration
+	// Age is now − LastGood at snapshot time: how stale the served
+	// rows are.
+	Age time.Duration
+	// BreakerState and BreakerTrips mirror the source's circuit
+	// breaker ("" / 0 when resilience is off).
+	BreakerState string
+	BreakerTrips int64
+}

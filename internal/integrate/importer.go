@@ -1,9 +1,12 @@
 package integrate
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
+	"drugtree/internal/netsim"
 	"drugtree/internal/source"
 	"drugtree/internal/store"
 )
@@ -27,15 +30,30 @@ type ImportStats struct {
 }
 
 // Importer synchronizes the remote bundle into a local store DB.
+// ImportAll is the original append-only one-shot load; Sync is the
+// repeatable resilient path with replace semantics, degraded-mode
+// serving and per-source freshness tracking (see sync.go).
 type Importer struct {
 	DB     *store.DB
 	Bundle *source.Bundle
+
+	res      *Resilience
+	breakers map[string]*source.Breaker
+	clock    netsim.Clock
+
+	mu     sync.Mutex
+	health map[string]*SourceHealth
 }
 
 // NewImporter wires an importer. The DB may be empty or already hold
 // the integrated tables from a previous run.
 func NewImporter(db *store.DB, bundle *source.Bundle) *Importer {
-	return &Importer{DB: db, Bundle: bundle}
+	return &Importer{
+		DB:     db,
+		Bundle: bundle,
+		clock:  netsim.NewWallClock(),
+		health: make(map[string]*SourceHealth),
+	}
 }
 
 // ensureTable creates the table with indexes if missing.
@@ -69,7 +87,7 @@ func (im *Importer) ImportAll() (*ImportStats, error) {
 	}); err != nil {
 		return nil, err
 	}
-	protRows, err := source.FetchAll(im.Bundle.Proteins, nil)
+	protRows, err := source.FetchAll(context.Background(), im.Bundle.Proteins, nil)
 	if err != nil {
 		return nil, fmt.Errorf("integrate: fetching proteins: %w", err)
 	}
@@ -89,7 +107,7 @@ func (im *Importer) ImportAll() (*ImportStats, error) {
 	}); err != nil {
 		return nil, err
 	}
-	ligRows, err := source.FetchAll(im.Bundle.Ligands, nil)
+	ligRows, err := source.FetchAll(context.Background(), im.Bundle.Ligands, nil)
 	if err != nil {
 		return nil, fmt.Errorf("integrate: fetching ligands: %w", err)
 	}
@@ -113,7 +131,7 @@ func (im *Importer) ImportAll() (*ImportStats, error) {
 	}); err != nil {
 		return nil, err
 	}
-	actRows, err := source.FetchAll(im.Bundle.Activities, nil)
+	actRows, err := source.FetchAll(context.Background(), im.Bundle.Activities, nil)
 	if err != nil {
 		return nil, fmt.Errorf("integrate: fetching activities: %w", err)
 	}
@@ -142,7 +160,7 @@ func (im *Importer) ImportAll() (*ImportStats, error) {
 	}); err != nil {
 		return nil, err
 	}
-	annRows, err := source.FetchAll(im.Bundle.Annotations, nil)
+	annRows, err := source.FetchAll(context.Background(), im.Bundle.Annotations, nil)
 	if err != nil {
 		return nil, fmt.Errorf("integrate: fetching annotations: %w", err)
 	}

@@ -1,0 +1,347 @@
+// Resilient synchronization: the repeatable counterpart to ImportAll.
+// Sync replaces each integrated table from its source when the source
+// answers, and falls back to the last successfully imported rows —
+// marked stale — when it does not. A sync therefore degrades per
+// source instead of failing whole: a dark ActivityBank leaves protein
+// browsing fully live and activity queries answerable from stale rows.
+package integrate
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"drugtree/internal/metrics"
+	"drugtree/internal/netsim"
+	"drugtree/internal/source"
+	"drugtree/internal/store"
+)
+
+// Resilience configures the fault-tolerant fetch path: retry/backoff
+// policy, per-request timeout, and per-source circuit breakers. A nil
+// Resilience on the importer means naive mode — one attempt per page,
+// any source failure fails the whole sync (the ablation baseline).
+type Resilience struct {
+	Retry   source.RetryPolicy
+	Timeout time.Duration
+	// BreakerThreshold consecutive failures open a source's breaker;
+	// BreakerCooldown later a probe is admitted.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Clock drives backoff sleeps, breaker cooldowns and freshness
+	// ages; nil uses the wall clock.
+	Clock netsim.Clock
+	// Metrics receives breaker and retry counters when set.
+	Metrics *metrics.Registry
+}
+
+// DefaultResilience is a sane production-shaped policy.
+func DefaultResilience() Resilience {
+	return Resilience{
+		Retry:            source.DefaultRetry(),
+		Timeout:          5 * time.Second,
+		BreakerThreshold: 5,
+		BreakerCooldown:  10 * time.Second,
+	}
+}
+
+// EnableResilience switches the importer's Sync path to resilient
+// mode, building one circuit breaker per source.
+func (im *Importer) EnableResilience(r Resilience) {
+	im.res = &r
+	if r.Clock != nil {
+		im.clock = r.Clock
+	}
+	im.breakers = make(map[string]*source.Breaker)
+	for _, s := range im.Bundle.All() {
+		im.breakers[s.Name()] = source.NewBreaker(
+			s.Name(), r.BreakerThreshold, r.BreakerCooldown, im.clock, r.Metrics)
+	}
+}
+
+// Breaker returns the named source's circuit breaker (nil when
+// resilience is off).
+func (im *Importer) Breaker(name string) *source.Breaker { return im.breakers[name] }
+
+// SyncReport summarizes one Sync call.
+type SyncReport struct {
+	// Sources holds per-source outcomes in bundle order.
+	Sources []SourceHealth
+	// Fresh, Degraded and Failed count sources by outcome.
+	Fresh, Degraded, Failed int
+	RowsImported            int64
+	RowsRejected            int64
+}
+
+// Degraded reports whether any source fell back to stale rows.
+func (r *SyncReport) AnyDegraded() bool { return r.Degraded > 0 || r.Failed > 0 }
+
+// fetchSource pulls one source through the configured resilience
+// stack. In naive mode a page gets the legacy 5-attempt hot retry —
+// no backoff, no timeout, no breaker.
+func (im *Importer) fetchSource(ctx context.Context, s source.Source) ([]store.Row, error) {
+	if im.res == nil {
+		return source.FetchAllWith(ctx, s, nil, &source.FetchOptions{
+			Retry: source.RetryPolicy{MaxAttempts: 5},
+		})
+	}
+	return source.FetchAllWith(ctx, s, nil, &source.FetchOptions{
+		Retry:   im.res.Retry,
+		Timeout: im.res.Timeout,
+		Breaker: im.breakers[s.Name()],
+		Clock:   im.res.Clock,
+		Metrics: im.res.Metrics,
+	})
+}
+
+// replaceTable swaps the table's contents for rows (both the deletes
+// and inserts go through the WAL). transform may mutate or reject a
+// row; returning false drops it.
+func (im *Importer) replaceTable(name string, schema *store.Schema, indexes map[string]store.IndexType, rows []store.Row, transform func(store.Row) bool) (imported, rejected int64, err error) {
+	t, err := im.ensureTable(name, schema, indexes)
+	if err != nil {
+		return 0, 0, err
+	}
+	var stale []int64
+	t.Scan(func(id int64, _ store.Row) bool {
+		stale = append(stale, id)
+		return true
+	})
+	for _, id := range stale {
+		if _, err := im.DB.Delete(name, id); err != nil {
+			return 0, 0, err
+		}
+	}
+	for _, r := range rows {
+		if transform != nil && !transform(r) {
+			rejected++
+			continue
+		}
+		if _, err := im.DB.Insert(name, r); err != nil {
+			return imported, rejected, err
+		}
+		imported++
+	}
+	return imported, rejected, nil
+}
+
+// tableIDs reads the entity IDs currently served for a table — the
+// degraded-mode resolver input when a source cannot be refreshed.
+func (im *Importer) tableIDs(table, column string, schema *store.Schema) []string {
+	t, err := im.DB.Table(table)
+	if err != nil {
+		return nil
+	}
+	ci := schema.ColumnIndex(column)
+	var ids []string
+	t.Scan(func(_ int64, r store.Row) bool {
+		ids = append(ids, r[ci].S)
+		return true
+	})
+	return ids
+}
+
+// markHealth records a source outcome and returns the health row.
+func (im *Importer) markHealth(name string, status SyncStatus, rows int, ferr error) SourceHealth {
+	now := im.clock.Now()
+	im.mu.Lock()
+	h := im.health[name]
+	if h == nil {
+		h = &SourceHealth{Source: name}
+		im.health[name] = h
+	}
+	h.Status = status
+	h.Stale = status != StatusFresh
+	h.Rows = rows
+	if ferr != nil {
+		h.LastError = ferr.Error()
+	} else {
+		h.LastError = ""
+	}
+	if status == StatusFresh {
+		h.LastGood = now
+	}
+	if b := im.breakers[name]; b != nil {
+		h.BreakerState = b.State().String()
+		h.BreakerTrips = b.Trips()
+	}
+	out := *h
+	im.mu.Unlock()
+	out.Age = now - out.LastGood
+	return out
+}
+
+// tableLen returns the number of rows currently served for table.
+func (im *Importer) tableLen(table string) int {
+	t, err := im.DB.Table(table)
+	if err != nil {
+		return 0
+	}
+	return t.Len()
+}
+
+// Sync refreshes all integrated tables from the bundle. With
+// resilience enabled, a source that is open-circuit or exhausts its
+// retries keeps its last-good rows and is reported Degraded (Failed if
+// it never synced); the sync itself still succeeds. Without resilience
+// any source failure aborts the sync with an error — the naive
+// baseline T8 measures against.
+func (im *Importer) Sync(ctx context.Context) (*SyncReport, error) {
+	rep := &SyncReport{}
+
+	record := func(name, table string, rows []store.Row, ferr error) error {
+		if ferr == nil {
+			return nil
+		}
+		if im.res == nil {
+			return fmt.Errorf("integrate: sync %s: %w", name, ferr)
+		}
+		status := StatusDegraded
+		if im.tableLen(table) == 0 {
+			status = StatusFailed
+		}
+		h := im.markHealth(name, status, im.tableLen(table), ferr)
+		rep.Sources = append(rep.Sources, h)
+		if status == StatusFailed {
+			rep.Failed++
+		} else {
+			rep.Degraded++
+		}
+		return nil
+	}
+	fresh := func(name string, imported, rejected int64) {
+		h := im.markHealth(name, StatusFresh, int(imported), nil)
+		rep.Sources = append(rep.Sources, h)
+		rep.Fresh++
+		rep.RowsImported += imported
+		rep.RowsRejected += rejected
+	}
+
+	// Proteins.
+	protRows, perr := im.fetchSource(ctx, im.Bundle.Proteins)
+	if err := record(im.Bundle.Proteins.Name(), TableProteins, protRows, perr); err != nil {
+		return nil, err
+	}
+	var protIDs []string
+	if perr == nil {
+		accIdx := source.ProteinSchema.ColumnIndex("accession")
+		for _, r := range protRows {
+			protIDs = append(protIDs, r[accIdx].S)
+		}
+		n, rej, err := im.replaceTable(TableProteins, source.ProteinSchema, map[string]store.IndexType{
+			"accession": store.IndexHash,
+			"family":    store.IndexHash,
+			"length":    store.IndexBTree,
+		}, protRows, nil)
+		if err != nil {
+			return nil, err
+		}
+		fresh(im.Bundle.Proteins.Name(), n, rej)
+	} else {
+		protIDs = im.tableIDs(TableProteins, "accession", source.ProteinSchema)
+	}
+
+	// Ligands.
+	ligRows, lerr := im.fetchSource(ctx, im.Bundle.Ligands)
+	if err := record(im.Bundle.Ligands.Name(), TableLigands, ligRows, lerr); err != nil {
+		return nil, err
+	}
+	var ligIDs []string
+	if lerr == nil {
+		idIdx := source.LigandSchema.ColumnIndex("ligand_id")
+		for _, r := range ligRows {
+			ligIDs = append(ligIDs, r[idIdx].S)
+		}
+		n, rej, err := im.replaceTable(TableLigands, source.LigandSchema, map[string]store.IndexType{
+			"ligand_id": store.IndexHash,
+			"weight":    store.IndexBTree,
+		}, ligRows, nil)
+		if err != nil {
+			return nil, err
+		}
+		fresh(im.Bundle.Ligands.Name(), n, rej)
+	} else {
+		ligIDs = im.tableIDs(TableLigands, "ligand_id", source.LigandSchema)
+	}
+
+	protResolver := NewResolver(protIDs)
+	ligResolver := NewResolver(ligIDs)
+
+	// Activities.
+	actRows, aerr := im.fetchSource(ctx, im.Bundle.Activities)
+	if err := record(im.Bundle.Activities.Name(), TableActivities, actRows, aerr); err != nil {
+		return nil, err
+	}
+	if aerr == nil {
+		pIdx := source.ActivitySchema.ColumnIndex("protein_id")
+		lIdx := source.ActivitySchema.ColumnIndex("ligand_id")
+		n, rej, err := im.replaceTable(TableActivities, source.ActivitySchema, map[string]store.IndexType{
+			"protein_id": store.IndexHash,
+			"ligand_id":  store.IndexHash,
+			"affinity":   store.IndexBTree,
+		}, actRows, func(r store.Row) bool {
+			pid, _, pOK := protResolver.Resolve(r[pIdx].S)
+			lid, _, lOK := ligResolver.Resolve(r[lIdx].S)
+			if !pOK || !lOK {
+				return false
+			}
+			r[pIdx] = store.StringValue(pid)
+			r[lIdx] = store.StringValue(lid)
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		fresh(im.Bundle.Activities.Name(), n, rej)
+	}
+
+	// Annotations.
+	annRows, nerr := im.fetchSource(ctx, im.Bundle.Annotations)
+	if err := record(im.Bundle.Annotations.Name(), TableAnnotations, annRows, nerr); err != nil {
+		return nil, err
+	}
+	if nerr == nil {
+		apIdx := source.AnnotationSchema.ColumnIndex("protein_id")
+		n, rej, err := im.replaceTable(TableAnnotations, source.AnnotationSchema, map[string]store.IndexType{
+			"protein_id": store.IndexHash,
+			"organism":   store.IndexHash,
+		}, annRows, func(r store.Row) bool {
+			pid, _, ok := protResolver.Resolve(r[apIdx].S)
+			if !ok {
+				return false
+			}
+			r[apIdx] = store.StringValue(pid)
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		fresh(im.Bundle.Annotations.Name(), n, rej)
+	}
+
+	return rep, nil
+}
+
+// Health snapshots per-source freshness in bundle order, with ages
+// computed against the importer's clock. Sources that have never
+// synced are omitted.
+func (im *Importer) Health() []SourceHealth {
+	now := im.clock.Now()
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	var out []SourceHealth
+	for _, s := range im.Bundle.All() {
+		h := im.health[s.Name()]
+		if h == nil {
+			continue
+		}
+		cp := *h
+		cp.Age = now - cp.LastGood
+		if b := im.breakers[s.Name()]; b != nil {
+			cp.BreakerState = b.State().String()
+			cp.BreakerTrips = b.Trips()
+		}
+		out = append(out, cp)
+	}
+	return out
+}

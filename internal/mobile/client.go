@@ -20,6 +20,17 @@ type Client struct {
 
 	strategy Strategy
 	budget   int
+	compress bool
+
+	// Redial, when set, reopens the transport after an I/O failure:
+	// the client redials, replays its Hello, and retries the request —
+	// a phone walking between cell towers mid-session.
+	Redial func() (io.ReadWriter, error)
+	// MaxRedials bounds reconnect attempts per interaction (0 with
+	// Redial set still disables reconnecting).
+	MaxRedials int
+	// Reconnects counts successful session re-establishments.
+	Reconnects int
 
 	// Nodes is the client-side render model keyed by pre number.
 	Nodes map[int64]WireNode
@@ -46,6 +57,7 @@ func dial(conn io.ReadWriter, strategy Strategy, budget int, compress bool) (*Cl
 		r:        bufio.NewReader(conn),
 		strategy: strategy,
 		budget:   budget,
+		compress: compress,
 		Nodes:    make(map[int64]WireNode),
 	}
 	if err := WriteMsg(conn, &Hello{Strategy: strategy, Budget: budget, Compress: compress}); err != nil {
@@ -54,14 +66,53 @@ func dial(conn io.ReadWriter, strategy Strategy, budget int, compress bool) (*Cl
 	return c, nil
 }
 
+// exchange performs one request/response on the current transport.
+func (c *Client) exchange(req any) (any, int64, error) {
+	if err := WriteMsg(c.conn, req); err != nil {
+		return nil, 0, err
+	}
+	return ReadMsg(c.r)
+}
+
+// reconnect redials and replays the session handshake.
+func (c *Client) reconnect() error {
+	conn, err := c.Redial()
+	if err != nil {
+		return fmt.Errorf("mobile: redial: %w", err)
+	}
+	c.conn = conn
+	c.r = bufio.NewReader(conn)
+	if err := WriteMsg(conn, &Hello{Strategy: c.strategy, Budget: c.budget, Compress: c.compress}); err != nil {
+		return fmt.Errorf("mobile: replaying hello: %w", err)
+	}
+	c.Reconnects++
+	return nil
+}
+
+// roundTrip sends req and reads the response, reconnecting through
+// Redial (at most MaxRedials times) when the transport fails
+// mid-interaction. Server ErrorMsg responses are application-level and
+// never trigger a reconnect.
+func (c *Client) roundTrip(req any) (any, int64, error) {
+	for attempt := 0; ; attempt++ {
+		msg, wire, err := c.exchange(req)
+		if err == nil {
+			return msg, wire, nil
+		}
+		if c.Redial == nil || attempt >= c.MaxRedials {
+			return nil, 0, err
+		}
+		if rerr := c.reconnect(); rerr != nil && attempt+1 >= c.MaxRedials {
+			return nil, 0, rerr
+		}
+	}
+}
+
 // Open requests a subtree and applies the server's delta to the local
 // render model.
 func (c *Client) Open(node string) (*TreeDelta, error) {
 	start := time.Now()
-	if err := WriteMsg(c.conn, &Open{Node: node}); err != nil {
-		return nil, err
-	}
-	msg, wire, err := ReadMsg(c.r)
+	msg, wire, err := c.roundTrip(&Open{Node: node})
 	if err != nil {
 		return nil, err
 	}
@@ -80,16 +131,30 @@ func (c *Client) Open(node string) (*TreeDelta, error) {
 // Query runs DTQL server-side and returns the result.
 func (c *Client) Query(dtql string) (*QueryResult, error) {
 	start := time.Now()
-	if err := WriteMsg(c.conn, &Query{DTQL: dtql}); err != nil {
-		return nil, err
-	}
-	msg, wire, err := ReadMsg(c.r)
+	msg, wire, err := c.roundTrip(&Query{DTQL: dtql})
 	if err != nil {
 		return nil, err
 	}
 	c.Latencies = append(c.Latencies, time.Since(start))
 	switch m := msg.(type) {
 	case *QueryResult:
+		c.BytesDown += wire
+		return m, nil
+	case *ErrorMsg:
+		return nil, fmt.Errorf("mobile: server error: %s", m.Text)
+	}
+	return nil, fmt.Errorf("mobile: unexpected response %T", msg)
+}
+
+// Status asks the server for per-source freshness, so the app can
+// badge panels backed by stale data.
+func (c *Client) Status() (*StatusMsg, error) {
+	msg, wire, err := c.roundTrip(&StatusReq{})
+	if err != nil {
+		return nil, err
+	}
+	switch m := msg.(type) {
+	case *StatusMsg:
 		c.BytesDown += wire
 		return m, nil
 	case *ErrorMsg:

@@ -32,6 +32,10 @@ const (
 	MsgTreeDelta
 	MsgQueryResult
 	MsgError
+
+	// Protocol rev 2: freshness reporting.
+	MsgStatusReq // client → server: ask for per-source freshness
+	MsgStatus    // server → client: per-source freshness
 )
 
 func (m MsgType) String() string {
@@ -50,6 +54,10 @@ func (m MsgType) String() string {
 		return "QUERY_RESULT"
 	case MsgError:
 		return "ERROR"
+	case MsgStatusReq:
+		return "STATUS_REQ"
+	case MsgStatus:
+		return "STATUS"
 	}
 	return fmt.Sprintf("MsgType(%d)", uint8(m))
 }
@@ -131,6 +139,26 @@ type QueryResult struct {
 // ErrorMsg reports a failure.
 type ErrorMsg struct {
 	Text string
+}
+
+// StatusReq asks the server for per-source freshness. A mobile client
+// polls it to badge stale panels instead of presenting degraded data
+// as live.
+type StatusReq struct{}
+
+// SourceStatus is one source's freshness on the wire.
+type SourceStatus struct {
+	Name   string
+	Status string // "fresh" | "degraded" | "failed"
+	Stale  bool
+	// AgeMs is milliseconds since the source last synced successfully.
+	AgeMs int64
+}
+
+// StatusMsg answers a StatusReq. Empty Sources means the server has
+// no freshness provider (static snapshot deployment).
+type StatusMsg struct {
+	Sources []SourceStatus
 }
 
 // maxFrame bounds one message (defensive).
@@ -300,6 +328,21 @@ func encodeMsg(msg any) ([]byte, error) {
 	case *ErrorMsg:
 		b = append(b, byte(MsgError))
 		b = appendStr(b, m.Text)
+	case *StatusReq:
+		b = append(b, byte(MsgStatusReq))
+	case *StatusMsg:
+		b = append(b, byte(MsgStatus))
+		b = binary.AppendUvarint(b, uint64(len(m.Sources)))
+		for _, s := range m.Sources {
+			b = appendStr(b, s.Name)
+			b = appendStr(b, s.Status)
+			if s.Stale {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+			b = binary.AppendVarint(b, s.AgeMs)
+		}
 	default:
 		return nil, fmt.Errorf("mobile: cannot encode %T", msg)
 	}
@@ -419,6 +462,36 @@ func decodeMsg(p []byte) (any, error) {
 			return nil, err
 		}
 		return &ErrorMsg{Text: s}, nil
+	case MsgStatusReq:
+		return &StatusReq{}, nil
+	case MsgStatus:
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		if n > 4096 {
+			return nil, fmt.Errorf("mobile: source count %d too large", n)
+		}
+		m := &StatusMsg{}
+		for i := uint64(0); i < n; i++ {
+			var s SourceStatus
+			if s.Name, err = readStr(r); err != nil {
+				return nil, err
+			}
+			if s.Status, err = readStr(r); err != nil {
+				return nil, err
+			}
+			sb, err := r.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			s.Stale = sb == 1
+			if s.AgeMs, err = binary.ReadVarint(r); err != nil {
+				return nil, err
+			}
+			m.Sources = append(m.Sources, s)
+		}
+		return m, nil
 	}
 	return nil, fmt.Errorf("mobile: unknown message type %d", p[0])
 }

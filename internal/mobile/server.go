@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"drugtree/internal/core"
 )
@@ -19,6 +20,15 @@ type Server struct {
 	// each interaction (production) or synchronously (deterministic
 	// experiments).
 	Async bool
+	// ReadTimeout bounds the wait for each client message on
+	// connections that support read deadlines (net.Conn); zero waits
+	// forever. A phone that goes dark mid-session then releases its
+	// server goroutine instead of pinning it.
+	ReadTimeout time.Duration
+
+	// panicHook, when set, runs before each message dispatch; tests
+	// use it to drive the panic-recovery path.
+	panicHook func(msg any)
 
 	mu       sync.Mutex
 	sessions int64
@@ -59,18 +69,53 @@ type session struct {
 	held     map[int64]bool // node pre numbers the client holds
 }
 
+// armReadDeadline applies the server's per-message read deadline when
+// the connection supports one.
+func (s *Server) armReadDeadline(conn io.ReadWriter) {
+	if s.ReadTimeout <= 0 {
+		return
+	}
+	if d, ok := conn.(interface{ SetReadDeadline(time.Time) error }); ok {
+		_ = d.SetReadDeadline(time.Now().Add(s.ReadTimeout))
+	}
+}
+
+// statusMsg snapshots per-source freshness for the wire.
+func (s *Server) statusMsg() *StatusMsg {
+	out := &StatusMsg{}
+	for _, h := range s.engine.SourceHealth() {
+		out.Sources = append(out.Sources, SourceStatus{
+			Name:   h.Source,
+			Status: h.Status.String(),
+			Stale:  h.Stale,
+			AgeMs:  h.Age.Milliseconds(),
+		})
+	}
+	return out
+}
+
 // ServeConn runs one session to completion. Queries execute under
-// ctx, so cancelling it aborts a session mid-query.
-func (s *Server) ServeConn(ctx context.Context, conn io.ReadWriter) error {
+// ctx, so cancelling it aborts a session mid-query. A panic anywhere
+// in the session is confined to it: the client gets an ErrorMsg and
+// the server keeps accepting other sessions.
+func (s *Server) ServeConn(ctx context.Context, conn io.ReadWriter) (err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	s.mu.Lock()
 	s.sessions++
 	s.mu.Unlock()
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.engine.Metrics.Counter("mobile.session_panics").Inc()
+			_ = WriteMsg(conn, &ErrorMsg{Text: "internal server error"})
+			err = fmt.Errorf("mobile: session panic: %v", rec)
+		}
+	}()
 
 	r := bufio.NewReader(conn)
 	// First message must be Hello.
+	s.armReadDeadline(conn)
 	first, _, err := ReadMsg(r)
 	if err != nil {
 		return fmt.Errorf("mobile: reading hello: %w", err)
@@ -90,12 +135,16 @@ func (s *Server) ServeConn(ctx context.Context, conn io.ReadWriter) error {
 		sess.budget = 100
 	}
 	for {
+		s.armReadDeadline(conn)
 		msg, _, err := ReadMsg(r)
 		if err == io.EOF {
 			return nil
 		}
 		if err != nil {
 			return err
+		}
+		if s.panicHook != nil {
+			s.panicHook(msg)
 		}
 		switch m := msg.(type) {
 		case *Bye:
@@ -106,6 +155,10 @@ func (s *Server) ServeConn(ctx context.Context, conn io.ReadWriter) error {
 			}
 		case *Query:
 			if err := s.handleQuery(ctx, conn, sess, m); err != nil {
+				return err
+			}
+		case *StatusReq:
+			if err := s.respond(conn, sess, s.statusMsg()); err != nil {
 				return err
 			}
 		default:

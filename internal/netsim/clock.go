@@ -1,0 +1,79 @@
+package netsim
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts elapsed time for the resilience layer: fault
+// schedules, retry backoff, and circuit-breaker cooldowns all read and
+// advance time through it, so experiments can run scripted failure
+// timelines on a virtual clock (instantly, deterministically) while
+// production code uses the wall clock.
+type Clock interface {
+	// Now returns monotonic elapsed time since the clock's origin.
+	Now() time.Duration
+	// Sleep blocks for d (wall clock) or advances the timeline by d
+	// (virtual clock).
+	Sleep(d time.Duration)
+}
+
+// VirtualClock is a manually driven Clock: Sleep advances it, and a
+// harness can also move it forward explicitly with AdvanceTo. It is
+// safe for concurrent use.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// NewVirtualClock returns a virtual clock at time zero.
+func NewVirtualClock() *VirtualClock { return &VirtualClock{} }
+
+// Now implements Clock.
+func (c *VirtualClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep advances the clock by d without blocking.
+func (c *VirtualClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+// AdvanceTo moves the clock forward to t; it never moves backwards
+// (a sleep may already have carried the timeline past t).
+func (c *VirtualClock) AdvanceTo(t time.Duration) {
+	c.mu.Lock()
+	if t > c.now {
+		c.now = t
+	}
+	c.mu.Unlock()
+}
+
+// wallClock implements Clock over real time.
+type wallClock struct{ origin time.Time }
+
+// NewWallClock returns a Clock reading real elapsed time from now.
+func NewWallClock() Clock { return &wallClock{origin: time.Now()} }
+
+func (c *wallClock) Now() time.Duration  { return time.Since(c.origin) }
+func (c *wallClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// linkClock adapts a Link to the Clock interface: Now reads the link's
+// accumulated timeline and Sleep charges idle time to it (advancing
+// the virtual clock in simulated mode, sleeping in real mode). It is
+// the default clock of a simulated source: backoff waits show up on
+// the same timeline as request costs.
+type linkClock struct{ link *Link }
+
+// LinkClock returns a Clock backed by the link's timeline.
+func LinkClock(l *Link) Clock { return &linkClock{link: l} }
+
+func (c *linkClock) Now() time.Duration  { return c.link.Now() }
+func (c *linkClock) Sleep(d time.Duration) { c.link.Advance(d) }

@@ -137,6 +137,24 @@ func (l *Link) RequestCost(reqBytes, respBytes int64) time.Duration {
 	return d
 }
 
+// Advance charges d of non-transfer time to the link's timeline: in
+// simulated mode the virtual clock moves forward instantly; in real
+// mode the caller sleeps. Retry backoff and brownout penalties use it
+// so waiting appears on the same timeline as request costs.
+func (l *Link) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	l.mu.Lock()
+	if l.simulated {
+		l.simNow += d
+		l.mu.Unlock()
+		return
+	}
+	l.mu.Unlock()
+	time.Sleep(d)
+}
+
 // Now returns the virtual clock value (simulated mode only); in real
 // mode it returns the accumulated cost that RequestCost charged.
 func (l *Link) Now() time.Duration {

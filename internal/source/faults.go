@@ -1,0 +1,77 @@
+package source
+
+import (
+	"fmt"
+	"time"
+)
+
+// FaultMode classifies one scripted fault interval.
+type FaultMode uint8
+
+const (
+	// FaultOutage fails every request in the window (the source is
+	// dark: connection refused / hard 5xx).
+	FaultOutage FaultMode = iota
+	// FaultBrownout serves requests but multiplies response time by
+	// SlowFactor (an overloaded or throttled service).
+	FaultBrownout
+	// FaultErrorBurst fails each request with probability ErrorPct
+	// (a flapping dependency), deterministic under the plan seed.
+	FaultErrorBurst
+)
+
+func (m FaultMode) String() string {
+	switch m {
+	case FaultOutage:
+		return "outage"
+	case FaultBrownout:
+		return "brownout"
+	case FaultErrorBurst:
+		return "error-burst"
+	}
+	return fmt.Sprintf("FaultMode(%d)", uint8(m))
+}
+
+// FaultWindow scripts one fault interval on a source's timeline
+// (measured by the source's Clock). Start is inclusive, End exclusive.
+type FaultWindow struct {
+	Mode  FaultMode
+	Start time.Duration
+	End   time.Duration
+	// SlowFactor multiplies response time during a brownout (values
+	// ≤ 1 mean no slowdown).
+	SlowFactor float64
+	// ErrorPct is the per-request failure probability during an
+	// error burst (an outage behaves like ErrorPct = 1).
+	ErrorPct float64
+}
+
+func (w FaultWindow) contains(t time.Duration) bool {
+	return t >= w.Start && t < w.End
+}
+
+// FaultPlan is a deterministic schedule of fault windows. Unlike the
+// uniform SetFailureRate knob, a plan shapes failures in time, which
+// is what circuit breakers and backoff react to. The zero plan (or a
+// nil plan) injects nothing.
+type FaultPlan struct {
+	// Seed drives the error-burst coin flips so a schedule replays
+	// identically across runs.
+	Seed int64
+	// Windows are evaluated in order; the first window containing the
+	// current time wins.
+	Windows []FaultWindow
+}
+
+// active returns the window covering t, or nil.
+func (p *FaultPlan) active(t time.Duration) *FaultWindow {
+	if p == nil {
+		return nil
+	}
+	for i := range p.Windows {
+		if p.Windows[i].contains(t) {
+			return &p.Windows[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,331 @@
+// Resilience layer for the source mediation path: capped exponential
+// backoff with deterministic jitter, per-request modelled timeouts,
+// and a per-source circuit breaker (closed / open / half-open). At
+// production scale partial failure is the steady state, so the
+// mediator must stop hammering dark sources (wasted requests, hot
+// loops) and fail fast while they recover — the breaker trips after a
+// run of failures, rejects without touching the network during a
+// cooldown, then probes with a single half-open request.
+package source
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"drugtree/internal/metrics"
+	"drugtree/internal/netsim"
+	"drugtree/internal/store"
+)
+
+// ErrTimeout is returned when a request's modelled duration exceeds
+// the per-request timeout. It is retryable, like ErrTransient.
+var ErrTimeout = errors.New("source: request exceeded timeout")
+
+// ErrCircuitOpen is returned without touching the network when the
+// source's breaker is open. Callers treat it as "source unavailable,
+// serve degraded" — retrying is pointless until the cooldown elapses.
+var ErrCircuitOpen = errors.New("source: circuit open")
+
+// retryable reports whether err is worth another attempt.
+func retryable(err error) bool {
+	return errors.Is(err, ErrTransient) || errors.Is(err, ErrTimeout)
+}
+
+// RetryPolicy caps attempts and shapes the backoff between them.
+type RetryPolicy struct {
+	// MaxAttempts bounds tries per page (≥ 1; 0 means 1).
+	MaxAttempts int
+	// BaseDelay is the first backoff; each retry doubles it up to
+	// MaxDelay. Zero disables sleeping (the seed repo's hot loop).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// JitterSeed drives the deterministic jitter stream (up to +50%
+	// per delay) so concurrent retriers decorrelate reproducibly.
+	JitterSeed int64
+}
+
+// DefaultRetry is FetchAll's built-in policy: 5 attempts, 50ms base
+// doubling to a 2s cap.
+func DefaultRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 5, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second, JitterSeed: 1}
+}
+
+// delay returns the backoff before attempt n (n ≥ 1 is the first
+// retry), with deterministic jitter from rng.
+func (p RetryPolicy) delay(n int, rng *rand.Rand) time.Duration {
+	if p.BaseDelay <= 0 {
+		return 0
+	}
+	d := p.BaseDelay
+	for i := 1; i < n; i++ {
+		d *= 2
+		if p.MaxDelay > 0 && d >= p.MaxDelay {
+			d = p.MaxDelay
+			break
+		}
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if rng != nil && d > 0 {
+		d += time.Duration(rng.Int63n(int64(d)/2 + 1))
+	}
+	return d
+}
+
+// BreakerState is the circuit breaker's condition.
+type BreakerState uint8
+
+const (
+	// BreakerClosed passes requests through (healthy).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects requests without touching the network.
+	BreakerOpen
+	// BreakerHalfOpen lets a single probe through after the cooldown.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("BreakerState(%d)", uint8(s))
+}
+
+// Breaker is a per-source circuit breaker. Timing (the cooldown) runs
+// on an injectable clock so simulated experiments trip and recover on
+// a virtual timeline. Transitions and rejections are exported through
+// an optional metrics registry under source.<name>.breaker.*.
+type Breaker struct {
+	name     string
+	clock    netsim.Clock
+	reg      *metrics.Registry
+	cooldown time.Duration
+	thresh   int
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int // consecutive, while closed
+	openedAt time.Duration
+	probing  bool
+	trips    int64
+}
+
+// NewBreaker builds a breaker that opens after threshold consecutive
+// failures and probes again after cooldown. A nil clock uses the wall
+// clock; a nil registry disables metrics.
+func NewBreaker(name string, threshold int, cooldown time.Duration, clock netsim.Clock, reg *metrics.Registry) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 10 * time.Second
+	}
+	if clock == nil {
+		clock = netsim.NewWallClock()
+	}
+	return &Breaker{name: name, thresh: threshold, cooldown: cooldown, clock: clock, reg: reg}
+}
+
+func (b *Breaker) count(event string) {
+	if b.reg != nil {
+		b.reg.Counter("source." + b.name + ".breaker." + event).Inc()
+	}
+}
+
+// Allow reports whether a request may proceed. In the open state it
+// returns ErrCircuitOpen until the cooldown elapses, then admits a
+// single half-open probe (concurrent callers keep being rejected
+// until that probe's Record lands).
+func (b *Breaker) Allow() error {
+	now := b.clock.Now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if now-b.openedAt < b.cooldown {
+			b.mu.Unlock()
+			b.count("rejected")
+			b.mu.Lock()
+			return fmt.Errorf("source %s: %w", b.name, ErrCircuitOpen)
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		b.mu.Unlock()
+		b.count("probes")
+		b.mu.Lock()
+		return nil
+	default: // half-open
+		if b.probing {
+			b.mu.Unlock()
+			b.count("rejected")
+			b.mu.Lock()
+			return fmt.Errorf("source %s: %w", b.name, ErrCircuitOpen)
+		}
+		b.probing = true
+		b.mu.Unlock()
+		b.count("probes")
+		b.mu.Lock()
+		return nil
+	}
+}
+
+// Record reports the outcome of an admitted request. Successes close
+// the circuit; failures trip it (from closed, after the threshold) or
+// re-open it (from half-open, immediately).
+func (b *Breaker) Record(err error) {
+	now := b.clock.Now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		if b.state != BreakerClosed {
+			b.state = BreakerClosed
+			b.mu.Unlock()
+			b.count("closed")
+			b.mu.Lock()
+		}
+		b.failures = 0
+		b.probing = false
+		return
+	}
+	switch b.state {
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.thresh {
+			b.state = BreakerOpen
+			b.openedAt = now
+			b.failures = 0
+			b.trips++
+			b.mu.Unlock()
+			b.count("trips")
+			b.mu.Lock()
+		}
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = now
+		b.probing = false
+		b.trips++
+		b.mu.Unlock()
+		b.count("trips")
+		b.mu.Lock()
+	}
+}
+
+// State returns the current state.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// FetchOptions configures the resilient fetch path.
+type FetchOptions struct {
+	Retry RetryPolicy
+	// Timeout bounds one request's modelled duration; a response
+	// slower than this counts as a (retryable) failure even though
+	// its cost was paid. Zero disables.
+	Timeout time.Duration
+	// Breaker, when set, gates every request and observes every
+	// outcome.
+	Breaker *Breaker
+	// Clock times the backoff sleeps; nil uses the source's clock.
+	Clock netsim.Clock
+	// Metrics, when set, receives source.<name>.fetch.retries and
+	// .fetch.wasted counters.
+	Metrics *metrics.Registry
+}
+
+// FetchAllWith drains every page matching the filters through the
+// resilience stack: per-request timeout, capped exponential backoff
+// with deterministic jitter between attempts, and the circuit breaker
+// in front of every request. The error is ErrCircuitOpen when the
+// breaker rejected, or the last request error when retries exhausted.
+func FetchAllWith(ctx context.Context, s Source, filters []Filter, opts *FetchOptions) ([]store.Row, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts == nil {
+		opts = &FetchOptions{Retry: DefaultRetry()}
+	}
+	attempts := opts.Retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	clock := opts.Clock
+	if clock == nil {
+		clock = s.Clock()
+	}
+	var rng *rand.Rand
+	if opts.Retry.BaseDelay > 0 {
+		rng = rand.New(rand.NewSource(opts.Retry.JitterSeed ^ int64(len(s.Name()))))
+	}
+	count := func(event string, n int64) {
+		if opts.Metrics != nil {
+			opts.Metrics.Counter("source." + s.Name() + ".fetch." + event).Add(n)
+		}
+	}
+
+	var rows []store.Row
+	offset := 0
+	for {
+		var res *Result
+		var err error
+		for attempt := 0; attempt < attempts; attempt++ {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			if attempt > 0 {
+				count("retries", 1)
+				clock.Sleep(opts.Retry.delay(attempt, rng))
+			}
+			if opts.Breaker != nil {
+				if berr := opts.Breaker.Allow(); berr != nil {
+					return nil, fmt.Errorf("source: fetching offset %d: %w", offset, berr)
+				}
+			}
+			res, err = s.Fetch(ctx, Request{Filters: filters, Offset: offset})
+			if err == nil && opts.Timeout > 0 && res.Elapsed > opts.Timeout {
+				err = fmt.Errorf("source %s: %v response with %v budget: %w",
+					s.Name(), res.Elapsed, opts.Timeout, ErrTimeout)
+			}
+			if retryable(err) || err == nil {
+				if opts.Breaker != nil {
+					opts.Breaker.Record(err)
+				}
+			}
+			if err == nil {
+				break
+			}
+			count("wasted", 1)
+			if !retryable(err) {
+				break
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("source: fetching offset %d: %w", offset, err)
+		}
+		rows = append(rows, res.Rows...)
+		offset += len(res.Rows)
+		if offset >= res.Total || len(res.Rows) == 0 {
+			return rows, nil
+		}
+	}
+}

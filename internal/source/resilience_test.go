@@ -1,0 +1,295 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"drugtree/internal/metrics"
+	"drugtree/internal/netsim"
+)
+
+func TestRetryDelayCappedAndDeterministic(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 8, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, JitterSeed: 42}
+	rng1 := rand.New(rand.NewSource(p.JitterSeed))
+	rng2 := rand.New(rand.NewSource(p.JitterSeed))
+	for n := 1; n <= 7; n++ {
+		d1 := p.delay(n, rng1)
+		d2 := p.delay(n, rng2)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: jitter not deterministic (%v vs %v)", n, d1, d2)
+		}
+		// Capped: base × 2^(n-1) plus ≤50% jitter, never above 1.5×cap.
+		if d1 > p.MaxDelay+p.MaxDelay/2 {
+			t.Fatalf("attempt %d: delay %v exceeds cap %v + jitter", n, d1, p.MaxDelay)
+		}
+		if d1 <= 0 {
+			t.Fatalf("attempt %d: non-positive delay", n)
+		}
+	}
+	if d := (RetryPolicy{}).delay(3, nil); d != 0 {
+		t.Fatalf("zero policy slept %v", d)
+	}
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	clock := netsim.NewVirtualClock()
+	reg := metrics.NewRegistry()
+	b := NewBreaker("X", 3, 10*time.Second, clock, reg)
+
+	fail := errors.New("boom")
+	if b.State() != BreakerClosed {
+		t.Fatal("not closed initially")
+	}
+	// Two failures: still closed.
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatal(err)
+		}
+		b.Record(fail)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("opened before threshold")
+	}
+	// Third consecutive failure trips it.
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(fail)
+	if b.State() != BreakerOpen || b.Trips() != 1 {
+		t.Fatalf("state=%v trips=%d after threshold", b.State(), b.Trips())
+	}
+	// Open: rejected without touching the network.
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open breaker allowed: %v", err)
+	}
+	// Cooldown elapses: one probe admitted, concurrent calls rejected.
+	clock.Sleep(11 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe rejected after cooldown: %v", err)
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state=%v, want half-open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("second concurrent probe admitted")
+	}
+	// Probe fails: reopen.
+	b.Record(fail)
+	if b.State() != BreakerOpen || b.Trips() != 2 {
+		t.Fatalf("state=%v trips=%d after failed probe", b.State(), b.Trips())
+	}
+	// Next probe succeeds: closed again.
+	clock.Sleep(11 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(nil)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state=%v after successful probe", b.State())
+	}
+	// A success resets the consecutive-failure count.
+	b.Record(fail)
+	b.Record(nil)
+	b.Record(fail)
+	b.Record(fail)
+	if b.State() != BreakerClosed {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+	if reg.Counter("source.X.breaker.trips").Value() != 2 {
+		t.Fatalf("trip counter = %d", reg.Counter("source.X.breaker.trips").Value())
+	}
+	if reg.Counter("source.X.breaker.rejected").Value() == 0 {
+		t.Fatal("no rejections counted")
+	}
+}
+
+func TestFaultPlanOutageWindowDeterministic(t *testing.T) {
+	ds := testDataset(t)
+	run := func() (failures, requests int64) {
+		b := NewProteinBank(ds, netsim.NewLink(netsim.ProfileLAN, 1, true))
+		clock := netsim.NewVirtualClock()
+		b.SetClock(clock)
+		b.SetFaultPlan(&FaultPlan{Seed: 7, Windows: []FaultWindow{
+			{Mode: FaultOutage, Start: 10 * time.Second, End: 20 * time.Second},
+		}})
+		for i := 0; i < 30; i++ {
+			clock.AdvanceTo(time.Duration(i) * time.Second)
+			b.Fetch(context.Background(), Request{Limit: 1})
+		}
+		st := b.Stats()
+		return st.Failures, st.Requests
+	}
+	f1, r1 := run()
+	f2, r2 := run()
+	if f1 != f2 || r1 != r2 {
+		t.Fatalf("fault schedule not deterministic: %d/%d vs %d/%d", f1, r1, f2, r2)
+	}
+	// Requests inside [10s,20s) fail; that is exactly 10 of the 30.
+	if f1 != 10 {
+		t.Fatalf("outage failed %d requests, want 10", f1)
+	}
+}
+
+func TestFaultPlanErrorBurstDeterministic(t *testing.T) {
+	ds := testDataset(t)
+	run := func() int64 {
+		b := NewProteinBank(ds, netsim.NewLink(netsim.ProfileLAN, 1, true))
+		clock := netsim.NewVirtualClock()
+		b.SetClock(clock)
+		b.SetFaultPlan(&FaultPlan{Seed: 11, Windows: []FaultWindow{
+			{Mode: FaultErrorBurst, Start: 0, End: time.Hour, ErrorPct: 0.5},
+		}})
+		for i := 0; i < 100; i++ {
+			b.Fetch(context.Background(), Request{Limit: 1})
+		}
+		return b.Stats().Failures
+	}
+	f1, f2 := run(), run()
+	if f1 != f2 {
+		t.Fatalf("error burst not deterministic under seed: %d vs %d", f1, f2)
+	}
+	if f1 < 25 || f1 > 75 {
+		t.Fatalf("50%% burst failed %d of 100", f1)
+	}
+}
+
+func TestFaultPlanBrownoutSlowsResponses(t *testing.T) {
+	ds := testDataset(t)
+	mk := func(plan *FaultPlan) time.Duration {
+		b := NewProteinBank(ds, netsim.NewLink(netsim.ProfileLAN, 1, true))
+		b.SetClock(netsim.NewVirtualClock())
+		b.SetFaultPlan(plan)
+		res, err := b.Fetch(context.Background(), Request{Limit: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+	normal := mk(nil)
+	slow := mk(&FaultPlan{Windows: []FaultWindow{
+		{Mode: FaultBrownout, Start: 0, End: time.Hour, SlowFactor: 20},
+	}})
+	if slow < 10*normal {
+		t.Fatalf("brownout response %v not ≫ normal %v", slow, normal)
+	}
+}
+
+func TestFetchAllWithTimeoutClassifiesSlowResponses(t *testing.T) {
+	ds := testDataset(t)
+	b := NewProteinBank(ds, netsim.NewLink(netsim.Profile3G, 1, true))
+	b.SetClock(netsim.NewVirtualClock())
+	b.SetFaultPlan(&FaultPlan{Windows: []FaultWindow{
+		{Mode: FaultBrownout, Start: 0, End: time.Hour, SlowFactor: 1000},
+	}})
+	_, err := FetchAllWith(context.Background(), b, nil, &FetchOptions{
+		Retry:   RetryPolicy{MaxAttempts: 2},
+		Timeout: 500 * time.Millisecond,
+	})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("browned-out fetch returned %v, want ErrTimeout", err)
+	}
+	// The timed-out requests were still charged to the source.
+	if b.Stats().Requests != 2 {
+		t.Fatalf("requests = %d, want 2 (both attempts charged)", b.Stats().Requests)
+	}
+}
+
+func TestFetchAllWithBreakerStopsHammering(t *testing.T) {
+	ds := testDataset(t)
+	b := NewProteinBank(ds, netsim.NewLink(netsim.ProfileLAN, 1, true))
+	clock := netsim.NewVirtualClock()
+	b.SetClock(clock)
+	b.SetFaultPlan(&FaultPlan{Windows: []FaultWindow{
+		{Mode: FaultOutage, Start: 0, End: time.Hour},
+	}})
+	br := NewBreaker(b.Name(), 3, 10*time.Second, clock, nil)
+	opts := &FetchOptions{
+		Retry:   RetryPolicy{MaxAttempts: 10},
+		Breaker: br,
+		Clock:   clock,
+	}
+	_, err := FetchAllWith(context.Background(), b, nil, opts)
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("fetch under outage returned %v, want ErrCircuitOpen", err)
+	}
+	// Only threshold-many requests hit the wire; the rest were
+	// rejected locally.
+	if got := b.Stats().Requests; got != 3 {
+		t.Fatalf("outage charged %d requests, want 3 (breaker threshold)", got)
+	}
+	// Subsequent fetches are rejected without any network traffic.
+	if _, err := FetchAllWith(context.Background(), b, nil, opts); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("second fetch: %v", err)
+	}
+	if got := b.Stats().Requests; got != 3 {
+		t.Fatalf("open breaker still charged requests: %d", got)
+	}
+}
+
+func TestFetchAllContextCancelled(t *testing.T) {
+	ds := testDataset(t)
+	b := NewProteinBank(ds, netsim.NewLink(netsim.ProfileLAN, 1, true))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := FetchAll(ctx, b, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled fetch returned %v", err)
+	}
+	if b.Stats().Requests != 0 {
+		t.Fatal("cancelled context still charged the link")
+	}
+}
+
+func TestBackoffSleepsOnClock(t *testing.T) {
+	ds := testDataset(t)
+	b := NewProteinBank(ds, netsim.NewLink(netsim.ProfileLAN, 1, true))
+	clock := netsim.NewVirtualClock()
+	b.SetClock(clock)
+	b.SetFailureRate(1.0)
+	start := clock.Now()
+	_, err := FetchAllWith(context.Background(), b, nil, &FetchOptions{
+		Retry: RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, JitterSeed: 1},
+		Clock: clock,
+	})
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("err = %v", err)
+	}
+	// Three retries back off ≥ 100+200+400ms on the virtual clock.
+	if waited := clock.Now() - start; waited < 700*time.Millisecond {
+		t.Fatalf("backoff advanced clock by only %v", waited)
+	}
+}
+
+// TestBankStatsConcurrentFetch drives one bank from many goroutines;
+// `go test -race` fails this if stats or fault state are unguarded.
+func TestBankStatsConcurrentFetch(t *testing.T) {
+	ds := testDataset(t)
+	b := NewProteinBank(ds, netsim.NewLink(netsim.ProfileLAN, 1, true))
+	b.SetFailureRate(0.2)
+	b.SetFaultPlan(&FaultPlan{Seed: 3, Windows: []FaultWindow{
+		{Mode: FaultErrorBurst, Start: 0, End: time.Hour, ErrorPct: 0.1},
+	}})
+	const workers, perWorker = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				b.Fetch(context.Background(), Request{Limit: 5})
+				b.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	st := b.Stats()
+	if st.Requests != workers*perWorker {
+		t.Fatalf("requests = %d, want %d", st.Requests, workers*perWorker)
+	}
+	if st.Failures == 0 {
+		t.Fatal("no failures under 20%+10% injection")
+	}
+}

@@ -8,10 +8,12 @@
 package source
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"drugtree/internal/netsim"
@@ -117,7 +119,9 @@ type Source interface {
 	// predicates server-side.
 	CanFilter(column string, op FilterOp) bool
 	// Fetch returns one page of rows matching the request filters.
-	Fetch(req Request) (*Result, error)
+	// The context is checked before the request is charged; a
+	// cancelled context fails without touching the link.
+	Fetch(ctx context.Context, req Request) (*Result, error)
 	// Stats reports cumulative traffic.
 	Stats() Stats
 	// ResetStats zeroes the traffic counters.
@@ -125,6 +129,14 @@ type Source interface {
 	// SetFailureRate injects transient failures: each Fetch fails
 	// with probability pct (deterministic under the source's seed).
 	SetFailureRate(pct float64)
+	// SetFaultPlan installs a scripted fault schedule (outages,
+	// brownouts, error bursts) evaluated against Clock; nil clears it.
+	SetFaultPlan(p *FaultPlan)
+	// SetClock overrides the timeline the fault plan and retry
+	// backoff read; nil restores the link-backed default.
+	SetClock(c netsim.Clock)
+	// Clock returns the source's timeline.
+	Clock() netsim.Clock
 }
 
 // Stats is cumulative per-source traffic accounting.
@@ -146,6 +158,8 @@ type capability struct {
 
 // bank is the shared implementation of all simulated sources: a
 // static row set, a link, a capability matrix and a page size.
+// Mutable state (stats, failure knobs, random streams) is guarded by
+// mu so one bank can serve concurrent fetchers race-free.
 type bank struct {
 	name     string
 	schema   *store.Schema
@@ -154,10 +168,13 @@ type bank struct {
 	caps     map[capability]bool
 	pageSize int
 
+	mu      sync.Mutex
 	failPct float64
 	failRng *rand.Rand
-
-	stats Stats
+	plan    *FaultPlan
+	planRng *rand.Rand
+	clock   netsim.Clock
+	stats   Stats
 }
 
 // requestOverheadBytes approximates the HTTP/query envelope of one
@@ -179,7 +196,42 @@ func newBank(name string, schema *store.Schema, link *netsim.Link, pageSize int)
 }
 
 // SetFailureRate implements Source.
-func (b *bank) SetFailureRate(pct float64) { b.failPct = pct }
+func (b *bank) SetFailureRate(pct float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failPct = pct
+}
+
+// SetFaultPlan implements Source. The plan's burst coin flips are
+// reseeded so installing the same plan replays the same faults.
+func (b *bank) SetFaultPlan(p *FaultPlan) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.plan = p
+	if p != nil {
+		b.planRng = rand.New(rand.NewSource(p.Seed ^ int64(len(b.name))))
+	} else {
+		b.planRng = nil
+	}
+}
+
+// SetClock implements Source.
+func (b *bank) SetClock(c netsim.Clock) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.clock = c
+}
+
+// Clock implements Source: the override if set, else the link-backed
+// timeline.
+func (b *bank) Clock() netsim.Clock {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.clock != nil {
+		return b.clock
+	}
+	return netsim.LinkClock(b.link)
+}
 
 func (b *bank) allow(column string, ops ...FilterOp) {
 	for _, op := range ops {
@@ -205,7 +257,13 @@ func (b *bank) Capabilities() []string {
 	return out
 }
 
-func (b *bank) Fetch(req Request) (*Result, error) {
+func (b *bank) Fetch(ctx context.Context, req Request) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Validate filters against schema and capabilities.
 	for _, f := range req.Filters {
 		ci := b.schema.ColumnIndex(f.Column)
@@ -219,15 +277,39 @@ func (b *bank) Fetch(req Request) (*Result, error) {
 	if req.Offset < 0 {
 		return nil, fmt.Errorf("source %s: negative offset", b.name)
 	}
-	// Injected transient failure: the request still costs a round
-	// trip (with a small error body) before the caller can retry.
-	if b.failPct > 0 && b.failRng.Float64() < b.failPct {
+	// Consult the fault schedule and failure knob. The decision is
+	// made under the lock; the link charge happens outside it.
+	now := b.Clock().Now()
+	b.mu.Lock()
+	fail := false
+	slow := 1.0
+	if w := b.plan.active(now); w != nil {
+		switch w.Mode {
+		case FaultOutage:
+			fail = true
+		case FaultErrorBurst:
+			fail = b.planRng.Float64() < w.ErrorPct
+		case FaultBrownout:
+			if w.SlowFactor > 1 {
+				slow = w.SlowFactor
+			}
+		}
+	}
+	if !fail && b.failPct > 0 && b.failRng.Float64() < b.failPct {
+		fail = true
+	}
+	b.mu.Unlock()
+	// Injected failure: the request still costs a round trip (with a
+	// small error body) before the caller can retry.
+	if fail {
 		elapsed := b.link.RequestCost(requestOverheadBytes, responseOverheadBytes)
+		b.mu.Lock()
 		b.stats.Requests++
 		b.stats.Failures++
 		b.stats.BytesUp += requestOverheadBytes
 		b.stats.BytesDown += responseOverheadBytes
 		b.stats.Elapsed += elapsed
+		b.mu.Unlock()
 		return nil, fmt.Errorf("source %s: %w", b.name, ErrTransient)
 	}
 	limit := req.Limit
@@ -268,12 +350,21 @@ func (b *bank) Fetch(req Request) (*Result, error) {
 	}
 	reqBytes := int64(requestOverheadBytes + 24*len(req.Filters))
 	elapsed := b.link.RequestCost(reqBytes, respBytes)
+	if slow > 1 {
+		// Brownout: the response crawls in. The penalty is charged to
+		// the link timeline so simulated clocks advance consistently.
+		penalty := time.Duration(float64(elapsed) * (slow - 1))
+		b.link.Advance(penalty)
+		elapsed += penalty
+	}
 
+	b.mu.Lock()
 	b.stats.Requests++
 	b.stats.RowsMoved += int64(len(page))
 	b.stats.BytesUp += reqBytes
 	b.stats.BytesDown += respBytes
 	b.stats.Elapsed += elapsed
+	b.mu.Unlock()
 
 	out := make([]store.Row, len(page))
 	for i, r := range page {
@@ -282,36 +373,24 @@ func (b *bank) Fetch(req Request) (*Result, error) {
 	return &Result{Rows: out, Total: total, BytesOnWire: respBytes, Elapsed: elapsed}, nil
 }
 
-func (b *bank) Stats() Stats { return b.stats }
+func (b *bank) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
 
-func (b *bank) ResetStats() { b.stats = Stats{} }
-
-// maxFetchAttempts bounds per-page retries on transient failures.
-const maxFetchAttempts = 5
+func (b *bank) ResetStats() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stats = Stats{}
+}
 
 // FetchAll drains every page matching the filters, retrying each page
-// on transient failures (the retry's network cost is charged to the
-// link like any request). It is the helper wrappers use when the plan
-// pulls a whole (filtered) relation.
-func FetchAll(s Source, filters []Filter) ([]store.Row, error) {
-	var rows []store.Row
-	offset := 0
-	for {
-		var res *Result
-		var err error
-		for attempt := 0; attempt < maxFetchAttempts; attempt++ {
-			res, err = s.Fetch(Request{Filters: filters, Offset: offset})
-			if err == nil || !errors.Is(err, ErrTransient) {
-				break
-			}
-		}
-		if err != nil {
-			return nil, fmt.Errorf("source: fetching offset %d: %w", offset, err)
-		}
-		rows = append(rows, res.Rows...)
-		offset += len(res.Rows)
-		if offset >= res.Total || len(res.Rows) == 0 {
-			return rows, nil
-		}
-	}
+// on transient failures with the default backoff policy (sleeping on
+// the source's clock between attempts, so simulated timelines advance
+// instantly). It is the helper wrappers use when the plan pulls a
+// whole (filtered) relation; FetchAllWith adds timeouts and a circuit
+// breaker on top.
+func FetchAll(ctx context.Context, s Source, filters []Filter) ([]store.Row, error) {
+	return FetchAllWith(ctx, s, filters, &FetchOptions{Retry: DefaultRetry()})
 }

@@ -1,6 +1,7 @@
 package source
 
 import (
+	"context"
 	"testing"
 
 	"drugtree/internal/datagen"
@@ -53,7 +54,7 @@ func TestFilterOpEval(t *testing.T) {
 
 func TestFetchAllRows(t *testing.T) {
 	b := testBundle(t)
-	rows, err := FetchAll(b.Proteins, nil)
+	rows, err := FetchAll(context.Background(),b.Proteins, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestFetchAllRows(t *testing.T) {
 
 func TestFetchServerSideFilter(t *testing.T) {
 	b := testBundle(t)
-	rows, err := FetchAll(b.Proteins, []Filter{
+	rows, err := FetchAll(context.Background(),b.Proteins, []Filter{
 		{Column: "family", Op: OpEQ, Value: store.StringValue("FAM01")},
 	})
 	if err != nil {
@@ -84,35 +85,35 @@ func TestFetchServerSideFilter(t *testing.T) {
 func TestFetchRejectsUnsupportedFilter(t *testing.T) {
 	b := testBundle(t)
 	// AnnotationBank cannot filter keywords server-side.
-	_, err := b.Annotations.Fetch(Request{Filters: []Filter{
+	_, err := b.Annotations.Fetch(context.Background(), Request{Filters: []Filter{
 		{Column: "keywords", Op: OpEQ, Value: store.StringValue("kinase")},
 	}})
 	if err == nil {
 		t.Fatal("unsupported filter accepted")
 	}
 	// Unknown column.
-	_, err = b.Proteins.Fetch(Request{Filters: []Filter{
+	_, err = b.Proteins.Fetch(context.Background(), Request{Filters: []Filter{
 		{Column: "nope", Op: OpEQ, Value: store.IntValue(0)},
 	}})
 	if err == nil {
 		t.Fatal("unknown column accepted")
 	}
 	// Negative offset.
-	if _, err := b.Proteins.Fetch(Request{Offset: -1}); err == nil {
+	if _, err := b.Proteins.Fetch(context.Background(), Request{Offset: -1}); err == nil {
 		t.Fatal("negative offset accepted")
 	}
 }
 
 func TestFetchPagination(t *testing.T) {
 	b := testBundle(t)
-	res, err := b.Proteins.Fetch(Request{Limit: 7})
+	res, err := b.Proteins.Fetch(context.Background(), Request{Limit: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Rows) != 7 || res.Total != 30 {
 		t.Fatalf("page = %d rows, total = %d", len(res.Rows), res.Total)
 	}
-	res2, err := b.Proteins.Fetch(Request{Offset: 28, Limit: 7})
+	res2, err := b.Proteins.Fetch(context.Background(), Request{Offset: 28, Limit: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestFetchPagination(t *testing.T) {
 		t.Fatalf("last page = %d rows, want 2", len(res2.Rows))
 	}
 	// Offset beyond total yields an empty page.
-	res3, err := b.Proteins.Fetch(Request{Offset: 100})
+	res3, err := b.Proteins.Fetch(context.Background(), Request{Offset: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestFetchPagination(t *testing.T) {
 
 func TestRangeFilterOnAffinity(t *testing.T) {
 	b := testBundle(t)
-	rows, err := FetchAll(b.Activities, []Filter{
+	rows, err := FetchAll(context.Background(),b.Activities, []Filter{
 		{Column: "affinity", Op: OpGE, Value: store.FloatValue(8)},
 	})
 	if err != nil {
@@ -143,7 +144,7 @@ func TestRangeFilterOnAffinity(t *testing.T) {
 			t.Fatalf("range filter leak: affinity %g", r[affIdx].F)
 		}
 	}
-	all, _ := FetchAll(b.Activities, nil)
+	all, _ := FetchAll(context.Background(),b.Activities, nil)
 	if len(rows) >= len(all) {
 		t.Fatalf("filter did not reduce: %d vs %d", len(rows), len(all))
 	}
@@ -151,7 +152,7 @@ func TestRangeFilterOnAffinity(t *testing.T) {
 
 func TestStatsAccumulateAndReset(t *testing.T) {
 	b := testBundle(t)
-	FetchAll(b.Proteins, nil)
+	FetchAll(context.Background(),b.Proteins, nil)
 	st := b.Proteins.Stats()
 	if st.Requests == 0 || st.BytesDown == 0 || st.RowsMoved != 30 {
 		t.Fatalf("stats not accumulated: %+v", st)
@@ -174,11 +175,11 @@ func TestPushdownMovesFewerBytes(t *testing.T) {
 	b2 := NewBundle(ds, netsim.ProfileLAN, 7, true)
 
 	// Pushdown: only FAM01 rows move.
-	FetchAll(b1.Proteins, []Filter{{Column: "family", Op: OpEQ, Value: store.StringValue("FAM01")}})
+	FetchAll(context.Background(),b1.Proteins, []Filter{{Column: "family", Op: OpEQ, Value: store.StringValue("FAM01")}})
 	pushBytes := b1.Proteins.Stats().BytesDown
 
 	// No pushdown: everything moves.
-	FetchAll(b2.Proteins, nil)
+	FetchAll(context.Background(),b2.Proteins, nil)
 	allBytes := b2.Proteins.Stats().BytesDown
 
 	if pushBytes*2 >= allBytes {
@@ -190,8 +191,8 @@ func TestSlowLinkChargesMoreTime(t *testing.T) {
 	ds := testDataset(t)
 	fast := NewBundle(ds, netsim.ProfileLAN, 7, true)
 	slow := NewBundle(ds, netsim.Profile3G, 7, true)
-	FetchAll(fast.Proteins, nil)
-	FetchAll(slow.Proteins, nil)
+	FetchAll(context.Background(),fast.Proteins, nil)
+	FetchAll(context.Background(),slow.Proteins, nil)
 	if slow.Proteins.Stats().Elapsed <= fast.Proteins.Stats().Elapsed {
 		t.Fatalf("3G (%v) not slower than LAN (%v)",
 			slow.Proteins.Stats().Elapsed, fast.Proteins.Stats().Elapsed)
@@ -200,12 +201,12 @@ func TestSlowLinkChargesMoreTime(t *testing.T) {
 
 func TestFetchReturnsClones(t *testing.T) {
 	b := testBundle(t)
-	res, err := b.Ligands.Fetch(Request{Limit: 1})
+	res, err := b.Ligands.Fetch(context.Background(), Request{Limit: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	res.Rows[0][0] = store.StringValue("MUTATED")
-	res2, _ := b.Ligands.Fetch(Request{Limit: 1})
+	res2, _ := b.Ligands.Fetch(context.Background(), Request{Limit: 1})
 	if res2.Rows[0][0].S == "MUTATED" {
 		t.Fatal("Fetch leaked internal rows")
 	}
@@ -215,7 +216,7 @@ func TestTransientFailureInjection(t *testing.T) {
 	ds := testDataset(t)
 	b := NewProteinBank(ds, netsim.NewLink(netsim.ProfileLAN, 1, true))
 	b.SetFailureRate(1.0)
-	if _, err := b.Fetch(Request{}); err == nil {
+	if _, err := b.Fetch(context.Background(), Request{}); err == nil {
 		t.Fatal("100% failure rate served a page")
 	}
 	st := b.Stats()
@@ -234,7 +235,7 @@ func TestFetchAllRetriesTransientFailures(t *testing.T) {
 	// A single FetchAll is one page here; drive enough rounds that
 	// failures certainly occur and every round still succeeds.
 	for round := 0; round < 20; round++ {
-		rows, err := FetchAll(b, nil)
+		rows, err := FetchAll(context.Background(),b, nil)
 		if err != nil {
 			t.Fatalf("FetchAll round %d under 30%% failures: %v", round, err)
 		}
@@ -251,7 +252,7 @@ func TestFetchAllGivesUpOnPersistentFailure(t *testing.T) {
 	ds := testDataset(t)
 	b := NewProteinBank(ds, netsim.NewLink(netsim.ProfileLAN, 1, true))
 	b.SetFailureRate(1.0)
-	if _, err := FetchAll(b, nil); err == nil {
+	if _, err := FetchAll(context.Background(),b, nil); err == nil {
 		t.Fatal("persistent failure did not surface")
 	}
 }
@@ -263,7 +264,7 @@ func TestImportSurvivesFlakySources(t *testing.T) {
 	for _, s := range bundle.All() {
 		s.SetFailureRate(0.2)
 	}
-	rows, err := FetchAll(bundle.Activities, nil)
+	rows, err := FetchAll(context.Background(),bundle.Activities, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
