@@ -29,7 +29,7 @@ import (
 // --- T1: query latency by class ---
 
 func BenchmarkT1QueryClasses(b *testing.B) {
-	naive, opt, err := experiments.T1Engines(1)
+	naive, opt, err := experiments.T1Engines(context.Background(), 1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func BenchmarkT2SourceTraffic(b *testing.B) {
 
 func BenchmarkT3JoinOrdering(b *testing.B) {
 	mk := func(reorder bool) *core.Engine {
-		naive, opt, err := experiments.T1Engines(1)
+		naive, opt, err := experiments.T1Engines(context.Background(), 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -188,7 +188,7 @@ func BenchmarkT5TreeBuild(b *testing.B) {
 	}
 	defer db.Close()
 	bundle := source.NewBundle(ds, netsim.ProfileLAN, 1, true)
-	if _, err := integrate.NewImporter(db, bundle).ImportAll(); err != nil {
+	if _, err := integrate.NewImporter(db, bundle).ImportAll(context.Background()); err != nil {
 		b.Fatal(err)
 	}
 	for _, method := range []core.TreeMethod{core.TreeNJAlign, core.TreeNJKmer, core.TreeUPGMA} {
@@ -201,7 +201,7 @@ func BenchmarkT5TreeBuild(b *testing.B) {
 				b.StopTimer()
 				db2, _ := store.Open("")
 				bundle2 := source.NewBundle(ds, netsim.ProfileLAN, 1, true)
-				integrate.NewImporter(db2, bundle2).ImportAll()
+				integrate.NewImporter(db2, bundle2).ImportAll(context.Background())
 				cfg := core.DefaultConfig()
 				cfg.Method = method
 				b.StartTimer()
@@ -219,7 +219,7 @@ func BenchmarkT5TreeBuild(b *testing.B) {
 // --- T6: statement cache ---
 
 func BenchmarkT6StatementCache(b *testing.B) {
-	_, opt, err := experiments.T1Engines(1)
+	_, opt, err := experiments.T1Engines(context.Background(), 1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -241,7 +241,7 @@ func BenchmarkT6StatementCache(b *testing.B) {
 	cfg.Method = core.TreeNJKmer
 	cfg.CacheBytes = 0
 	cfg.QueryCacheEntries = 16
-	cached, err := experiments.EngineWithConfig(1, cfg)
+	cached, err := experiments.EngineWithConfig(context.Background(), 1, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -375,7 +375,7 @@ func BenchmarkF4Ablation(b *testing.B) {
 			// small because each session costs ~0.5s of compute.
 			var last *metrics.Histogram
 			for i := 0; i < b.N; i++ {
-				hist, err := experiments.RunF4Session(1000, 1, fc)
+				hist, err := experiments.RunF4Session(context.Background(), 1000, 1, fc)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -415,7 +415,7 @@ func BenchmarkT7Parallelism(b *testing.B) {
 		cfg.CacheBytes = 0
 		cfg.QueryOptions.Parallelism = workers
 		cfg.QueryOptions.UseIndexes = false
-		e, err := experiments.EngineWithConfig(1, cfg)
+		e, err := experiments.EngineWithConfig(context.Background(), 1, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

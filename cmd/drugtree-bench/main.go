@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"drugtree/internal/experiments"
@@ -23,6 +25,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "dataset seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	runners := experiments.All()
 	if *exp != "" {
@@ -36,7 +41,7 @@ func main() {
 	failed := false
 	for _, r := range runners {
 		start := time.Now()
-		rep, err := r.Run(*seed)
+		rep, err := r.Run(ctx, *seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.ID, err)
 			failed = true

@@ -1,0 +1,215 @@
+// drugtree-lint runs the drugtree static-analysis suite: five
+// syntactic analyzers that machine-check the tree's concurrency,
+// clock, and context invariants (see internal/lint and DESIGN.md
+// "Static-analysis gates").
+//
+// Standalone (the `make lint` path):
+//
+//	drugtree-lint ./...          # lint packages by go-list pattern
+//	drugtree-lint -list          # describe the analyzers
+//
+// It also speaks enough of the `go vet -vettool` unit-checker
+// protocol to run under the vet driver:
+//
+//	go vet -vettool=$(which drugtree-lint) ./...
+//
+// Findings are suppressible per line with
+//
+//	//lint:ignore drugtree/<analyzer> <reason>
+//
+// on or directly above the flagged line. Suppressions are budgeted
+// per analyzer (internal/lint/lint.go); exceeding the budget, or
+// suppressing without a reason, fails the run just like a finding.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"drugtree/internal/lint"
+	"drugtree/internal/lint/loader"
+)
+
+func main() {
+	// `go vet -vettool` probes the tool's version first, then invokes
+	// it once per package with a single *.cfg argument.
+	if len(os.Args) == 2 {
+		if strings.HasPrefix(os.Args[1], "-V") {
+			fmt.Println("drugtree-lint version devel buildID=drugtree-lint")
+			return
+		}
+		if os.Args[1] == "-flags" {
+			// The vet driver asks which analyzer flags the tool
+			// defines; the suite has none.
+			fmt.Println("[]")
+			return
+		}
+		if strings.HasSuffix(os.Args[1], ".cfg") {
+			os.Exit(vetMode(os.Args[1]))
+		}
+	}
+	os.Exit(standalone())
+}
+
+func standalone() int {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("drugtree/%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	pkgs, err := loader.Load(root, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	res := lint.Check(pkgs)
+	for _, f := range res.Findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	for _, e := range res.BudgetErrors {
+		fmt.Fprintln(os.Stderr, e)
+	}
+	if !res.OK() {
+		fmt.Fprintf(os.Stderr, "drugtree-lint: %d findings, %d budget/suppression errors\n",
+			len(res.Findings), len(res.BudgetErrors))
+		return 1
+	}
+	used := 0
+	var parts []string
+	for _, a := range lint.All() {
+		if n := res.Suppressed[a.Name]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s %d/%d", a.Name, n, lint.Budget[a.Name]))
+			used += n
+		}
+	}
+	sort.Strings(parts)
+	detail := ""
+	if used > 0 {
+		detail = fmt.Sprintf(" (suppressions: %s)", strings.Join(parts, ", "))
+	}
+	fmt.Printf("drugtree-lint: ok — %d analyzers over %d packages, 0 findings%s\n",
+		len(lint.All()), len(pkgs), detail)
+	return 0
+}
+
+// vetCfg is the subset of the cmd/go unit-checker config we consume.
+type vetCfg struct {
+	ImportPath string
+	GoFiles    []string
+	VetxOutput string
+	// VetxOnly marks a dependency package the driver only wants facts
+	// for (it is not among the packages named on the vet command
+	// line); diagnostics must not be reported for it.
+	VetxOnly bool
+}
+
+// vetMode lints one package as directed by a vet config file. The
+// suppression budget is global-by-design and vet invokes the tool
+// per package, so vet mode filters suppressions but leaves budget
+// enforcement to the standalone run in `make lint`.
+func vetMode(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "drugtree-lint: %v\n", err)
+		return 2
+	}
+	var cfg vetCfg
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "drugtree-lint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// Facts-only invocations (dependencies of the named packages —
+	// including the standard library) get an empty facts file and no
+	// analysis: the suite's invariants are drugtree policy, not a
+	// judgement on other people's code.
+	if cfg.VetxOnly {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				fmt.Fprintf(os.Stderr, "drugtree-lint: %v\n", err)
+				return 2
+			}
+		}
+		return 0
+	}
+	fset := token.NewFileSet()
+	pkg := &loader.Package{Path: cfg.ImportPath, Fset: fset}
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drugtree-lint: %v\n", err)
+			return 2
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.Filenames = append(pkg.Filenames, filepath.ToSlash(name))
+	}
+	// The vet driver requires its facts file to exist even though we
+	// export none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "drugtree-lint: %v\n", err)
+			return 2
+		}
+	}
+	// With an unlimited budget, any BudgetErrors left are malformed
+	// suppression comments — still a failure.
+	res := lint.CheckBudget([]*loader.Package{pkg}, unlimitedBudget())
+	for _, f := range res.Findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	for _, e := range res.BudgetErrors {
+		fmt.Fprintln(os.Stderr, e)
+	}
+	if len(res.Findings) > 0 || len(res.BudgetErrors) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func unlimitedBudget() map[string]int {
+	b := make(map[string]int)
+	for _, a := range lint.All() {
+		b[a.Name] = 1 << 30
+	}
+	return b
+}
+
+// moduleRoot walks up from the working directory to the enclosing
+// go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("drugtree-lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

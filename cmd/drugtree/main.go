@@ -153,7 +153,7 @@ func cmdInit(args []string) error {
 	}
 	defer db.Close()
 	bundle := source.NewBundle(ds, netsim.Profile4G, *seed, true)
-	st, err := integrate.NewImporter(db, bundle).ImportAll()
+	st, err := integrate.NewImporter(db, bundle).ImportAll(rootCtx)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -32,7 +33,7 @@ func testServer(t *testing.T) *httptest.Server {
 	}
 	t.Cleanup(func() { db.Close() })
 	bundle := source.NewBundle(ds, netsim.ProfileLAN, 1, true)
-	if _, err := integrate.NewImporter(db, bundle).ImportAll(); err != nil {
+	if _, err := integrate.NewImporter(db, bundle).ImportAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	eng, err := core.New(db, core.DefaultConfig())

@@ -67,7 +67,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer db.Close()
-	st, err := integrate.NewImporter(db, bundle).ImportAll()
+	st, err := integrate.NewImporter(db, bundle).ImportAll(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

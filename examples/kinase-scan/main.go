@@ -38,7 +38,7 @@ func main() {
 	}
 	defer db.Close()
 	bundle := source.NewBundle(ds, netsim.ProfileWiFi, 42, true)
-	if _, err := integrate.NewImporter(db, bundle).ImportAll(); err != nil {
+	if _, err := integrate.NewImporter(db, bundle).ImportAll(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 	eng, err := core.New(db, core.DefaultConfig())

@@ -32,7 +32,7 @@ func buildEngine(opts query.Options) *core.Engine {
 		log.Fatal(err)
 	}
 	bundle := source.NewBundle(ds, netsim.ProfileLAN, 1, true)
-	if _, err := integrate.NewImporter(db, bundle).ImportAll(); err != nil {
+	if _, err := integrate.NewImporter(db, bundle).ImportAll(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 	cfg := core.DefaultConfig()

@@ -40,7 +40,7 @@ func main() {
 	}
 	defer db.Close()
 	bundle := source.NewBundle(ds, netsim.Profile4G, 1, true)
-	st, err := integrate.NewImporter(db, bundle).ImportAll()
+	st, err := integrate.NewImporter(db, bundle).ImportAll(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -33,7 +33,7 @@ func buildEngine(t *testing.T, cfg Config) *Engine {
 	}
 	t.Cleanup(func() { db.Close() })
 	bundle := source.NewBundle(ds, netsim.ProfileLAN, 5, true)
-	if _, err := integrate.NewImporter(db, bundle).ImportAll(); err != nil {
+	if _, err := integrate.NewImporter(db, bundle).ImportAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	e, err := New(db, cfg)
@@ -339,7 +339,7 @@ func TestEnginePersistenceRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	bundle := source.NewBundle(ds, netsim.ProfileLAN, 1, true)
-	if _, err := integrate.NewImporter(db, bundle).ImportAll(); err != nil {
+	if _, err := integrate.NewImporter(db, bundle).ImportAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	e1, err := New(db, DefaultConfig())

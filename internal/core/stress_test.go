@@ -40,7 +40,7 @@ func TestConcurrentQueriesDuringResync(t *testing.T) {
 	defer db.Close()
 	bundle := source.NewBundle(ds, netsim.ProfileLAN, 5, true)
 	importer := integrate.NewImporter(db, bundle)
-	if _, err := importer.ImportAll(); err != nil {
+	if _, err := importer.ImportAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	cfg := DefaultConfig()
@@ -80,7 +80,7 @@ func TestConcurrentQueriesDuringResync(t *testing.T) {
 				return
 			default:
 			}
-			if _, err := importer.ImportAll(); err != nil {
+			if _, err := importer.ImportAll(context.Background()); err != nil {
 				firstErr.Store(fmt.Errorf("resync: %w", err))
 				return
 			}

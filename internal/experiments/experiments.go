@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"text/tabwriter"
@@ -62,11 +63,26 @@ func (r *Report) CSV() string {
 	return b.String()
 }
 
-// Runner is one experiment entry point.
+// clock times every experiment measurement. The wall-clock default
+// reports real latencies; tests swap in a netsim.VirtualClock via
+// SetClock so the T1–T8 report shapes are reproducible tick-for-tick
+// with no dependence on machine speed.
+var clock netsim.Clock = netsim.NewWallClock()
+
+// SetClock replaces the measurement clock and returns a function
+// restoring the previous one. Intended for tests.
+func SetClock(c netsim.Clock) (restore func()) {
+	prev := clock
+	clock = c
+	return func() { clock = prev }
+}
+
+// Runner is one experiment entry point. Run executes under ctx: the
+// whole table regeneration aborts when the caller cancels.
 type Runner struct {
 	ID    string
 	Title string
-	Run   func(seed int64) (*Report, error)
+	Run   func(ctx context.Context, seed int64) (*Report, error)
 }
 
 // All lists every experiment in presentation order.
@@ -98,7 +114,7 @@ func ByID(id string) (Runner, error) {
 
 // buildStandardEngine generates, integrates and indexes the standard
 // benchmark dataset and returns an engine with the given core config.
-func buildStandardEngine(seed int64, families, perFamily, ligands int, cfg core.Config) (*core.Engine, *source.Bundle, error) {
+func buildStandardEngine(ctx context.Context, seed int64, families, perFamily, ligands int, cfg core.Config) (*core.Engine, *source.Bundle, error) {
 	gen := datagen.DefaultConfig()
 	gen.Seed = seed
 	gen.NumFamilies = families
@@ -114,7 +130,7 @@ func buildStandardEngine(seed int64, families, perFamily, ligands int, cfg core.
 		return nil, nil, err
 	}
 	bundle := source.NewBundle(ds, netsim.ProfileLAN, seed, true)
-	if _, err := integrate.NewImporter(db, bundle).ImportAll(); err != nil {
+	if _, err := integrate.NewImporter(db, bundle).ImportAll(ctx); err != nil {
 		return nil, nil, err
 	}
 	if cfg.Method == "" {
@@ -129,8 +145,8 @@ func buildStandardEngine(seed int64, families, perFamily, ligands int, cfg core.
 
 // EngineWithConfig builds the standard benchmark dataset engine with
 // an explicit core configuration (exported for bench_test.go).
-func EngineWithConfig(seed int64, cfg core.Config) (*core.Engine, error) {
-	e, _, err := buildStandardEngine(seed, 10, 20, 60, cfg)
+func EngineWithConfig(ctx context.Context, seed int64, cfg core.Config) (*core.Engine, error) {
+	e, _, err := buildStandardEngine(ctx, seed, 10, 20, 60, cfg)
 	return e, err
 }
 

@@ -1,13 +1,46 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
 
 	"drugtree/internal/mobile"
+	"drugtree/internal/netsim"
 	"drugtree/internal/query"
 )
+
+// The measurement clock is injectable (clockcheck forbids wall-clock
+// reads in this package): under a netsim.VirtualClock every timing
+// column must still be finite and well-formed.
+func TestExperimentsRunUnderVirtualClock(t *testing.T) {
+	restore := SetClock(netsim.NewVirtualClock())
+	defer restore()
+	rep, err := RunT4(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Rows {
+		for _, cell := range row {
+			if strings.Contains(cell, "NaN") || strings.Contains(cell, "Inf") {
+				t.Fatalf("non-finite cell %q under virtual clock", cell)
+			}
+		}
+	}
+}
+
+func TestSetClockRestores(t *testing.T) {
+	v := netsim.NewVirtualClock()
+	restore := SetClock(v)
+	if clock != v {
+		t.Fatal("SetClock did not install the new clock")
+	}
+	restore()
+	if clock == v {
+		t.Fatal("restore did not reinstate the previous clock")
+	}
+}
 
 func TestReportRendering(t *testing.T) {
 	r := &Report{
@@ -39,7 +72,7 @@ func TestByID(t *testing.T) {
 }
 
 func TestRunT1(t *testing.T) {
-	rep, err := RunT1(1)
+	rep, err := RunT1(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +92,7 @@ func TestRunT1(t *testing.T) {
 }
 
 func TestRunT2(t *testing.T) {
-	rep, err := RunT2(1)
+	rep, err := RunT2(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +110,7 @@ func TestRunT2(t *testing.T) {
 }
 
 func TestRunT3(t *testing.T) {
-	rep, err := RunT3(1)
+	rep, err := RunT3(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +129,7 @@ func TestRunT3(t *testing.T) {
 }
 
 func TestRunT4(t *testing.T) {
-	rep, err := RunT4(1)
+	rep, err := RunT4(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +148,7 @@ func TestRunT4(t *testing.T) {
 }
 
 func TestRunT8(t *testing.T) {
-	rep, err := RunT8(1)
+	rep, err := RunT8(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,11 +207,11 @@ func TestF1SmallScale(t *testing.T) {
 		}
 		clade := f1PickClades(naive.Tree())[0]
 		q := "SELECT pre FROM tree_nodes WHERE WITHIN_SUBTREE(pre, '" + clade + "')"
-		dn, err := MeasureQuery(naive, q, 10)
+		dn, err := MeasureQuery(context.Background(), naive, q, 10)
 		if err != nil {
 			t.Fatal(err)
 		}
-		do, err := MeasureQuery(opt, q, 10)
+		do, err := MeasureQuery(context.Background(), opt, q, 10)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -203,7 +236,7 @@ func TestF2SmallScale(t *testing.T) {
 			t.Fatal(err)
 		}
 		trace := GenerateTrace(e.Tree(), 60, 2)
-		_, hits, err := RunSession(e, trace, fc.Prefetch)
+		_, hits, err := RunSession(context.Background(), e, trace, fc.Prefetch)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -233,17 +266,17 @@ func TestF3SmallScale(t *testing.T) {
 		t.Fatal(err)
 	}
 	trace := GenerateTrace(e.Tree(), 10, 3)
-	full, n, err := f3RunStrategy(e, mobile.StrategyFull, 0, trace)
+	full, n, err := f3RunStrategy(context.Background(), e, mobile.StrategyFull, 0, trace)
 	if err != nil {
 		t.Fatal(err)
 	}
 	e.ResetSession()
-	lod, _, err := f3RunStrategy(e, mobile.StrategyLOD, 100, trace)
+	lod, _, err := f3RunStrategy(context.Background(), e, mobile.StrategyLOD, 100, trace)
 	if err != nil {
 		t.Fatal(err)
 	}
 	e.ResetSession()
-	delta, _, err := f3RunStrategy(e, mobile.StrategyLODDelta, 100, trace)
+	delta, _, err := f3RunStrategy(context.Background(), e, mobile.StrategyLODDelta, 100, trace)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,11 +296,11 @@ func TestF4SmallScale(t *testing.T) {
 	// on modelled 3G by a wide margin.
 	fullCfg := F4Configs()[0]
 	naiveCfg := F4Configs()[len(F4Configs())-1]
-	fullHist, err := RunF4Session(500, 1, fullCfg)
+	fullHist, err := RunF4Session(context.Background(), 500, 1, fullCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	naiveHist, err := RunF4Session(500, 1, naiveCfg)
+	naiveHist, err := RunF4Session(context.Background(), 500, 1, naiveCfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -68,7 +69,7 @@ func f1PickClades(t *phylo.Tree) []string {
 // under the naive engine (sequential scan + filter) and the optimized
 // engine (interval rewrite + B+-tree range scan). This is the poster's
 // central "lag" curve.
-func RunF1(seed int64) (*Report, error) {
+func RunF1(ctx context.Context, seed int64) (*Report, error) {
 	rep := &Report{
 		ID:     "F1",
 		Title:  "Subtree-query latency vs tree size (series: naive, optimized)",
@@ -91,11 +92,11 @@ func RunF1(seed int64) (*Report, error) {
 		var dn, do time.Duration
 		for _, clade := range clades {
 			q := fmt.Sprintf("SELECT pre, name FROM tree_nodes WHERE WITHIN_SUBTREE(pre, '%s')", clade)
-			d1, err := MeasureQuery(naive, q, reps)
+			d1, err := MeasureQuery(ctx, naive, q, reps)
 			if err != nil {
 				return nil, err
 			}
-			d2, err := MeasureQuery(opt, q, reps)
+			d2, err := MeasureQuery(ctx, opt, q, reps)
 			if err != nil {
 				return nil, err
 			}

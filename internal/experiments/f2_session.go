@@ -106,23 +106,23 @@ func F2Engine(leaves int, seed int64, fc F2Config) (*core.Engine, error) {
 
 // RunSession replays the trace, returning the latency histogram and
 // the hit count.
-func RunSession(e *core.Engine, trace []string, prefetchAfterEach bool) (*metrics.Histogram, int, error) {
+func RunSession(ctx context.Context, e *core.Engine, trace []string, prefetchAfterEach bool) (*metrics.Histogram, int, error) {
 	hist := &metrics.Histogram{}
 	hits := 0
 	for _, node := range trace {
-		start := time.Now()
-		_, cached, err := e.OpenSubtree(context.Background(), node)
+		start := clock.Now()
+		_, cached, err := e.OpenSubtree(ctx, node)
 		if err != nil {
 			return nil, 0, err
 		}
-		hist.Record(time.Since(start))
+		hist.Record(clock.Now() - start)
 		if cached {
 			hits++
 		}
 		if prefetchAfterEach {
 			// Synchronous here so measurements are deterministic; the
 			// production server overlaps it with client think time.
-			e.RunPrefetch(context.Background())
+			e.RunPrefetch(ctx)
 		}
 	}
 	return hist, hits, nil
@@ -130,7 +130,7 @@ func RunSession(e *core.Engine, trace []string, prefetchAfterEach bool) (*metric
 
 // RunF2 replays a 200-step navigation trace on a 1000-leaf tree under
 // the cache ablation ladder.
-func RunF2(seed int64) (*Report, error) {
+func RunF2(ctx context.Context, seed int64) (*Report, error) {
 	const leaves = 1000
 	const steps = 200
 	rep := &Report{
@@ -145,7 +145,7 @@ func RunF2(seed int64) (*Report, error) {
 			return nil, err
 		}
 		trace := GenerateTrace(e.Tree(), steps, seed+1)
-		hist, hits, err := RunSession(e, trace, fc.Prefetch)
+		hist, hits, err := RunSession(ctx, e, trace, fc.Prefetch)
 		if err != nil {
 			return nil, err
 		}

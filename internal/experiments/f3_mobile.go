@@ -19,17 +19,17 @@ var F3Budgets = []int{25, 50, 100, 200, 400}
 // f3RunStrategy drives a navigation session under one transfer
 // strategy over an unshaped pipe (compute is not the subject here)
 // and returns total bytes shipped down plus the interaction count.
-func f3RunStrategy(e *core.Engine, strategy mobile.Strategy, budget int, opens []string) (int64, int, error) {
-	return f3Run(e, strategy, budget, opens, false)
+func f3RunStrategy(ctx context.Context, e *core.Engine, strategy mobile.Strategy, budget int, opens []string) (int64, int, error) {
+	return f3Run(ctx, e, strategy, budget, opens, false)
 }
 
-func f3Run(e *core.Engine, strategy mobile.Strategy, budget int, opens []string, compress bool) (int64, int, error) {
+func f3Run(ctx context.Context, e *core.Engine, strategy mobile.Strategy, budget int, opens []string, compress bool) (int64, int, error) {
 	server := mobile.NewServer(e)
 	clientConn, serverConn := net.Pipe()
 	defer clientConn.Close()
 	defer serverConn.Close()
 	errc := make(chan error, 1)
-	go func() { errc <- server.ServeConn(context.Background(), serverConn) }()
+	go func() { errc <- server.ServeConn(ctx, serverConn) }()
 	var c *mobile.Client
 	var err error
 	if compress {
@@ -79,7 +79,7 @@ func F3Engine(seed int64) (*core.Engine, error) {
 // RunF3 sweeps viewport budget × transfer strategy over a 30-step
 // session on a 2000-leaf tree, then prices the mean payload on each
 // network profile.
-func RunF3(seed int64) (*Report, error) {
+func RunF3(ctx context.Context, seed int64) (*Report, error) {
 	e, err := F3Engine(seed)
 	if err != nil {
 		return nil, err
@@ -109,7 +109,7 @@ func RunF3(seed int64) (*Report, error) {
 	for _, v := range variants {
 		for _, budget := range v.budgets {
 			e.ResetSession()
-			bytes, n, err := f3Run(e, v.strat, budget, trace, v.compress)
+			bytes, n, err := f3Run(ctx, e, v.strat, budget, trace, v.compress)
 			if err != nil {
 				return nil, fmt.Errorf("F3 %s budget %d: %w", v.label, budget, err)
 			}

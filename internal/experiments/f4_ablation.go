@@ -65,14 +65,14 @@ const F4Steps = 120
 // modelled from actual bytes). The one-return-value wrapper keeps the
 // benchmark harness simple; RunF4SessionSplit exposes the compute and
 // network components separately.
-func RunF4Session(leaves int, seed int64, fc F4Config) (*metrics.Histogram, error) {
-	total, _, _, err := RunF4SessionSplit(leaves, seed, fc)
+func RunF4Session(ctx context.Context, leaves int, seed int64, fc F4Config) (*metrics.Histogram, error) {
+	total, _, _, err := RunF4SessionSplit(ctx, leaves, seed, fc)
 	return total, err
 }
 
 // RunF4SessionSplit runs one config and returns the total, compute,
 // and network per-interaction histograms.
-func RunF4SessionSplit(leaves int, seed int64, fc F4Config) (total, compute, network *metrics.Histogram, err error) {
+func RunF4SessionSplit(ctx context.Context, leaves int, seed int64, fc F4Config) (total, compute, network *metrics.Histogram, err error) {
 	tree, err := datagen.RandomTopology(leaves, seed)
 	if err != nil {
 		return nil, nil, nil, err
@@ -100,7 +100,7 @@ func RunF4SessionSplit(leaves int, seed int64, fc F4Config) (total, compute, net
 	defer clientConn.Close()
 	defer serverConn.Close()
 	errc := make(chan error, 1)
-	go func() { errc <- server.ServeConn(context.Background(), serverConn) }()
+	go func() { errc <- server.ServeConn(ctx, serverConn) }()
 	c, err := mobile.Dial(clientConn, fc.Strategy, fc.Budget)
 	if err != nil {
 		return nil, nil, nil, err
@@ -113,11 +113,11 @@ func RunF4SessionSplit(leaves int, seed int64, fc F4Config) (total, compute, net
 	g3.Jitter = 0
 	g3.LossPct = 0
 	for _, node := range trace {
-		start := time.Now()
+		start := clock.Now()
 		if _, err := c.Open(node); err != nil {
 			return nil, nil, nil, err
 		}
-		comp := time.Since(start)
+		comp := clock.Now() - start
 		moved := c.BytesDown - prevBytes
 		prevBytes = c.BytesDown
 		net := modelledLatency(g3, float64(moved))
@@ -133,7 +133,7 @@ func RunF4SessionSplit(leaves int, seed int64, fc F4Config) (total, compute, net
 
 // RunF4 runs the end-to-end ablation ladder on a 2000-leaf tree over
 // a modelled 3G link and reports the interaction-latency distribution.
-func RunF4(seed int64) (*Report, error) {
+func RunF4(ctx context.Context, seed int64) (*Report, error) {
 	const leaves = 2000
 	rep := &Report{
 		ID:     "F4",
@@ -142,7 +142,7 @@ func RunF4(seed int64) (*Report, error) {
 	}
 	var fullMean, naiveMean time.Duration
 	for _, fc := range F4Configs() {
-		total, compute, network, err := RunF4SessionSplit(leaves, seed, fc)
+		total, compute, network, err := RunF4SessionSplit(ctx, leaves, seed, fc)
 		if err != nil {
 			return nil, fmt.Errorf("F4 %s: %w", fc.Name, err)
 		}

@@ -73,24 +73,25 @@ func t1MidClade(e *core.Engine) string {
 	return t.Node(best).Name
 }
 
-// MeasureQuery runs a query repeatedly and returns the mean latency.
-func MeasureQuery(e *core.Engine, dtql string, reps int) (time.Duration, error) {
+// MeasureQuery runs a query repeatedly and returns the mean latency
+// read from the experiment clock.
+func MeasureQuery(ctx context.Context, e *core.Engine, dtql string, reps int) (time.Duration, error) {
 	// Warm once (and validate).
-	if _, err := e.Query(context.Background(), dtql); err != nil {
+	if _, err := e.Query(ctx, dtql); err != nil {
 		return 0, err
 	}
-	start := time.Now()
+	start := clock.Now()
 	for i := 0; i < reps; i++ {
-		if _, err := e.Query(context.Background(), dtql); err != nil {
+		if _, err := e.Query(ctx, dtql); err != nil {
 			return 0, err
 		}
 	}
-	return time.Since(start) / time.Duration(reps), nil
+	return (clock.Now() - start) / time.Duration(reps), nil
 }
 
 // T1Engines builds the naive/optimized engine pair over the same
 // dataset (shared helper with bench_test.go).
-func T1Engines(seed int64) (naive, opt *core.Engine, err error) {
+func T1Engines(ctx context.Context, seed int64) (naive, opt *core.Engine, err error) {
 	naiveCfg := core.Config{
 		Method:       core.TreeNJKmer,
 		QueryOptions: query.NaiveOptions(),
@@ -98,11 +99,11 @@ func T1Engines(seed int64) (naive, opt *core.Engine, err error) {
 	optCfg := core.DefaultConfig()
 	optCfg.Method = core.TreeNJKmer
 	optCfg.CacheBytes = 0 // isolate the optimizer; caching is F2's subject
-	naive, _, err = buildStandardEngine(seed, 10, 20, 60, naiveCfg)
+	naive, _, err = buildStandardEngine(ctx, seed, 10, 20, 60, naiveCfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	opt, _, err = buildStandardEngine(seed, 10, 20, 60, optCfg)
+	opt, _, err = buildStandardEngine(ctx, seed, 10, 20, 60, optCfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -111,8 +112,8 @@ func T1Engines(seed int64) (naive, opt *core.Engine, err error) {
 
 // RunT1 measures the five query classes on the naive and optimized
 // engines over a 200-protein dataset.
-func RunT1(seed int64) (*Report, error) {
-	naive, opt, err := T1Engines(seed)
+func RunT1(ctx context.Context, seed int64) (*Report, error) {
+	naive, opt, err := T1Engines(ctx, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -126,11 +127,11 @@ func RunT1(seed int64) (*Report, error) {
 	for _, cls := range t1QueryClasses() {
 		qn := cls.mk(naive)
 		qo := cls.mk(opt)
-		dn, err := MeasureQuery(naive, qn, reps)
+		dn, err := MeasureQuery(ctx, naive, qn, reps)
 		if err != nil {
 			return nil, fmt.Errorf("T1 %s naive: %w", cls.name, err)
 		}
-		do, err := MeasureQuery(opt, qo, reps)
+		do, err := MeasureQuery(ctx, opt, qo, reps)
 		if err != nil {
 			return nil, fmt.Errorf("T1 %s optimized: %w", cls.name, err)
 		}

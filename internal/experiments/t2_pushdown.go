@@ -14,7 +14,7 @@ import (
 // pushdown at three selectivities. Without pushdown the mediator
 // drains the source and filters locally; with pushdown the source
 // evaluates the predicate and ships only matches.
-func RunT2(seed int64) (*Report, error) {
+func RunT2(ctx context.Context, seed int64) (*Report, error) {
 	gen := datagen.DefaultConfig()
 	gen.Seed = seed
 	gen.NumFamilies = 40 // family filter selects 1/40 = 2.5%
@@ -76,7 +76,7 @@ func RunT2(seed int64) (*Report, error) {
 		// Without pushdown: drain everything, filter at the mediator.
 		bundleA := source.NewBundle(ds, netsim.Profile4G, seed, true)
 		srcA := sc.source(bundleA)
-		rows, err := source.FetchAll(context.Background(), srcA, nil)
+		rows, err := source.FetchAll(ctx, srcA, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -91,7 +91,7 @@ func RunT2(seed int64) (*Report, error) {
 		// With pushdown.
 		bundleB := source.NewBundle(ds, netsim.Profile4G, seed, true)
 		srcB := sc.source(bundleB)
-		pushRows, err := source.FetchAll(context.Background(), srcB, sc.filters)
+		pushRows, err := source.FetchAll(ctx, srcB, sc.filters)
 		if err != nil {
 			return nil, err
 		}

@@ -43,7 +43,7 @@ func t3Queries() []struct {
 
 // RunT3 compares syntactic join order (pushdown and indexes still on,
 // so only the ordering differs) against cost-based ordering.
-func RunT3(seed int64) (*Report, error) {
+func RunT3(ctx context.Context, seed int64) (*Report, error) {
 	syntacticCfg := core.Config{Method: core.TreeNJKmer}
 	syntacticCfg.QueryOptions = query.Options{
 		SubtreeRewrite: true, Pushdown: true, UseIndexes: true, JoinReorder: false,
@@ -52,11 +52,11 @@ func RunT3(seed int64) (*Report, error) {
 	orderedCfg.Method = core.TreeNJKmer
 	orderedCfg.CacheBytes = 0
 
-	syn, _, err := buildStandardEngine(seed, 10, 20, 60, syntacticCfg)
+	syn, _, err := buildStandardEngine(ctx, seed, 10, 20, 60, syntacticCfg)
 	if err != nil {
 		return nil, err
 	}
-	ord, _, err := buildStandardEngine(seed, 10, 20, 60, orderedCfg)
+	ord, _, err := buildStandardEngine(ctx, seed, 10, 20, 60, orderedCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -67,20 +67,20 @@ func RunT3(seed int64) (*Report, error) {
 		Header: []string{"query", "syntactic", "cost-based", "speedup", "joined rows (syn/cb)"},
 	}
 	for _, q := range t3Queries() {
-		ds, err := MeasureQuery(syn, q.dtql, reps)
+		ds, err := MeasureQuery(ctx, syn, q.dtql, reps)
 		if err != nil {
 			return nil, fmt.Errorf("T3 %s syntactic: %w", q.name, err)
 		}
-		do, err := MeasureQuery(ord, q.dtql, reps)
+		do, err := MeasureQuery(ctx, ord, q.dtql, reps)
 		if err != nil {
 			return nil, fmt.Errorf("T3 %s ordered: %w", q.name, err)
 		}
 		// Row-level work comparison.
-		rs, err := syn.Query(context.Background(), q.dtql)
+		rs, err := syn.Query(ctx, q.dtql)
 		if err != nil {
 			return nil, err
 		}
-		ro, err := ord.Query(context.Background(), q.dtql)
+		ro, err := ord.Query(ctx, q.dtql)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -12,7 +13,8 @@ import (
 // high-entropy accessions at increasing corruption levels. Quality is
 // split three ways because the failure modes differ: a miss costs a
 // dropped record, a wrong match silently corrupts the overlay.
-func RunT4(seed int64) (*Report, error) {
+func RunT4(ctx context.Context, seed int64) (*Report, error) {
+	_ = ctx // resolution is in-memory; ctx kept for the Runner contract
 	rng := rand.New(rand.NewSource(seed))
 	const nCanonical = 10000
 	const nQueries = 5000
@@ -49,7 +51,7 @@ func RunT4(seed int64) (*Report, error) {
 			queries[i] = integrate.CorruptID(rng, truth[i], edits)
 		}
 		correct, missed, wrong := 0, 0, 0
-		start := time.Now()
+		start := clock.Now()
 		for i, q := range queries {
 			got, _, ok := resolver.Resolve(q)
 			switch {
@@ -61,7 +63,10 @@ func RunT4(seed int64) (*Report, error) {
 				wrong++
 			}
 		}
-		elapsed := time.Since(start)
+		elapsed := clock.Now() - start
+		if elapsed <= 0 {
+			elapsed = time.Nanosecond // virtual clocks may not advance here
+		}
 		perSec := float64(nQueries) / elapsed.Seconds()
 		rep.Rows = append(rep.Rows, []string{
 			fmt.Sprint(edits),

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -15,7 +16,8 @@ import (
 // distance (0 = exact recovery) and construction time. This is the
 // quality side of the speed/accuracy trade-off the engine's method
 // auto-selection makes.
-func RunT5(seed int64) (*Report, error) {
+func RunT5(ctx context.Context, seed int64) (*Report, error) {
+	_ = ctx // tree building is in-memory; ctx kept for the Runner contract
 	gen := datagen.DefaultConfig()
 	gen.Seed = seed
 	gen.NumFamilies = 8
@@ -67,12 +69,12 @@ func RunT5(seed int64) (*Report, error) {
 		return nil, err
 	}
 	for _, m := range methods {
-		start := time.Now()
+		start := clock.Now()
 		tree, err := m.build()
 		if err != nil {
 			return nil, fmt.Errorf("T5 %s: %w", m.name, err)
 		}
-		elapsed := time.Since(start)
+		elapsed := clock.Now() - start
 		_, norm, err := phylo.RobinsonFoulds(ds.TrueTree, tree)
 		if err != nil {
 			return nil, err

@@ -64,8 +64,7 @@ func t8FaultPlans(seed int64, bundle *source.Bundle) {
 	}})
 }
 
-func runT8Mode(seed int64, resilient bool) (*t8Outcome, error) {
-	ctx := context.Background()
+func runT8Mode(ctx context.Context, seed int64, resilient bool) (*t8Outcome, error) {
 	gen := datagen.DefaultConfig()
 	gen.Seed = seed
 	gen.NumFamilies = 8
@@ -171,12 +170,12 @@ func runT8Mode(seed int64, resilient bool) (*t8Outcome, error) {
 
 // RunT8 measures availability under scripted faults with the
 // resilience stack on vs off.
-func RunT8(seed int64) (*Report, error) {
-	res, err := runT8Mode(seed, true)
+func RunT8(ctx context.Context, seed int64) (*Report, error) {
+	res, err := runT8Mode(ctx, seed, true)
 	if err != nil {
 		return nil, err
 	}
-	naive, err := runT8Mode(seed, false)
+	naive, err := runT8Mode(ctx, seed, false)
 	if err != nil {
 		return nil, err
 	}

@@ -77,7 +77,10 @@ func (im *Importer) ensureTable(name string, schema *store.Schema, indexes map[s
 // activity and annotation references against the imported protein and
 // ligand IDs. Rows whose references cannot be resolved are counted
 // and dropped, not guessed.
-func (im *Importer) ImportAll() (*ImportStats, error) {
+func (im *Importer) ImportAll(ctx context.Context) (*ImportStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	st := &ImportStats{}
 
 	if _, err := im.ensureTable(TableProteins, source.ProteinSchema, map[string]store.IndexType{
@@ -87,7 +90,7 @@ func (im *Importer) ImportAll() (*ImportStats, error) {
 	}); err != nil {
 		return nil, err
 	}
-	protRows, err := source.FetchAll(context.Background(), im.Bundle.Proteins, nil)
+	protRows, err := source.FetchAll(ctx, im.Bundle.Proteins, nil)
 	if err != nil {
 		return nil, fmt.Errorf("integrate: fetching proteins: %w", err)
 	}
@@ -107,7 +110,7 @@ func (im *Importer) ImportAll() (*ImportStats, error) {
 	}); err != nil {
 		return nil, err
 	}
-	ligRows, err := source.FetchAll(context.Background(), im.Bundle.Ligands, nil)
+	ligRows, err := source.FetchAll(ctx, im.Bundle.Ligands, nil)
 	if err != nil {
 		return nil, fmt.Errorf("integrate: fetching ligands: %w", err)
 	}
@@ -131,7 +134,7 @@ func (im *Importer) ImportAll() (*ImportStats, error) {
 	}); err != nil {
 		return nil, err
 	}
-	actRows, err := source.FetchAll(context.Background(), im.Bundle.Activities, nil)
+	actRows, err := source.FetchAll(ctx, im.Bundle.Activities, nil)
 	if err != nil {
 		return nil, fmt.Errorf("integrate: fetching activities: %w", err)
 	}
@@ -160,7 +163,7 @@ func (im *Importer) ImportAll() (*ImportStats, error) {
 	}); err != nil {
 		return nil, err
 	}
-	annRows, err := source.FetchAll(context.Background(), im.Bundle.Annotations, nil)
+	annRows, err := source.FetchAll(ctx, im.Bundle.Annotations, nil)
 	if err != nil {
 		return nil, fmt.Errorf("integrate: fetching annotations: %w", err)
 	}

@@ -1,6 +1,7 @@
 package integrate
 
 import (
+	"context"
 	"testing"
 
 	"drugtree/internal/datagen"
@@ -24,7 +25,7 @@ func importedDB(t *testing.T) (*store.DB, *ImportStats) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := NewImporter(db, bundle).ImportAll()
+	st, err := NewImporter(db, bundle).ImportAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,10 +105,10 @@ func TestImportIdempotentTables(t *testing.T) {
 	db, _ := store.Open("")
 	defer db.Close()
 	im := NewImporter(db, bundle)
-	if _, err := im.ImportAll(); err != nil {
+	if _, err := im.ImportAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := im.ImportAll(); err != nil {
+	if _, err := im.ImportAll(context.Background()); err != nil {
 		t.Fatalf("second import failed: %v", err)
 	}
 	tb, _ := db.Table(TableProteins)

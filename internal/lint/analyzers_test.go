@@ -1,0 +1,34 @@
+package lint
+
+import (
+	"testing"
+
+	"drugtree/internal/lint/analysistest"
+)
+
+// The golden tests below run each analyzer over its fixture tree and
+// match diagnostics against the fixtures' `// want` comments — both
+// directions: an unexpected diagnostic and an unmet expectation each
+// fail the test.
+
+func TestClockCheck(t *testing.T) {
+	analysistest.Run(t, "testdata/clockcheck", ClockCheck,
+		"experiments", "internal/netsim", "other")
+}
+
+func TestCtxCheck(t *testing.T) {
+	analysistest.Run(t, "testdata/ctxcheck", CtxCheck,
+		"source", "cmd/tool")
+}
+
+func TestLockCheck(t *testing.T) {
+	analysistest.Run(t, "testdata/lockcheck", LockCheck, "locks")
+}
+
+func TestSpawnCheck(t *testing.T) {
+	analysistest.Run(t, "testdata/spawncheck", SpawnCheck, "spawn")
+}
+
+func TestWrapCheck(t *testing.T) {
+	analysistest.Run(t, "testdata/wrapcheck", WrapCheck, "wrap")
+}

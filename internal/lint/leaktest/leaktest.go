@@ -1,0 +1,117 @@
+// Package leaktest fails a test binary that leaks goroutines, in the
+// style of go.uber.org/goleak (reimplemented on the standard library
+// because this module pins its dependency set). It is the runtime
+// complement to the spawncheck analyzer: spawncheck proves every `go`
+// statement has a visible shutdown path, and leaktest proves the
+// paths are actually taken — a package whose tests return while a
+// server session, prefetcher, or retry loop is still running fails
+// at exit.
+//
+// Adopt it per package with one line:
+//
+//	func TestMain(m *testing.M) { leaktest.VerifyTestMain(m) }
+package leaktest
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// maxWait bounds how long VerifyTestMain waits for goroutines wound
+// down by deferred cleanup (connection closes, context cancels) to
+// actually exit before declaring them leaked.
+const maxWait = 5 * time.Second
+
+// Runner is the subset of *testing.M VerifyTestMain needs; taking the
+// interface keeps the package importable outside tests.
+type Runner interface{ Run() int }
+
+// VerifyTestMain runs the package's tests and then fails the binary
+// if goroutines beyond the test harness's own survive. Use it as the
+// body of TestMain.
+func VerifyTestMain(m Runner) {
+	code := m.Run()
+	if code == 0 {
+		if leaked := Check(maxWait); leaked != "" {
+			fmt.Fprintf(os.Stderr, "leaktest: leaked goroutines after tests passed:\n\n%s\n", leaked)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// Check polls until no unexpected goroutines remain or wait elapses,
+// and returns the offending stacks ("" when clean). Polling, rather
+// than a single snapshot, absorbs the scheduling delay between a
+// test's cleanup (ctx cancel, conn close) and the goroutines it
+// releases actually exiting.
+func Check(wait time.Duration) string {
+	deadline := time.Now().Add(wait)
+	backoff := time.Millisecond
+	for {
+		leaked := leakedStacks()
+		if len(leaked) == 0 {
+			return ""
+		}
+		if time.Now().After(deadline) {
+			sort.Strings(leaked)
+			return strings.Join(leaked, "\n\n")
+		}
+		time.Sleep(backoff)
+		if backoff < 100*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// expectedFragments mark goroutines that belong to the runtime or the
+// testing harness; a stack containing any of them is not a leak.
+var expectedFragments = []string{
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.(*M).",
+	"testing.runTests",
+	"leaktest.Check(", // the goroutine taking this snapshot
+	"runtime.goexit0",
+	"signal.signal_recv",
+	"os/signal.loop",
+	"runtime.ensureSigM",
+	"runtime.ReadTrace",
+	"(*genericWriteTo)", // net.Pipe internals draining on close
+}
+
+// leakedStacks snapshots all goroutine stacks and filters the
+// expected ones.
+func leakedStacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var leaked []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		g = strings.TrimSpace(g)
+		if g == "" || isExpected(g) {
+			continue
+		}
+		leaked = append(leaked, g)
+	}
+	return leaked
+}
+
+func isExpected(stack string) bool {
+	for _, frag := range expectedFragments {
+		if strings.Contains(stack, frag) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"drugtree/internal/lint/loader"
+)
+
+func loadFixture(t *testing.T, rel, path string) *loader.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkg, err := loader.LoadDir(fset, filepath.Join("testdata", filepath.FromSlash(rel)), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// The query fixture carries two clockcheck violations, one suppressed
+// in standalone form and one trailing. Within budget the tree is
+// clean and both suppressions are counted.
+func TestSuppressionWithinBudget(t *testing.T) {
+	pkg := loadFixture(t, "suppress/src/query", "query")
+	res := CheckBudget([]*loader.Package{pkg}, map[string]int{"clockcheck": 2})
+	if !res.OK() {
+		t.Fatalf("expected clean run, got findings=%v budget errors=%v", res.Findings, res.BudgetErrors)
+	}
+	if got := res.Suppressed["clockcheck"]; got != 2 {
+		t.Fatalf("suppressed clockcheck = %d, want 2", got)
+	}
+}
+
+// The same fixture over budget: the suppressions still silence the
+// findings, but the run fails with a budget error naming the knob.
+func TestSuppressionBudgetExceeded(t *testing.T) {
+	pkg := loadFixture(t, "suppress/src/query", "query")
+	res := CheckBudget([]*loader.Package{pkg}, map[string]int{"clockcheck": 1})
+	if res.OK() {
+		t.Fatal("expected a budget error")
+	}
+	if len(res.Findings) != 0 {
+		t.Fatalf("suppressions should still apply, got findings %v", res.Findings)
+	}
+	if len(res.BudgetErrors) != 1 || !strings.Contains(res.BudgetErrors[0], "budget is 1") {
+		t.Fatalf("budget errors = %v, want one mentioning the cap", res.BudgetErrors)
+	}
+}
+
+// Malformed directives — missing reason, unknown analyzer, wrong
+// shape — are errors, not silent no-ops.
+func TestMalformedSuppressions(t *testing.T) {
+	pkg := loadFixture(t, "suppress/src/badsup", "badsup")
+	res := CheckBudget([]*loader.Package{pkg}, Budget)
+	if res.OK() {
+		t.Fatal("expected suppression errors")
+	}
+	wantFragments := []string{"gives no reason", "unknown analyzer", "malformed suppression"}
+	if len(res.BudgetErrors) != len(wantFragments) {
+		t.Fatalf("budget errors = %v, want %d", res.BudgetErrors, len(wantFragments))
+	}
+	joined := strings.Join(res.BudgetErrors, "\n")
+	for _, frag := range wantFragments {
+		if !strings.Contains(joined, frag) {
+			t.Errorf("budget errors missing %q:\n%s", frag, joined)
+		}
+	}
+}
+
+// Every analyzer must have an explicit budget entry: a missing key
+// reads as zero at enforcement time, which is safe, but an explicit
+// ledger keeps the policy reviewable in one place.
+func TestBudgetCoversEveryAnalyzer(t *testing.T) {
+	for _, a := range All() {
+		if _, ok := Budget[a.Name]; !ok {
+			t.Errorf("Budget has no entry for %s", a.Name)
+		}
+	}
+}

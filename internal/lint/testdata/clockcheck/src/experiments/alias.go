@@ -1,0 +1,8 @@
+// Fixture: import aliasing must not hide a wall-clock call.
+package experiments
+
+import t "time"
+
+func aliased() {
+	t.Sleep(t.Millisecond) // want `time\.Sleep in deterministic package`
+}

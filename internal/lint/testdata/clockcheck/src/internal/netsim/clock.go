@@ -1,0 +1,10 @@
+// Fixture: this filename suffix (internal/netsim/clock.go) is on the
+// wall-clock shim allowlist, so real clock reads here are legal even
+// though the package is deterministic.
+package netsim
+
+import "time"
+
+func wallNow() time.Time { return time.Now() }
+
+func wallSleep(d time.Duration) { time.Sleep(d) }

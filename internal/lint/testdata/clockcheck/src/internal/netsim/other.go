@@ -1,0 +1,9 @@
+// Fixture: the allowlist is per-file, not per-package — a sibling
+// file in the same deterministic package is still checked.
+package netsim
+
+import "time"
+
+func drift() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep in deterministic package`
+}

@@ -1,0 +1,10 @@
+// Fixture: a package outside the deterministic set may use the wall
+// clock freely.
+package other
+
+import "time"
+
+func fine() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

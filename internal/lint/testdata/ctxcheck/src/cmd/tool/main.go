@@ -1,0 +1,12 @@
+// Fixture: packages under cmd/ are context roots by definition —
+// ctxcheck skips them entirely.
+package main
+
+import "context"
+
+func main() {
+	_ = context.Background()
+	RunAll()
+}
+
+func RunAll() {}

@@ -1,0 +1,50 @@
+// Fixture: context threading in a library package (not under cmd/,
+// so ctxcheck applies fully).
+package source
+
+import (
+	"context"
+)
+
+// Exported blocking-verb functions without a ctx parameter.
+func FetchAll(n int) error { return nil } // want `exported FetchAll .* takes no context\.Context`
+
+func SyncNow() {} // want `exported SyncNow .* takes no context\.Context`
+
+func ServeForever(addr string) error { return nil } // want `exported ServeForever .* takes no context\.Context`
+
+// Verb-boundary cases: the verb must be a whole word prefix.
+func Runtime() {}
+
+func Importance() int { return 0 }
+
+// Threading ctx satisfies the check.
+func FetchRows(ctx context.Context) error { return nil }
+
+// Unexported functions are the caller's business.
+func fetchAll() {}
+
+// Methods are held to the same rule.
+type Mediator struct{}
+
+func (m *Mediator) SyncAll() error { return nil } // want `exported SyncAll .* takes no context\.Context`
+
+func (m *Mediator) RunLoop(ctx context.Context) {}
+
+// Minting a root context in library code hides the call tree from
+// shutdown.
+func mint() context.Context {
+	return context.Background() // want `context\.Background\(\) below cmd/`
+}
+
+func todo() context.Context {
+	return context.TODO() // want `context\.TODO\(\) below cmd/`
+}
+
+// The sanctioned defaulting guard is exempt.
+func defaulted(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
+}

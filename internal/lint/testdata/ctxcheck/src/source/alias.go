@@ -1,0 +1,8 @@
+// Fixture: an aliased context import still counts as a ctx parameter.
+package source
+
+import c "context"
+
+func ServeConn(ctx c.Context) error { return nil }
+
+func RunBatch() {} // want `exported RunBatch .* takes no context\.Context`

@@ -1,0 +1,12 @@
+// Fixture: malformed suppression directives — each of these is a
+// budget/suppression error, never a silent no-op.
+package badsup
+
+func a() int {
+	//lint:ignore drugtree/clockcheck
+	x := 1
+	//lint:ignore drugtree/nosuchanalyzer because reasons
+	x++
+	//lint:ignore not-even-close
+	return x
+}

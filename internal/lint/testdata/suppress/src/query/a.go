@@ -1,0 +1,13 @@
+// Fixture: suppression mechanics in a deterministic package (path
+// segment "query", so clockcheck fires on both Sleep calls below
+// unless suppressed).
+package query
+
+import "time"
+
+func paced() {
+	// The standalone form covers the next line.
+	//lint:ignore drugtree/clockcheck scripted pacing is wall-clock by design (reviewed)
+	time.Sleep(time.Millisecond)
+	time.Sleep(time.Millisecond) //lint:ignore drugtree/clockcheck second reviewed exception, trailing form
+}

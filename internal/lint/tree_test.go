@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"drugtree/internal/lint/loader"
+)
+
+// TestTreeIsClean is the zero-findings gate: the same check `make
+// lint` runs, wired into `go test` so the invariant suite cannot
+// silently rot between lint runs. If this test fails, either fix the
+// violation or (for a reviewed, justified exception) add a
+// //lint:ignore with a reason and raise the Budget entry.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tree-wide lint skipped in -short mode")
+	}
+	root := moduleRootT(t)
+	pkgs, err := loader.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading tree: %v", err)
+	}
+	res := Check(pkgs)
+	for _, f := range res.Findings {
+		t.Errorf("%s", f)
+	}
+	for _, e := range res.BudgetErrors {
+		t.Errorf("%s", e)
+	}
+}
+
+func moduleRootT(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}

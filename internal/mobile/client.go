@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"drugtree/internal/netsim"
 	"drugtree/internal/store"
 )
 
@@ -31,6 +32,10 @@ type Client struct {
 	MaxRedials int
 	// Reconnects counts successful session re-establishments.
 	Reconnects int
+
+	// Clock measures per-interaction latency. dial sets the wall
+	// clock; deterministic tests swap in a netsim.VirtualClock.
+	Clock netsim.Clock
 
 	// Nodes is the client-side render model keyed by pre number.
 	Nodes map[int64]WireNode
@@ -58,6 +63,7 @@ func dial(conn io.ReadWriter, strategy Strategy, budget int, compress bool) (*Cl
 		strategy: strategy,
 		budget:   budget,
 		compress: compress,
+		Clock:    netsim.NewWallClock(),
 		Nodes:    make(map[int64]WireNode),
 	}
 	if err := WriteMsg(conn, &Hello{Strategy: strategy, Budget: budget, Compress: compress}); err != nil {
@@ -111,12 +117,12 @@ func (c *Client) roundTrip(req any) (any, int64, error) {
 // Open requests a subtree and applies the server's delta to the local
 // render model.
 func (c *Client) Open(node string) (*TreeDelta, error) {
-	start := time.Now()
+	start := c.Clock.Now()
 	msg, wire, err := c.roundTrip(&Open{Node: node})
 	if err != nil {
 		return nil, err
 	}
-	c.Latencies = append(c.Latencies, time.Since(start))
+	c.Latencies = append(c.Latencies, c.Clock.Now()-start)
 	switch m := msg.(type) {
 	case *TreeDelta:
 		c.BytesDown += wire
@@ -130,12 +136,12 @@ func (c *Client) Open(node string) (*TreeDelta, error) {
 
 // Query runs DTQL server-side and returns the result.
 func (c *Client) Query(dtql string) (*QueryResult, error) {
-	start := time.Now()
+	start := c.Clock.Now()
 	msg, wire, err := c.roundTrip(&Query{DTQL: dtql})
 	if err != nil {
 		return nil, err
 	}
-	c.Latencies = append(c.Latencies, time.Since(start))
+	c.Latencies = append(c.Latencies, c.Clock.Now()-start)
 	switch m := msg.(type) {
 	case *QueryResult:
 		c.BytesDown += wire

@@ -1,0 +1,12 @@
+package mobile
+
+import (
+	"testing"
+
+	"drugtree/internal/lint/leaktest"
+)
+
+// TestMain gates the package on goroutine hygiene: a test that exits
+// while a goroutine it spawned is still running fails the binary (see
+// internal/lint/leaktest — the runtime complement to spawncheck).
+func TestMain(m *testing.M) { leaktest.VerifyTestMain(m) }

@@ -33,7 +33,7 @@ func testEngine(t *testing.T) *core.Engine {
 	}
 	t.Cleanup(func() { db.Close() })
 	bundle := source.NewBundle(ds, netsim.ProfileLAN, 5, true)
-	if _, err := integrate.NewImporter(db, bundle).ImportAll(); err != nil {
+	if _, err := integrate.NewImporter(db, bundle).ImportAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	e, err := core.New(db, core.DefaultConfig())

@@ -25,6 +25,10 @@ type Server struct {
 	// forever. A phone that goes dark mid-session then releases its
 	// server goroutine instead of pinning it.
 	ReadTimeout time.Duration
+	// Now supplies the wall time used to arm read deadlines
+	// (net.Conn deadlines are absolute wall times). Nil uses the real
+	// wall clock; tests inject a scripted function.
+	Now func() time.Time
 
 	// panicHook, when set, runs before each message dispatch; tests
 	// use it to drive the panic-recovery path.
@@ -75,8 +79,12 @@ func (s *Server) armReadDeadline(conn io.ReadWriter) {
 	if s.ReadTimeout <= 0 {
 		return
 	}
+	now := s.Now
+	if now == nil {
+		now = wallNow
+	}
 	if d, ok := conn.(interface{ SetReadDeadline(time.Time) error }); ok {
-		_ = d.SetReadDeadline(time.Now().Add(s.ReadTimeout))
+		_ = d.SetReadDeadline(now().Add(s.ReadTimeout))
 	}
 }
 
@@ -183,6 +191,7 @@ func (s *Server) handleOpen(ctx context.Context, w io.Writer, sess *session, m *
 	if s.Async {
 		// Background prefetch outlives the interaction that triggered
 		// it, so it runs under its own context, not the session's.
+		//lint:ignore drugtree/ctxcheck async prefetch is one bounded pass that deliberately outlives the session context
 		go s.engine.RunPrefetch(context.Background())
 	} else {
 		s.engine.RunPrefetch(ctx)

@@ -12,14 +12,28 @@ import (
 )
 
 // serveOnce spawns one ServeConn session over a fresh in-memory pipe
-// and returns the client end plus the session's exit channel.
-func serveOnce(server *Server) (net.Conn, chan error) {
+// and returns the client end plus the session's exit channel. A
+// cleanup closes the pipe and joins the session goroutine so no test
+// exits with a server blocked in ReadMsg (the package TestMain runs
+// leaktest).
+func serveOnce(t *testing.T, server *Server) (net.Conn, chan error) {
+	t.Helper()
 	clientConn, serverConn := net.Pipe()
 	done := make(chan error, 1)
+	exited := make(chan struct{})
 	go func() {
+		defer close(exited)
 		defer serverConn.Close()
 		done <- server.ServeConn(context.Background(), serverConn)
 	}()
+	t.Cleanup(func() {
+		clientConn.Close()
+		select {
+		case <-exited:
+		case <-time.After(5 * time.Second):
+			t.Error("server session goroutine did not exit")
+		}
+	})
 	return clientConn, done
 }
 
@@ -40,7 +54,7 @@ func waitSession(t *testing.T, done chan error) error {
 // invariant every fault below must preserve.
 func assertServes(t *testing.T, server *Server) {
 	t.Helper()
-	conn, done := serveOnce(server)
+	conn, done := serveOnce(t, server)
 	defer conn.Close()
 	c, err := Dial(conn, StrategyLOD, 50)
 	if err != nil {
@@ -61,7 +75,7 @@ func TestServerPanicConfinedToSession(t *testing.T) {
 			panic("injected fault")
 		}
 	}
-	conn, done := serveOnce(server)
+	conn, done := serveOnce(t, server)
 	defer conn.Close()
 	c, err := Dial(conn, StrategyLOD, 50)
 	if err != nil {
@@ -88,7 +102,7 @@ func TestServerPanicConfinedToSession(t *testing.T) {
 func TestServerGarbageFirstFrame(t *testing.T) {
 	e := testEngine(t)
 	server := NewServer(e)
-	conn, done := serveOnce(server)
+	conn, done := serveOnce(t, server)
 	// A length prefix far beyond maxFrame: the server must reject it
 	// without allocating or stalling.
 	if _, err := conn.Write([]byte{0xff, 0xff, 0xff, 0xff, 0x7f}); err != nil {
@@ -105,7 +119,7 @@ func TestServerReadDeadlineReleasesStalledSession(t *testing.T) {
 	e := testEngine(t)
 	server := NewServer(e)
 	server.ReadTimeout = 50 * time.Millisecond
-	conn, done := serveOnce(server)
+	conn, done := serveOnce(t, server)
 	defer conn.Close()
 	// Dial sends Hello, then the phone goes dark: the deadline must
 	// release the goroutine instead of pinning it forever.
@@ -122,7 +136,7 @@ func TestServerReadDeadlineReleasesStalledSession(t *testing.T) {
 func TestServerMidSessionDrop(t *testing.T) {
 	e := testEngine(t)
 	server := NewServer(e)
-	conn, done := serveOnce(server)
+	conn, done := serveOnce(t, server)
 	c, err := Dial(conn, StrategyLOD, 50)
 	if err != nil {
 		t.Fatal(err)
@@ -139,13 +153,13 @@ func TestServerMidSessionDrop(t *testing.T) {
 func TestClientReconnectReplaysHello(t *testing.T) {
 	e := testEngine(t)
 	server := NewServer(e)
-	conn, _ := serveOnce(server)
+	conn, _ := serveOnce(t, server)
 	c, err := Dial(conn, StrategyLOD, 50)
 	if err != nil {
 		t.Fatal(err)
 	}
 	c.Redial = func() (io.ReadWriter, error) {
-		next, _ := serveOnce(server)
+		next, _ := serveOnce(t, server)
 		return next, nil
 	}
 	c.MaxRedials = 2
@@ -174,7 +188,7 @@ func TestClientReconnectReplaysHello(t *testing.T) {
 func TestClientReconnectBounded(t *testing.T) {
 	e := testEngine(t)
 	server := NewServer(e)
-	conn, _ := serveOnce(server)
+	conn, _ := serveOnce(t, server)
 	c, err := Dial(conn, StrategyLOD, 50)
 	if err != nil {
 		t.Fatal(err)
@@ -200,7 +214,7 @@ func TestClientReconnectBounded(t *testing.T) {
 func TestClientNoRedialFailsFast(t *testing.T) {
 	e := testEngine(t)
 	server := NewServer(e)
-	conn, _ := serveOnce(server)
+	conn, _ := serveOnce(t, server)
 	c, err := Dial(conn, StrategyLOD, 50)
 	if err != nil {
 		t.Fatal(err)
@@ -216,7 +230,7 @@ func TestStatusOverWire(t *testing.T) {
 	// message round-trips; richer coverage lives in the integrate tests.
 	e := testEngine(t)
 	server := NewServer(e)
-	conn, done := serveOnce(server)
+	conn, done := serveOnce(t, server)
 	defer conn.Close()
 	c, err := Dial(conn, StrategyLOD, 50)
 	if err != nil {

@@ -1,0 +1,10 @@
+package mobile
+
+import "time"
+
+// wallNow is the package's only wall-clock read (this file is the
+// clockcheck allowlist shim): read deadlines handed to net.Conn must
+// be absolute wall times, so they cannot come from the monotonic
+// netsim.Clock. Everything else in the package times itself through
+// an injectable clock.
+func wallNow() time.Time { return time.Now() }

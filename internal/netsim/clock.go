@@ -62,7 +62,7 @@ type wallClock struct{ origin time.Time }
 // NewWallClock returns a Clock reading real elapsed time from now.
 func NewWallClock() Clock { return &wallClock{origin: time.Now()} }
 
-func (c *wallClock) Now() time.Duration  { return time.Since(c.origin) }
+func (c *wallClock) Now() time.Duration    { return time.Since(c.origin) }
 func (c *wallClock) Sleep(d time.Duration) { time.Sleep(d) }
 
 // linkClock adapts a Link to the Clock interface: Now reads the link's
@@ -75,5 +75,5 @@ type linkClock struct{ link *Link }
 // LinkClock returns a Clock backed by the link's timeline.
 func LinkClock(l *Link) Clock { return &linkClock{link: l} }
 
-func (c *linkClock) Now() time.Duration  { return c.link.Now() }
+func (c *linkClock) Now() time.Duration    { return c.link.Now() }
 func (c *linkClock) Sleep(d time.Duration) { c.link.Advance(d) }

@@ -133,7 +133,7 @@ func (p *newickParser) parseLabel() (string, float64, error) {
 		}
 		v, err := strconv.ParseFloat(p.src[start:p.pos], 64)
 		if err != nil {
-			return "", 0, fmt.Errorf("phylo: bad branch length at offset %d: %v", start, err)
+			return "", 0, fmt.Errorf("phylo: bad branch length at offset %d: %w", start, err)
 		}
 		length = v
 	}

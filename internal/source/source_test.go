@@ -54,7 +54,7 @@ func TestFilterOpEval(t *testing.T) {
 
 func TestFetchAllRows(t *testing.T) {
 	b := testBundle(t)
-	rows, err := FetchAll(context.Background(),b.Proteins, nil)
+	rows, err := FetchAll(context.Background(), b.Proteins, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +65,7 @@ func TestFetchAllRows(t *testing.T) {
 
 func TestFetchServerSideFilter(t *testing.T) {
 	b := testBundle(t)
-	rows, err := FetchAll(context.Background(),b.Proteins, []Filter{
+	rows, err := FetchAll(context.Background(), b.Proteins, []Filter{
 		{Column: "family", Op: OpEQ, Value: store.StringValue("FAM01")},
 	})
 	if err != nil {
@@ -132,7 +132,7 @@ func TestFetchPagination(t *testing.T) {
 
 func TestRangeFilterOnAffinity(t *testing.T) {
 	b := testBundle(t)
-	rows, err := FetchAll(context.Background(),b.Activities, []Filter{
+	rows, err := FetchAll(context.Background(), b.Activities, []Filter{
 		{Column: "affinity", Op: OpGE, Value: store.FloatValue(8)},
 	})
 	if err != nil {
@@ -144,7 +144,7 @@ func TestRangeFilterOnAffinity(t *testing.T) {
 			t.Fatalf("range filter leak: affinity %g", r[affIdx].F)
 		}
 	}
-	all, _ := FetchAll(context.Background(),b.Activities, nil)
+	all, _ := FetchAll(context.Background(), b.Activities, nil)
 	if len(rows) >= len(all) {
 		t.Fatalf("filter did not reduce: %d vs %d", len(rows), len(all))
 	}
@@ -152,7 +152,7 @@ func TestRangeFilterOnAffinity(t *testing.T) {
 
 func TestStatsAccumulateAndReset(t *testing.T) {
 	b := testBundle(t)
-	FetchAll(context.Background(),b.Proteins, nil)
+	FetchAll(context.Background(), b.Proteins, nil)
 	st := b.Proteins.Stats()
 	if st.Requests == 0 || st.BytesDown == 0 || st.RowsMoved != 30 {
 		t.Fatalf("stats not accumulated: %+v", st)
@@ -175,11 +175,11 @@ func TestPushdownMovesFewerBytes(t *testing.T) {
 	b2 := NewBundle(ds, netsim.ProfileLAN, 7, true)
 
 	// Pushdown: only FAM01 rows move.
-	FetchAll(context.Background(),b1.Proteins, []Filter{{Column: "family", Op: OpEQ, Value: store.StringValue("FAM01")}})
+	FetchAll(context.Background(), b1.Proteins, []Filter{{Column: "family", Op: OpEQ, Value: store.StringValue("FAM01")}})
 	pushBytes := b1.Proteins.Stats().BytesDown
 
 	// No pushdown: everything moves.
-	FetchAll(context.Background(),b2.Proteins, nil)
+	FetchAll(context.Background(), b2.Proteins, nil)
 	allBytes := b2.Proteins.Stats().BytesDown
 
 	if pushBytes*2 >= allBytes {
@@ -191,8 +191,8 @@ func TestSlowLinkChargesMoreTime(t *testing.T) {
 	ds := testDataset(t)
 	fast := NewBundle(ds, netsim.ProfileLAN, 7, true)
 	slow := NewBundle(ds, netsim.Profile3G, 7, true)
-	FetchAll(context.Background(),fast.Proteins, nil)
-	FetchAll(context.Background(),slow.Proteins, nil)
+	FetchAll(context.Background(), fast.Proteins, nil)
+	FetchAll(context.Background(), slow.Proteins, nil)
 	if slow.Proteins.Stats().Elapsed <= fast.Proteins.Stats().Elapsed {
 		t.Fatalf("3G (%v) not slower than LAN (%v)",
 			slow.Proteins.Stats().Elapsed, fast.Proteins.Stats().Elapsed)
@@ -235,7 +235,7 @@ func TestFetchAllRetriesTransientFailures(t *testing.T) {
 	// A single FetchAll is one page here; drive enough rounds that
 	// failures certainly occur and every round still succeeds.
 	for round := 0; round < 20; round++ {
-		rows, err := FetchAll(context.Background(),b, nil)
+		rows, err := FetchAll(context.Background(), b, nil)
 		if err != nil {
 			t.Fatalf("FetchAll round %d under 30%% failures: %v", round, err)
 		}
@@ -252,7 +252,7 @@ func TestFetchAllGivesUpOnPersistentFailure(t *testing.T) {
 	ds := testDataset(t)
 	b := NewProteinBank(ds, netsim.NewLink(netsim.ProfileLAN, 1, true))
 	b.SetFailureRate(1.0)
-	if _, err := FetchAll(context.Background(),b, nil); err == nil {
+	if _, err := FetchAll(context.Background(), b, nil); err == nil {
 		t.Fatal("persistent failure did not surface")
 	}
 }
@@ -264,7 +264,7 @@ func TestImportSurvivesFlakySources(t *testing.T) {
 	for _, s := range bundle.All() {
 		s.SetFailureRate(0.2)
 	}
-	rows, err := FetchAll(context.Background(),bundle.Activities, nil)
+	rows, err := FetchAll(context.Background(), bundle.Activities, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -220,6 +220,7 @@ func (db *DB) Checkpoint() error {
 		os.Remove(tmp)
 		return err
 	}
+	//lint:ignore drugtree/lockcheck checkpoint fsync must run under db.mu so the snapshot is a frozen point-in-time image
 	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
