@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench chaos check clean
+.PHONY: all build test race vet lint bench chaos overload check clean
 
 all: check
 
@@ -22,7 +22,9 @@ test:
 # concurrent fetchers, health map read during sync, mobile sessions).
 race:
 	$(GO) test -race ./internal/query/... ./internal/core/... \
-		./internal/source/... ./internal/integrate/... ./internal/mobile/...
+		./internal/source/... ./internal/integrate/... ./internal/mobile/... \
+		./internal/admission/...
+	$(GO) test -race -run TestRunT9 ./internal/experiments/
 
 vet:
 	$(GO) vet ./...
@@ -57,6 +59,13 @@ bench:
 chaos:
 	$(GO) test -run TestRunT8 -v ./internal/experiments/
 	$(GO) run ./cmd/drugtree-bench -exp T8
+
+# The T9 overload experiment: Poisson load sweep past saturation,
+# deadline-aware shedding vs an unprotected queue, plus its gate test
+# under the race detector.
+overload:
+	$(GO) test -race -run TestRunT9 -v ./internal/experiments/
+	$(GO) run ./cmd/drugtree-bench -exp T9
 
 check: lint build test race
 

@@ -489,3 +489,22 @@ func BenchmarkT8ResilientSync(b *testing.B) {
 		})
 	}
 }
+
+// --- T9: overload protection ---
+
+// BenchmarkT9Overload prices one full load-sweep cell of the T9
+// discrete-event overload simulation per mode: the cost of deciding
+// admission (deadline prediction, queue management) for ~8000
+// arrivals at 2x saturation, with all waiting carried on the virtual
+// clock.
+func BenchmarkT9Overload(b *testing.B) {
+	for _, mode := range []string{"unprotected", "shed-fifo", "shed-lifo"} {
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.T9Mode(context.Background(), 1, mode, []float64{2}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

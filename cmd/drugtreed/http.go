@@ -3,9 +3,13 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
+	"net"
 	"net/http"
 	"strconv"
+	"unicode/utf8"
 
+	"drugtree/internal/admission"
 	"drugtree/internal/core"
 	"drugtree/internal/mobile"
 	"drugtree/internal/store"
@@ -16,6 +20,78 @@ type queryPayload struct {
 	Columns []string   `json:"columns"`
 	Rows    [][]string `json:"rows"`
 	Plan    string     `json:"plan,omitempty"`
+}
+
+// Request-parameter bounds, enforced before any engine work so a
+// hostile or broken client cannot burn parse/plan cycles.
+const (
+	maxQueryBytes = 8 << 10 // DTQL text
+	maxNodeBytes  = 256     // node names
+	maxBudget     = 100000  // viewport budget
+)
+
+// checkParam rejects oversized or non-UTF-8 parameter values. It
+// reports whether the request may proceed, having written the 4xx
+// response otherwise.
+func checkParam(w http.ResponseWriter, name, val string, maxBytes int) bool {
+	if len(val) > maxBytes {
+		http.Error(w, fmt.Sprintf("%s parameter exceeds %d bytes", name, maxBytes),
+			http.StatusRequestEntityTooLarge)
+		return false
+	}
+	if !utf8.ValidString(val) {
+		http.Error(w, fmt.Sprintf("%s parameter is not valid UTF-8", name), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// retryAfterSeconds renders a duration as a Retry-After header value
+// (whole seconds, minimum 1 so clients never busy-loop).
+func retryAfterSeconds(hint float64) string {
+	s := int(math.Ceil(hint))
+	if s < 1 {
+		s = 1
+	}
+	return strconv.Itoa(s)
+}
+
+// writeShed maps an admission rejection to 429 + Retry-After.
+func writeShed(w http.ResponseWriter, err error) {
+	hint := admission.RetryAfterHint(err, 0)
+	w.Header().Set("Retry-After", retryAfterSeconds(hint.Seconds()))
+	http.Error(w, "server overloaded, retry later", http.StatusTooManyRequests)
+}
+
+// withRateLimit wraps next with a per-client (remote host) token
+// bucket. Liveness and metrics endpoints stay exempt so monitoring
+// keeps working while the API sheds.
+func withRateLimit(eng *core.Engine, rate *admission.RateLimiter, next http.Handler) http.Handler {
+	if rate == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		client := r.RemoteAddr
+		if host, _, err := net.SplitHostPort(client); err == nil {
+			client = host
+		}
+		if err := rate.Allow(client); err != nil {
+			eng.Metrics.Counter("http.rate_limited").Inc()
+			writeShed(w, err)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// newAPI assembles the full HTTP handler: routes plus overload
+// middleware.
+func newAPI(eng *core.Engine, rate *admission.RateLimiter) http.Handler {
+	return withRateLimit(eng, rate, newMux(eng))
 }
 
 // newMux builds the HTTP API over an engine. Split from main so the
@@ -66,14 +142,21 @@ func newMux(eng *core.Engine) *http.ServeMux {
 	})
 	mux.HandleFunc("GET /tree", func(w http.ResponseWriter, r *http.Request) {
 		node := r.URL.Query().Get("node")
+		if !checkParam(w, "node", node, maxNodeBytes) {
+			return
+		}
 		if node == "" {
 			node = eng.Root().Name
 		}
 		budget := 100
 		if b := r.URL.Query().Get("budget"); b != "" {
-			if n, err := strconv.Atoi(b); err == nil && n > 0 {
-				budget = n
+			n, err := strconv.Atoi(b)
+			if err != nil || n <= 0 || n > maxBudget {
+				http.Error(w, fmt.Sprintf("budget must be an integer in [1, %d]", maxBudget),
+					http.StatusBadRequest)
+				return
 			}
+			budget = n
 		}
 		id, err := eng.NodeByName(node)
 		if err != nil {
@@ -90,8 +173,15 @@ func newMux(eng *core.Engine) *http.ServeMux {
 			http.Error(w, "missing q parameter", http.StatusBadRequest)
 			return
 		}
+		if !checkParam(w, "q", q, maxQueryBytes) {
+			return
+		}
 		res, err := eng.Query(r.Context(), q)
 		if err != nil {
+			if admission.IsShed(err) {
+				writeShed(w, err)
+				return
+			}
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
@@ -116,6 +206,9 @@ func newMux(eng *core.Engine) *http.ServeMux {
 			http.Error(w, "missing node parameter", http.StatusBadRequest)
 			return
 		}
+		if !checkParam(w, "node", node, maxNodeBytes) {
+			return
+		}
 		crumbs, err := eng.Breadcrumbs(r.Context(), node)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusNotFound)
@@ -128,6 +221,9 @@ func newMux(eng *core.Engine) *http.ServeMux {
 		node := r.URL.Query().Get("node")
 		if node == "" {
 			http.Error(w, "missing node parameter", http.StatusBadRequest)
+			return
+		}
+		if !checkParam(w, "node", node, maxNodeBytes) {
 			return
 		}
 		sum, err := eng.SubtreeActivity(r.Context(), node)

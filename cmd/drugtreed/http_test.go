@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"drugtree/internal/admission"
 	"drugtree/internal/core"
 	"drugtree/internal/datagen"
 	"drugtree/internal/integrate"
@@ -166,5 +167,121 @@ func TestMetricsEndpoint(t *testing.T) {
 	resp, body := get(t, srv.URL+"/metrics")
 	if resp.StatusCode != 200 || !strings.Contains(body, "query.count") {
 		t.Fatalf("metrics = %d\n%s", resp.StatusCode, body)
+	}
+}
+
+// testServerWithEngine is like testServer but exposes the engine (to
+// inspect metrics / hold the admission limiter) and lets the test
+// shape the engine config and rate limiter.
+func testServerWithEngine(t *testing.T, cfg core.Config, rate *admission.RateLimiter) (*httptest.Server, *core.Engine) {
+	t.Helper()
+	gen := datagen.DefaultConfig()
+	gen.NumFamilies = 2
+	gen.ProteinsPerFamily = 6
+	gen.NumLigands = 8
+	ds, err := datagen.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := store.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	bundle := source.NewBundle(ds, netsim.ProfileLAN, 1, true)
+	if _, err := integrate.NewImporter(db, bundle).ImportAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.New(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newAPI(eng, rate))
+	t.Cleanup(srv.Close)
+	return srv, eng
+}
+
+// TestParamBoundsRejectBeforeEngineWork drives oversized and malformed
+// parameters through every endpoint and asserts they bounce with a 4xx
+// without ever reaching the engine's query path.
+func TestParamBoundsRejectBeforeEngineWork(t *testing.T) {
+	srv, eng := testServerWithEngine(t, core.DefaultConfig(), nil)
+	bigQ := strings.Repeat("x", maxQueryBytes+1)
+	bigNode := strings.Repeat("n", maxNodeBytes+1)
+	badUTF8 := "%ff%fe"
+	cases := []struct {
+		name string
+		path string
+		want int
+	}{
+		{"oversized query", "/query?q=" + bigQ, http.StatusRequestEntityTooLarge},
+		{"non-utf8 query", "/query?q=" + badUTF8, http.StatusBadRequest},
+		{"oversized tree node", "/tree?node=" + bigNode, http.StatusRequestEntityTooLarge},
+		{"non-utf8 tree node", "/tree?node=" + badUTF8, http.StatusBadRequest},
+		{"malformed budget", "/tree?budget=abc", http.StatusBadRequest},
+		{"negative budget", "/tree?budget=-5", http.StatusBadRequest},
+		{"oversized budget", "/tree?budget=2000000", http.StatusBadRequest},
+		{"oversized subtree node", "/subtree?node=" + bigNode, http.StatusRequestEntityTooLarge},
+		{"non-utf8 subtree node", "/subtree?node=" + badUTF8, http.StatusBadRequest},
+		{"oversized breadcrumbs node", "/breadcrumbs?node=" + bigNode, http.StatusRequestEntityTooLarge},
+		{"non-utf8 breadcrumbs node", "/breadcrumbs?node=" + badUTF8, http.StatusBadRequest},
+	}
+	before := eng.Metrics.Counter("query.count").Value()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := get(t, srv.URL+tc.path)
+			if resp.StatusCode != tc.want {
+				t.Fatalf("%s = %d, want %d: %s", tc.path, resp.StatusCode, tc.want, body)
+			}
+		})
+	}
+	if after := eng.Metrics.Counter("query.count").Value(); after != before {
+		t.Fatalf("rejected requests reached the engine: query.count %d -> %d", before, after)
+	}
+}
+
+func TestQueryShedMapsTo429(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Admission = &admission.Config{MaxConcurrency: 1, MaxQueue: 0}
+	srv, eng := testServerWithEngine(t, cfg, nil)
+	release, err := eng.Limiter().Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	resp, _ := get(t, srv.URL+"/query?q=SELECT+COUNT(*)+FROM+proteins")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed query = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	if eng.Metrics.Counter("query.shed").Value() == 0 {
+		t.Fatal("query.shed not counted")
+	}
+}
+
+func TestRateLimitMiddleware(t *testing.T) {
+	rate := admission.NewRateLimiter(admission.RateConfig{QPS: 0.001, Burst: 1})
+	srv, eng := testServerWithEngine(t, core.DefaultConfig(), rate)
+	if resp, _ := get(t, srv.URL+"/tree"); resp.StatusCode != 200 {
+		t.Fatalf("first request = %d", resp.StatusCode)
+	}
+	resp, _ := get(t, srv.URL+"/tree")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("rate-limited request = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("Retry-After = %q, want >= 1 second", ra)
+	}
+	if eng.Metrics.Counter("http.rate_limited").Value() == 0 {
+		t.Fatal("http.rate_limited not counted")
+	}
+	// Liveness and metrics stay reachable while the API sheds.
+	if resp, _ := get(t, srv.URL+"/healthz"); resp.StatusCode != 200 {
+		t.Fatalf("healthz rate-limited: %d", resp.StatusCode)
+	}
+	if resp, _ := get(t, srv.URL+"/metrics"); resp.StatusCode != 200 {
+		t.Fatalf("metrics rate-limited: %d", resp.StatusCode)
 	}
 }

@@ -7,6 +7,13 @@
 //	drugtreed -dir data -listen :7047 -http :8047
 //	drugtreed -generate -families 8 -per-family 20   # ephemeral demo
 //
+// Overload protection (DESIGN.md §7): -max-concurrency/-max-queue
+// bound the engine's admission limiter (shed queries answer 429 +
+// Retry-After over HTTP, RETRY over the wire), -max-sessions caps
+// concurrent wire sessions, -client-qps token-buckets each client,
+// and -drain-timeout bounds the ordered graceful shutdown (HTTP →
+// wire sessions → engine) on SIGINT/SIGTERM.
+//
 // HTTP endpoints:
 //
 //	GET  /healthz                   liveness
@@ -25,7 +32,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"time"
 
+	"drugtree/internal/admission"
 	"drugtree/internal/core"
 	"drugtree/internal/datagen"
 	"drugtree/internal/integrate"
@@ -44,12 +53,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for -generate")
 	listen := flag.String("listen", ":7047", "wire-protocol listen address")
 	httpAddr := flag.String("http", ":8047", "HTTP listen address")
+	maxConc := flag.Int("max-concurrency", 8, "concurrent queries admitted before shedding (0 disables admission control)")
+	maxQueue := flag.Int("max-queue", 64, "queries waiting for admission before shedding")
+	maxSessions := flag.Int("max-sessions", 256, "concurrent wire-protocol sessions (0 = unlimited)")
+	clientQPS := flag.Float64("client-qps", 25, "per-client request rate before shedding (0 disables rate limiting)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound for in-flight work")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	eng, cleanup, err := buildEngine(*dir, *generate, *seed, *families, *perFamily, *ligands)
+	eng, cleanup, err := buildEngine(*dir, *generate, *seed, *families, *perFamily, *ligands, *maxConc, *maxQueue)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,23 +71,56 @@ func main() {
 
 	server := mobile.NewServer(eng)
 	server.Async = true
+	server.MaxSessions = *maxSessions
+	server.DrainTimeout = *drainTimeout
+	var rate *admission.RateLimiter
+	if *clientQPS > 0 {
+		rate = admission.NewRateLimiter(admission.RateConfig{QPS: *clientQPS})
+		server.Rate = rate
+	}
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("wire protocol on %s", l.Addr())
+	wireDone := make(chan struct{})
 	go func() {
-		if err := server.Serve(ctx, l); err != nil {
+		defer close(wireDone)
+		if err := server.Serve(ctx, l); err != nil && ctx.Err() == nil {
 			log.Printf("wire server stopped: %v", err)
 		}
 	}()
 
+	httpSrv := &http.Server{Addr: *httpAddr, Handler: newAPI(eng, rate)}
 	log.Printf("HTTP API on %s", *httpAddr)
-	log.Fatal(http.ListenAndServe(*httpAddr, newMux(eng)))
+	httpDone := make(chan error, 1)
+	go func() {
+		httpDone <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-httpDone:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, let in-flight work finish
+	// (bounded by -drain-timeout), then drain the engine's limiter.
+	log.Printf("shutting down: draining in-flight work (bound %v)", *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	<-wireDone // Serve drains the wire sessions itself
+	if err := eng.Drain(shutdownCtx); err != nil {
+		log.Printf("engine drain: %v", err)
+	}
+	log.Printf("shutdown complete")
 }
 
-func buildEngine(dir string, generate bool, seed int64, families, perFamily, ligands int) (*core.Engine, func(), error) {
+func buildEngine(dir string, generate bool, seed int64, families, perFamily, ligands, maxConc, maxQueue int) (*core.Engine, func(), error) {
 	var db *store.DB
 	var importer *integrate.Importer
 	var err error
@@ -111,6 +158,11 @@ func buildEngine(dir string, generate bool, seed int64, families, perFamily, lig
 	// The server is long-lived and read-mostly: repeated dashboard
 	// statements benefit from the statement cache (experiment T6).
 	cfg.QueryCacheEntries = 256
+	if maxConc > 0 {
+		// Gate queries behind a bounded limiter so overload sheds with
+		// retry hints instead of collapsing latency (experiment T9).
+		cfg.Admission = &admission.Config{MaxConcurrency: maxConc, MaxQueue: maxQueue}
+	}
 	eng, err := core.New(db, cfg)
 	if err != nil {
 		db.Close()

@@ -1,0 +1,86 @@
+package admission
+
+import "time"
+
+// AIMDConfig enables adaptive concurrency: the limiter probes upward
+// by one slot every IncreaseEvery completions while latency stays at
+// or under Target, and multiplicatively backs off when a completion
+// comes in over Target — the TCP congestion-control shape, applied to
+// a concurrency limit. Useful when the safe concurrency is unknown or
+// shifts with workload (e.g. query mix changes service time).
+type AIMDConfig struct {
+	// Target is the per-unit-weight service-time ceiling; completions
+	// above it signal saturation. Required (zero disables backoff).
+	Target time.Duration
+	// Min and Max bound the live limit (defaults 1 and
+	// Config.MaxConcurrency).
+	Min, Max int
+	// IncreaseEvery is how many on-target completions buy one +1
+	// probe (default 16).
+	IncreaseEvery int
+	// Backoff is the multiplicative-decrease factor in (0,1)
+	// (default 0.5).
+	Backoff float64
+	// Cooldown is the minimum time between backoffs, so one burst of
+	// slow completions counts as one congestion signal, not many
+	// (default Target).
+	Cooldown time.Duration
+}
+
+// normalize applies defaults and returns the starting limit.
+func (a *AIMDConfig) normalize(maxConcurrency int) int {
+	if a.Min <= 0 {
+		a.Min = 1
+	}
+	if a.Max <= 0 {
+		a.Max = maxConcurrency
+	}
+	if a.Max < a.Min {
+		a.Max = a.Min
+	}
+	if a.IncreaseEvery <= 0 {
+		a.IncreaseEvery = 16
+	}
+	if a.Backoff <= 0 || a.Backoff >= 1 {
+		a.Backoff = 0.5
+	}
+	if a.Cooldown <= 0 {
+		a.Cooldown = a.Target
+	}
+	return a.Max
+}
+
+// aimdState is the controller's mutable half (guarded by Limiter.mu).
+type aimdState struct {
+	onTarget    int
+	lastBackoff time.Duration
+	backedOff   bool
+}
+
+// aimdOnFinishLocked folds one completion into the controller,
+// possibly moving l.limit. Caller holds l.mu.
+func (l *Limiter) aimdOnFinishLocked(now time.Duration, svc time.Duration, weight int) {
+	a := l.cfg.AIMD
+	if a == nil || a.Target <= 0 {
+		return
+	}
+	perUnit := svc / time.Duration(weight)
+	if perUnit > a.Target {
+		l.aimd.onTarget = 0
+		if !l.aimd.backedOff || now-l.aimd.lastBackoff >= a.Cooldown {
+			next := int(float64(l.limit) * a.Backoff)
+			if next < a.Min {
+				next = a.Min
+			}
+			l.limit = next
+			l.aimd.lastBackoff = now
+			l.aimd.backedOff = true
+		}
+		return
+	}
+	l.aimd.onTarget++
+	if l.aimd.onTarget >= a.IncreaseEvery && l.limit < a.Max {
+		l.limit++
+		l.aimd.onTarget = 0
+	}
+}

@@ -1,0 +1,12 @@
+package admission
+
+import (
+	"testing"
+
+	"drugtree/internal/lint/leaktest"
+)
+
+// TestMain gates the package on goroutine hygiene: the limiter's
+// waiter bookkeeping must never strand a goroutine (see
+// internal/lint/leaktest).
+func TestMain(m *testing.M) { leaktest.VerifyTestMain(m) }

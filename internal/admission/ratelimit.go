@@ -1,0 +1,126 @@
+package admission
+
+import (
+	"sync"
+	"time"
+
+	"drugtree/internal/netsim"
+)
+
+// RateConfig tunes a RateLimiter.
+type RateConfig struct {
+	// QPS is the sustained per-client allowance (default 25).
+	QPS float64
+	// Burst is the bucket capacity (default 2×QPS, min 1).
+	Burst float64
+	// Clock supplies time; nil uses the wall clock.
+	Clock netsim.Clock
+	// IdleEvict forgets a client's bucket after this much inactivity
+	// (default 10min) so the per-client map cannot grow without bound.
+	IdleEvict time.Duration
+	// MaxClients hard-bounds the tracked-client map (default 4096);
+	// at the bound the stalest bucket is evicted.
+	MaxClients int
+}
+
+// RateLimiter is a per-client token bucket keyed by session or remote
+// ID. It protects fair share: one chatty client exhausts its own
+// bucket, not the engine.
+type RateLimiter struct {
+	cfg   RateConfig
+	clock netsim.Clock
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	allows  int // sweep cadence counter
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Duration
+}
+
+// NewRateLimiter builds a limiter from cfg, applying defaults.
+func NewRateLimiter(cfg RateConfig) *RateLimiter {
+	if cfg.QPS <= 0 {
+		cfg.QPS = 25
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = 2 * cfg.QPS
+	}
+	if cfg.Burst < 1 {
+		cfg.Burst = 1
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = netsim.NewWallClock()
+	}
+	if cfg.IdleEvict <= 0 {
+		cfg.IdleEvict = 10 * time.Minute
+	}
+	if cfg.MaxClients <= 0 {
+		cfg.MaxClients = 4096
+	}
+	return &RateLimiter{cfg: cfg, clock: cfg.Clock, buckets: make(map[string]*bucket)}
+}
+
+// Allow charges one request to client's bucket. It returns nil when
+// admitted, or a *Rejection wrapping ErrRateLimited whose RetryAfter
+// says when the next token lands.
+func (rl *RateLimiter) Allow(client string) error {
+	now := rl.clock.Now()
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	rl.allows++
+	if rl.allows%256 == 0 || len(rl.buckets) >= rl.cfg.MaxClients {
+		rl.sweepLocked(now)
+	}
+	b, ok := rl.buckets[client]
+	if !ok {
+		b = &bucket{tokens: rl.cfg.Burst}
+		rl.buckets[client] = b
+	} else {
+		elapsed := (now - b.last).Seconds()
+		b.tokens += elapsed * rl.cfg.QPS
+		if b.tokens > rl.cfg.Burst {
+			b.tokens = rl.cfg.Burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return nil
+	}
+	wait := time.Duration((1 - b.tokens) / rl.cfg.QPS * float64(time.Second))
+	return &Rejection{Err: ErrRateLimited, RetryAfter: wait}
+}
+
+// Clients reports how many buckets are tracked.
+func (rl *RateLimiter) Clients() int {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	return len(rl.buckets)
+}
+
+// sweepLocked drops idle buckets; at the hard bound it also evicts
+// the stalest live one so a new client can always be tracked.
+func (rl *RateLimiter) sweepLocked(now time.Duration) {
+	for k, b := range rl.buckets {
+		if now-b.last >= rl.cfg.IdleEvict {
+			delete(rl.buckets, k)
+		}
+	}
+	if len(rl.buckets) < rl.cfg.MaxClients {
+		return
+	}
+	var oldestKey string
+	oldest := time.Duration(1<<63 - 1)
+	for k, b := range rl.buckets {
+		if b.last < oldest {
+			oldest = b.last
+			oldestKey = k
+		}
+	}
+	if oldestKey != "" {
+		delete(rl.buckets, oldestKey)
+	}
+}

@@ -1,0 +1,79 @@
+package admission
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"drugtree/internal/netsim"
+)
+
+func TestRateLimiterBurstAndRefill(t *testing.T) {
+	vc := netsim.NewVirtualClock()
+	rl := NewRateLimiter(RateConfig{QPS: 1, Burst: 2, Clock: vc})
+
+	if err := rl.Allow("a"); err != nil {
+		t.Fatalf("first: %v", err)
+	}
+	if err := rl.Allow("a"); err != nil {
+		t.Fatalf("second (burst): %v", err)
+	}
+	err := rl.Allow("a")
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("third got %v, want ErrRateLimited", err)
+	}
+	if hint := RetryAfterHint(err, 0); hint < 900*time.Millisecond || hint > 1100*time.Millisecond {
+		t.Fatalf("retry hint = %v, want ≈1s at 1 QPS", hint)
+	}
+	// Other clients have their own bucket.
+	if err := rl.Allow("b"); err != nil {
+		t.Fatalf("client b: %v", err)
+	}
+	// A token lands after 1s.
+	vc.Sleep(time.Second)
+	if err := rl.Allow("a"); err != nil {
+		t.Fatalf("after refill: %v", err)
+	}
+	if err := rl.Allow("a"); err == nil {
+		t.Fatal("bucket refilled beyond rate")
+	}
+}
+
+func TestRateLimiterIdleEviction(t *testing.T) {
+	vc := netsim.NewVirtualClock()
+	rl := NewRateLimiter(RateConfig{QPS: 100, Burst: 100, Clock: vc, IdleEvict: time.Minute, MaxClients: 8})
+	for i := 0; i < 8; i++ {
+		if err := rl.Allow(fmt.Sprintf("client-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rl.Clients(); got != 8 {
+		t.Fatalf("clients = %d", got)
+	}
+	// At the bound a new client evicts the stalest bucket.
+	if err := rl.Allow("fresh"); err != nil {
+		t.Fatal(err)
+	}
+	if got := rl.Clients(); got > 8 {
+		t.Fatalf("clients = %d, bound 8", got)
+	}
+	// After the idle window everyone but a recent caller is swept.
+	vc.Sleep(2 * time.Minute)
+	if err := rl.Allow("later"); err != nil {
+		t.Fatal(err)
+	}
+	if got := rl.Clients(); got != 1 {
+		t.Fatalf("clients after idle sweep = %d, want 1", got)
+	}
+}
+
+func TestRateLimiterDefaults(t *testing.T) {
+	rl := NewRateLimiter(RateConfig{})
+	if rl.cfg.QPS != 25 || rl.cfg.Burst != 50 || rl.cfg.MaxClients != 4096 {
+		t.Fatalf("defaults = %+v", rl.cfg)
+	}
+	if err := rl.Allow("x"); err != nil {
+		t.Fatal(err)
+	}
+}

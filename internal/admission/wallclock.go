@@ -1,0 +1,19 @@
+package admission
+
+import (
+	"context"
+	"time"
+)
+
+// wallRemaining is this package's only wall-clock read (a clockcheck
+// shim): a context.Context deadline is an absolute wall time, so
+// converting it to a remaining budget requires consulting the wall
+// clock. Deterministic callers bypass it entirely by attaching a
+// clock-timeline deadline with WithDeadlineAt.
+func wallRemaining(ctx context.Context) (time.Duration, bool) {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return 0, false
+	}
+	return time.Until(dl), true
+}

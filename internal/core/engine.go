@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"drugtree/internal/admission"
 	"drugtree/internal/bio/align"
 	"drugtree/internal/bio/seq"
 	"drugtree/internal/cache"
@@ -58,6 +59,13 @@ type Config struct {
 	EnablePrefetch bool
 	// KmerK is the k-mer length for alignment-free distances.
 	KmerK int
+	// Admission, when set, gates Query behind an overload-protection
+	// limiter (internal/admission): past the configured concurrency
+	// and queue bounds, queries fail fast with a *admission.Rejection
+	// carrying a retry hint instead of queueing unboundedly. Statement
+	// cache hits bypass the gate (they do no engine work). Nil leaves
+	// admission to the serving layers.
+	Admission *admission.Config
 }
 
 // DefaultConfig returns the fully optimized configuration.
@@ -105,6 +113,7 @@ type Engine struct {
 	cache      *cache.Cache
 	stmtCache  *queryCache
 	prefetcher *cache.Prefetcher
+	limiter    *admission.Limiter
 	Metrics    *metrics.Registry
 
 	healthFn func() []integrate.SourceHealth
@@ -168,6 +177,16 @@ func NewWithTree(db *store.DB, tree *phylo.Tree, cfg Config) (*Engine, error) {
 	}
 	if cfg.QueryCacheEntries > 0 {
 		e.stmtCache = newQueryCache(cfg.QueryCacheEntries)
+	}
+	if cfg.Admission != nil {
+		ac := *cfg.Admission
+		if ac.Name == "" {
+			ac.Name = "engine"
+		}
+		if ac.Metrics == nil {
+			ac.Metrics = e.Metrics
+		}
+		e.limiter = admission.NewLimiter(ac)
 	}
 	for i := 0; i < tree.Len(); i++ {
 		e.byName[tree.Node(phylo.NodeID(i)).Name] = phylo.NodeID(i)
@@ -354,6 +373,14 @@ func (e *Engine) Query(ctx context.Context, src string) (*query.Result, error) {
 		}
 		e.Metrics.Counter("query.stmt_cache_misses").Inc()
 	}
+	if e.limiter != nil {
+		release, err := e.limiter.Acquire(ctx, 1)
+		if err != nil {
+			e.Metrics.Counter("query.shed").Inc()
+			return nil, fmt.Errorf("core: query admission: %w", err)
+		}
+		defer release()
+	}
 	res, err := e.sql.Query(ctx, src)
 	e.Metrics.Histogram("query.latency").Record(time.Since(start))
 	if err != nil {
@@ -365,4 +392,17 @@ func (e *Engine) Query(ctx context.Context, src string) (*query.Result, error) {
 	}
 	e.Metrics.Counter("query.count").Inc()
 	return res, nil
+}
+
+// Limiter exposes the engine's admission limiter (nil when
+// Config.Admission is unset) so serving layers can inspect Stats.
+func (e *Engine) Limiter() *admission.Limiter { return e.limiter }
+
+// Drain gracefully stops query admission: queued queries are shed, the
+// in-flight ones finish, bounded by ctx. A no-op without admission.
+func (e *Engine) Drain(ctx context.Context) error {
+	if e.limiter == nil {
+		return nil
+	}
+	return e.limiter.Drain(ctx)
 }

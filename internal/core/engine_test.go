@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"drugtree/internal/admission"
 	"drugtree/internal/datagen"
 	"drugtree/internal/integrate"
 	"drugtree/internal/netsim"
@@ -470,5 +471,61 @@ func TestEngineWithSyntheticTopology(t *testing.T) {
 	}
 	if len(views) != tree.Len() {
 		t.Fatalf("views = %d, want %d", len(views), tree.Len())
+	}
+}
+
+func TestQueryAdmissionGate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Admission = &admission.Config{MaxConcurrency: 1, MaxQueue: 0}
+	e := buildEngine(t, cfg)
+	if e.Limiter() == nil {
+		t.Fatal("limiter not constructed")
+	}
+
+	// Saturate the single slot, then a second query must shed with a
+	// typed rejection instead of queueing.
+	release, err := e.Limiter().Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.Query(context.Background(), "SELECT COUNT(*) FROM proteins")
+	if !admission.IsShed(err) {
+		t.Fatalf("saturated query got %v, want admission rejection", err)
+	}
+	if e.Metrics.Counter("query.shed").Value() != 1 {
+		t.Fatal("query.shed counter not incremented")
+	}
+	release()
+
+	// With the slot free the same query runs.
+	if _, err := e.Query(context.Background(), "SELECT COUNT(*) FROM proteins"); err != nil {
+		t.Fatalf("query after release: %v", err)
+	}
+	// Drain stops admission; in-flight-free drain returns immediately.
+	if err := e.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query(context.Background(), "SELECT COUNT(*) FROM proteins"); err == nil {
+		t.Fatal("query admitted after drain")
+	}
+}
+
+func TestQueryStmtCacheBypassesAdmission(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueryCacheEntries = 8
+	cfg.Admission = &admission.Config{MaxConcurrency: 1, MaxQueue: 0}
+	e := buildEngine(t, cfg)
+	const q = "SELECT COUNT(*) FROM ligands"
+	if _, err := e.Query(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	// Saturate the limiter: the cached statement must still answer.
+	release, err := e.Limiter().Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if _, err := e.Query(context.Background(), q); err != nil {
+		t.Fatalf("stmt-cache hit shed by admission: %v", err)
 	}
 }

@@ -95,6 +95,7 @@ func All() []Runner {
 		{"T5", "Tree reconstruction quality vs generating topology", RunT5},
 		{"T6", "Statement cache: first execution vs exact repeat", RunT6},
 		{"T8", "Availability under scripted source faults: resilience on vs off", RunT8},
+		{"T9", "Overload protection: deadline-aware shedding vs unprotected queueing", RunT9},
 		{"F1", "Subtree-query latency vs tree size", RunF1},
 		{"F2", "Interactive session: semantic cache and prefetching", RunF2},
 		{"F3", "Mobile transfer strategies: bytes and modelled latency", RunF3},

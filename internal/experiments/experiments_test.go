@@ -66,7 +66,7 @@ func TestByID(t *testing.T) {
 			t.Fatalf("ByID(%s): %v", r.ID, err)
 		}
 	}
-	if _, err := ByID("T9"); err == nil {
+	if _, err := ByID("T99"); err == nil {
 		t.Fatal("unknown id accepted")
 	}
 }
@@ -333,5 +333,35 @@ func TestGenerateTraceProperties(t *testing.T) {
 		if _, err := e.NodeByName(name); err != nil {
 			t.Fatalf("trace step %q does not resolve", name)
 		}
+	}
+}
+
+func TestRunT9(t *testing.T) {
+	rep, err := RunT9(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 modes × 4 loads.
+	if len(rep.Rows) != 12 {
+		t.Fatalf("T9 rows = %d, want 12", len(rep.Rows))
+	}
+	goodput := func(row []string) float64 {
+		v, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("bad goodput cell %q", row[3])
+		}
+		return v
+	}
+	// Row layout: unprotected 0..3, shed-fifo 4..7, shed-lifo 8..11;
+	// loads 0.5/1/2/3 within each. The headline claim: at 3x
+	// saturation the shedding limiter retains most of its peak goodput
+	// while the unprotected queue collapses.
+	un3x, fifo3x := rep.Rows[3], rep.Rows[7]
+	if goodput(fifo3x) < 4*goodput(un3x) {
+		t.Errorf("shedding goodput %.0f not well above unprotected %.0f at 3x",
+			goodput(fifo3x), goodput(un3x))
+	}
+	if rep.Notes == "" {
+		t.Error("T9 report has no notes")
 	}
 }

@@ -13,7 +13,7 @@ import (
 // session all run on injected time so scripted timelines (T8) and
 // latency measurements (T1–T7, F2–F4) are exact under test.
 var deterministicPkgs = []string{
-	"netsim", "source", "integrate", "experiments", "query", "mobile",
+	"netsim", "source", "integrate", "experiments", "query", "mobile", "admission",
 }
 
 // wallClockShims are the only files in deterministic packages allowed
@@ -26,6 +26,10 @@ var wallClockShims = []string{
 	"internal/netsim/netsim.go",
 	"internal/netsim/conn.go",
 	"internal/mobile/wallclock.go",
+	// The admission limiter converts context.Context wall-time
+	// deadlines into remaining budgets; that one read lives in a
+	// dedicated shim.
+	"internal/admission/wallclock.go",
 }
 
 // wallClockFuncs are the time package's wall-clock entry points.

@@ -13,6 +13,13 @@ import (
 // (PR 1's invariant — every blocking path is abortable).
 var ctxVerbs = []string{"Fetch", "Sync", "Serve", "Import", "Run"}
 
+// admissionCtxVerbs extends the verb set inside internal/admission:
+// limiter entrypoints block (Acquire), carry deadlines (Begin), or
+// wait for quiescence (Drain), so every one must accept a
+// context.Context even though the names fall outside the global verb
+// list.
+var admissionCtxVerbs = []string{"Acquire", "Begin", "Drain"}
+
 // ctxExemptSegments are path segments whose packages ctxcheck skips
 // entirely: command mains and examples are context roots by
 // definition, and the lint tree itself runs no blocking work.
@@ -35,8 +42,12 @@ func runCtxCheck(pass *analysis.Pass) (interface{}, error) {
 	if anySegment(pass.PkgPath, ctxExemptSegments) {
 		return nil, nil
 	}
+	verbs := ctxVerbs
+	if anySegment(pass.PkgPath, []string{"admission"}) {
+		verbs = append(append([]string{}, ctxVerbs...), admissionCtxVerbs...)
+	}
 	for _, f := range pass.Files {
-		checkCtxSignatures(pass, f)
+		checkCtxSignatures(pass, f, verbs)
 		checkCtxRoots(pass, f)
 	}
 	return nil, nil
@@ -44,10 +55,10 @@ func runCtxCheck(pass *analysis.Pass) (interface{}, error) {
 
 // checkCtxSignatures flags exported blocking-verb functions without a
 // context parameter.
-func checkCtxSignatures(pass *analysis.Pass, f *ast.File) {
+func checkCtxSignatures(pass *analysis.Pass, f *ast.File, verbs []string) {
 	for _, decl := range f.Decls {
 		fd, ok := decl.(*ast.FuncDecl)
-		if !ok || !fd.Name.IsExported() || !hasCtxVerb(fd.Name.Name) {
+		if !ok || !fd.Name.IsExported() || !hasCtxVerb(fd.Name.Name, verbs) {
 			continue
 		}
 		if hasContextParam(f, fd.Type) {
@@ -55,7 +66,7 @@ func checkCtxSignatures(pass *analysis.Pass, f *ast.File) {
 		}
 		pass.Reportf(fd.Name.Pos(),
 			"exported %s blocks or performs I/O (name matches %v) but takes no context.Context; thread ctx so callers can cancel it",
-			fd.Name.Name, ctxVerbs)
+			fd.Name.Name, verbs)
 	}
 }
 
@@ -86,8 +97,8 @@ func checkCtxRoots(pass *analysis.Pass, f *ast.File) {
 }
 
 // hasCtxVerb reports whether name starts with a blocking verb.
-func hasCtxVerb(name string) bool {
-	for _, v := range ctxVerbs {
+func hasCtxVerb(name string, verbs []string) bool {
+	for _, v := range verbs {
 		if len(name) >= len(v) && name[:len(v)] == v {
 			// Require the verb to end the name or be followed by an
 			// uppercase letter / digit, so "Runtime" or "Importance"

@@ -1,0 +1,30 @@
+// Fixture: inside internal/admission the verb set widens — limiter
+// entrypoints (Acquire/Begin/Drain) block or carry deadlines, so they
+// must thread context.Context like the global Fetch/Sync/... verbs.
+package admission
+
+import (
+	"context"
+)
+
+type Limiter struct{}
+
+func (l *Limiter) Acquire(weight int) error { return nil } // want `exported Acquire .* takes no context\.Context`
+
+func (l *Limiter) Begin(weight int) error { return nil } // want `exported Begin .* takes no context\.Context`
+
+func (l *Limiter) Drain() error { return nil } // want `exported Drain .* takes no context\.Context`
+
+// Threading ctx satisfies the check.
+func (l *Limiter) AcquireSlot(ctx context.Context) error { return nil }
+
+// The global verbs still apply here too.
+func RunSweep() {} // want `exported RunSweep .* takes no context\.Context`
+
+// Verb-boundary cases: "Beginner" must not match "Begin".
+func Beginner() {}
+
+func Drainage() int { return 0 }
+
+// Unexported names stay exempt.
+func acquire() {}

@@ -2,13 +2,34 @@ package mobile
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"time"
 
 	"drugtree/internal/netsim"
+	"drugtree/internal/source"
 	"drugtree/internal/store"
 )
+
+// BusyError reports that the server turned the session or a request
+// away under load. After carries the server's retry hint; callers
+// that exhaust their retry budget surface it to the user as "try
+// again shortly" rather than a failure.
+type BusyError struct {
+	After time.Duration
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("mobile: server busy, retry after %v", e.After)
+}
+
+// IsBusy reports whether err is a server-busy refusal.
+func IsBusy(err error) bool {
+	var be *BusyError
+	return errors.As(err, &be)
+}
 
 // Client is the simulated mobile client: it speaks the wire protocol
 // over any stream (typically a netsim-shaped connection), maintains
@@ -33,9 +54,26 @@ type Client struct {
 	// Reconnects counts successful session re-establishments.
 	Reconnects int
 
-	// Clock measures per-interaction latency. dial sets the wall
-	// clock; deterministic tests swap in a netsim.VirtualClock.
+	// Backoff shapes the wait before retrying a request the server
+	// shed (answered with a RetryMsg): the server's hint plus a
+	// jittered exponential component so a fleet of shed clients
+	// decorrelates. The zero value adds nothing beyond the hint.
+	Backoff source.RetryPolicy
+	// MaxRetries bounds shed retries per interaction; zero surfaces
+	// the first RetryMsg as a BusyError immediately.
+	MaxRetries int
+	// Sheds counts RetryMsg responses received.
+	Sheds int
+
+	// Clock measures per-interaction latency and paces shed-retry
+	// backoff. dial sets the wall clock; deterministic tests swap in a
+	// netsim.VirtualClock.
 	Clock netsim.Clock
+
+	// SessionID is the server-assigned id from the HelloAck.
+	SessionID int64
+
+	rng *rand.Rand // jitter stream for Backoff
 
 	// Nodes is the client-side render model keyed by pre number.
 	Nodes map[int64]WireNode
@@ -69,7 +107,31 @@ func dial(conn io.ReadWriter, strategy Strategy, budget int, compress bool) (*Cl
 	if err := WriteMsg(conn, &Hello{Strategy: strategy, Budget: budget, Compress: compress}); err != nil {
 		return nil, err
 	}
+	if err := c.readHelloVerdict(); err != nil {
+		return nil, err
+	}
 	return c, nil
+}
+
+// readHelloVerdict consumes the server's handshake reply: a HelloAck
+// accepts the session, a RetryMsg refuses it with a retry hint. Ack
+// bytes are protocol overhead, not payload, so they are excluded from
+// BytesDown.
+func (c *Client) readHelloVerdict() error {
+	msg, _, err := ReadMsg(c.r)
+	if err != nil {
+		return fmt.Errorf("mobile: reading hello ack: %w", err)
+	}
+	switch m := msg.(type) {
+	case *HelloAck:
+		c.SessionID = m.SessionID
+		return nil
+	case *RetryMsg:
+		return &BusyError{After: time.Duration(m.AfterMS) * time.Millisecond}
+	case *ErrorMsg:
+		return fmt.Errorf("mobile: server error: %s", m.Text)
+	}
+	return fmt.Errorf("mobile: unexpected handshake reply %T", msg)
 }
 
 // exchange performs one request/response on the current transport.
@@ -91,26 +153,58 @@ func (c *Client) reconnect() error {
 	if err := WriteMsg(conn, &Hello{Strategy: c.strategy, Budget: c.budget, Compress: c.compress}); err != nil {
 		return fmt.Errorf("mobile: replaying hello: %w", err)
 	}
+	if err := c.readHelloVerdict(); err != nil {
+		return fmt.Errorf("mobile: replaying hello: %w", err)
+	}
 	c.Reconnects++
 	return nil
 }
 
+// backoffRNG lazily builds the jitter stream for shed-retry backoff.
+func (c *Client) backoffRNG() *rand.Rand {
+	if c.rng == nil {
+		seed := c.Backoff.JitterSeed
+		if seed == 0 {
+			seed = 1
+		}
+		c.rng = rand.New(rand.NewSource(seed))
+	}
+	return c.rng
+}
+
 // roundTrip sends req and reads the response, reconnecting through
 // Redial (at most MaxRedials times) when the transport fails
-// mid-interaction. Server ErrorMsg responses are application-level and
-// never trigger a reconnect.
+// mid-interaction, and honoring server RetryMsg sheds by waiting out
+// the hint plus jittered Backoff (at most MaxRetries times). Server
+// ErrorMsg responses are application-level and never trigger a
+// reconnect or retry.
 func (c *Client) roundTrip(req any) (any, int64, error) {
-	for attempt := 0; ; attempt++ {
+	redials, retries := 0, 0
+	for {
 		msg, wire, err := c.exchange(req)
-		if err == nil {
+		if err != nil {
+			if c.Redial == nil || redials >= c.MaxRedials {
+				return nil, 0, err
+			}
+			redials++
+			if rerr := c.reconnect(); rerr != nil && redials >= c.MaxRedials {
+				return nil, 0, rerr
+			}
+			continue
+		}
+		rm, ok := msg.(*RetryMsg)
+		if !ok {
 			return msg, wire, nil
 		}
-		if c.Redial == nil || attempt >= c.MaxRedials {
-			return nil, 0, err
+		// The server shed this request: honor its hint, add jittered
+		// backoff, and retry until the per-interaction budget runs out.
+		c.Sheds++
+		hint := time.Duration(rm.AfterMS) * time.Millisecond
+		if retries >= c.MaxRetries {
+			return nil, 0, &BusyError{After: hint}
 		}
-		if rerr := c.reconnect(); rerr != nil && attempt+1 >= c.MaxRedials {
-			return nil, 0, rerr
-		}
+		retries++
+		c.Clock.Sleep(hint + c.Backoff.Delay(retries, c.backoffRNG()))
 	}
 }
 

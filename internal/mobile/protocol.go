@@ -36,6 +36,13 @@ const (
 	// Protocol rev 2: freshness reporting.
 	MsgStatusReq // client → server: ask for per-source freshness
 	MsgStatus    // server → client: per-source freshness
+
+	// Protocol rev 3: overload protection. RETRY tells the client the
+	// server refused the request (or the whole session) under load and
+	// when to come back; HELLO_ACK confirms a handshake so the client
+	// can distinguish acceptance from refusal before sending work.
+	MsgRetry
+	MsgHelloAck
 )
 
 func (m MsgType) String() string {
@@ -58,6 +65,10 @@ func (m MsgType) String() string {
 		return "STATUS_REQ"
 	case MsgStatus:
 		return "STATUS"
+	case MsgRetry:
+		return "RETRY"
+	case MsgHelloAck:
+		return "HELLO_ACK"
 	}
 	return fmt.Sprintf("MsgType(%d)", uint8(m))
 }
@@ -159,6 +170,21 @@ type SourceStatus struct {
 // no freshness provider (static snapshot deployment).
 type StatusMsg struct {
 	Sources []SourceStatus
+}
+
+// RetryMsg tells the client the server shed this request (or refused
+// the session during handshake) and suggests when to retry. A cellular
+// client backs off rather than hammering a saturated uplink.
+type RetryMsg struct {
+	// AfterMS is the suggested wait before retrying, in milliseconds.
+	AfterMS int64
+}
+
+// HelloAck accepts a handshake. Sent before any other server message
+// so a client can tell acceptance from a RetryMsg refusal without
+// racing its first request against the verdict.
+type HelloAck struct {
+	SessionID int64
 }
 
 // maxFrame bounds one message (defensive).
@@ -328,6 +354,12 @@ func encodeMsg(msg any) ([]byte, error) {
 	case *ErrorMsg:
 		b = append(b, byte(MsgError))
 		b = appendStr(b, m.Text)
+	case *RetryMsg:
+		b = append(b, byte(MsgRetry))
+		b = binary.AppendVarint(b, m.AfterMS)
+	case *HelloAck:
+		b = append(b, byte(MsgHelloAck))
+		b = binary.AppendVarint(b, m.SessionID)
 	case *StatusReq:
 		b = append(b, byte(MsgStatusReq))
 	case *StatusMsg:
@@ -462,6 +494,18 @@ func decodeMsg(p []byte) (any, error) {
 			return nil, err
 		}
 		return &ErrorMsg{Text: s}, nil
+	case MsgRetry:
+		ms, err := binary.ReadVarint(r)
+		if err != nil {
+			return nil, err
+		}
+		return &RetryMsg{AfterMS: ms}, nil
+	case MsgHelloAck:
+		id, err := binary.ReadVarint(r)
+		if err != nil {
+			return nil, err
+		}
+		return &HelloAck{SessionID: id}, nil
 	case MsgStatusReq:
 		return &StatusReq{}, nil
 	case MsgStatus:

@@ -3,14 +3,35 @@ package mobile
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
 	"time"
 
+	"drugtree/internal/admission"
 	"drugtree/internal/core"
 )
+
+// Refusal errors returned by ServeConn when a session is turned away
+// at the handshake. The client saw a RetryMsg, not a hard failure.
+var (
+	// ErrSessionLimit means MaxSessions concurrent sessions were
+	// already active.
+	ErrSessionLimit = errors.New("mobile: session limit reached")
+	// ErrDraining means the server is shutting down gracefully and
+	// refuses new sessions.
+	ErrDraining = errors.New("mobile: server draining")
+)
+
+// defaultRetryAfter is the retry hint sent with a RetryMsg when no
+// better estimate exists (session refusal, unspecified RetryAfter).
+const defaultRetryAfter = 250 * time.Millisecond
+
+// defaultDrainTimeout bounds the graceful drain Serve runs when its
+// context is cancelled.
+const defaultDrainTimeout = 5 * time.Second
 
 // Server speaks the mobile protocol over stream connections, one
 // session per connection.
@@ -30,12 +51,38 @@ type Server struct {
 	// wall clock; tests inject a scripted function.
 	Now func() time.Time
 
+	// MaxSessions caps concurrent sessions; beyond it a handshake is
+	// answered with a RetryMsg instead of a HelloAck. Zero means
+	// unlimited.
+	MaxSessions int
+	// RetryAfter is the hint attached to session-refusal RetryMsgs;
+	// zero uses defaultRetryAfter.
+	RetryAfter time.Duration
+	// Rate, when set, applies a per-session token bucket to Open and
+	// Query messages; a client that exceeds it gets a RetryMsg with a
+	// refill-based hint rather than an error.
+	Rate *admission.RateLimiter
+	// DrainTimeout bounds the graceful drain Serve performs when its
+	// context is cancelled; zero uses defaultDrainTimeout.
+	DrainTimeout time.Duration
+
 	// panicHook, when set, runs before each message dispatch; tests
 	// use it to drive the panic-recovery path.
 	panicHook func(msg any)
 
 	mu       sync.Mutex
-	sessions int64
+	sessions int64 // total sessions accepted (historical counter)
+	nextID   int64
+	active   map[*connState]struct{}
+	draining bool
+	drained  chan struct{} // closed when draining and active empties
+}
+
+// connState tracks one live session for drain coordination.
+type connState struct {
+	conn   io.ReadWriter
+	busy   bool // a dispatch is executing
+	closed bool // the server closed this conn (drain)
 }
 
 // NewServer wraps an engine.
@@ -50,17 +97,188 @@ func (s *Server) Sessions() int64 {
 	return s.sessions
 }
 
-// Serve accepts connections until the listener closes. Sessions run
-// under ctx: cancelling it aborts every in-flight query.
+// ActiveSessions returns the number of currently live sessions.
+func (s *Server) ActiveSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.active)
+}
+
+func (s *Server) retryHint() time.Duration {
+	if s.RetryAfter > 0 {
+		return s.RetryAfter
+	}
+	return defaultRetryAfter
+}
+
+// register admits a new session, refusing it while draining or at the
+// MaxSessions cap.
+func (s *Server) register(conn io.ReadWriter) (*connState, int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, 0, ErrDraining
+	}
+	if s.MaxSessions > 0 && len(s.active) >= s.MaxSessions {
+		return nil, 0, ErrSessionLimit
+	}
+	s.sessions++
+	s.nextID++
+	cs := &connState{conn: conn}
+	if s.active == nil {
+		s.active = make(map[*connState]struct{})
+	}
+	s.active[cs] = struct{}{}
+	return cs, s.nextID, nil
+}
+
+// unregister retires a session and, when it was the last one a drain
+// was waiting on, releases the drain.
+func (s *Server) unregister(cs *connState) {
+	s.mu.Lock()
+	delete(s.active, cs)
+	var release chan struct{}
+	if s.draining && len(s.active) == 0 && s.drained != nil {
+		release = s.drained
+		s.drained = nil
+	}
+	s.mu.Unlock()
+	if release != nil {
+		close(release)
+	}
+}
+
+// beginDispatch marks the session busy so a concurrent Drain lets the
+// in-flight interaction finish. It reports false when the server
+// already closed the conn (the session should end quietly).
+func (s *Server) beginDispatch(cs *connState) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cs.closed {
+		return false
+	}
+	cs.busy = true
+	return true
+}
+
+// endDispatch clears the busy flag; if a drain started meanwhile the
+// conn is closed now that its response is on the wire.
+func (s *Server) endDispatch(cs *connState) {
+	s.mu.Lock()
+	cs.busy = false
+	closeNow := s.draining && !cs.closed
+	if closeNow {
+		cs.closed = true
+	}
+	s.mu.Unlock()
+	if closeNow {
+		if c, ok := cs.conn.(io.Closer); ok {
+			_ = c.Close()
+		}
+	}
+}
+
+// connClosed reports whether the server closed this session's conn.
+func (s *Server) connClosed(cs *connState) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return cs.closed
+}
+
+// Drain stops admitting sessions, lets in-flight interactions finish,
+// and closes idle connections. It returns once every session has
+// ended, or ctx's error after force-closing whatever remains when ctx
+// expires first. Drain is idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	s.draining = true
+	empty := len(s.active) == 0
+	if !empty && s.drained == nil {
+		s.drained = make(chan struct{})
+	}
+	done := s.drained
+	var idle []io.Closer
+	for cs := range s.active {
+		if !cs.busy && !cs.closed {
+			cs.closed = true
+			if c, ok := cs.conn.(io.Closer); ok {
+				idle = append(idle, c)
+			}
+		}
+	}
+	s.mu.Unlock()
+	for _, c := range idle {
+		_ = c.Close()
+	}
+	if empty {
+		return nil
+	}
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		var force []io.Closer
+		for cs := range s.active {
+			if !cs.closed {
+				cs.closed = true
+				if c, ok := cs.conn.(io.Closer); ok {
+					force = append(force, c)
+				}
+			}
+		}
+		s.mu.Unlock()
+		for _, c := range force {
+			_ = c.Close()
+		}
+		return ctx.Err()
+	}
+}
+
+// Serve accepts connections until the listener closes or ctx is
+// cancelled. Cancellation is graceful: the listener stops accepting,
+// in-flight interactions finish (bounded by DrainTimeout), and only
+// then do remaining sessions abort.
 func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Sessions run detached from ctx so cancellation drains instead of
+	// aborting mid-response; cancelSessions is the post-drain hammer.
+	sessCtx, cancelSessions := context.WithCancel(context.WithoutCancel(ctx))
+	defer cancelSessions()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = l.Close()
+		case <-stop:
+		}
+	}()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
-			return err
+			if ctx.Err() == nil {
+				return err
+			}
+			dt := s.DrainTimeout
+			if dt <= 0 {
+				dt = defaultDrainTimeout
+			}
+			dctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), dt)
+			defer cancel()
+			if derr := s.Drain(dctx); derr != nil {
+				return fmt.Errorf("mobile: drain: %w", derr)
+			}
+			return ctx.Err()
 		}
 		go func() {
 			defer conn.Close()
-			_ = s.ServeConn(ctx, conn)
+			_ = s.ServeConn(sessCtx, conn)
 		}()
 	}
 }
@@ -70,6 +288,7 @@ type session struct {
 	strategy Strategy
 	budget   int
 	compress bool
+	key      string         // per-session rate-limit bucket key
 	held     map[int64]bool // node pre numbers the client holds
 }
 
@@ -106,13 +325,15 @@ func (s *Server) statusMsg() *StatusMsg {
 // ctx, so cancelling it aborts a session mid-query. A panic anywhere
 // in the session is confined to it: the client gets an ErrorMsg and
 // the server keeps accepting other sessions.
+//
+// The handshake is read before admission so the verdict — HelloAck or
+// RetryMsg — is always a reply the client is waiting for; answering
+// before reading would deadlock fully-synchronous transports
+// (net.Pipe) with both ends blocked writing.
 func (s *Server) ServeConn(ctx context.Context, conn io.ReadWriter) (err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	s.mu.Lock()
-	s.sessions++
-	s.mu.Unlock()
 	defer func() {
 		if rec := recover(); rec != nil {
 			s.engine.Metrics.Counter("mobile.session_panics").Inc()
@@ -133,10 +354,23 @@ func (s *Server) ServeConn(ctx context.Context, conn io.ReadWriter) (err error) 
 		WriteMsg(conn, &ErrorMsg{Text: "expected HELLO"})
 		return fmt.Errorf("mobile: first message was %T", first)
 	}
+	cs, id, err := s.register(conn)
+	if err != nil {
+		s.engine.Metrics.Counter("mobile.sessions_refused").Inc()
+		if werr := WriteMsg(conn, &RetryMsg{AfterMS: s.retryHint().Milliseconds()}); werr != nil {
+			return fmt.Errorf("mobile: refusing session: %w", werr)
+		}
+		return err
+	}
+	defer s.unregister(cs)
+	if err := WriteMsg(conn, &HelloAck{SessionID: id}); err != nil {
+		return fmt.Errorf("mobile: acking hello: %w", err)
+	}
 	sess := &session{
 		strategy: hello.Strategy,
 		budget:   hello.Budget,
 		compress: hello.Compress,
+		key:      fmt.Sprintf("session-%d", id),
 		held:     make(map[int64]bool),
 	}
 	if sess.budget <= 0 {
@@ -149,32 +383,65 @@ func (s *Server) ServeConn(ctx context.Context, conn io.ReadWriter) (err error) 
 			return nil
 		}
 		if err != nil {
+			if s.connClosed(cs) {
+				// The server closed this conn during a drain; the
+				// session ended cleanly from the client's view.
+				return nil
+			}
 			return err
 		}
 		if s.panicHook != nil {
 			s.panicHook(msg)
 		}
-		switch m := msg.(type) {
-		case *Bye:
+		if !s.beginDispatch(cs) {
 			return nil
-		case *Open:
-			if err := s.handleOpen(ctx, conn, sess, m); err != nil {
-				return err
-			}
-		case *Query:
-			if err := s.handleQuery(ctx, conn, sess, m); err != nil {
-				return err
-			}
-		case *StatusReq:
-			if err := s.respond(conn, sess, s.statusMsg()); err != nil {
-				return err
-			}
-		default:
-			if err := WriteMsg(conn, &ErrorMsg{Text: fmt.Sprintf("unexpected %T", msg)}); err != nil {
-				return err
-			}
+		}
+		bye, err := s.dispatch(ctx, conn, cs, sess, msg)
+		s.endDispatch(cs)
+		if bye || err != nil {
+			return err
 		}
 	}
+}
+
+// dispatch handles one client message; bye reports a clean session
+// end.
+func (s *Server) dispatch(ctx context.Context, conn io.ReadWriter, cs *connState, sess *session, msg any) (bye bool, err error) {
+	switch m := msg.(type) {
+	case *Bye:
+		return true, nil
+	case *Open:
+		if !s.allowRate(conn, sess) {
+			return false, nil
+		}
+		return false, s.handleOpen(ctx, conn, sess, m)
+	case *Query:
+		if !s.allowRate(conn, sess) {
+			return false, nil
+		}
+		return false, s.handleQuery(ctx, conn, sess, m)
+	case *StatusReq:
+		return false, s.respond(conn, sess, s.statusMsg())
+	default:
+		return false, WriteMsg(conn, &ErrorMsg{Text: fmt.Sprintf("unexpected %T", msg)})
+	}
+}
+
+// allowRate applies the per-session token bucket, answering a
+// RetryMsg with a refill-based hint when the bucket is dry. It
+// reports whether the message may proceed.
+func (s *Server) allowRate(w io.Writer, sess *session) bool {
+	if s.Rate == nil {
+		return true
+	}
+	err := s.Rate.Allow(sess.key)
+	if err == nil {
+		return true
+	}
+	s.engine.Metrics.Counter("mobile.rate_limited").Inc()
+	after := admission.RetryAfterHint(err, s.retryHint())
+	_ = s.respond(w, sess, &RetryMsg{AfterMS: after.Milliseconds()})
+	return false
 }
 
 func (s *Server) handleOpen(ctx context.Context, w io.Writer, sess *session, m *Open) error {
@@ -232,6 +499,13 @@ func (s *Server) handleOpen(ctx context.Context, w io.Writer, sess *session, m *
 func (s *Server) handleQuery(ctx context.Context, w io.Writer, sess *session, m *Query) error {
 	res, err := s.engine.Query(ctx, m.DTQL)
 	if err != nil {
+		if admission.IsShed(err) {
+			// The engine's limiter turned the query away: tell the
+			// client when to retry rather than reporting a failure.
+			s.engine.Metrics.Counter("mobile.sheds").Inc()
+			after := admission.RetryAfterHint(err, s.retryHint())
+			return s.respond(w, sess, &RetryMsg{AfterMS: after.Milliseconds()})
+		}
 		return WriteMsg(w, &ErrorMsg{Text: err.Error()})
 	}
 	return s.respond(w, sess, &QueryResult{Columns: res.Columns, Rows: res.Rows})

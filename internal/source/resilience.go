@@ -54,9 +54,9 @@ func DefaultRetry() RetryPolicy {
 	return RetryPolicy{MaxAttempts: 5, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second, JitterSeed: 1}
 }
 
-// delay returns the backoff before attempt n (n ≥ 1 is the first
+// Delay returns the backoff before attempt n (n ≥ 1 is the first
 // retry), with deterministic jitter from rng.
-func (p RetryPolicy) delay(n int, rng *rand.Rand) time.Duration {
+func (p RetryPolicy) Delay(n int, rng *rand.Rand) time.Duration {
 	if p.BaseDelay <= 0 {
 		return 0
 	}
@@ -294,7 +294,7 @@ func FetchAllWith(ctx context.Context, s Source, filters []Filter, opts *FetchOp
 			}
 			if attempt > 0 {
 				count("retries", 1)
-				clock.Sleep(opts.Retry.delay(attempt, rng))
+				clock.Sleep(opts.Retry.Delay(attempt, rng))
 			}
 			if opts.Breaker != nil {
 				if berr := opts.Breaker.Allow(); berr != nil {

@@ -17,8 +17,8 @@ func TestRetryDelayCappedAndDeterministic(t *testing.T) {
 	rng1 := rand.New(rand.NewSource(p.JitterSeed))
 	rng2 := rand.New(rand.NewSource(p.JitterSeed))
 	for n := 1; n <= 7; n++ {
-		d1 := p.delay(n, rng1)
-		d2 := p.delay(n, rng2)
+		d1 := p.Delay(n, rng1)
+		d2 := p.Delay(n, rng2)
 		if d1 != d2 {
 			t.Fatalf("attempt %d: jitter not deterministic (%v vs %v)", n, d1, d2)
 		}
@@ -30,7 +30,7 @@ func TestRetryDelayCappedAndDeterministic(t *testing.T) {
 			t.Fatalf("attempt %d: non-positive delay", n)
 		}
 	}
-	if d := (RetryPolicy{}).delay(3, nil); d != 0 {
+	if d := (RetryPolicy{}).Delay(3, nil); d != 0 {
 		t.Fatalf("zero policy slept %v", d)
 	}
 }
