@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench chaos overload check clean
+.PHONY: all build test race vet lint bench bench-smoke chaos overload check clean
 
 all: check
 
@@ -49,6 +49,14 @@ lint: vet
 	fi
 	$(GO) run ./cmd/drugtree-lint ./...
 
+# One-iteration smoke over every benchmark in the tree: -benchtime=1x
+# compiles and executes each Benchmark* once, so a bit-rotted
+# benchmark (stale query, renamed helper, broken setup) fails the gate
+# without paying for real measurement. Real numbers come from `make
+# bench` and the experiment tables.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
 # Parallel-executor microbenchmarks plus the experiment tables.
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkParallel' -benchmem ./internal/query/...
@@ -67,7 +75,7 @@ overload:
 	$(GO) test -race -run TestRunT9 -v ./internal/experiments/
 	$(GO) run ./cmd/drugtree-bench -exp T9
 
-check: lint build test race
+check: lint build test bench-smoke race
 
 clean:
 	$(GO) clean ./...

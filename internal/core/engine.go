@@ -358,7 +358,8 @@ func (e *Engine) NodeByName(name string) (phylo.NodeID, error) {
 
 // Query runs a DTQL statement through the engine's optimizer
 // settings, consulting the statement cache first when enabled. The
-// returned result must be treated as immutable. The context cancels
+// caller owns the returned result and may mutate it freely: cache
+// entries are cloned on both fill and hit. The context cancels
 // mid-flight execution — a client that navigates away mid-query
 // aborts the work instead of waiting it out.
 func (e *Engine) Query(ctx context.Context, src string) (*query.Result, error) {
@@ -388,7 +389,10 @@ func (e *Engine) Query(ctx context.Context, src string) (*query.Result, error) {
 		return nil, err
 	}
 	if e.stmtCache != nil {
-		e.stmtCache.put(src, version, res)
+		// Store a private copy: the caller owns res and may mutate its
+		// rows, which must not reach the cached entry (get clones on
+		// the way out for the same reason).
+		e.stmtCache.put(src, version, res.Clone())
 	}
 	e.Metrics.Counter("query.count").Inc()
 	return res, nil

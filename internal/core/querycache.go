@@ -14,8 +14,9 @@ import (
 // this one serves exact repeats of arbitrary statements — the
 // dashboard-refresh pattern.
 //
-// Cached results are shared by pointer: callers must treat Result as
-// immutable (the engine's own callers do).
+// get returns a deep copy (query.Result.Clone), so a caller mutating
+// the rows it was handed cannot corrupt the cached entry that later
+// hits serve from.
 type queryCache struct {
 	mu       sync.Mutex
 	capacity int
@@ -52,7 +53,7 @@ func (c *queryCache) get(key string, version int64) (*query.Result, bool) {
 		return nil, false
 	}
 	c.order.MoveToFront(el)
-	return e.res, true
+	return e.res.Clone(), true
 }
 
 // put stores a result, evicting the least-recently-used entry at

@@ -21,11 +21,54 @@ func TestStatementCacheHitsOnRepeat(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r1 != r2 {
-		t.Fatal("repeat did not hit the statement cache (different pointers)")
-	}
 	if e.Metrics.Counter("query.stmt_cache_hits").Value() != 1 {
 		t.Fatalf("hits = %d", e.Metrics.Counter("query.stmt_cache_hits").Value())
+	}
+	// The hit serves a private clone, never the cached pointer.
+	if r1 == r2 {
+		t.Fatal("cache hit returned the shared cached result pointer")
+	}
+	if len(r1.Rows) != len(r2.Rows) {
+		t.Fatalf("hit rows = %d, want %d", len(r2.Rows), len(r1.Rows))
+	}
+}
+
+// TestStatementCacheHitIsolation is the cache-aliasing regression
+// test: a caller scribbling over the rows one hit returned must not
+// corrupt what the next hit serves.
+func TestStatementCacheHitIsolation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueryCacheEntries = 16
+	e := buildEngine(t, cfg)
+	q := "SELECT family, COUNT(*) FROM proteins GROUP BY family ORDER BY family"
+	fill, err := e.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("%v", fill.Rows)
+	for _, r := range fill.Rows {
+		for i := range r {
+			r[i] = store.StringValue("CORRUPTED")
+		}
+	}
+	hit, err := e.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprintf("%v", hit.Rows); got != want {
+		t.Fatalf("mutating the fill result corrupted the cache:\n got %s\nwant %s", got, want)
+	}
+	for _, r := range hit.Rows {
+		for i := range r {
+			r[i] = store.StringValue("CORRUPTED")
+		}
+	}
+	again, err := e.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprintf("%v", again.Rows); got != want {
+		t.Fatalf("mutating a hit result corrupted the cache:\n got %s\nwant %s", got, want)
 	}
 }
 

@@ -193,6 +193,53 @@ func TestRunT8(t *testing.T) {
 	}
 }
 
+func TestRunT10(t *testing.T) {
+	rep, err := RunT10(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 query classes + 2 subtree-filter sizes.
+	if len(rep.Rows) != 8 {
+		t.Fatalf("T10 rows = %d, want 8", len(rep.Rows))
+	}
+	speedup := func(row []string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[4], "x"), 64)
+		if err != nil {
+			t.Fatalf("bad speedup cell %q", row[4])
+		}
+		return v
+	}
+	// The committed expectation is ≥2x on every scan/filter-heavy
+	// class (t10SpeedupFloor). Shared CI runners are noisy, so the
+	// hard gate per class sits at 75% of the floor, with the floor
+	// itself required of the majority — a real regression drags every
+	// class down, noise drags one.
+	scanRows := rep.Rows[1:4]
+	scanRows = append(scanRows, rep.Rows[6], rep.Rows[7])
+	atFloor := 0
+	for _, row := range scanRows {
+		sp := speedup(row)
+		if sp < 0.75*t10SpeedupFloor {
+			t.Errorf("scan-heavy class %q speedup %.1fx, committed floor %.0fx", row[0], sp, t10SpeedupFloor)
+		}
+		if sp >= t10SpeedupFloor {
+			atFloor++
+		}
+	}
+	if atFloor < (len(scanRows)+1)/2 {
+		t.Errorf("only %d/%d scan-heavy classes reached the %.0fx floor", atFloor, len(scanRows), t10SpeedupFloor)
+	}
+	// Point lookups must stay at parity: both engines serve them off
+	// the index in microseconds, so anything past 2x either way is an
+	// engine regression, not noise.
+	if sp := speedup(rep.Rows[0]); sp < 0.5 {
+		t.Errorf("vectorized point lookup %.1fx slower than row engine", 1/sp)
+	}
+	if rep.Notes == "" {
+		t.Error("T10 report has no notes")
+	}
+}
+
 func TestF1SmallScale(t *testing.T) {
 	// Full F1 sweeps to 50k leaves; the test checks the property at
 	// two sizes: the naive/optimized gap grows with tree size.

@@ -34,7 +34,8 @@ var ctxExemptSegments = []string{"cmd", "examples", "lint", "testdata_exempt"}
 var CtxCheck = &analysis.Analyzer{
 	Name: "ctxcheck",
 	Doc: "exported Fetch*/Sync*/Serve*/Import*/Run* functions must accept context.Context; " +
-		"context.Background()/TODO() below cmd/ only inside `if ctx == nil` guards",
+		"context.Background()/TODO() below cmd/ only inside `if ctx == nil` guards; " +
+		"nextBatch methods must poll cancellation once per batch",
 	Run: runCtxCheck,
 }
 
@@ -49,8 +50,48 @@ func runCtxCheck(pass *analysis.Pass) (interface{}, error) {
 	for _, f := range pass.Files {
 		checkCtxSignatures(pass, f, verbs)
 		checkCtxRoots(pass, f)
+		checkBatchPoll(pass, f)
 	}
 	return nil, nil
+}
+
+// checkBatchPoll enforces the vectorized executor's cancellation
+// contract (the "batchpoll" rule): every nextBatch method — the batch
+// operator interface — must poll its context at batch granularity,
+// either directly via canceller.now()/.check() or by delegating to
+// another batch iterator (a .nextBatch call or drainBatches), which
+// polls on its behalf. A nextBatch that neither polls nor delegates
+// makes a vectorized query unabortable for the whole operator.
+func checkBatchPoll(pass *analysis.Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Recv == nil || fd.Name.Name != "nextBatch" || fd.Body == nil {
+			continue
+		}
+		polls := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.SelectorExpr:
+				switch fun.Sel.Name {
+				case "now", "check", "nextBatch":
+					polls = true
+				}
+			case *ast.Ident:
+				if fun.Name == "drainBatches" {
+					polls = true
+				}
+			}
+			return !polls
+		})
+		if !polls {
+			pass.Reportf(fd.Name.Pos(),
+				"nextBatch does not poll cancellation: call canceller.now()/check() once per batch (or delegate to a polling batch iterator) so vectorized queries stay abortable")
+		}
+	}
 }
 
 // checkCtxSignatures flags exported blocking-verb functions without a

@@ -29,12 +29,12 @@ func buildAgg(n *AggNode, ec *execCtx, depth int) (iterator, error) {
 		}
 		args[i] = be
 	}
-	ec.note(depth, "%s", n.describe())
+	op := ec.note(depth, "%s", n.describe())
 	in, err := buildIterator(n.Input, ec, depth+1)
 	if err != nil {
 		return nil, err
 	}
-	return &aggIter{in: in, groups: groups, aggs: n.Aggs, args: args, ec: ec}, nil
+	return &aggIter{in: in, groups: groups, aggs: n.Aggs, args: args, ec: ec, op: op}, nil
 }
 
 // aggState accumulates one aggregate for one group.
@@ -165,13 +165,37 @@ func newAggTable(groups []*boundExpr, aggs []*AggExpr, args []*boundExpr) *aggTa
 // add accumulates one input row.
 func (t *aggTable) add(r store.Row) error {
 	keys := make([]store.Value, len(t.groups))
-	keyBuf := make([]byte, 0, 32)
 	for i, g := range t.groups {
 		v, err := g.eval(r)
 		if err != nil {
 			return err
 		}
 		keys[i] = v
+	}
+	argv := make([]store.Value, len(t.aggs))
+	for i, agg := range t.aggs {
+		if agg.Star {
+			continue
+		}
+		v, err := t.args[i].eval(r)
+		if err != nil {
+			return err
+		}
+		argv[i] = v
+	}
+	t.addValues(keys, argv)
+	return nil
+}
+
+// addValues accumulates one input row whose group keys and aggregate
+// arguments are already evaluated — the vectorized path batch-evaluates
+// both and feeds them here, so grouping, DISTINCT, and merge semantics
+// stay shared between engines. keys is retained by the table on first
+// sight of a group; callers must pass a fresh slice per row. argv
+// entries for star aggregates are ignored.
+func (t *aggTable) addValues(keys []store.Value, argv []store.Value) {
+	keyBuf := make([]byte, 0, 32)
+	for _, v := range keys {
 		keyBuf = store.AppendValue(keyBuf, v)
 	}
 	k := string(keyBuf)
@@ -195,10 +219,7 @@ func (t *aggTable) add(r store.Row) error {
 			e.stars++
 			continue
 		}
-		v, err := t.args[i].eval(r)
-		if err != nil {
-			return err
-		}
+		v := argv[i]
 		if agg.Distinct {
 			if v.IsNull() || !e.distinct[i].insert(v) {
 				continue
@@ -206,7 +227,6 @@ func (t *aggTable) add(r store.Row) error {
 		}
 		e.states[i].add(agg.Func, v)
 	}
-	return nil
 }
 
 // merge folds another partial table into t. Partials built over
@@ -273,6 +293,7 @@ type aggIter struct {
 	out []store.Row
 	pos int
 	run bool
+	op  *OpStats
 }
 
 func (a *aggIter) Next() (store.Row, bool, error) {
@@ -287,6 +308,7 @@ func (a *aggIter) Next() (store.Row, bool, error) {
 	}
 	r := a.out[a.pos]
 	a.pos++
+	a.op.addOut(1)
 	return r, true, nil
 }
 
@@ -312,6 +334,7 @@ func (a *aggIter) drain() error {
 			if !ok {
 				break
 			}
+			a.op.addIn(1)
 			if err := final.add(r); err != nil {
 				return err
 			}
@@ -333,6 +356,7 @@ func (a *aggIter) drainParallel() (*aggTable, error) {
 	if err != nil {
 		return nil, err
 	}
+	a.op.addIn(int64(len(rows)))
 	if len(rows) < 2*morselSize {
 		// Partial tables would cost more than they save.
 		t := newAggTable(a.groups, a.aggs, a.args)

@@ -240,6 +240,10 @@ type OrderKey struct {
 // SelectStmt is a parsed DTQL query.
 type SelectStmt struct {
 	Explain bool
+	// Analyze marks EXPLAIN ANALYZE: execute the query and render the
+	// plan with per-operator runtime counters. Only meaningful when
+	// Explain is set.
+	Analyze bool
 	Items   []SelectItem
 	From    TableRef
 	Joins   []JoinClause
@@ -254,6 +258,9 @@ func (s *SelectStmt) String() string {
 	var b strings.Builder
 	if s.Explain {
 		b.WriteString("EXPLAIN ")
+		if s.Analyze {
+			b.WriteString("ANALYZE ")
+		}
 	}
 	b.WriteString("SELECT ")
 	for i, it := range s.Items {

@@ -1,0 +1,220 @@
+package query
+
+import (
+	"context"
+
+	"drugtree/internal/store"
+)
+
+// Vectorized batch execution. Operators built by buildVec exchange
+// batches — fixed-capacity column vectors plus a selection vector —
+// instead of one row at a time, so predicate and projection work runs
+// as tight loops over typed slices (see vec_eval.go) and the per-row
+// virtual-dispatch + store.Value boxing costs of the Volcano path
+// disappear on scan/filter/join-heavy queries.
+//
+// Cancellation: every nextBatch implementation polls its context at
+// batch granularity (one poll per ~vecBatchSize rows) via
+// canceller.now, the batch-level analogue of the row engine's
+// cancelCheckRows polling. The ctxcheck lint rule "batchpoll"
+// enforces this.
+
+// vecBatchSize is the target number of rows per batch: large enough
+// to amortize per-batch overhead, small enough to stay cache-resident
+// and to bound cancellation latency.
+const vecBatchSize = 1024
+
+// batch is the unit of vectorized data flow: column vectors plus a
+// selection vector. sel == nil means every row in [0, n) is live;
+// otherwise sel lists the live row indices in ascending order.
+// Filters narrow sel without moving any column data.
+type batch struct {
+	cols []*store.Col
+	sel  []int
+	n    int
+}
+
+// live returns the number of selected rows.
+func (b *batch) live() int {
+	if b.sel != nil {
+		return len(b.sel)
+	}
+	return b.n
+}
+
+// rowIdx maps a dense position k in [0, live()) to the underlying
+// row index.
+func (b *batch) rowIdx(k int) int {
+	if b.sel != nil {
+		return b.sel[k]
+	}
+	return k
+}
+
+// selection returns the live row indices, materializing the identity
+// selection when sel is nil. The returned slice must be treated
+// read-only.
+func (b *batch) selection() []int {
+	if b.sel != nil {
+		return b.sel
+	}
+	sel := make([]int, b.n)
+	for i := range sel {
+		sel[i] = i
+	}
+	return sel
+}
+
+// rowAt materializes row index i as a store.Row. dst is reused when
+// non-nil and wide enough; pass nil to get a fresh row the caller may
+// retain.
+func (b *batch) rowAt(i int, dst store.Row) store.Row {
+	if dst == nil || len(dst) != len(b.cols) {
+		dst = make(store.Row, len(b.cols))
+	}
+	for c, col := range b.cols {
+		dst[c] = col.Value(i)
+	}
+	return dst
+}
+
+// batchIterator is the vectorized operator interface: nextBatch
+// returns the next batch, or nil at end of stream.
+type batchIterator interface {
+	nextBatch() (*batch, error)
+}
+
+// batchesOf slices a materialized ColBatch into vecBatchSize views
+// (zero-copy: the views alias the ColBatch's column storage).
+func batchesOf(cb *store.ColBatch) []*batch {
+	if cb.Rows == 0 {
+		return nil
+	}
+	out := make([]*batch, 0, (cb.Rows+vecBatchSize-1)/vecBatchSize)
+	for lo := 0; lo < cb.Rows; lo += vecBatchSize {
+		hi := lo + vecBatchSize
+		if hi > cb.Rows {
+			hi = cb.Rows
+		}
+		b := &batch{cols: make([]*store.Col, len(cb.Cols)), n: hi - lo}
+		for c := range cb.Cols {
+			v := cb.Cols[c].Slice(lo, hi)
+			b.cols[c] = &v
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// wholeBatch wraps a ColBatch as a single batch (no slicing), used
+// for index scans whose result sets are usually far below a batch.
+func wholeBatch(cb *store.ColBatch) *batch {
+	b := &batch{cols: make([]*store.Col, len(cb.Cols)), n: cb.Rows}
+	for c := range cb.Cols {
+		b.cols[c] = &cb.Cols[c]
+	}
+	return b
+}
+
+// drainBatches materializes a batch stream, polling ctx per batch.
+func drainBatches(ctx context.Context, in batchIterator) ([]*batch, error) {
+	c := canceller{ctx: ctx}
+	var out []*batch
+	for {
+		if err := c.now(); err != nil {
+			return nil, err
+		}
+		b, err := in.nextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		out = append(out, b)
+	}
+}
+
+// rowsFromBatches adapts a batch stream to the row iterator
+// interface, materializing each live row as a fresh store.Row (the
+// result-set boundary: returned rows never alias batch or table
+// storage, so callers may mutate them freely).
+type rowsFromBatches struct {
+	in     batchIterator
+	cur    *batch
+	pos    int
+	cancel canceller
+}
+
+func (r *rowsFromBatches) Next() (store.Row, bool, error) {
+	for {
+		if r.cur == nil {
+			if err := r.cancel.now(); err != nil {
+				return nil, false, err
+			}
+			b, err := r.in.nextBatch()
+			if err != nil {
+				return nil, false, err
+			}
+			if b == nil {
+				return nil, false, nil
+			}
+			r.cur, r.pos = b, 0
+		}
+		if r.pos < r.cur.live() {
+			i := r.cur.rowIdx(r.pos)
+			r.pos++
+			return r.cur.rowAt(i, nil), true, nil
+		}
+		r.cur = nil
+	}
+}
+
+// batchesFromRows adapts a row iterator (a fallback subtree: merge
+// join, nested-loop join, or a row-mode sort) to the batch interface.
+// Cells land in generic columns, so downstream vectorized operators
+// fall through to their Value-based paths — correct, just not fast.
+type batchesFromRows struct {
+	in     iterator
+	width  int
+	cancel canceller
+	done   bool
+	// buf stages up to one batch of rows so the generic columns can
+	// be sized to the actual row count — a bridged point lookup must
+	// not pay for vecBatchSize-capacity columns.
+	buf []store.Row
+}
+
+func (b *batchesFromRows) nextBatch() (*batch, error) {
+	if b.done {
+		return nil, nil
+	}
+	if err := b.cancel.now(); err != nil {
+		return nil, err
+	}
+	buf := b.buf[:0]
+	for len(buf) < vecBatchSize {
+		r, ok, err := b.in.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			b.done = true
+			break
+		}
+		buf = append(buf, r)
+	}
+	b.buf = buf
+	if len(buf) == 0 {
+		return nil, nil
+	}
+	cols := make([]*store.Col, b.width)
+	for c := range cols {
+		col := store.NewCol(store.KindNull, len(buf))
+		for _, r := range buf {
+			col.Append(r[c])
+		}
+		cols[c] = col
+	}
+	return &batch{cols: cols, n: len(buf)}, nil
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 )
@@ -88,6 +89,90 @@ func TestCancelMidQuery(t *testing.T) {
 				t.Fatalf("%s (parallelism %d): cancellation took %v", tc.name, para, elapsed)
 			}
 			waitGoroutines(t, baseline, 2*time.Second)
+		}
+	}
+}
+
+// countdownCtx cancels itself after its Done channel has been polled
+// n times — a deterministic fuse that lands cancellation at an exact
+// poll site, unlike timer-based cancel which lands wherever the
+// scheduler happens to be.
+type countdownCtx struct {
+	context.Context
+	mu   sync.Mutex
+	n    int
+	ch   chan struct{}
+	done bool
+}
+
+func newCountdownCtx(n int) *countdownCtx {
+	return &countdownCtx{Context: context.Background(), n: n, ch: make(chan struct{})}
+}
+
+func (c *countdownCtx) Done() <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.done {
+		c.n--
+		if c.n <= 0 {
+			close(c.ch)
+			c.done = true
+		}
+	}
+	return c.ch
+}
+
+func (c *countdownCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestCancelMidBatch sweeps a countdown fuse across every context
+// poll site of the vectorized engine (batch operators poll once per
+// batch), asserting each landing unwinds cleanly: context.Canceled,
+// no partial result, no leaked goroutines. Fuses that outlast the
+// query must instead produce the complete result.
+func TestCancelMidBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow cancellation sweep")
+	}
+	cat := datagenCatalog(t, 5)
+	const q = `SELECT p.accession, a.ligand_id FROM proteins p
+		JOIN activities a ON p.accession = a.protein_id WHERE a.affinity > 1`
+	for _, para := range []int{1, 4} {
+		opts := DefaultOptions()
+		opts.Parallelism = para
+		eng := NewEngine(cat, opts)
+		full, err := eng.Query(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cancelled := 0
+		for n := 1; n <= 64; n++ {
+			baseline := runtime.NumGoroutine()
+			res, err := eng.Query(newCountdownCtx(n), q)
+			if err != nil {
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("parallelism %d, fuse %d: err = %v, want context.Canceled", para, n, err)
+				}
+				if res != nil {
+					t.Fatalf("parallelism %d, fuse %d: partial result returned alongside error", para, n)
+				}
+				cancelled++
+				waitGoroutines(t, baseline, 2*time.Second)
+				continue
+			}
+			if len(res.Rows) != len(full.Rows) {
+				t.Fatalf("parallelism %d, fuse %d: completed with %d rows, want %d",
+					para, n, len(res.Rows), len(full.Rows))
+			}
+		}
+		if cancelled == 0 {
+			t.Fatalf("parallelism %d: no fuse landed mid-query", para)
 		}
 	}
 }

@@ -11,14 +11,17 @@ import (
 	"drugtree/internal/store"
 )
 
-// Differential harness: every query must behave identically under the
-// serial executor (Parallelism: 1) and the parallel one. Plans must
-// match exactly (parallel dispatch is invisible to the optimizer),
-// row counts must match, and result multisets must match; for ORDER
-// BY queries the sort key sequence must match (ties may legitimately
-// permute whole rows, as in the naive/optimized fuzz test).
+// Differential harness: every query must behave identically across
+// the engine matrix — the serial row-at-a-time executor is the
+// baseline, and the row-parallel, vectorized-serial, and
+// vectorized-parallel configurations must all match it. Plans must
+// match exactly (neither parallel dispatch nor batch execution is
+// visible to the optimizer), row counts must match, and result
+// multisets must match; for ORDER BY queries the sort key sequence
+// must match (ties may legitimately permute whole rows, as in the
+// naive/optimized fuzz test).
 
-// diffParallelism is the worker count the parallel side runs with.
+// diffParallelism is the worker count the parallel sides run with.
 // Forced above 1 explicitly so the harness exercises the parallel
 // operators even on single-core runners where GOMAXPROCS(0) == 1.
 const diffParallelism = 4
@@ -33,6 +36,27 @@ func serialOptions() Options {
 	o := DefaultOptions()
 	o.Parallelism = 1
 	return o
+}
+
+func rowOptions(o Options) Options {
+	o.Vectorized = false
+	return o
+}
+
+// diffMatrix lists the engine configurations checked against the
+// row-serial baseline on every differential query.
+func diffMatrix() []struct {
+	name string
+	opts Options
+} {
+	return []struct {
+		name string
+		opts Options
+	}{
+		{"row-parallel", rowOptions(parallelOptions(diffParallelism))},
+		{"vec-serial", serialOptions()},
+		{"vec-parallel", parallelOptions(diffParallelism)},
+	}
 }
 
 // canonKey encodes a row for multiset comparison with floats rounded
@@ -99,15 +123,17 @@ func assertSameResult(t *testing.T, q string, ordered bool, serial, parallel *Re
 
 func runDifferential(t *testing.T, cat Catalog, q string, ordered bool) {
 	t.Helper()
-	serial, err := NewEngine(cat, serialOptions()).Query(context.Background(), q)
+	base, err := NewEngine(cat, rowOptions(serialOptions())).Query(context.Background(), q)
 	if err != nil {
-		t.Fatalf("query %q: serial: %v", q, err)
+		t.Fatalf("query %q: row-serial baseline: %v", q, err)
 	}
-	parallel, err := NewEngine(cat, parallelOptions(diffParallelism)).Query(context.Background(), q)
-	if err != nil {
-		t.Fatalf("query %q: parallel: %v", q, err)
+	for _, c := range diffMatrix() {
+		got, err := NewEngine(cat, c.opts).Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("query %q: %s: %v", q, c.name, err)
+		}
+		assertSameResult(t, q+" ["+c.name+"]", ordered, base, got)
 	}
-	assertSameResult(t, q, ordered, serial, parallel)
 }
 
 // TestDifferentialCorpus runs a fixed corpus covering every operator

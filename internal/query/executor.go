@@ -72,16 +72,25 @@ func (e *Engine) Run(ctx context.Context, stmt *SelectStmt) (*Result, error) {
 	}
 	cols := outputColumns(optimized)
 	ec := &execCtx{ctx: ctx, cat: e.cat, opts: e.opts, stats: &ExecStats{}, para: e.opts.EffectiveParallelism()}
-	iter, err := buildIterator(optimized, ec, 0)
-	if err != nil {
-		return nil, err
+	var iter iterator
+	if e.opts.Vectorized {
+		bu, err := buildVec(optimized, ec, 0)
+		if err != nil {
+			return nil, err
+		}
+		iter = bu.rows(ec)
+	} else {
+		iter, err = buildIterator(optimized, ec, 0)
+		if err != nil {
+			return nil, err
+		}
 	}
 	res := &Result{
 		Columns: cols,
 		Plan:    strings.Join(ec.plan, "\n"),
 		Stats:   *ec.stats,
 	}
-	if stmt.Explain {
+	if stmt.Explain && !stmt.Analyze {
 		return res, nil
 	}
 	cancel := canceller{ctx: ctx}
@@ -99,8 +108,65 @@ func (e *Engine) Run(ctx context.Context, stmt *SelectStmt) (*Result, error) {
 		res.Rows = append(res.Rows, r)
 	}
 	ec.stats.RowsReturned = int64(len(res.Rows))
+	if stmt.Analyze {
+		// EXPLAIN ANALYZE: the query ran to completion; render the
+		// plan with per-operator execution counters and drop the rows
+		// (the plan is the payload, as in EXPLAIN).
+		res.Plan = annotatePlan(ec.plan, ec.stats.Ops)
+		res.Rows = nil
+	}
 	res.Stats = *ec.stats
 	return res, nil
+}
+
+// annotatePlan appends each operator's runtime counters to its plan
+// line: rows emitted, batches emitted (0 under the row engine), and
+// selectivity (rows out / rows in) where the operator saw input.
+func annotatePlan(plan []string, ops []*OpStats) string {
+	var b strings.Builder
+	for i, line := range plan {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(line)
+		if i < len(ops) && ops[i] != nil {
+			op := ops[i]
+			fmt.Fprintf(&b, " [rows=%d batches=%d", op.RowsOut, op.Batches)
+			if s := op.selectivity(); s >= 0 {
+				fmt.Fprintf(&b, " sel=%.1f%%", s*100)
+			}
+			b.WriteByte(']')
+		}
+	}
+	return b.String()
+}
+
+// Clone returns a deep copy of the result: rows, columns, and
+// per-operator stats share no storage with the receiver. Callers that
+// hand one Result to multiple consumers (the statement cache does)
+// clone so a consumer mutating its rows cannot corrupt the others'.
+func (r *Result) Clone() *Result {
+	if r == nil {
+		return nil
+	}
+	out := *r
+	out.Columns = append([]string(nil), r.Columns...)
+	if r.Rows != nil {
+		out.Rows = make([]store.Row, len(r.Rows))
+		for i, row := range r.Rows {
+			out.Rows[i] = append(store.Row(nil), row...)
+		}
+	}
+	if r.Stats.Ops != nil {
+		out.Stats.Ops = make([]*OpStats, len(r.Stats.Ops))
+		for i, op := range r.Stats.Ops {
+			if op != nil {
+				c := *op
+				out.Stats.Ops[i] = &c
+			}
+		}
+	}
+	return &out
 }
 
 // outputColumns extracts the final column names of a plan.

@@ -47,7 +47,7 @@ var keywords = map[string]bool{
 	"NOT": true, "JOIN": true, "ON": true, "GROUP": true, "BY": true,
 	"ORDER": true, "LIMIT": true, "ASC": true, "DESC": true, "AS": true,
 	"TRUE": true, "FALSE": true, "NULL": true, "BETWEEN": true,
-	"EXPLAIN": true, "COUNT": true, "SUM": true, "AVG": true,
+	"EXPLAIN": true, "ANALYZE": true, "COUNT": true, "SUM": true, "AVG": true,
 	"MIN": true, "MAX": true, "WITHIN_SUBTREE": true, "LIKE": true,
 	"HAVING": true, "IN": true, "DISTINCT": true, "ANCESTOR_OF": true,
 	"TANIMOTO": true,

@@ -278,7 +278,7 @@ func buildSort(stmt *SelectStmt, cur LogicalPlan, cat Catalog) (LogicalPlan, err
 	stmt = &SelectStmt{
 		Items: stmt.Items, From: stmt.From, Joins: stmt.Joins,
 		Where: stmt.Where, GroupBy: stmt.GroupBy, Order: order,
-		Limit: stmt.Limit, Explain: stmt.Explain,
+		Limit: stmt.Limit, Explain: stmt.Explain, Analyze: stmt.Analyze,
 	}
 	allBind := true
 	for _, k := range stmt.Order {

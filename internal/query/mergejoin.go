@@ -59,8 +59,9 @@ func buildOrderedScan(n *ScanNode, col string, ec *execCtx, depth int) (iterator
 	}
 	rows := t.Rows(ids)
 	atomic.AddInt64(&ec.stats.RowsIndexed, int64(len(rows)))
-	ec.note(depth, "OrderedIndexScan %s (by %s)%s", n.Table, col,
+	op := ec.note(depth, "OrderedIndexScan %s (by %s)%s", n.Table, col,
 		residualNote(accessPath{residual: n.Conjuncts}))
+	op.addIn(int64(len(rows)))
 	var residual *boundExpr
 	if len(n.Conjuncts) > 0 {
 		be, err := bind(joinConjuncts(n.Conjuncts), ec.env(n.schema))
@@ -70,7 +71,7 @@ func buildOrderedScan(n *ScanNode, col string, ec *execCtx, depth int) (iterator
 		residual = be
 	}
 	keyIdx := t.Schema().ColumnIndex(col)
-	return &sliceIter{rows: rows, residual: residual, stats: ec.stats, cancel: canceller{ctx: ec.ctx}}, keyIdx, nil
+	return &sliceIter{rows: rows, residual: residual, stats: ec.stats, cancel: canceller{ctx: ec.ctx}, op: op}, keyIdx, nil
 }
 
 // mergeJoinIter merges two key-ordered inputs on one key column each,
@@ -81,6 +82,7 @@ type mergeJoinIter struct {
 	residual     *boundExpr
 	stats        *ExecStats
 	cancel       canceller
+	op           *OpStats
 
 	lRow    store.Row
 	lValid  bool
@@ -95,12 +97,12 @@ type mergeJoinIter struct {
 	emitPos int
 }
 
-func newMergeJoin(left, right iterator, lkIdx, rkIdx int, residual *boundExpr, ec *execCtx) (*mergeJoinIter, error) {
+func newMergeJoin(left, right iterator, lkIdx, rkIdx int, residual *boundExpr, ec *execCtx, op *OpStats) (*mergeJoinIter, error) {
 	return &mergeJoinIter{
 		left: left, right: right,
 		lkIdx: lkIdx, rkIdx: rkIdx,
 		residual: residual, stats: ec.stats,
-		cancel: canceller{ctx: ec.ctx},
+		cancel: canceller{ctx: ec.ctx}, op: op,
 	}, nil
 }
 
@@ -108,6 +110,9 @@ func (m *mergeJoinIter) advanceLeft() error {
 	r, ok, err := m.left.Next()
 	if err != nil {
 		return err
+	}
+	if ok {
+		m.op.addIn(1)
 	}
 	m.lRow, m.lValid = r, ok
 	return nil
@@ -215,6 +220,7 @@ func (m *mergeJoinIter) Next() (store.Row, bool, error) {
 				}
 			}
 			atomic.AddInt64(&m.stats.RowsJoined, 1)
+			m.op.addOut(1)
 			return out, true, nil
 		}
 		m.emitPos = 0

@@ -36,6 +36,11 @@ type Options struct {
 	// Parallel and serial execution produce the same result multiset
 	// and identical plan text.
 	Parallelism int
+	// Vectorized executes the physical plan over columnar batches
+	// (batch.go / physical_vec.go) instead of row-at-a-time Volcano
+	// iteration. Both engines produce identical results and plan
+	// text; this knob exists as the ablation baseline for T10.
+	Vectorized bool
 }
 
 // EffectiveParallelism resolves the Parallelism knob: 0 means "as many
@@ -52,6 +57,7 @@ func DefaultOptions() Options {
 	return Options{
 		SubtreeRewrite: true, Pushdown: true, JoinReorder: true,
 		UseIndexes: true, ConstantFold: true, PruneColumns: true,
+		Vectorized: true,
 	}
 }
 

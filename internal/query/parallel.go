@@ -387,7 +387,7 @@ func parallelHashJoinProbe(ctx context.Context, probe []store.Row, table map[uin
 // newParallelHashJoin materializes both sides, builds the partitioned
 // table, and probes on the pool. The result streams from a sliceIter,
 // so downstream operators are unchanged.
-func newParallelHashJoin(ec *execCtx, left, right iterator, leftKeys, rightKeys []*boundExpr, residual *boundExpr) (iterator, error) {
+func newParallelHashJoin(ec *execCtx, left, right iterator, leftKeys, rightKeys []*boundExpr, residual *boundExpr, op *OpStats) (iterator, error) {
 	build, err := drainAll(ec.ctx, right)
 	if err != nil {
 		return nil, err
@@ -404,5 +404,7 @@ func newParallelHashJoin(ec *execCtx, left, right iterator, leftKeys, rightKeys 
 	if err != nil {
 		return nil, err
 	}
+	op.addIn(int64(len(probe)))
+	op.addOut(int64(len(out)))
 	return &sliceIter{rows: out, cancel: canceller{ctx: ec.ctx}}, nil
 }

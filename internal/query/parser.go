@@ -75,6 +75,9 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 	stmt := &SelectStmt{Limit: -1}
 	if p.acceptKeyword("EXPLAIN") {
 		stmt.Explain = true
+		if p.acceptKeyword("ANALYZE") {
+			stmt.Analyze = true
+		}
 	}
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err

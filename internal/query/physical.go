@@ -25,6 +25,52 @@ type ExecStats struct {
 	RowsIndexed  int64 // rows fetched through an index
 	RowsJoined   int64 // rows emitted by join operators
 	RowsReturned int64
+	// Ops holds per-operator counters, one entry per Result.Plan line
+	// in the same order. They are filled while rows stream out and
+	// rendered by EXPLAIN ANALYZE (Result.AnnotatedPlan).
+	Ops []*OpStats
+}
+
+// OpStats counts one physical operator's work: rows in (where the
+// operator tracks it), rows out, and — for vectorized operators —
+// batches out. Counters are written only from the single-threaded
+// streaming driver (parallel workers hand their output to a streaming
+// operator first), so plain increments suffice.
+type OpStats struct {
+	Name    string // operator description (the plan line, unindented)
+	RowsIn  int64  // rows entering the operator; 0 when untracked
+	RowsOut int64  // rows emitted
+	Batches int64  // batches emitted (vectorized execution only)
+}
+
+// addIn records rows entering the operator.
+func (o *OpStats) addIn(n int64) {
+	if o != nil {
+		o.RowsIn += n
+	}
+}
+
+// addOut records emitted rows.
+func (o *OpStats) addOut(n int64) {
+	if o != nil {
+		o.RowsOut += n
+	}
+}
+
+// emit records one emitted batch and its live rows.
+func (o *OpStats) emit(b *batch) {
+	if o != nil {
+		o.Batches++
+		o.RowsOut += int64(b.live())
+	}
+}
+
+// selectivity returns RowsOut/RowsIn, or -1 when input is untracked.
+func (o *OpStats) selectivity() float64 {
+	if o == nil || o.RowsIn == 0 {
+		return -1
+	}
+	return float64(o.RowsOut) / float64(o.RowsIn)
 }
 
 // execCtx threads shared execution state through operator builders.
@@ -43,8 +89,15 @@ func (c *execCtx) env(schema *planSchema) bindEnv {
 	return bindEnv{ctx: c.ctx, schema: schema, cat: c.cat, tree: c.cat.Tree(), opts: c.opts}
 }
 
-func (c *execCtx) note(depth int, format string, args ...any) {
-	c.plan = append(c.plan, strings.Repeat("  ", depth)+fmt.Sprintf(format, args...))
+// note appends a plan line and allocates its per-operator counter
+// slot (plan lines and ExecStats.Ops stay 1:1 so EXPLAIN ANALYZE can
+// zip them back together).
+func (c *execCtx) note(depth int, format string, args ...any) *OpStats {
+	line := fmt.Sprintf(format, args...)
+	c.plan = append(c.plan, strings.Repeat("  ", depth)+line)
+	op := &OpStats{Name: line}
+	c.stats.Ops = append(c.stats.Ops, op)
+	return op
 }
 
 // buildIterator lowers a logical plan node to a physical operator.
@@ -57,14 +110,14 @@ func buildIterator(p LogicalPlan, ec *execCtx, depth int) (iterator, error) {
 		if err != nil {
 			return nil, err
 		}
-		ec.note(depth, "Filter %s", n.Pred)
+		op := ec.note(depth, "Filter %s", n.Pred)
 		in, err := buildIterator(n.Input, ec, depth+1)
 		if err != nil {
 			return nil, err
 		}
-		return &filterIter{in: in, pred: pred, cancel: canceller{ctx: ec.ctx}}, nil
+		return &filterIter{in: in, pred: pred, cancel: canceller{ctx: ec.ctx}, op: op}, nil
 	case *ProjectNode:
-		ec.note(depth, "%s", n.describe())
+		op := ec.note(depth, "%s", n.describe())
 		exprs := make([]*boundExpr, len(n.Exprs))
 		for i, e := range n.Exprs {
 			be, err := bind(e, ec.env(n.Input.Schema()))
@@ -77,7 +130,7 @@ func buildIterator(p LogicalPlan, ec *execCtx, depth int) (iterator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &projectIter{in: in, exprs: exprs}, nil
+		return &projectIter{in: in, exprs: exprs, op: op}, nil
 	case *JoinNode:
 		return buildJoin(n, ec, depth)
 	case *AggNode:
@@ -93,12 +146,12 @@ func buildIterator(p LogicalPlan, ec *execCtx, depth int) (iterator, error) {
 			keys[i] = be
 			descs[i] = k.Desc
 		}
-		ec.note(depth, "%s", n.describe())
+		op := ec.note(depth, "%s", n.describe())
 		in, err := buildIterator(n.Input, ec, depth+1)
 		if err != nil {
 			return nil, err
 		}
-		return &sortIter{in: in, keys: keys, descs: descs, cancel: canceller{ctx: ec.ctx}}, nil
+		return &sortIter{in: in, keys: keys, descs: descs, cancel: canceller{ctx: ec.ctx}, op: op}, nil
 	case *LimitNode:
 		// ORDER BY + LIMIT fuses into a bounded-heap top-k when the
 		// optimizer is allowed to choose physical operators. The sort
@@ -124,19 +177,19 @@ func buildIterator(p LogicalPlan, ec *execCtx, depth int) (iterator, error) {
 				keys[i] = be
 				descs[i] = k.Desc
 			}
-			ec.note(depth, "TopK %d (%s)", n.N, sortNode.describe())
+			op := ec.note(depth, "TopK %d (%s)", n.N, sortNode.describe())
 			in, err := buildIterator(sortNode.Input, ec, depth+1)
 			if err != nil {
 				return nil, err
 			}
-			return &topKIter{in: in, keys: keys, descs: descs, k: n.N, cancel: canceller{ctx: ec.ctx}}, nil
+			return &topKIter{in: in, keys: keys, descs: descs, k: n.N, cancel: canceller{ctx: ec.ctx}, op: op}, nil
 		}
-		ec.note(depth, "Limit %d", n.N)
+		op := ec.note(depth, "Limit %d", n.N)
 		in, err := buildIterator(n.Input, ec, depth+1)
 		if err != nil {
 			return nil, err
 		}
-		return &limitIter{in: in, n: n.N}, nil
+		return &limitIter{in: in, n: n.N, op: op}, nil
 	}
 	return nil, fmt.Errorf("query: cannot execute %T", p)
 }
@@ -299,16 +352,17 @@ func buildScan(n *ScanNode, ec *execCtx, depth int) (iterator, error) {
 	}
 	switch path.kind {
 	case "indexeq":
-		ec.note(depth, "IndexScan %s (%s = %v)%s", n.Table, path.column, path.eq, residualNote(path))
+		op := ec.note(depth, "IndexScan %s (%s = %v)%s", n.Table, path.column, path.eq, residualNote(path))
 		ids, err := t.LookupEqual(path.column, path.eq)
 		if err != nil {
 			return nil, err
 		}
 		rows := t.Rows(ids)
 		atomic.AddInt64(&ec.stats.RowsIndexed, int64(len(rows)))
-		return &sliceIter{rows: rows, residual: residual, stats: ec.stats, cancel: canceller{ctx: ec.ctx}}, nil
+		op.addIn(int64(len(rows)))
+		return &sliceIter{rows: rows, residual: residual, stats: ec.stats, cancel: canceller{ctx: ec.ctx}, op: op}, nil
 	case "indexrange":
-		ec.note(depth, "IndexRangeScan %s (%s in [%s, %s])%s", n.Table, path.column,
+		op := ec.note(depth, "IndexRangeScan %s (%s in [%s, %s])%s", n.Table, path.column,
 			boundStr(path.lo), boundStr(path.hi), residualNote(path))
 		ids, err := t.LookupRange(path.column, path.lo, path.hi)
 		if err != nil {
@@ -316,20 +370,22 @@ func buildScan(n *ScanNode, ec *execCtx, depth int) (iterator, error) {
 		}
 		rows := t.Rows(ids)
 		atomic.AddInt64(&ec.stats.RowsIndexed, int64(len(rows)))
-		return &sliceIter{rows: rows, residual: residual, stats: ec.stats, cancel: canceller{ctx: ec.ctx}}, nil
+		op.addIn(int64(len(rows)))
+		return &sliceIter{rows: rows, residual: residual, stats: ec.stats, cancel: canceller{ctx: ec.ctx}, op: op}, nil
 	default:
-		ec.note(depth, "SeqScan %s%s", n.Table, residualNote(path))
+		op := ec.note(depth, "SeqScan %s%s", n.Table, residualNote(path))
 		if ec.para > 1 {
 			// Morsel-driven scan: snapshot row references (the store
 			// never mutates a stored row in place, so shared reads are
 			// safe), then clone+filter the morsels on the worker pool.
 			refs := t.Snapshot()
 			atomic.AddInt64(&ec.stats.RowsScanned, int64(len(refs)))
+			op.addIn(int64(len(refs)))
 			rows, err := parallelFilter(ec.ctx, refs, residual, ec.para)
 			if err != nil {
 				return nil, err
 			}
-			return &sliceIter{rows: rows, stats: ec.stats, cancel: canceller{ctx: ec.ctx}}, nil
+			return &sliceIter{rows: rows, stats: ec.stats, cancel: canceller{ctx: ec.ctx}, op: op}, nil
 		}
 		var rows []store.Row
 		cancel := canceller{ctx: ec.ctx}
@@ -345,7 +401,8 @@ func buildScan(n *ScanNode, ec *execCtx, depth int) (iterator, error) {
 			return nil, scanErr
 		}
 		atomic.AddInt64(&ec.stats.RowsScanned, int64(len(rows)))
-		return &sliceIter{rows: rows, residual: residual, stats: ec.stats, cancel: canceller{ctx: ec.ctx}}, nil
+		op.addIn(int64(len(rows)))
+		return &sliceIter{rows: rows, residual: residual, stats: ec.stats, cancel: canceller{ctx: ec.ctx}, op: op}, nil
 	}
 }
 
@@ -375,6 +432,7 @@ type sliceIter struct {
 	residual *boundExpr
 	stats    *ExecStats
 	cancel   canceller
+	op       *OpStats
 }
 
 func (s *sliceIter) Next() (store.Row, bool, error) {
@@ -393,6 +451,7 @@ func (s *sliceIter) Next() (store.Row, bool, error) {
 				continue
 			}
 		}
+		s.op.addOut(1)
 		return r, true, nil
 	}
 	return nil, false, nil
@@ -404,6 +463,7 @@ type filterIter struct {
 	in     iterator
 	pred   *boundExpr
 	cancel canceller
+	op     *OpStats
 }
 
 func (f *filterIter) Next() (store.Row, bool, error) {
@@ -415,11 +475,13 @@ func (f *filterIter) Next() (store.Row, bool, error) {
 		if err != nil || !ok {
 			return nil, false, err
 		}
+		f.op.addIn(1)
 		match, err := f.pred.evalBool(r)
 		if err != nil {
 			return nil, false, err
 		}
 		if match {
+			f.op.addOut(1)
 			return r, true, nil
 		}
 	}
@@ -428,6 +490,7 @@ func (f *filterIter) Next() (store.Row, bool, error) {
 type projectIter struct {
 	in    iterator
 	exprs []*boundExpr
+	op    *OpStats
 }
 
 func (p *projectIter) Next() (store.Row, bool, error) {
@@ -443,6 +506,7 @@ func (p *projectIter) Next() (store.Row, bool, error) {
 		}
 		out[i] = v
 	}
+	p.op.addOut(1)
 	return out, true, nil
 }
 
@@ -501,7 +565,7 @@ func buildJoin(n *JoinNode, ec *execCtx, depth int) (iterator, error) {
 		rt, _ := ec.cat.Table(rs.Table)
 		if chooseAccessPath(ls, lt, true).kind == "seqscan" &&
 			chooseAccessPath(rs, rt, true).kind == "seqscan" {
-			ec.note(depth, "MergeJoin (%s = %s)%s", lcol, rcol, joinResidualNote(residual))
+			op := ec.note(depth, "MergeJoin (%s = %s)%s", lcol, rcol, joinResidualNote(residual))
 			li, lkIdx, err := buildOrderedScan(ls, lcol, ec, depth+1)
 			if err != nil {
 				return nil, err
@@ -510,13 +574,14 @@ func buildJoin(n *JoinNode, ec *execCtx, depth int) (iterator, error) {
 			if err != nil {
 				return nil, err
 			}
-			return newMergeJoin(li, ri, lkIdx, rkIdx, residualBound, ec)
+			return newMergeJoin(li, ri, lkIdx, rkIdx, residualBound, ec, op)
 		}
 	}
+	var op *OpStats
 	if len(leftKeys) > 0 {
-		ec.note(depth, "HashJoin (%d key(s))%s", len(leftKeys), joinResidualNote(residual))
+		op = ec.note(depth, "HashJoin (%d key(s))%s", len(leftKeys), joinResidualNote(residual))
 	} else {
-		ec.note(depth, "NestedLoopJoin%s", joinResidualNote(residual))
+		op = ec.note(depth, "NestedLoopJoin%s", joinResidualNote(residual))
 	}
 	left, err := buildIterator(n.Left, ec, depth+1)
 	if err != nil {
@@ -528,11 +593,11 @@ func buildJoin(n *JoinNode, ec *execCtx, depth int) (iterator, error) {
 	}
 	if len(leftKeys) > 0 {
 		if ec.para > 1 {
-			return newParallelHashJoin(ec, left, right, leftKeys, rightKeys, residualBound)
+			return newParallelHashJoin(ec, left, right, leftKeys, rightKeys, residualBound, op)
 		}
-		return newHashJoin(left, right, leftKeys, rightKeys, residualBound, ec)
+		return newHashJoin(left, right, leftKeys, rightKeys, residualBound, ec, op)
 	}
-	return newNestedLoopJoin(left, right, residualBound, ec)
+	return newNestedLoopJoin(left, right, residualBound, ec, op)
 }
 
 func joinResidualNote(res []Expr) string {
@@ -559,6 +624,7 @@ type hashJoin struct {
 	residual  *boundExpr
 	stats     *ExecStats
 	cancel    canceller
+	op        *OpStats
 }
 
 func hashKeys(keys []*boundExpr, r store.Row) (uint64, bool, error) {
@@ -576,7 +642,7 @@ func hashKeys(keys []*boundExpr, r store.Row) (uint64, bool, error) {
 	return h, true, nil
 }
 
-func newHashJoin(left, right iterator, leftKeys, rightKeys []*boundExpr, residual *boundExpr, ec *execCtx) (iterator, error) {
+func newHashJoin(left, right iterator, leftKeys, rightKeys []*boundExpr, residual *boundExpr, ec *execCtx, op *OpStats) (iterator, error) {
 	table := make(map[uint64][]store.Row)
 	cancel := canceller{ctx: ec.ctx}
 	for {
@@ -598,7 +664,7 @@ func newHashJoin(left, right iterator, leftKeys, rightKeys []*boundExpr, residua
 			table[h] = append(table[h], r)
 		}
 	}
-	return &hashJoin{left: left, leftKeys: leftKeys, table: table, residual: residual, stats: ec.stats, cancel: canceller{ctx: ec.ctx}}, nil
+	return &hashJoin{left: left, leftKeys: leftKeys, table: table, residual: residual, stats: ec.stats, cancel: canceller{ctx: ec.ctx}, op: op}, nil
 }
 
 func (j *hashJoin) Next() (store.Row, bool, error) {
@@ -622,12 +688,14 @@ func (j *hashJoin) Next() (store.Row, bool, error) {
 				}
 			}
 			atomic.AddInt64(&j.stats.RowsJoined, 1)
+			j.op.addOut(1)
 			return out, true, nil
 		}
 		l, ok, err := j.left.Next()
 		if err != nil || !ok {
 			return nil, false, err
 		}
+		j.op.addIn(1)
 		h, valid, err := hashKeys(j.leftKeys, l)
 		if err != nil {
 			return nil, false, err
@@ -651,14 +719,15 @@ type nestedLoopJoin struct {
 	residual *boundExpr
 	stats    *ExecStats
 	cancel   canceller
+	op       *OpStats
 }
 
-func newNestedLoopJoin(left, right iterator, residual *boundExpr, ec *execCtx) (iterator, error) {
+func newNestedLoopJoin(left, right iterator, residual *boundExpr, ec *execCtx, op *OpStats) (iterator, error) {
 	rights, err := drainAll(ec.ctx, right)
 	if err != nil {
 		return nil, err
 	}
-	return &nestedLoopJoin{left: left, rights: rights, residual: residual, stats: ec.stats, cancel: canceller{ctx: ec.ctx}}, nil
+	return &nestedLoopJoin{left: left, rights: rights, residual: residual, stats: ec.stats, cancel: canceller{ctx: ec.ctx}, op: op}, nil
 }
 
 func (j *nestedLoopJoin) Next() (store.Row, bool, error) {
@@ -671,6 +740,7 @@ func (j *nestedLoopJoin) Next() (store.Row, bool, error) {
 			if err != nil || !ok {
 				return nil, false, err
 			}
+			j.op.addIn(1)
 			j.cur = l
 			j.pos = 0
 			j.started = true
@@ -691,6 +761,7 @@ func (j *nestedLoopJoin) Next() (store.Row, bool, error) {
 				}
 			}
 			atomic.AddInt64(&j.stats.RowsJoined, 1)
+			j.op.addOut(1)
 			return out, true, nil
 		}
 	}
@@ -706,6 +777,7 @@ type sortIter struct {
 	rows   []store.Row
 	sorted bool
 	pos    int
+	op     *OpStats
 }
 
 func (s *sortIter) Next() (store.Row, bool, error) {
@@ -760,6 +832,7 @@ func (s *sortIter) Next() (store.Row, bool, error) {
 	}
 	r := s.rows[s.pos]
 	s.pos++
+	s.op.addOut(1)
 	return r, true, nil
 }
 
@@ -767,6 +840,7 @@ type limitIter struct {
 	in   iterator
 	n    int
 	seen int
+	op   *OpStats
 }
 
 func (l *limitIter) Next() (store.Row, bool, error) {
@@ -778,5 +852,6 @@ func (l *limitIter) Next() (store.Row, bool, error) {
 		return nil, false, err
 	}
 	l.seen++
+	l.op.addOut(1)
 	return r, true, nil
 }

@@ -16,6 +16,7 @@ type topKIter struct {
 	descs  []bool
 	k      int
 	cancel canceller
+	op     *OpStats
 
 	out []store.Row
 	pos int
@@ -76,6 +77,7 @@ func (t *topKIter) Next() (store.Row, bool, error) {
 	}
 	r := t.out[t.pos]
 	t.pos++
+	t.op.addOut(1)
 	return r, true, nil
 }
 
@@ -93,6 +95,7 @@ func (t *topKIter) drain() error {
 		if !ok {
 			break
 		}
+		t.op.addIn(1)
 		ks := make([]store.Value, len(t.keys))
 		for i, k := range t.keys {
 			v, err := k.eval(r)

@@ -1,0 +1,297 @@
+package store
+
+import "math"
+
+// Columnar batch support for the vectorized query executor. A Col is
+// one typed column vector; a ColBatch is a fixed-capacity set of
+// column vectors holding up to ~1024 rows. Scans fill batches straight
+// from table storage with one typed append per cell — no per-row Row
+// allocation — and the query layer's operators loop over the typed
+// slices directly.
+//
+// Storage modes: a Col whose Kind is a concrete type (INT, FLOAT,
+// STRING, BOOL) keeps its cells in the matching typed slice plus a
+// null mask; this is sound because Schema.CheckRow guarantees every
+// stored cell is either the declared kind or NULL. A Col with
+// Kind == KindNull is a generic column holding arbitrary Values (used
+// by the query layer for expressions whose kind is only known at
+// runtime).
+
+// Col is one column vector: a null mask plus exactly one active typed
+// slice selected by Kind. Callers must append values matching the
+// column kind (or NULL); the typed accessors (Int, Float, Str) index
+// positions where the null mask is false.
+type Col struct {
+	Kind Kind
+	Null []bool    // Null[i] reports whether cell i is NULL
+	Int  []int64   // KindInt and KindBool (0/1)
+	Float []float64 // KindFloat
+	Str  []string  // KindString
+	Vals []Value   // generic mode (Kind == KindNull): arbitrary cells
+}
+
+// NewCol returns an empty column of the given kind with room for
+// capacity cells.
+func NewCol(kind Kind, capacity int) *Col {
+	c := &Col{Kind: kind, Null: make([]bool, 0, capacity)}
+	switch kind {
+	case KindInt, KindBool:
+		c.Int = make([]int64, 0, capacity)
+	case KindFloat:
+		c.Float = make([]float64, 0, capacity)
+	case KindString:
+		c.Str = make([]string, 0, capacity)
+	default:
+		c.Vals = make([]Value, 0, capacity)
+	}
+	return c
+}
+
+// NewDenseCol returns a column of the given kind with n cells, all
+// NULL, for aligned random-access writes via the Set* methods.
+func NewDenseCol(kind Kind, n int) *Col {
+	c := &Col{Kind: kind, Null: make([]bool, n)}
+	for i := range c.Null {
+		c.Null[i] = true
+	}
+	switch kind {
+	case KindInt, KindBool:
+		c.Int = make([]int64, n)
+	case KindFloat:
+		c.Float = make([]float64, n)
+	case KindString:
+		c.Str = make([]string, n)
+	default:
+		c.Vals = make([]Value, n)
+	}
+	return c
+}
+
+// Len returns the number of cells.
+func (c *Col) Len() int { return len(c.Null) }
+
+// Append adds one cell. The value's kind must match the column kind
+// or be NULL (generic columns accept anything).
+func (c *Col) Append(v Value) {
+	null := v.K == KindNull
+	c.Null = append(c.Null, null)
+	switch c.Kind {
+	case KindInt, KindBool:
+		c.Int = append(c.Int, v.I)
+	case KindFloat:
+		c.Float = append(c.Float, v.F)
+	case KindString:
+		c.Str = append(c.Str, v.S)
+	default:
+		c.Vals = append(c.Vals, v)
+		return
+	}
+	if !null && v.K != c.Kind {
+		panic("store: Col.Append kind mismatch: " + v.K.String() + " into " + c.Kind.String())
+	}
+}
+
+// AppendFrom appends cell i of src (same kind, or src generic) without
+// constructing a Value for typed same-kind copies.
+func (c *Col) AppendFrom(src *Col, i int) {
+	if src.Kind != c.Kind {
+		c.Append(src.Value(i))
+		return
+	}
+	c.Null = append(c.Null, src.Null[i])
+	switch c.Kind {
+	case KindInt, KindBool:
+		c.Int = append(c.Int, src.Int[i])
+	case KindFloat:
+		c.Float = append(c.Float, src.Float[i])
+	case KindString:
+		c.Str = append(c.Str, src.Str[i])
+	default:
+		c.Vals = append(c.Vals, src.Vals[i])
+	}
+}
+
+// Value reconstructs cell i as a Value.
+func (c *Col) Value(i int) Value {
+	if c.Null[i] {
+		return Value{}
+	}
+	switch c.Kind {
+	case KindInt:
+		return Value{K: KindInt, I: c.Int[i]}
+	case KindBool:
+		return Value{K: KindBool, I: c.Int[i]}
+	case KindFloat:
+		return Value{K: KindFloat, F: c.Float[i]}
+	case KindString:
+		return Value{K: KindString, S: c.Str[i]}
+	}
+	return c.Vals[i]
+}
+
+// IsNull reports whether cell i is NULL.
+func (c *Col) IsNull(i int) bool { return c.Null[i] }
+
+// SetValue writes cell i of a dense column.
+func (c *Col) SetValue(i int, v Value) {
+	c.Null[i] = v.K == KindNull
+	switch c.Kind {
+	case KindInt, KindBool:
+		c.Int[i] = v.I
+	case KindFloat:
+		c.Float[i] = v.F
+	case KindString:
+		c.Str[i] = v.S
+	default:
+		c.Vals[i] = v
+	}
+}
+
+// SetInt writes a non-null INT (or BOOL payload) cell.
+func (c *Col) SetInt(i int, x int64) {
+	c.Null[i] = false
+	c.Int[i] = x
+}
+
+// SetFloat writes a non-null FLOAT cell.
+func (c *Col) SetFloat(i int, f float64) {
+	c.Null[i] = false
+	c.Float[i] = f
+}
+
+// SetBool writes a non-null BOOL cell (Kind must be KindBool).
+func (c *Col) SetBool(i int, b bool) {
+	c.Null[i] = false
+	if b {
+		c.Int[i] = 1
+	} else {
+		c.Int[i] = 0
+	}
+}
+
+// Slice returns a zero-copy view of cells [lo, hi). Views share
+// storage with the parent and must be treated read-only.
+func (c *Col) Slice(lo, hi int) Col {
+	out := Col{Kind: c.Kind, Null: c.Null[lo:hi]}
+	switch c.Kind {
+	case KindInt, KindBool:
+		out.Int = c.Int[lo:hi]
+	case KindFloat:
+		out.Float = c.Float[lo:hi]
+	case KindString:
+		out.Str = c.Str[lo:hi]
+	default:
+		out.Vals = c.Vals[lo:hi]
+	}
+	return out
+}
+
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// HashAt returns Value(i).Hash() without constructing the Value or a
+// hash.Hash: the same FNV-1a sequence Value.Hash feeds, computed
+// inline so hash-join build/probe loops stay allocation-free.
+func (c *Col) HashAt(i int) uint64 {
+	h := fnvOffset
+	if c.Null[i] {
+		return (h ^ 0) * fnvPrime
+	}
+	switch c.Kind {
+	case KindInt, KindFloat:
+		var bits uint64
+		if c.Kind == KindInt {
+			bits = math.Float64bits(float64(c.Int[i]))
+		} else {
+			bits = math.Float64bits(c.Float[i])
+		}
+		h = (h ^ 1) * fnvPrime
+		for s := 0; s < 64; s += 8 {
+			h = (h ^ (bits >> s & 0xff)) * fnvPrime
+		}
+	case KindString:
+		h = (h ^ 2) * fnvPrime
+		s := c.Str[i]
+		for j := 0; j < len(s); j++ {
+			h = (h ^ uint64(s[j])) * fnvPrime
+		}
+	case KindBool:
+		h = (h ^ 3) * fnvPrime
+		h = (h ^ uint64(c.Int[i]&0xff)) * fnvPrime
+	default:
+		return c.Vals[i].Hash()
+	}
+	return h
+}
+
+// ColBatch is a set of column vectors holding the same rows; one
+// batch is the unit of work in the vectorized executor.
+type ColBatch struct {
+	Cols []Col
+	Rows int
+}
+
+// NewColBatch allocates an empty batch matching the schema with room
+// for capacity rows per column.
+func NewColBatch(s *Schema, capacity int) *ColBatch {
+	cb := &ColBatch{Cols: make([]Col, len(s.Columns))}
+	for i, col := range s.Columns {
+		cb.Cols[i] = *NewCol(col.Kind, capacity)
+	}
+	return cb
+}
+
+// AppendRow appends one row's cells across the columns.
+func (cb *ColBatch) AppendRow(r Row) {
+	for i := range cb.Cols {
+		cb.Cols[i].Append(r[i])
+	}
+	cb.Rows++
+}
+
+// ScanBatch streams the table's rows as columnar batches of up to
+// batchRows rows each, in unspecified order, until fn returns false.
+// Each batch is freshly allocated and owned by fn; its cells are
+// copies, so batches stay valid (and immutable-safe) after the scan
+// returns and concurrent writers run.
+func (t *Table) ScanBatch(batchRows int, fn func(*ColBatch) bool) {
+	if batchRows < 1 {
+		batchRows = 1
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var cb *ColBatch
+	for _, r := range t.rows {
+		if cb == nil {
+			cb = NewColBatch(t.schema, batchRows)
+		}
+		cb.AppendRow(r)
+		if cb.Rows == batchRows {
+			out := cb
+			cb = nil
+			if !fn(out) {
+				return
+			}
+		}
+	}
+	if cb != nil && cb.Rows > 0 {
+		fn(cb)
+	}
+}
+
+// GatherCols materializes the rows with the given IDs into one
+// columnar batch (in id-list order, skipping IDs that no longer
+// exist) — the index-scan counterpart of ScanBatch.
+func (t *Table) GatherCols(ids []int64) *ColBatch {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	cb := NewColBatch(t.schema, len(ids))
+	for _, id := range ids {
+		if r, ok := t.rows[id]; ok {
+			cb.AppendRow(r)
+		}
+	}
+	return cb
+}
