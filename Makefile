@@ -18,10 +18,13 @@ test:
 
 # The concurrency certificate: differential, cancellation, and stress
 # tests under the race detector — the parallel query executor, the
-# engine serving it, and the resilience layer (sources hammered by
-# concurrent fetchers, health map read during sync, mobile sessions).
+# engine serving it, the scatter-gather shard coordinator (fan-out
+# goroutines, mid-gather cancellation, failover), and the resilience
+# layer (sources hammered by concurrent fetchers, health map read
+# during sync, mobile sessions).
 race:
 	$(GO) test -race ./internal/query/... ./internal/core/... \
+		./internal/shard/... \
 		./internal/source/... ./internal/integrate/... ./internal/mobile/... \
 		./internal/admission/...
 	$(GO) test -race -run TestRunT9 ./internal/experiments/

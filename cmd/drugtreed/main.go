@@ -53,6 +53,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for -generate")
 	listen := flag.String("listen", ":7047", "wire-protocol listen address")
 	httpAddr := flag.String("http", ":8047", "HTTP listen address")
+	shards := flag.Int("shards", 0, "partition the store across N in-process shards served scatter-gather (0/1 = single-node)")
 	maxConc := flag.Int("max-concurrency", 8, "concurrent queries admitted before shedding (0 disables admission control)")
 	maxQueue := flag.Int("max-queue", 64, "queries waiting for admission before shedding")
 	maxSessions := flag.Int("max-sessions", 256, "concurrent wire-protocol sessions (0 = unlimited)")
@@ -63,7 +64,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	eng, cleanup, err := buildEngine(*dir, *generate, *seed, *families, *perFamily, *ligands, *maxConc, *maxQueue)
+	eng, cleanup, err := buildEngine(*dir, *generate, *seed, *families, *perFamily, *ligands, *maxConc, *maxQueue, *shards)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func main() {
 	log.Printf("shutdown complete")
 }
 
-func buildEngine(dir string, generate bool, seed int64, families, perFamily, ligands, maxConc, maxQueue int) (*core.Engine, func(), error) {
+func buildEngine(dir string, generate bool, seed int64, families, perFamily, ligands, maxConc, maxQueue, shards int) (*core.Engine, func(), error) {
 	var db *store.DB
 	var importer *integrate.Importer
 	var err error
@@ -163,6 +164,9 @@ func buildEngine(dir string, generate bool, seed int64, families, perFamily, lig
 		// retry hints instead of collapsing latency (experiment T9).
 		cfg.Admission = &admission.Config{MaxConcurrency: maxConc, MaxQueue: maxQueue}
 	}
+	// Scatter-gather partitioning (experiment T11): the store is split
+	// across in-process shards at build time and queries fan out.
+	cfg.Shards = shards
 	eng, err := core.New(db, cfg)
 	if err != nil {
 		db.Close()
@@ -171,5 +175,5 @@ func buildEngine(dir string, generate bool, seed int64, families, perFamily, lig
 	if importer != nil {
 		eng.AttachHealth(importer.Health)
 	}
-	return eng, func() { db.Close() }, nil
+	return eng, func() { eng.Close(); db.Close() }, nil
 }

@@ -8,6 +8,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"drugtree/internal/admission"
@@ -18,6 +19,7 @@ import (
 	"drugtree/internal/metrics"
 	"drugtree/internal/phylo"
 	"drugtree/internal/query"
+	"drugtree/internal/shard"
 	"drugtree/internal/store"
 )
 
@@ -66,6 +68,15 @@ type Config struct {
 	// cache hits bypass the gate (they do no engine work). Nil leaves
 	// admission to the serving layers.
 	Admission *admission.Config
+	// Shards, when >= 2, partitions the database across that many
+	// in-process shard instances at build time — tree_nodes by
+	// preorder interval, proteins/activities/annotations following
+	// their protein's leaf — and answers Query through the
+	// scatter-gather coordinator (internal/shard). Each shard owns its
+	// own store (durable under <dir>/shards when the source store is
+	// durable), indexes, and, when Admission is set, its own limiter.
+	// 0 or 1 keeps the single-node path unchanged.
+	Shards int
 }
 
 // DefaultConfig returns the fully optimized configuration.
@@ -114,6 +125,7 @@ type Engine struct {
 	stmtCache  *queryCache
 	prefetcher *cache.Prefetcher
 	limiter    *admission.Limiter
+	coord      *shard.Coordinator
 	Metrics    *metrics.Registry
 
 	healthFn func() []integrate.SourceHealth
@@ -187,6 +199,31 @@ func NewWithTree(db *store.DB, tree *phylo.Tree, cfg Config) (*Engine, error) {
 			ac.Metrics = e.Metrics
 		}
 		e.limiter = admission.NewLimiter(ac)
+	}
+	if cfg.Shards >= 2 {
+		sopts := shard.Options{
+			Shards:       cfg.Shards,
+			QueryOptions: cfg.QueryOptions,
+		}
+		if cfg.Admission != nil {
+			// Each shard gets its own limiter over the same bounds; the
+			// engine-level gate above already caps whole-query
+			// concurrency, so the per-shard gates only shed when a
+			// single partition is independently saturated.
+			ac := *cfg.Admission
+			if ac.Metrics == nil {
+				ac.Metrics = e.Metrics
+			}
+			sopts.Admission = &ac
+		}
+		if dir := db.Dir(); dir != "" {
+			sopts.Dir = filepath.Join(dir, "shards")
+		}
+		coord, err := shard.Partition(db, tree, sopts)
+		if err != nil {
+			return nil, err
+		}
+		e.coord = coord
 	}
 	for i := 0; i < tree.Len(); i++ {
 		e.byName[tree.Node(phylo.NodeID(i)).Name] = phylo.NodeID(i)
@@ -382,7 +419,13 @@ func (e *Engine) Query(ctx context.Context, src string) (*query.Result, error) {
 		}
 		defer release()
 	}
-	res, err := e.sql.Query(ctx, src)
+	var res *query.Result
+	var err error
+	if e.coord != nil {
+		res, err = e.coord.Query(ctx, src)
+	} else {
+		res, err = e.sql.Query(ctx, src)
+	}
 	e.Metrics.Histogram("query.latency").Record(time.Since(start))
 	if err != nil {
 		e.Metrics.Counter("query.errors").Inc()
@@ -401,6 +444,30 @@ func (e *Engine) Query(ctx context.Context, src string) (*query.Result, error) {
 // Limiter exposes the engine's admission limiter (nil when
 // Config.Admission is unset) so serving layers can inspect Stats.
 func (e *Engine) Limiter() *admission.Limiter { return e.limiter }
+
+// Coordinator exposes the scatter-gather coordinator (nil when
+// Config.Shards < 2).
+func (e *Engine) Coordinator() *shard.Coordinator { return e.coord }
+
+// ShardHealth reports per-shard liveness and resident row counts, or
+// nil for a single-node engine. Serving layers surface these next to
+// source freshness so clients see a degraded (not dead) system when a
+// partition is down.
+func (e *Engine) ShardHealth() []shard.Health {
+	if e.coord == nil {
+		return nil
+	}
+	return e.coord.Health()
+}
+
+// Close releases sharded resources (the shard stores and their WALs).
+// A no-op for single-node engines, whose store the caller owns.
+func (e *Engine) Close() error {
+	if e.coord == nil {
+		return nil
+	}
+	return e.coord.Close()
+}
 
 // Drain gracefully stops query admission: queued queries are shed, the
 // in-flight ones finish, bounded by ctx. A no-op without admission.

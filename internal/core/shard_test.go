@@ -1,0 +1,171 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"drugtree/internal/store"
+)
+
+// canonShardRow encodes a row for multiset comparison with floats
+// rounded to 10 significant digits: the coordinator's merge
+// reassociates float addition, so bit-exact comparison is unsound.
+func canonShardRow(r store.Row) string {
+	var b []byte
+	for _, v := range r {
+		if v.K == store.KindFloat {
+			b = append(b, fmt.Sprintf("|%.9e", v.F)...)
+			continue
+		}
+		b = append(b, '|')
+		b = store.AppendValue(b, v)
+	}
+	return string(b)
+}
+
+// TestShardedEngineMatchesSingleNode builds the same integrated
+// dataset twice — once single-node, once partitioned across three
+// shards — and requires identical answers over the integrate-schema
+// corpus: scans, co-partitioned joins, partial re-aggregation, top-k
+// merge, subtree predicates, and the gather fallback.
+func TestShardedEngineMatchesSingleNode(t *testing.T) {
+	single := buildEngine(t, DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.Shards = 3
+	// Same store, same tree: only the execution topology differs.
+	sharded, err := NewWithTree(single.DB(), single.Tree(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sharded.Close() })
+
+	if sharded.Coordinator() == nil {
+		t.Fatal("Shards=3 engine has no coordinator")
+	}
+	if single.Coordinator() != nil || single.ShardHealth() != nil {
+		t.Fatal("single-node engine reports a coordinator")
+	}
+
+	// A named clade for the subtree query: first non-root internal node.
+	tree := single.Tree()
+	clade := ""
+	for i := 0; i < tree.Len(); i++ {
+		id := tree.NodeAtPre(i)
+		if !tree.Node(id).IsLeaf() && i != 0 {
+			clade = tree.Node(id).Name
+			break
+		}
+	}
+
+	corpus := []struct {
+		q      string
+		keyPos int // sort-key column for ordered queries, -1 otherwise
+	}{
+		{"SELECT accession, family, length FROM proteins", -1},
+		{"SELECT accession FROM proteins WHERE family = 'FAM01'", -1},
+		{"SELECT p.accession, a.ligand_id, a.affinity FROM proteins p JOIN activities a ON p.accession = a.protein_id WHERE a.affinity > 6", -1},
+		{"SELECT p.accession, n.organism FROM proteins p JOIN annotations n ON p.accession = n.protein_id", -1},
+		{"SELECT COUNT(*), SUM(affinity), AVG(affinity), MIN(affinity), MAX(affinity) FROM activities", -1},
+		{"SELECT family, COUNT(*), AVG(length) FROM proteins GROUP BY family", -1},
+		{"SELECT protein_id, AVG(affinity) AS m FROM activities GROUP BY protein_id ORDER BY m DESC LIMIT 5", 1},
+		{"SELECT accession, length FROM proteins ORDER BY length DESC LIMIT 7", 1},
+		{"SELECT ligand_id, weight FROM ligands WHERE weight > 100", -1},
+		{fmt.Sprintf("SELECT name FROM tree_nodes WHERE WITHIN_SUBTREE(pre, '%s') AND is_leaf = TRUE", clade), -1},
+		{"SELECT accession FROM proteins WHERE accession IN (SELECT protein_id FROM activities WHERE affinity > 7)", -1},
+		{"SELECT pre, name FROM tree_nodes WHERE pre >= 5 AND pre <= 20", -1},
+	}
+	ctx := context.Background()
+	for _, c := range corpus {
+		base, err := single.Query(ctx, c.q)
+		if err != nil {
+			t.Fatalf("query %q: single-node: %v", c.q, err)
+		}
+		got, err := sharded.Query(ctx, c.q)
+		if err != nil {
+			t.Fatalf("query %q: sharded: %v", c.q, err)
+		}
+		if len(base.Rows) != len(got.Rows) {
+			t.Fatalf("query %q: row counts diverge: single %d, sharded %d", c.q, len(base.Rows), len(got.Rows))
+		}
+		if c.keyPos >= 0 {
+			for j := range base.Rows {
+				a, b := base.Rows[j][c.keyPos], got.Rows[j][c.keyPos]
+				if a.K != b.K || canonShardRow(store.Row{a}) != canonShardRow(store.Row{b}) {
+					t.Fatalf("query %q: sort key %d differs: %v vs %v", c.q, j, a, b)
+				}
+			}
+			continue
+		}
+		counts := map[string]int{}
+		for _, r := range base.Rows {
+			counts[canonShardRow(r)]++
+		}
+		for _, r := range got.Rows {
+			k := canonShardRow(r)
+			counts[k]--
+			if counts[k] < 0 {
+				t.Fatalf("query %q: result multisets differ", c.q)
+			}
+		}
+	}
+
+	// Shard health: three live partitions, all holding rows.
+	hs := sharded.ShardHealth()
+	if len(hs) != 3 {
+		t.Fatalf("ShardHealth reports %d shards, want 3", len(hs))
+	}
+	var total int64
+	for _, h := range hs {
+		if h.Status != "ok" {
+			t.Fatalf("shard %d status %q, want ok", h.Shard, h.Status)
+		}
+		total += h.Rows
+	}
+	if total == 0 {
+		t.Fatal("no partitioned rows resident on any shard")
+	}
+
+	// EXPLAIN through the engine surfaces the gather header, and a
+	// point lookup on the partition key prunes to one shard.
+	res, err := sharded.Query(ctx, "EXPLAIN SELECT accession FROM proteins")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Plan, "Gather [shards=3 pruned=0") {
+		t.Fatalf("EXPLAIN plan lacks gather header:\n%s", res.Plan)
+	}
+	res, err = sharded.Query(ctx, "EXPLAIN SELECT name FROM tree_nodes WHERE pre = 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Plan, "Gather [shards=1 pruned=2") {
+		t.Fatalf("point lookup did not prune shards:\n%s", res.Plan)
+	}
+}
+
+// TestShardedEngineDegradedHealth fails one shard through the
+// coordinator and checks the engine keeps answering with degraded
+// health — the serving layers surface this as a stale pseudo-source.
+func TestShardedEngineDegradedHealth(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shards = 3
+	e := buildEngine(t, cfg)
+	t.Cleanup(func() { e.Close() })
+	if e.Coordinator() == nil {
+		t.Fatal("Shards=3 engine has no coordinator")
+	}
+	e.Coordinator().FailShard(1)
+	hs := e.ShardHealth()
+	if hs[1].Status != "failed" || hs[0].Status != "ok" || hs[2].Status != "ok" {
+		t.Fatalf("health after failure: %+v", hs)
+	}
+	res, err := e.Query(context.Background(), "SELECT COUNT(*) FROM proteins")
+	if err != nil {
+		t.Fatalf("query with failed shard: %v", err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("degraded COUNT returned %d rows", len(res.Rows))
+	}
+}

@@ -97,6 +97,7 @@ func All() []Runner {
 		{"T8", "Availability under scripted source faults: resilience on vs off", RunT8},
 		{"T9", "Overload protection: deadline-aware shedding vs unprotected queueing", RunT9},
 		{"T10", "Vectorized execution ablation: row vs batch vs batch+parallel", RunT10},
+		{"T11", "Scatter-gather sharding: single-node vs 4 partitioned shards", RunT11},
 		{"F1", "Subtree-query latency vs tree size", RunF1},
 		{"F2", "Interactive session: semantic cache and prefetching", RunF2},
 		{"F3", "Mobile transfer strategies: bytes and modelled latency", RunF3},

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -410,5 +411,51 @@ func TestRunT9(t *testing.T) {
 	}
 	if rep.Notes == "" {
 		t.Error("T9 report has no notes")
+	}
+}
+
+func TestRunT11(t *testing.T) {
+	rep, err := RunT11(context.Background(), 1)
+	if err != nil {
+		// RunT11 verifies sharded-vs-single row identity and shard
+		// pruning inline: any divergence surfaces here as an error.
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("T11 rows = %d, want 4", len(rep.Rows))
+	}
+	speedup := func(row []string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[3], "x"), 64)
+		if err != nil {
+			t.Fatalf("bad speedup cell %q", row[3])
+		}
+		return v
+	}
+	// The ≥1.5x scatter expectation needs real parallel hardware:
+	// four shard goroutines on one core do the same total work. Gate
+	// only when the host can actually run the fan-out concurrently,
+	// and at 75% of the floor to absorb shared-runner noise (the same
+	// stance TestRunT10 takes).
+	if runtime.NumCPU() >= 4 {
+		for _, row := range rep.Rows {
+			for _, cls := range t11Classes() {
+				if cls.name == row[0] && cls.scatter {
+					if sp := speedup(row); sp < 0.75*t11SpeedupFloor {
+						t.Errorf("scatter class %q speedup %.1fx, committed floor %.1fx", row[0], sp, t11SpeedupFloor)
+					}
+				}
+			}
+		}
+	}
+	// Pruned point lookups must stay within a small constant of the
+	// single-node engine on any hardware: the coordinator routes them
+	// to one shard, so the gap is its fixed classify-and-clone cost
+	// (~10µs) on a ~10µs query — anything past 4x is the pruning
+	// logic regressing into a full fan-out, not noise.
+	if sp := speedup(rep.Rows[0]); sp < 0.25 {
+		t.Errorf("pruned point lookup %.1fx slower sharded than single-node", 1/sp)
+	}
+	if rep.Notes == "" {
+		t.Error("T11 report has no notes")
 	}
 }

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"drugtree/internal/core"
+	"drugtree/internal/store"
+)
+
+// T11 — scatter-gather sharding. Same dataset, same tree, two
+// topologies: the single-node engine and the store partitioned across
+// 4 in-process shards (tree_nodes by preorder interval, proteins and
+// activities following their protein's leaf) served by the
+// coordinator. Correctness is asserted inline — every class must
+// return identical rows on both topologies before any timing is
+// reported. The committed performance expectation: with ≥4 cores the
+// scatter classes reach ≥1.5× throughput at 4 shards because each
+// shard scans a quarter of the data concurrently, while pruned point
+// lookups stay within the coordinator's fixed classify-and-clone
+// overhead (~10µs) — they route to one shard instead of paying a
+// 4-way fan-out.
+
+// t11SpeedupFloor is the committed scatter-class expectation at 4
+// shards on ≥4 cores (shared with the regression test so the gate and
+// the note cannot drift apart). Single-core runs skip the gate: four
+// goroutines scanning a quarter each do the same total work.
+const t11SpeedupFloor = 1.5
+
+// t11Class is one measured query class. scatter marks the classes the
+// throughput expectation is committed on; pruned marks the point
+// lookups that must stay near-parity via shard pruning.
+type t11Class struct {
+	name    string
+	scatter bool
+	pruned  bool
+	dtql    string
+}
+
+func t11Classes() []t11Class {
+	return []t11Class{
+		{"pruned point lookup (tree pre)", false, true,
+			"SELECT name FROM tree_nodes WHERE pre = 7"},
+		{"scan: arithmetic filter", true, false,
+			"SELECT protein_id, affinity FROM activities WHERE affinity * 2.0 > 18.0"},
+		{"group-aggregate join", true, false,
+			`SELECT p.family, COUNT(*), AVG(a.affinity) FROM proteins p
+			 JOIN activities a ON p.accession = a.protein_id GROUP BY p.family`},
+		{"subtree filter", false, false,
+			""}, // dtql filled in at run time: the clade name depends on the tree
+	}
+}
+
+// t11Engines builds the standard dataset once and serves it from both
+// topologies — the sharded engine partitions the same store over the
+// same tree, so any row divergence is a coordinator bug, not fixture
+// noise.
+func t11Engines(ctx context.Context, seed int64, shards int) (single, sharded *core.Engine, err error) {
+	cfg := core.DefaultConfig()
+	cfg.Method = core.TreeNJKmer
+	cfg.CacheBytes = 0
+	e, _, err := buildStandardEngine(ctx, seed, 10, 20, 400, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	scfg := cfg
+	scfg.Shards = shards
+	se, err := core.NewWithTree(e.DB(), e.Tree(), scfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e, se, nil
+}
+
+// t11Canon encodes a row with floats rounded to 10 significant digits:
+// the coordinator's partial-aggregate merge reassociates float
+// addition, so bit-exact comparison is unsound.
+func t11Canon(r store.Row) string {
+	var b []byte
+	for _, v := range r {
+		if v.K == store.KindFloat {
+			b = append(b, fmt.Sprintf("|%.9e", v.F)...)
+			continue
+		}
+		b = append(b, '|')
+		b = store.AppendValue(b, v)
+	}
+	return string(b)
+}
+
+// t11VerifyIdentical runs dtql on both engines and errors unless the
+// row multisets agree.
+func t11VerifyIdentical(ctx context.Context, single, sharded *core.Engine, dtql string) error {
+	a, err := single.Query(ctx, dtql)
+	if err != nil {
+		return fmt.Errorf("single-node: %w", err)
+	}
+	b, err := sharded.Query(ctx, dtql)
+	if err != nil {
+		return fmt.Errorf("sharded: %w", err)
+	}
+	if len(a.Rows) != len(b.Rows) {
+		return fmt.Errorf("row counts diverge: single %d, sharded %d", len(a.Rows), len(b.Rows))
+	}
+	counts := make(map[string]int, len(a.Rows))
+	for _, r := range a.Rows {
+		counts[t11Canon(r)]++
+	}
+	for _, r := range b.Rows {
+		k := t11Canon(r)
+		counts[k]--
+		if counts[k] < 0 {
+			return fmt.Errorf("result multisets differ (%d rows each)", len(a.Rows))
+		}
+	}
+	return nil
+}
+
+// RunT11 verifies row identity per class, measures both topologies,
+// and checks that the pruned point lookup really does skip shards.
+func RunT11(ctx context.Context, seed int64) (*Report, error) {
+	const shards = 4
+	single, sharded, err := t11Engines(ctx, seed, shards)
+	if err != nil {
+		return nil, err
+	}
+	defer sharded.Close()
+
+	classes := t11Classes()
+	// The subtree class targets the largest non-root clade so the
+	// interval spans several shards' cuts.
+	tree := single.Tree()
+	clade, best := "", 0
+	for i := 1; i < tree.Len(); i++ {
+		id := tree.NodeAtPre(i)
+		if n := tree.LeafCount(id); !tree.Node(id).IsLeaf() && n > best && n < len(tree.Leaves()) {
+			clade, best = tree.Node(id).Name, n
+		}
+	}
+	for i := range classes {
+		if classes[i].name == "subtree filter" {
+			classes[i].dtql = fmt.Sprintf(
+				"SELECT pre, name FROM tree_nodes WHERE WITHIN_SUBTREE(pre, '%s')", clade)
+		}
+	}
+
+	rep := &Report{
+		ID:     "T11",
+		Title:  fmt.Sprintf("Scatter-gather sharding: single-node vs %d shards (mean of 20 runs, rows verified identical)", shards),
+		Header: []string{"query class", "single-node", "sharded x4", "speedup (single/shard)"},
+	}
+	const reps = 20
+	minScatter, prunedSpeedup := 0.0, 0.0
+	for _, cls := range classes {
+		if err := t11VerifyIdentical(ctx, single, sharded, cls.dtql); err != nil {
+			return nil, fmt.Errorf("T11 %s: %w", cls.name, err)
+		}
+		ds, err := MeasureQuery(ctx, single, cls.dtql, reps)
+		if err != nil {
+			return nil, fmt.Errorf("T11 %s single: %w", cls.name, err)
+		}
+		dh, err := MeasureQuery(ctx, sharded, cls.dtql, reps)
+		if err != nil {
+			return nil, fmt.Errorf("T11 %s sharded: %w", cls.name, err)
+		}
+		speedup := float64(ds) / float64(dh)
+		if cls.scatter && (minScatter == 0 || speedup < minScatter) {
+			minScatter = speedup
+		}
+		if cls.pruned {
+			prunedSpeedup = speedup
+		}
+		rep.Rows = append(rep.Rows, []string{
+			cls.name,
+			fmtDur(float64(ds.Nanoseconds()) / 1e3),
+			fmtDur(float64(dh.Nanoseconds()) / 1e3),
+			fmt.Sprintf("%.1fx", speedup),
+		})
+	}
+
+	// The pruning claim is structural, not a timing: EXPLAIN must show
+	// the point lookup reaching exactly one shard.
+	res, err := sharded.Query(ctx, "EXPLAIN "+classes[0].dtql)
+	if err != nil {
+		return nil, err
+	}
+	if !strings.Contains(res.Plan, fmt.Sprintf("Gather [shards=1 pruned=%d", shards-1)) {
+		return nil, fmt.Errorf("T11: point lookup not pruned to one shard:\n%s", res.Plan)
+	}
+
+	rep.Notes = fmt.Sprintf(
+		"rows verified identical on every class; expectation (≥4 cores): scatter classes ≥%.1fx at %d shards, pruned point lookups at parity; observed: min scatter speedup %.1fx, pruned-lookup speedup %.1fx",
+		t11SpeedupFloor, shards, minScatter, prunedSpeedup)
+	return rep, nil
+}

@@ -1,0 +1,31 @@
+// Fixture: inside internal/shard the verb set widens — Scatter* fans
+// goroutines out over the shard engines and Gather* blocks joining
+// them or copying whole tables, so both must thread context.Context
+// for mid-flight cancellation.
+package shard
+
+import (
+	"context"
+)
+
+type Coordinator struct{}
+
+func (c *Coordinator) ScatterAll() error { return nil } // want `exported ScatterAll .* takes no context\.Context`
+
+func (c *Coordinator) GatherTables(names []string) error { return nil } // want `exported GatherTables .* takes no context\.Context`
+
+// Threading ctx satisfies the check.
+func (c *Coordinator) GatherRows(ctx context.Context) error { return nil }
+
+func Scatter(ctx context.Context, n int) error { return nil }
+
+// The global verbs still apply here too.
+func RunQuery() {} // want `exported RunQuery .* takes no context\.Context`
+
+// Verb-boundary cases: "Gathering" must not match "Gather".
+func Gathering() {}
+
+func Scattershot() int { return 0 }
+
+// Unexported names stay exempt.
+func gather() {}

@@ -19,6 +19,11 @@ import (
 
 func testEngine(t *testing.T) *core.Engine {
 	t.Helper()
+	return testEngineCfg(t, core.DefaultConfig())
+}
+
+func testEngineCfg(t *testing.T, cfg core.Config) *core.Engine {
+	t.Helper()
 	gen := datagen.DefaultConfig()
 	gen.NumFamilies = 3
 	gen.ProteinsPerFamily = 10
@@ -36,10 +41,11 @@ func testEngine(t *testing.T) *core.Engine {
 	if _, err := integrate.NewImporter(db, bundle).ImportAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	e, err := core.New(db, core.DefaultConfig())
+	e, err := core.New(db, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { e.Close() })
 	return e
 }
 

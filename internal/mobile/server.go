@@ -307,7 +307,10 @@ func (s *Server) armReadDeadline(conn io.ReadWriter) {
 	}
 }
 
-// statusMsg snapshots per-source freshness for the wire.
+// statusMsg snapshots per-source freshness for the wire, plus one
+// pseudo-source per shard when the engine is partitioned: a failed
+// partition shows up as a stale source, so the client badges the
+// affected panels instead of treating degraded results as complete.
 func (s *Server) statusMsg() *StatusMsg {
 	out := &StatusMsg{}
 	for _, h := range s.engine.SourceHealth() {
@@ -316,6 +319,17 @@ func (s *Server) statusMsg() *StatusMsg {
 			Status: h.Status.String(),
 			Stale:  h.Stale,
 			AgeMs:  h.Age.Milliseconds(),
+		})
+	}
+	for _, h := range s.engine.ShardHealth() {
+		status := "fresh"
+		if h.Status != "ok" {
+			status = "failed"
+		}
+		out.Sources = append(out.Sources, SourceStatus{
+			Name:   fmt.Sprintf("shard-%d", h.Shard),
+			Status: status,
+			Stale:  h.Status != "ok",
 		})
 	}
 	return out

@@ -3,12 +3,15 @@ package mobile
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"os"
 	"strings"
 	"testing"
 	"time"
+
+	"drugtree/internal/core"
 )
 
 // serveOnce spawns one ServeConn session over a fresh in-memory pipe
@@ -242,6 +245,47 @@ func TestStatusOverWire(t *testing.T) {
 	}
 	if len(st.Sources) != 0 {
 		t.Fatalf("engine without health fn reported %d sources", len(st.Sources))
+	}
+	c.Close()
+	waitSession(t, done)
+}
+
+func TestShardStatusOverWire(t *testing.T) {
+	// A partitioned engine surfaces one pseudo-source per shard: a
+	// failed partition shows up as a stale source so the client badges
+	// degraded panels instead of presenting partial results as live.
+	cfg := core.DefaultConfig()
+	cfg.Shards = 3
+	e := testEngineCfg(t, cfg)
+	server := NewServer(e)
+	conn, done := serveOnce(t, server)
+	defer conn.Close()
+	c, err := Dial(conn, StrategyLOD, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Sources) != 3 {
+		t.Fatalf("sharded engine reported %d sources, want 3", len(st.Sources))
+	}
+	for i, s := range st.Sources {
+		if s.Name != fmt.Sprintf("shard-%d", i) || s.Status != "fresh" || s.Stale {
+			t.Fatalf("shard source %d = %+v, want fresh shard-%d", i, s, i)
+		}
+	}
+	e.Coordinator().FailShard(1)
+	st, err = c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sources[1].Status != "failed" || !st.Sources[1].Stale {
+		t.Fatalf("failed shard source = %+v, want failed+stale", st.Sources[1])
+	}
+	if st.Sources[0].Stale || st.Sources[2].Stale {
+		t.Fatalf("healthy shards marked stale: %+v", st.Sources)
 	}
 	c.Close()
 	waitSession(t, done)

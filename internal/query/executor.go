@@ -169,6 +169,19 @@ func (r *Result) Clone() *Result {
 	return &out
 }
 
+// OutputColumns returns the output column names stmt would produce,
+// without executing it. The shard coordinator uses it to label merged
+// scatter-gather results with exactly the names the single-node
+// engine would emit (including the uniqueName _2-style dedup suffixes
+// buildAggregate applies).
+func OutputColumns(stmt *SelectStmt, cat Catalog) ([]string, error) {
+	p, err := BuildLogical(stmt, cat)
+	if err != nil {
+		return nil, err
+	}
+	return outputColumns(p), nil
+}
+
 // outputColumns extracts the final column names of a plan.
 func outputColumns(p LogicalPlan) []string {
 	switch n := p.(type) {

@@ -1,0 +1,442 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"drugtree/internal/admission"
+	"drugtree/internal/phylo"
+	"drugtree/internal/query"
+	"drugtree/internal/store"
+)
+
+// Shard is one partition instance: its own store (own WAL when
+// durable), its own query engine over the shared tree, and its own
+// admission limiter. failed simulates a crashed instance for the
+// failover experiments: a failed shard is skipped by the scatter
+// planner and surfaced as degraded health.
+type Shard struct {
+	id      int
+	db      *store.DB
+	engine  *query.Engine
+	limiter *admission.Limiter
+	failed  atomic.Bool
+}
+
+// DB exposes the shard's store (read-only use expected).
+func (s *Shard) DB() *store.DB { return s.db }
+
+// Limiter exposes the shard's admission limiter (nil when admission
+// is unconfigured).
+func (s *Shard) Limiter() *admission.Limiter { return s.limiter }
+
+// Coordinator plans a DTQL statement once, classifies it, prunes
+// shards by partition-key predicates, fans the per-shard statements
+// out over the shard engines, and merges the gathered results.
+type Coordinator struct {
+	shards []*Shard
+	tree   *phylo.Tree
+	opts   Options
+	specs  map[string]tableSpec
+	byName map[string]phylo.NodeID
+
+	// gateHook, when set, runs inside every scatter goroutine before
+	// the shard statement executes. Tests use it to make one shard
+	// slow (blocking on ctx) so cancellation and leak behavior of a
+	// mid-flight gather is deterministic.
+	gateHook func(ctx context.Context, shard int) error
+}
+
+// Shards returns the shard count.
+func (c *Coordinator) Shards() int { return len(c.shards) }
+
+// Shard returns the i-th shard.
+func (c *Coordinator) Shard(i int) *Shard { return c.shards[i] }
+
+// Close closes every shard store.
+func (c *Coordinator) Close() error {
+	var first error
+	for _, s := range c.shards {
+		if err := s.db.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// FailShard marks a shard failed: the scatter planner skips it and
+// Health reports it degraded. Queries keep being answered from the
+// remaining healthy shards (with the failed partition's rows
+// missing), the same degrade-don't-die stance the source layer takes
+// when an upstream goes dark.
+func (c *Coordinator) FailShard(i int) { c.shards[i].failed.Store(true) }
+
+// RestoreShard clears a simulated failure.
+func (c *Coordinator) RestoreShard(i int) { c.shards[i].failed.Store(false) }
+
+// Health is one shard's liveness and size snapshot.
+type Health struct {
+	Shard  int
+	Status string // "ok" or "failed"
+	Rows   int64  // partitioned rows resident on the shard
+}
+
+// Health reports per-shard status for the serving layers (the mobile
+// status message surfaces these next to source freshness).
+func (c *Coordinator) Health() []Health {
+	out := make([]Health, len(c.shards))
+	for i, s := range c.shards {
+		h := Health{Shard: i, Status: "ok"}
+		if s.failed.Load() {
+			h.Status = "failed"
+		}
+		for name := range c.specs {
+			if t, err := s.db.Table(name); err == nil {
+				h.Rows += int64(t.Len())
+			}
+		}
+		out[i] = h
+	}
+	return out
+}
+
+// healthy returns the indexes of shards not marked failed.
+func (c *Coordinator) healthy() []int {
+	var out []int
+	for i, s := range c.shards {
+		if !s.failed.Load() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Query parses, classifies, scatters, and merges one DTQL statement.
+// ctx cancels mid-flight execution on every shard: the fan-out
+// goroutines run shard engines that poll cancellation, and the
+// gather unwinds with ctx.Err() without stranding a goroutine.
+func (c *Coordinator) Query(ctx context.Context, src string) (*query.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	stmt, err := query.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(ctx, stmt)
+}
+
+// Run executes a parsed statement through the scatter-gather planner.
+func (c *Coordinator) Run(ctx context.Context, stmt *query.SelectStmt) (*query.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	pl, err := c.classify(stmt)
+	if err != nil {
+		return nil, err
+	}
+	if stmt.Explain {
+		return c.explain(ctx, stmt, pl)
+	}
+	switch pl.class {
+	case classReplicated:
+		return c.runReplicated(ctx, stmt, pl)
+	case classScatter:
+		return c.runScatter(ctx, stmt, pl)
+	case classScatterOrdered:
+		return c.runScatterOrdered(ctx, stmt, pl)
+	case classPartialAgg:
+		return c.runPartialAgg(ctx, stmt, pl)
+	default:
+		return c.runFallback(ctx, stmt)
+	}
+}
+
+// scatter fans run out over the given shards, one goroutine per
+// shard, joined before returning. The first shard error (in shard
+// order, preferring root causes over cancellation echoes) cancels
+// the siblings and is returned.
+func (c *Coordinator) scatter(parent context.Context, ids []int, run func(ctx context.Context, s *Shard) (*query.Result, error)) ([]*query.Result, error) {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	results := make([]*query.Result, len(ids))
+	errs := make([]error, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, s *Shard) {
+			defer wg.Done()
+			if c.gateHook != nil {
+				if err := c.gateHook(ctx, s.id); err != nil {
+					errs[i] = err
+					cancel()
+					return
+				}
+			}
+			results[i], errs[i] = c.runOne(ctx, s, run)
+			if errs[i] != nil {
+				cancel()
+			}
+		}(i, c.shards[id])
+	}
+	wg.Wait()
+	if err := parent.Err(); err != nil {
+		return nil, err
+	}
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if !errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// runOne executes one shard statement under the shard's admission
+// limiter.
+func (c *Coordinator) runOne(ctx context.Context, s *Shard, run func(ctx context.Context, s *Shard) (*query.Result, error)) (*query.Result, error) {
+	if s.limiter != nil {
+		release, err := s.limiter.Acquire(ctx, 1)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d admission: %w", s.id, err)
+		}
+		defer release()
+	}
+	return run(ctx, s)
+}
+
+// mergeStats sums the work counters of the gathered partial results.
+func mergeStats(results []*query.Result) query.ExecStats {
+	var st query.ExecStats
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		st.RowsScanned += r.Stats.RowsScanned
+		st.RowsIndexed += r.Stats.RowsIndexed
+		st.RowsJoined += r.Stats.RowsJoined
+	}
+	return st
+}
+
+// runReplicated answers a query touching only replicated tables from
+// the first healthy shard; every other shard is pruned.
+func (c *Coordinator) runReplicated(ctx context.Context, stmt *query.SelectStmt, pl *plan) (*query.Result, error) {
+	s := c.shards[pl.participate[0]]
+	return c.runOne(ctx, s, func(ctx context.Context, s *Shard) (*query.Result, error) {
+		return s.engine.Run(ctx, cloneStmt(stmt))
+	})
+}
+
+// runScatter executes the statement as-is on every participating
+// shard and concatenates the row sets (truncated to LIMIT when one
+// is present — each shard already applied it locally).
+func (c *Coordinator) runScatter(ctx context.Context, stmt *query.SelectStmt, pl *plan) (*query.Result, error) {
+	results, err := c.scatter(ctx, pl.participate, func(ctx context.Context, s *Shard) (*query.Result, error) {
+		return s.engine.Run(ctx, cloneStmt(stmt))
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &query.Result{Columns: results[0].Columns, Stats: mergeStats(results)}
+	for _, r := range results {
+		out.Rows = append(out.Rows, r.Rows...)
+	}
+	if stmt.Limit >= 0 && len(out.Rows) > stmt.Limit {
+		out.Rows = out.Rows[:stmt.Limit]
+	}
+	out.Stats.RowsReturned = int64(len(out.Rows))
+	out.Plan = fmt.Sprintf("Gather [shards=%d pruned=%d mode=scatter]", len(pl.participate), pl.pruned)
+	return out, nil
+}
+
+// runScatterOrdered pushes ORDER BY + LIMIT to every shard (each
+// returns its local top-k with the sort-key columns exposed), then
+// top-k-merges the partials: a global stable sort over the key
+// columns, the global LIMIT, and the hidden keys stripped.
+func (c *Coordinator) runScatterOrdered(ctx context.Context, stmt *query.SelectStmt, pl *plan) (*query.Result, error) {
+	shardStmt := pl.shardStmt
+	results, err := c.scatter(ctx, pl.participate, func(ctx context.Context, s *Shard) (*query.Result, error) {
+		return s.engine.Run(ctx, cloneStmt(shardStmt))
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &query.Result{Stats: mergeStats(results)}
+	baseLen := len(results[0].Columns) - pl.hiddenKeys
+	out.Columns = append([]string(nil), results[0].Columns[:baseLen]...)
+	var rows []store.Row
+	for _, r := range results {
+		rows = append(rows, r.Rows...)
+	}
+	keys := pl.mergeKeys
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range keys {
+			cmp := store.Compare(rows[i][k.pos], rows[j][k.pos])
+			if k.desc {
+				cmp = -cmp
+			}
+			if cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	if stmt.Limit >= 0 && len(rows) > stmt.Limit {
+		rows = rows[:stmt.Limit]
+	}
+	for i := range rows {
+		rows[i] = rows[i][:baseLen]
+	}
+	out.Rows = rows
+	out.Stats.RowsReturned = int64(len(out.Rows))
+	out.Plan = fmt.Sprintf("Gather [shards=%d pruned=%d mode=scatter-ordered]", len(pl.participate), pl.pruned)
+	return out, nil
+}
+
+// GatherTables copies the named tables out of the healthy shards
+// into a fresh in-memory database: partitioned tables are unioned
+// across shards, replicated ones taken from the first healthy shard,
+// and secondary indexes recreated. It is the correctness fallback
+// for statement shapes the scatter planner cannot merge soundly
+// (subqueries, DISTINCT aggregates, non-co-partitioned joins) and a
+// rebalancing primitive in its own right.
+func (c *Coordinator) GatherTables(ctx context.Context, names []string) (*store.DB, error) {
+	healthy := c.healthy()
+	if len(healthy) == 0 {
+		return nil, fmt.Errorf("shard: no healthy shards")
+	}
+	db, err := store.Open("")
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		first, err := c.shards[healthy[0]].db.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		tab, err := db.CreateTable(name, first.Schema())
+		if err != nil {
+			return nil, err
+		}
+		from := healthy
+		if len(c.specs[name].keys) == 0 {
+			from = healthy[:1]
+		}
+		for _, si := range from {
+			st, err := c.shards[si].db.Table(name)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range st.Snapshot() {
+				if _, err := tab.Insert(r); err != nil {
+					return nil, err
+				}
+			}
+		}
+		for _, ix := range first.Indexes() {
+			if err := tab.CreateIndex(ix.Column, ix.Type); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}
+
+// runFallback gathers every referenced table into a temporary
+// database and runs the original statement on a local engine —
+// reproducing single-node behavior (including its errors) exactly,
+// at the cost of moving the data to the query.
+func (c *Coordinator) runFallback(ctx context.Context, stmt *query.SelectStmt) (*query.Result, error) {
+	names := referencedTables(stmt)
+	db, err := c.GatherTables(ctx, names)
+	if err != nil {
+		return nil, err
+	}
+	eng := query.NewEngine(query.NewDBCatalog(db, c.tree), c.opts.QueryOptions)
+	res, err := eng.Run(ctx, cloneStmt(stmt))
+	if err != nil {
+		return nil, err
+	}
+	if stmt.Explain {
+		res.Plan = fmt.Sprintf("Gather [shards=%d pruned=0 mode=gather-fallback tables=%s]\n%s",
+			len(c.healthy()), strings.Join(names, ","), indent(res.Plan))
+	}
+	return res, nil
+}
+
+// explain renders the scatter plan: the gather header with shard and
+// pruning counts, then each participating shard's plan — annotated
+// with per-operator rows/batches counters under EXPLAIN ANALYZE,
+// which executes the shard statements in full.
+func (c *Coordinator) explain(ctx context.Context, stmt *query.SelectStmt, pl *plan) (*query.Result, error) {
+	if pl.class == classFallback {
+		return c.runFallback(ctx, stmt)
+	}
+	shardStmt := stmt
+	switch pl.class {
+	case classScatterOrdered:
+		shardStmt = pl.shardStmt
+	case classPartialAgg:
+		shardStmt = pl.agg.shardStmt
+	}
+	run := func(ctx context.Context, s *Shard) (*query.Result, error) {
+		sub := cloneStmt(shardStmt)
+		sub.Explain, sub.Analyze = true, stmt.Analyze
+		return s.engine.Run(ctx, sub)
+	}
+	var results []*query.Result
+	var err error
+	if stmt.Analyze {
+		results, err = c.scatter(ctx, pl.participate, run)
+	} else {
+		// Plain EXPLAIN never executes; plan each shard serially.
+		for _, id := range pl.participate {
+			r, rerr := c.runOne(ctx, c.shards[id], run)
+			if rerr != nil {
+				err = rerr
+				break
+			}
+			results = append(results, r)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Gather [shards=%d pruned=%d mode=%s]", len(pl.participate), pl.pruned, pl.class)
+	for i, r := range results {
+		fmt.Fprintf(&b, "\nshard %d:\n%s", pl.participate[i], indent(r.Plan))
+	}
+	out := &query.Result{Columns: results[0].Columns, Plan: b.String(), Stats: mergeStats(results)}
+	return out, nil
+}
+
+// indent shifts every line of s right by two spaces.
+func indent(s string) string {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		lines[i] = "  " + l
+	}
+	return strings.Join(lines, "\n")
+}

@@ -49,6 +49,11 @@ func Open(dir string) (*DB, error) {
 	return db, nil
 }
 
+// Dir returns the durability directory, or "" for an in-memory
+// database. Layers that derive per-partition stores from a parent
+// (the shard coordinator) use it to place their own directories.
+func (db *DB) Dir() string { return db.dir }
+
 // Close flushes and closes the WAL.
 func (db *DB) Close() error {
 	db.mu.Lock()

@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -103,6 +104,26 @@ func (t *Table) CreateIndex(column string, typ IndexType) error {
 	}
 	t.indexes[column] = idx
 	return nil
+}
+
+// IndexSpec describes one secondary index for introspection.
+type IndexSpec struct {
+	Column string
+	Type   IndexType
+}
+
+// Indexes lists the table's secondary indexes sorted by column name,
+// so callers cloning a table's physical layout (the shard partitioner
+// does) can recreate them on the copy.
+func (t *Table) Indexes() []IndexSpec {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]IndexSpec, 0, len(t.indexes))
+	for col, ix := range t.indexes {
+		out = append(out, IndexSpec{Column: col, Type: ix.typ})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Column < out[j].Column })
+	return out
 }
 
 // HasIndex reports whether column has an index and of which type.
