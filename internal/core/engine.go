@@ -76,6 +76,15 @@ type Config struct {
 	// own store (durable under <dir>/shards when the source store is
 	// durable), indexes, and, when Admission is set, its own limiter.
 	// 0 or 1 keeps the single-node path unchanged.
+	//
+	// The engine-level caches sit in front of the coordinator exactly
+	// as they do in front of the single-node executor: statement-cache
+	// hits (QueryCacheEntries) are served before admission and before
+	// any shard work, with entries additionally invalidated on shard
+	// failure/recovery via the coordinator's topology epoch; the
+	// semantic range cache and prefetcher serve tree navigation from
+	// the engine's retained source store and are unaffected by the
+	// query topology.
 	Shards int
 }
 

@@ -96,7 +96,10 @@ func (c *queryCache) len() int {
 
 // dbVersion sums every table's version — a cheap global change
 // counter that conservatively invalidates the statement cache on any
-// write anywhere.
+// write anywhere. Sharded engines also fold in the coordinator's
+// topology epoch: a shard failing (or recovering) changes which rows
+// a query can see, so results cached against the old topology must
+// not be served against the new one.
 func (e *Engine) dbVersion() int64 {
 	var v int64
 	for _, name := range e.db.TableNames() {
@@ -105,6 +108,9 @@ func (e *Engine) dbVersion() int64 {
 			continue
 		}
 		v += t.Version()
+	}
+	if e.coord != nil {
+		v += e.coord.Epoch() << 32
 	}
 	return v
 }

@@ -145,6 +145,79 @@ func TestShardedEngineMatchesSingleNode(t *testing.T) {
 	}
 }
 
+// TestShardedStatementCache pins that the statement cache fronts the
+// scatter-gather coordinator exactly as it fronts the single-node
+// executor — repeated statements hit without re-scattering — and that
+// a topology transition (shard failure or recovery) invalidates
+// entries filled against the old topology, so a cached full COUNT is
+// never served while a partition is down, nor a degraded COUNT after
+// it recovers.
+func TestShardedStatementCache(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shards = 3
+	cfg.QueryCacheEntries = 16
+	e := buildEngine(t, cfg)
+	t.Cleanup(func() { e.Close() })
+	ctx := context.Background()
+	hits := func() int64 { return e.Metrics.Counter("query.stmt_cache_hits").Value() }
+
+	const q = "SELECT COUNT(*) FROM proteins"
+	full, err := e.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits() != 0 {
+		t.Fatalf("first execution hit the cache (%d hits)", hits())
+	}
+	again, err := e.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits() != 1 {
+		t.Fatalf("repeat execution missed the cache (%d hits)", hits())
+	}
+	if again.Rows[0][0].I != full.Rows[0][0].I {
+		t.Fatalf("cached COUNT = %d, want %d", again.Rows[0][0].I, full.Rows[0][0].I)
+	}
+
+	// Failing a shard must invalidate the cached full answer.
+	e.Coordinator().FailShard(1)
+	degraded, err := e.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits() != 1 {
+		t.Fatalf("degraded topology served a cached full result (%d hits)", hits())
+	}
+	victim, err := e.Coordinator().Shard(1).DB().Table("proteins")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := full.Rows[0][0].I - int64(victim.Len()); degraded.Rows[0][0].I != want {
+		t.Fatalf("degraded COUNT = %d, want %d", degraded.Rows[0][0].I, want)
+	}
+
+	// Restoring it must invalidate the cached degraded answer.
+	e.Coordinator().RestoreShard(1)
+	restored, err := e.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits() != 1 {
+		t.Fatalf("restored topology served a cached degraded result (%d hits)", hits())
+	}
+	if restored.Rows[0][0].I != full.Rows[0][0].I {
+		t.Fatalf("restored COUNT = %d, want %d", restored.Rows[0][0].I, full.Rows[0][0].I)
+	}
+	// And the restored-topology entry itself caches again.
+	if _, err := e.Query(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	if hits() != 2 {
+		t.Fatalf("restored topology does not cache (%d hits)", hits())
+	}
+}
+
 // TestShardedEngineDegradedHealth fails one shard through the
 // coordinator and checks the engine keeps answering with degraded
 // health — the serving layers surface this as a stale pseudo-source.

@@ -187,18 +187,24 @@ func resolveColumn(aliases []aliasInfo, cr *query.ColumnRef) (int, bool) {
 }
 
 // partitionKeyOf reports whether cr resolves to a partition key,
-// returning the owning partitioner.
-func partitionKeyOf(aliases []aliasInfo, cr *query.ColumnRef) (Partitioner, bool) {
+// returning the owning partitioner and the key column's declared
+// kind. Pruning decisions must only route literals of that kind:
+// the engine's comparisons coerce INT/FLOAT, so a kind-mismatched
+// literal (pre = 5.0) can still match rows, while the partitioner
+// would route it arbitrarily.
+func partitionKeyOf(aliases []aliasInfo, cr *query.ColumnRef) (Partitioner, store.Kind, bool) {
 	ai, ok := resolveColumn(aliases, cr)
 	if !ok {
-		return nil, false
+		return nil, store.KindNull, false
 	}
-	for _, k := range aliases[ai].spec.keys {
+	a := aliases[ai]
+	for _, k := range a.spec.keys {
 		if k.column == cr.Name {
-			return k.part, true
+			ci := a.schema.ColumnIndex(cr.Name)
+			return k.part, a.schema.Columns[ci].Kind, true
 		}
 	}
-	return nil, false
+	return nil, store.KindNull, false
 }
 
 // conjuncts splits e on top-level ANDs.
@@ -243,8 +249,8 @@ func (c *Coordinator) coPartitioned(stmt *query.SelectStmt, aliases []aliasInfo)
 		if !lok || !rok {
 			continue
 		}
-		lp, lok := partitionKeyOf(aliases, lc)
-		rp, rok := partitionKeyOf(aliases, rc)
+		lp, _, lok := partitionKeyOf(aliases, lc)
+		rp, _, rok := partitionKeyOf(aliases, rc)
 		if !lok || !rok || lp != rp {
 			continue
 		}
@@ -293,15 +299,21 @@ func (c *Coordinator) pruneShards(stmt *query.SelectStmt, aliases []aliasInfo, h
 			if !ok {
 				break
 			}
-			p, ok := partitionKeyOf(aliases, cr)
+			p, kind, ok := partitionKeyOf(aliases, cr)
 			if !ok {
 				break
 			}
 			switch op {
 			case query.OpEq:
+				if lit.K != kind {
+					// The engine's `=` coerces INT/FLOAT, so a FLOAT
+					// literal can match INT-keyed rows the partitioner
+					// would route elsewhere. No claim: keep all shards.
+					break
+				}
 				intersect([]int{p.Route(lit)})
 			case query.OpGe, query.OpGt, query.OpLe, query.OpLt:
-				if lit.K != store.KindInt {
+				if lit.K != store.KindInt || kind != store.KindInt {
 					break
 				}
 				v := lit.I
@@ -317,8 +329,8 @@ func (c *Coordinator) pruneShards(stmt *query.SelectStmt, aliases []aliasInfo, h
 				}
 			}
 		case *query.SubtreeExpr:
-			p, ok := partitionKeyOf(aliases, x.Column)
-			if !ok {
+			p, kind, ok := partitionKeyOf(aliases, x.Column)
+			if !ok || kind != store.KindInt {
 				break
 			}
 			id, ok := c.byName[x.Node]

@@ -50,6 +50,13 @@ type Coordinator struct {
 	// slow (blocking on ctx) so cancellation and leak behavior of a
 	// mid-flight gather is deterministic.
 	gateHook func(ctx context.Context, shard int) error
+
+	// epoch counts topology transitions (FailShard/RestoreShard).
+	// Result caches in front of the coordinator fold it into their
+	// version so an entry filled against one topology is never served
+	// against another — a full COUNT cached before a shard failed
+	// must not mask the degraded answer, nor the reverse.
+	epoch atomic.Int64
 }
 
 // Shards returns the shard count.
@@ -74,10 +81,21 @@ func (c *Coordinator) Close() error {
 // remaining healthy shards (with the failed partition's rows
 // missing), the same degrade-don't-die stance the source layer takes
 // when an upstream goes dark.
-func (c *Coordinator) FailShard(i int) { c.shards[i].failed.Store(true) }
+func (c *Coordinator) FailShard(i int) {
+	c.shards[i].failed.Store(true)
+	c.epoch.Add(1)
+}
 
 // RestoreShard clears a simulated failure.
-func (c *Coordinator) RestoreShard(i int) { c.shards[i].failed.Store(false) }
+func (c *Coordinator) RestoreShard(i int) {
+	c.shards[i].failed.Store(false)
+	c.epoch.Add(1)
+}
+
+// Epoch returns the topology-transition counter: it changes whenever
+// a shard fails or is restored, so cached results keyed on it are
+// invalidated across topology changes.
+func (c *Coordinator) Epoch() int64 { return c.epoch.Load() }
 
 // Health is one shard's liveness and size snapshot.
 type Health struct {
@@ -248,6 +266,14 @@ func (c *Coordinator) runReplicated(ctx context.Context, stmt *query.SelectStmt,
 // runScatter executes the statement as-is on every participating
 // shard and concatenates the row sets (truncated to LIMIT when one
 // is present — each shard already applied it locally).
+//
+// Merge contract: the result is the same row *multiset* as
+// single-node execution, in shard-concatenation order rather than
+// table order. With a LIMIT (and no ORDER BY — that is
+// scatter-ordered), DTQL's unordered LIMIT means "any N qualifying
+// rows", so the kept subset may differ from single-node's; the
+// differential tests check count + membership for that shape, not
+// row identity.
 func (c *Coordinator) runScatter(ctx context.Context, stmt *query.SelectStmt, pl *plan) (*query.Result, error) {
 	results, err := c.scatter(ctx, pl.participate, func(ctx context.Context, s *Shard) (*query.Result, error) {
 		return s.engine.Run(ctx, cloneStmt(stmt))
@@ -271,6 +297,13 @@ func (c *Coordinator) runScatter(ctx context.Context, stmt *query.SelectStmt, pl
 // returns its local top-k with the sort-key columns exposed), then
 // top-k-merges the partials: a global stable sort over the key
 // columns, the global LIMIT, and the hidden keys stripped.
+//
+// Merge contract: the sort-key sequence is identical to single-node
+// execution; the relative order *within* a tie group is unspecified
+// (the stable sort preserves shard-concatenation order, single-node
+// preserves table order), and when a LIMIT cuts through a tie group,
+// which of the tied rows survive may differ per topology — the same
+// latitude SQL gives any executor for an under-specified ORDER BY.
 func (c *Coordinator) runScatterOrdered(ctx context.Context, stmt *query.SelectStmt, pl *plan) (*query.Result, error) {
 	shardStmt := pl.shardStmt
 	results, err := c.scatter(ctx, pl.participate, func(ctx context.Context, s *Shard) (*query.Result, error) {

@@ -83,6 +83,17 @@ func TestExplainShardPruning(t *testing.T) {
 		t.Fatalf("EXPLAIN point lookup not pruned:\n%s", res.Plan)
 	}
 
+	// A kind-mismatched literal on the partition key makes no pruning
+	// claim: the engine coerces INT/FLOAT in `=`, so pre = 2.0 can
+	// match rows the partitioner would route elsewhere.
+	res, err = c.Query(ctx, "EXPLAIN SELECT name FROM tree_nodes WHERE pre = 2.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Plan, "Gather [shards=3 pruned=0 mode=scatter]") {
+		t.Fatalf("EXPLAIN float-literal lookup wrongly pruned:\n%s", res.Plan)
+	}
+
 	// An unconstrained scan participates everywhere.
 	res, err = c.Query(ctx, "EXPLAIN SELECT * FROM proteins")
 	if err != nil {

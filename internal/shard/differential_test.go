@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+
+	"drugtree/internal/query"
 )
 
 // TestShardedDifferentialCorpus drives the fixed corpus through the
@@ -213,6 +215,77 @@ func TestShardedDifferentialFuzz(t *testing.T) {
 			q, keyPos := g.generate()
 			runFourWay(t, f, q, keyPos)
 		}
+	}
+}
+
+// TestShardedUnorderedLimit pins the any-N-rows contract of LIMIT
+// without ORDER BY: which N qualifying rows are kept is unspecified
+// (single-node keeps the first N in table order, the coordinator the
+// first N in shard-concatenation order), so the differential check is
+// a subset check — every engine must return exactly min(N, total)
+// rows, each drawn from the unlimited result's multiset — rather than
+// row identity, which would only hold by corpus luck.
+func TestShardedUnorderedLimit(t *testing.T) {
+	f := newFourWay(t, fixtureConfig(7), 3, nil)
+	ctx := context.Background()
+	corpus := []struct {
+		q, unlimited string
+		limit        int
+	}{
+		{"SELECT accession, family FROM proteins LIMIT 9",
+			"SELECT accession, family FROM proteins", 9},
+		{"SELECT accession FROM proteins WHERE length > 120 LIMIT 5",
+			"SELECT accession FROM proteins WHERE length > 120", 5},
+		{"SELECT p.accession, a.ligand_id FROM proteins p JOIN activities a ON p.accession = a.protein_id LIMIT 13",
+			"SELECT p.accession, a.ligand_id FROM proteins p JOIN activities a ON p.accession = a.protein_id", 13},
+		{"SELECT ligand_id FROM ligands LIMIT 3",
+			"SELECT ligand_id FROM ligands", 3},
+		{"SELECT accession FROM proteins WHERE family = 'NOSUCH' LIMIT 4",
+			"SELECT accession FROM proteins WHERE family = 'NOSUCH'", 4},
+		{"SELECT accession FROM proteins LIMIT 100000",
+			"SELECT accession FROM proteins", 100000},
+	}
+	for _, c := range corpus {
+		full, err := f.singleRow.Query(ctx, c.unlimited)
+		if err != nil {
+			t.Fatalf("query %q: unlimited baseline: %v", c.unlimited, err)
+		}
+		pool := map[string]int{}
+		for _, r := range full.Rows {
+			pool[canonKey(r)]++
+		}
+		want := c.limit
+		if len(full.Rows) < want {
+			want = len(full.Rows)
+		}
+		run := func(label string, res *query.Result, err error) {
+			t.Helper()
+			if err != nil {
+				t.Fatalf("query %q [%s]: %v", c.q, label, err)
+			}
+			if len(res.Rows) != want {
+				t.Fatalf("query %q [%s]: returned %d rows, want %d", c.q, label, len(res.Rows), want)
+			}
+			left := make(map[string]int, len(pool))
+			for k, v := range pool {
+				left[k] = v
+			}
+			for _, r := range res.Rows {
+				k := canonKey(r)
+				left[k]--
+				if left[k] < 0 {
+					t.Fatalf("query %q [%s]: row %v not in (or over-represented vs) the unlimited result", c.q, label, r)
+				}
+			}
+		}
+		res, err := f.singleRow.Query(ctx, c.q)
+		run("single-row", res, err)
+		res, err = f.singleVec.Query(ctx, c.q)
+		run("single-vec", res, err)
+		res, err = f.shardRow.Query(ctx, c.q)
+		run("shard-row", res, err)
+		res, err = f.shardVec.Query(ctx, c.q)
+		run("shard-vec", res, err)
 	}
 }
 

@@ -1,0 +1,126 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+
+	"drugtree/internal/store"
+)
+
+// manifest records what a completed durable partitioning was computed
+// from: the topology (shard count and interval starts) and a
+// fingerprint of every source table. It is written atomically only
+// after every shard store has been populated and checkpointed, so its
+// presence is the proof that the shard directories are complete.
+// Reopening compares the manifest against the current source: a
+// missing manifest means the previous partitioning was interrupted
+// mid-populate, a mismatched one means the source dataset (or the
+// topology) changed under the same directory — both re-partition from
+// scratch instead of silently serving partial or stale shard stores.
+type manifest struct {
+	Shards int                `json:"shards"`
+	Starts []int64            `json:"starts"`
+	Tables []tableFingerprint `json:"tables"`
+}
+
+// tableFingerprint identifies one source table's content: row count
+// plus an order-independent checksum (wrap-around sum of per-row
+// FNV-1a hashes, so it is insensitive to scan order but sensitive to
+// any changed, added, or removed row, including duplicates).
+type tableFingerprint struct {
+	Name string `json:"name"`
+	Rows int    `json:"rows"`
+	Sum  uint64 `json:"sum"`
+}
+
+const manifestName = "MANIFEST"
+
+func manifestPath(dir string) string { return filepath.Join(dir, manifestName) }
+
+// fingerprint computes the manifest the current source and topology
+// would produce.
+func fingerprint(src *store.DB, n int, starts []int64) (*manifest, error) {
+	m := &manifest{Shards: n, Starts: append([]int64(nil), starts...)}
+	var buf []byte
+	for _, name := range src.TableNames() {
+		tab, err := src.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		tf := tableFingerprint{Name: name, Rows: tab.Len()}
+		tab.Scan(func(_ int64, r store.Row) bool {
+			buf = store.AppendRow(buf[:0], r)
+			h := fnv.New64a()
+			h.Write(buf)
+			tf.Sum += h.Sum64()
+			return true
+		})
+		m.Tables = append(m.Tables, tf)
+	}
+	return m, nil
+}
+
+// equal reports whether two manifests describe the same partitioning
+// of the same source.
+func (m *manifest) equal(o *manifest) bool {
+	if o == nil || m.Shards != o.Shards || len(m.Starts) != len(o.Starts) || len(m.Tables) != len(o.Tables) {
+		return false
+	}
+	for i := range m.Starts {
+		if m.Starts[i] != o.Starts[i] {
+			return false
+		}
+	}
+	for i := range m.Tables {
+		if m.Tables[i] != o.Tables[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// readManifest loads the completion manifest, or an error when it is
+// absent or unreadable (both mean: re-partition).
+func readManifest(dir string) (*manifest, error) {
+	b, err := os.ReadFile(manifestPath(dir))
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("shard: corrupt manifest %s: %w", manifestPath(dir), err)
+	}
+	return &m, nil
+}
+
+// writeManifest persists m atomically (tmp + fsync + rename), so a
+// crash mid-write never leaves a manifest that passes readManifest.
+func writeManifest(dir string, m *manifest) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp := manifestPath(dir) + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, manifestPath(dir))
+}

@@ -19,6 +19,7 @@ package shard
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 
 	"drugtree/internal/admission"
@@ -129,9 +130,13 @@ type Options struct {
 	// (0/1 is the single-node path and never reaches this package).
 	Shards int
 	// Dir, when non-empty, makes each shard durable in
-	// Dir/shard-<i> with its own snapshot and WAL; reopening an
-	// engine over the same Dir reuses the populated shard stores
-	// instead of re-partitioning. Empty keeps shards in memory.
+	// Dir/shard-<i> with its own snapshot and WAL. A completed
+	// partitioning writes Dir/MANIFEST (topology plus per-table
+	// source fingerprints); reopening an engine over the same Dir
+	// reuses the populated shard stores only when the manifest
+	// matches the current source, and re-partitions from scratch
+	// when it is absent (interrupted populate) or mismatched
+	// (changed dataset or topology). Empty keeps shards in memory.
 	Dir string
 	// QueryOptions configures each shard's DTQL engine.
 	QueryOptions query.Options
@@ -217,13 +222,50 @@ func Partition(src *store.DB, tree *phylo.Tree, opts Options) (*Coordinator, err
 			}
 		}
 	}
+	// Durable topologies are crash-safe through a completion
+	// manifest: only a previous run that populated and checkpointed
+	// every shard left one behind, and it must still describe the
+	// current source. Anything else — an interrupted populate, a
+	// re-generated dataset under the same -dir, a changed shard
+	// count or cuts — wipes the shard directories and re-partitions,
+	// never trusting a nonzero table length as proof of completeness.
+	durable := opts.Dir != ""
+	var fp *manifest
+	preloaded := false
+	if durable {
+		var err error
+		fp, err = fingerprint(src, n, starts)
+		if err != nil {
+			return nil, err
+		}
+		if prev, err := readManifest(opts.Dir); err == nil && prev.equal(fp) {
+			preloaded = true
+		} else {
+			os.Remove(manifestPath(opts.Dir))
+			for i := 0; i < n; i++ {
+				if err := os.RemoveAll(filepath.Join(opts.Dir, fmt.Sprintf("shard-%d", i))); err != nil {
+					return nil, fmt.Errorf("shard: clearing stale shard %d: %w", i, err)
+				}
+			}
+		}
+	}
+
+	// From here on shard stores (and their WALs) are open: every
+	// error path must close what was opened so a failed construction
+	// does not leak file handles.
+	closeAll := func() {
+		for _, s := range c.shards {
+			s.db.Close()
+		}
+	}
 	for i := 0; i < n; i++ {
 		dir := ""
-		if opts.Dir != "" {
+		if durable {
 			dir = filepath.Join(opts.Dir, fmt.Sprintf("shard-%d", i))
 		}
 		db, err := store.Open(dir)
 		if err != nil {
+			closeAll()
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
 		s := &Shard{id: i, db: db}
@@ -239,8 +281,21 @@ func Partition(src *store.DB, tree *phylo.Tree, opts Options) (*Coordinator, err
 		}
 		c.shards = append(c.shards, s)
 	}
-	if err := c.populate(src); err != nil {
+	if err := c.populate(src, preloaded); err != nil {
+		closeAll()
 		return nil, err
+	}
+	if durable && !preloaded {
+		for i, s := range c.shards {
+			if err := s.db.Checkpoint(); err != nil {
+				closeAll()
+				return nil, fmt.Errorf("shard %d checkpoint: %w", i, err)
+			}
+		}
+		if err := writeManifest(opts.Dir, fp); err != nil {
+			closeAll()
+			return nil, err
+		}
 	}
 	return c, nil
 }
@@ -272,9 +327,12 @@ func preCuts(total, n int, cuts []int64) ([]int64, error) {
 // populate copies src's tables into the shard stores: partitioned
 // tables route each row by the first key (verifying that any
 // additional co-partitioning keys agree), replicated tables are
-// copied to every shard. Durable shards that already hold a table's
-// rows (a reopened engine) are left as they are.
-func (c *Coordinator) populate(src *store.DB) error {
+// copied to every shard. preloaded means a valid completion manifest
+// proved the durable shard stores already hold the full partitioning,
+// so only the schema and index layout are (idempotently) ensured —
+// never a table-length heuristic, which cannot distinguish a complete
+// shard from one interrupted mid-populate.
+func (c *Coordinator) populate(src *store.DB, preloaded bool) error {
 	for _, name := range src.TableNames() {
 		srcTab, err := src.Table(name)
 		if err != nil {
@@ -291,7 +349,6 @@ func (c *Coordinator) populate(src *store.DB) error {
 			keyIdx = append(keyIdx, ci)
 		}
 		tabs := make([]*store.Table, len(c.shards))
-		preloaded := make([]bool, len(c.shards))
 		for i, s := range c.shards {
 			tab, err := s.db.Table(name)
 			if err != nil {
@@ -299,44 +356,38 @@ func (c *Coordinator) populate(src *store.DB) error {
 				if err != nil {
 					return fmt.Errorf("shard %d: %w", i, err)
 				}
-			} else if tab.Len() > 0 {
-				preloaded[i] = true
 			}
 			tabs[i] = tab
 		}
-		var rerr error
-		srcTab.Scan(func(_ int64, r store.Row) bool {
-			if len(spec.keys) == 0 {
-				for i, s := range c.shards {
-					if preloaded[i] {
-						continue
+		if !preloaded {
+			var rerr error
+			srcTab.Scan(func(_ int64, r store.Row) bool {
+				if len(spec.keys) == 0 {
+					for _, s := range c.shards {
+						if _, err := s.db.Insert(name, r); err != nil {
+							rerr = err
+							return false
+						}
 					}
-					if _, err := s.db.Insert(name, r); err != nil {
-						rerr = err
+					return true
+				}
+				owner := spec.keys[0].part.Route(r[keyIdx[0]])
+				for k := 1; k < len(spec.keys); k++ {
+					if alt := spec.keys[k].part.Route(r[keyIdx[k]]); alt != owner {
+						rerr = fmt.Errorf("shard: table %s row routes to shard %d by %s but %d by %s",
+							name, owner, spec.keys[0].column, alt, spec.keys[k].column)
 						return false
 					}
 				}
-				return true
-			}
-			owner := spec.keys[0].part.Route(r[keyIdx[0]])
-			for k := 1; k < len(spec.keys); k++ {
-				if alt := spec.keys[k].part.Route(r[keyIdx[k]]); alt != owner {
-					rerr = fmt.Errorf("shard: table %s row routes to shard %d by %s but %d by %s",
-						name, owner, spec.keys[0].column, alt, spec.keys[k].column)
+				if _, err := c.shards[owner].db.Insert(name, r); err != nil {
+					rerr = err
 					return false
 				}
-			}
-			if preloaded[owner] {
 				return true
+			})
+			if rerr != nil {
+				return rerr
 			}
-			if _, err := c.shards[owner].db.Insert(name, r); err != nil {
-				rerr = err
-				return false
-			}
-			return true
-		})
-		if rerr != nil {
-			return rerr
 		}
 		for i, tab := range tabs {
 			for _, ix := range srcTab.Indexes() {

@@ -100,6 +100,13 @@ func TestPartitionBoundaryPredicates(t *testing.T) {
 		fmt.Sprintf("SELECT pre FROM tree_nodes WHERE pre > %d AND pre < %d", cut-2, cut+2),
 		fmt.Sprintf("SELECT pre FROM tree_nodes WHERE pre BETWEEN %d AND %d", cut-1, cut),
 		fmt.Sprintf("SELECT COUNT(*) FROM tree_nodes WHERE pre >= %d AND pre <= %d", cut, cut),
+		// Kind-mismatched literals on the INT partition key: the
+		// engine's `=` coerces INT/FLOAT, so %d.0 matches the pre=%d
+		// row — the planner must not route the FLOAT literal through
+		// the range partitioner (which would prune to shard 0).
+		fmt.Sprintf("SELECT pre, name FROM tree_nodes WHERE pre = %d.0", cut),
+		fmt.Sprintf("SELECT pre, name FROM tree_nodes WHERE pre = %d.5", cut),
+		fmt.Sprintf("SELECT pre FROM tree_nodes WHERE pre >= %d.0", cut),
 	}
 	for _, q := range queries {
 		runFourWay(t, f, q, -1)
