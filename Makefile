@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-smoke chaos overload check clean
+.PHONY: all build test race vet lint bench bench-smoke chaos chaos-replica overload check clean
 
 all: check
 
@@ -19,15 +19,16 @@ test:
 # The concurrency certificate: differential, cancellation, and stress
 # tests under the race detector — the parallel query executor, the
 # engine serving it, the scatter-gather shard coordinator (fan-out
-# goroutines, mid-gather cancellation, failover), and the resilience
+# goroutines, mid-gather cancellation, failover), the replica sets
+# (WAL shipping, lag-bounded routing, promotion), and the resilience
 # layer (sources hammered by concurrent fetchers, health map read
 # during sync, mobile sessions).
 race:
 	$(GO) test -race ./internal/query/... ./internal/core/... \
-		./internal/shard/... \
+		./internal/shard/... ./internal/replica/... \
 		./internal/source/... ./internal/integrate/... ./internal/mobile/... \
 		./internal/admission/...
-	$(GO) test -race -run TestRunT9 ./internal/experiments/
+	$(GO) test -race -run 'TestRunT9|TestRunT12' ./internal/experiments/
 
 vet:
 	$(GO) vet ./...
@@ -71,6 +72,14 @@ chaos:
 	$(GO) test -run TestRunT8 -v ./internal/experiments/
 	$(GO) run ./cmd/drugtree-bench -exp T8
 
+# The T12 replication chaos experiment: scripted leader/follower
+# kill-restart sequence over a live read/write workload, plus its gate
+# test (zero failed reads, bounded staleness, promotion measured,
+# quiesced differential).
+chaos-replica:
+	$(GO) test -run TestRunT12 -v ./internal/experiments/
+	$(GO) run ./cmd/drugtree-bench -exp T12
+
 # The T9 overload experiment: Poisson load sweep past saturation,
 # deadline-aware shedding vs an unprotected queue, plus its gate test
 # under the race detector.
@@ -78,7 +87,7 @@ overload:
 	$(GO) test -race -run TestRunT9 -v ./internal/experiments/
 	$(GO) run ./cmd/drugtree-bench -exp T9
 
-check: lint build test bench-smoke race
+check: lint build test bench-smoke race chaos-replica
 
 clean:
 	$(GO) clean ./...

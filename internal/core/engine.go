@@ -17,6 +17,7 @@ import (
 	"drugtree/internal/cache"
 	"drugtree/internal/integrate"
 	"drugtree/internal/metrics"
+	"drugtree/internal/netsim"
 	"drugtree/internal/phylo"
 	"drugtree/internal/query"
 	"drugtree/internal/shard"
@@ -86,6 +87,27 @@ type Config struct {
 	// the engine's retained source store and are unaffected by the
 	// query topology.
 	Shards int
+	// Replicas, when > 0 (and Shards >= 2), gives every shard a
+	// replica set: one leader plus Replicas followers kept current by
+	// per-shard WAL shipping, with read subplans routed across the
+	// healthy replicas and promotion failover when a leader dies
+	// (internal/replica). Replication needs a durable log, so an
+	// in-memory store gets a private temporary durability root that is
+	// removed on Close. 0 leaves the single-store shard path
+	// unchanged.
+	Replicas int
+	// MaxLagSeqs bounds replica read staleness (WAL records behind
+	// the shard frontier); 0 demands fully-caught-up replicas,
+	// negative disables the bound. Ignored without Replicas.
+	MaxLagSeqs int64
+	// AllowPartial serves queries that need unavailable shards (every
+	// replica down) from the reachable ones — annotating results with
+	// SkippedShards — instead of failing with shard.ErrShardUnavailable.
+	AllowPartial bool
+	// ReplicaClock injects the replication time source (experiments
+	// use a virtual clock); nil means wall clock. Ignored without
+	// Replicas.
+	ReplicaClock netsim.Clock
 }
 
 // DefaultConfig returns the fully optimized configuration.
@@ -213,6 +235,10 @@ func NewWithTree(db *store.DB, tree *phylo.Tree, cfg Config) (*Engine, error) {
 		sopts := shard.Options{
 			Shards:       cfg.Shards,
 			QueryOptions: cfg.QueryOptions,
+			Replicas:     cfg.Replicas,
+			MaxLagSeqs:   cfg.MaxLagSeqs,
+			AllowPartial: cfg.AllowPartial,
+			Clock:        cfg.ReplicaClock,
 		}
 		if cfg.Admission != nil {
 			// Each shard gets its own limiter over the same bounds; the

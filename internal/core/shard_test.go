@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"drugtree/internal/netsim"
 	"drugtree/internal/store"
 )
 
@@ -156,6 +157,8 @@ func TestShardedStatementCache(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Shards = 3
 	cfg.QueryCacheEntries = 16
+	// The degraded-topology phases query across a failed shard.
+	cfg.AllowPartial = true
 	e := buildEngine(t, cfg)
 	t.Cleanup(func() { e.Close() })
 	ctx := context.Background()
@@ -218,12 +221,83 @@ func TestShardedStatementCache(t *testing.T) {
 	}
 }
 
+// TestReplicatedEngineCacheInvalidatesOnPromotion runs a replicated
+// sharded engine and pins that both replication topology transitions —
+// a leader kill and the follower promotion that heals it — move the
+// topology epoch the statement cache is keyed on, so no answer crosses
+// a transition, while the query itself keeps succeeding throughout
+// (the follower serves reads while the leader is dead).
+func TestReplicatedEngineCacheInvalidatesOnPromotion(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shards = 3
+	cfg.Replicas = 1
+	cfg.QueryCacheEntries = 16
+	cfg.ReplicaClock = netsim.NewVirtualClock()
+	e := buildEngine(t, cfg)
+	t.Cleanup(func() { e.Close() })
+	ctx := context.Background()
+	hits := func() int64 { return e.Metrics.Counter("query.stmt_cache_hits").Value() }
+
+	const q = "SELECT COUNT(*) FROM proteins"
+	full, err := e.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	if hits() != 1 {
+		t.Fatalf("repeat execution missed the cache (%d hits)", hits())
+	}
+
+	// A dead leader is a topology transition: the cached entry must not
+	// be served, but the shard's follower answers the re-execution with
+	// the full count — zero failed reads, zero missing rows.
+	e.Coordinator().KillLeader(1)
+	deg, err := e.Query(ctx, q)
+	if err != nil {
+		t.Fatalf("query with dead leader: %v", err)
+	}
+	if hits() != 1 {
+		t.Fatalf("dead-leader topology served a cached result (%d hits)", hits())
+	}
+	if deg.Rows[0][0].I != full.Rows[0][0].I {
+		t.Fatalf("follower-served COUNT = %d, want %d", deg.Rows[0][0].I, full.Rows[0][0].I)
+	}
+	if hs := e.ShardHealth(); hs[1].Status != "degraded" || len(hs[1].Replicas) != 2 {
+		t.Fatalf("health with dead leader: %+v", hs[1])
+	}
+
+	// Promotion is another transition: it must invalidate again, then
+	// the healed topology caches normally.
+	if err := e.Coordinator().SyncReplicas(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if e.Coordinator().Promotions() != 1 {
+		t.Fatalf("promotions = %d, want 1", e.Coordinator().Promotions())
+	}
+	if _, err := e.Query(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	if hits() != 1 {
+		t.Fatalf("post-promotion topology served a cached result (%d hits)", hits())
+	}
+	if _, err := e.Query(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	if hits() != 2 {
+		t.Fatalf("healed topology does not cache (%d hits)", hits())
+	}
+}
+
 // TestShardedEngineDegradedHealth fails one shard through the
 // coordinator and checks the engine keeps answering with degraded
 // health — the serving layers surface this as a stale pseudo-source.
 func TestShardedEngineDegradedHealth(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Shards = 3
+	// Degraded service across a failed shard is opt-in.
+	cfg.AllowPartial = true
 	e := buildEngine(t, cfg)
 	t.Cleanup(func() { e.Close() })
 	if e.Coordinator() == nil {

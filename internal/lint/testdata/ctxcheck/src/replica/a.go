@@ -1,0 +1,34 @@
+// Fixture: inside internal/replica the verb set widens — Ship*
+// streams WAL tails to followers, Apply* replays records into a
+// follower store, and Promote* replays a dead leader's tail before
+// taking over, so all three must thread context.Context for
+// mid-flight cancellation.
+package replica
+
+import (
+	"context"
+)
+
+type Set struct{}
+
+func (s *Set) ShipAll() error { return nil } // want `exported ShipAll .* takes no context\.Context`
+
+func (s *Set) ApplyTail(records [][]byte) error { return nil } // want `exported ApplyTail .* takes no context\.Context`
+
+func Promote(n int) error { return nil } // want `exported Promote .* takes no context\.Context`
+
+// Threading ctx satisfies the check.
+func (s *Set) Ship(ctx context.Context) error { return nil }
+
+func ApplySnapshot(ctx context.Context, b []byte) error { return nil }
+
+// The global verbs still apply here too.
+func SyncFollowers() {} // want `exported SyncFollowers .* takes no context\.Context`
+
+// Verb-boundary cases: "Shipment" must not match "Ship".
+func Shipment() {}
+
+func Applied() int { return 0 }
+
+// Unexported names stay exempt.
+func apply() {}

@@ -323,14 +323,35 @@ func (s *Server) statusMsg() *StatusMsg {
 	}
 	for _, h := range s.engine.ShardHealth() {
 		status := "fresh"
-		if h.Status != "ok" {
+		switch h.Status {
+		case "degraded":
+			// Some replica is down but the shard still serves complete
+			// answers — degraded redundancy, not stale data.
+			status = "degraded"
+		case "failed":
 			status = "failed"
 		}
 		out.Sources = append(out.Sources, SourceStatus{
 			Name:   fmt.Sprintf("shard-%d", h.Shard),
 			Status: status,
-			Stale:  h.Status != "ok",
+			Stale:  h.Status == "failed",
+			Seq:    h.WALSeq,
 		})
+		for _, rh := range h.Replicas {
+			rs := "fresh"
+			if rh.Status != "ok" {
+				rs = "failed"
+			} else if rh.Lag > 0 {
+				rs = "degraded"
+			}
+			out.Sources = append(out.Sources, SourceStatus{
+				Name:   fmt.Sprintf("shard-%d-replica-%d", h.Shard, rh.Replica),
+				Status: rs,
+				Stale:  rh.Status != "ok",
+				Seq:    rh.AppliedSeq,
+				Lag:    rh.Lag,
+			})
+		}
 	}
 	return out
 }

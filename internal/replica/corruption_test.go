@@ -1,0 +1,173 @@
+package replica
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"drugtree/internal/netsim"
+	"drugtree/internal/store"
+)
+
+// This file reuses the wal_tail_test.go harness idea — per-record WAL
+// offsets captured via os.Stat so corruption lands inside a chosen
+// record — but points it at the follower applier: a damaged record in
+// the *shipped* stream must trigger a snapshot re-seed, never a
+// silently diverged follower.
+
+// corruptionFixture builds a replica set whose leader has n inserts in
+// its WAL and returns the WAL size after each insert (the record
+// boundaries).
+func corruptionFixture(t *testing.T, n int) (*Set, []int64, string) {
+	t.Helper()
+	dir := t.TempDir()
+	db, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := store.MustSchema(
+		store.Column{Name: "id", Kind: store.KindInt},
+		store.Column{Name: "v", Kind: store.KindString},
+	)
+	if _, err := db.CreateTable("t", schema); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSet(db, Config{
+		Followers:  1,
+		MaxLagSeqs: 0,
+		Clock:      netsim.NewVirtualClock(),
+		OpenEngine: openEng,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	walPath := filepath.Join(dir, "wal.dtl")
+	sizes := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		if _, err := s.Insert("t", testRow(i)); err != nil {
+			t.Fatal(err)
+		}
+		fi, err := os.Stat(walPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, fi.Size())
+	}
+	return s, sizes, walPath
+}
+
+// followerIDs returns the follower's sorted id column.
+func followerIDs(t *testing.T, s *Set) []int64 {
+	t.Helper()
+	tab, err := s.nodes[1].state.Load().db.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []int64
+	tab.Scan(func(_ int64, r store.Row) bool {
+		ids = append(ids, r[0].I)
+		return true
+	})
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}
+
+// TestCorruptShippedRecordTriggersReseed flips one bit inside an
+// interior record of the stream the follower is about to tail. The
+// ship must detect the damage (CRC), re-seed the follower from a
+// fresh leader snapshot, and converge — not apply a prefix and
+// silently diverge.
+func TestCorruptShippedRecordTriggersReseed(t *testing.T) {
+	const n, flipAfter = 10, 5
+	s, sizes, walPath := corruptionFixture(t, n)
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[sizes[flipAfter-1]+3] ^= 0x01
+	if err := os.WriteFile(walPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	before := s.nodes[1].reseeds.Load()
+	if err := s.Ship(context.Background()); err != nil {
+		t.Fatalf("ship over corrupt stream must re-seed, not fail: %v", err)
+	}
+	if got := s.nodes[1].reseeds.Load(); got != before+1 {
+		t.Fatalf("follower re-seeded %d times, want exactly 1 more", got-before)
+	}
+	ids := followerIDs(t, s)
+	if len(ids) != n {
+		t.Fatalf("follower has %d rows after re-seed, want %d (leader's live image)", len(ids), n)
+	}
+	for i, id := range ids {
+		if id != int64(i) {
+			t.Fatalf("follower ids %v diverge from leader", ids)
+		}
+	}
+	if got, want := s.nodes[1].seq(), s.Leader().WALSeq(); got != want {
+		t.Fatalf("follower seq %d != leader seq %d after re-seed", got, want)
+	}
+}
+
+// TestCorruptTailRecordTriggersReseed is the tail variant: the damaged
+// record is the newest one. The follower still re-seeds to the
+// leader's live image rather than trusting a stream whose end cannot
+// be verified.
+func TestCorruptTailRecordTriggersReseed(t *testing.T) {
+	const n = 10
+	s, sizes, walPath := corruptionFixture(t, n)
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[sizes[n-2]+3] ^= 0x40
+	if err := os.WriteFile(walPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	before := s.nodes[1].reseeds.Load()
+	if err := s.Ship(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.nodes[1].reseeds.Load(); got != before+1 {
+		t.Fatalf("follower re-seeded %d times, want exactly 1 more", got-before)
+	}
+	if got := len(followerIDs(t, s)); got != n {
+		t.Fatalf("follower has %d rows after re-seed, want %d", got, n)
+	}
+}
+
+// TestTornShippedTailIsNotDivergence truncates the stream mid-record —
+// a crash artifact, not corruption. The ship applies the intact
+// prefix and stops cleanly: no error, no re-seed, and the follower
+// holds exactly the contiguous prefix (it catches the rest up after
+// the leader recovers and rewrites the tail).
+func TestTornShippedTailIsNotDivergence(t *testing.T) {
+	const n = 10
+	s, sizes, walPath := corruptionFixture(t, n)
+	torn := sizes[n-2] + (sizes[n-1]-sizes[n-2])/2
+	if err := os.Truncate(walPath, torn); err != nil {
+		t.Fatal(err)
+	}
+
+	before := s.nodes[1].reseeds.Load()
+	if err := s.Ship(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.nodes[1].reseeds.Load(); got != before {
+		t.Fatalf("torn tail caused a re-seed; it is a crash artifact, not corruption")
+	}
+	ids := followerIDs(t, s)
+	if len(ids) != n-1 {
+		t.Fatalf("follower has %d rows after torn-tail ship, want %d", len(ids), n-1)
+	}
+	for i, id := range ids {
+		if id != int64(i) {
+			t.Fatalf("follower ids %v: not the contiguous prefix", ids)
+		}
+	}
+}

@@ -1,0 +1,374 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"drugtree/internal/lint/leaktest"
+	"drugtree/internal/netsim"
+	"drugtree/internal/query"
+	"drugtree/internal/store"
+)
+
+func TestMain(m *testing.M) {
+	leaktest.VerifyTestMain(m)
+}
+
+func openEng(db *store.DB) *query.Engine {
+	return query.NewEngine(query.NewDBCatalog(db, nil), query.Options{})
+}
+
+// newTestSet builds a durable leader with a seeded table and wraps it
+// in a replica set on a virtual clock.
+func newTestSet(t *testing.T, followers int, maxLag int64) *Set {
+	t.Helper()
+	db, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := store.MustSchema(
+		store.Column{Name: "id", Kind: store.KindInt},
+		store.Column{Name: "v", Kind: store.KindString},
+	)
+	if _, err := db.CreateTable("t", schema); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := db.Insert("t", testRow(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := NewSet(db, Config{
+		Followers:  followers,
+		MaxLagSeqs: maxLag,
+		Clock:      netsim.NewVirtualClock(),
+		OpenEngine: openEng,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func testRow(i int) store.Row {
+	return store.Row{store.IntValue(int64(i)), store.StringValue(fmt.Sprintf("v-%d", i))}
+}
+
+// nodeRows returns node i's row count in table t.
+func nodeRows(t *testing.T, s *Set, i int) int {
+	t.Helper()
+	tab, err := s.nodes[i].state.Load().db.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab.Len()
+}
+
+// setInsert writes n rows through the set's leader.
+func setInsert(t *testing.T, s *Set, from, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := s.Insert("t", testRow(from+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSeedAndTail pins the snapshot-then-tail bootstrap: followers are
+// born fully caught up, new leader writes lag until a Ship tick
+// applies them, and Health reports the exact lag both before and
+// after.
+func TestSeedAndTail(t *testing.T) {
+	s := newTestSet(t, 2, 0)
+	for i := 1; i <= 2; i++ {
+		if got := nodeRows(t, s, i); got != 8 {
+			t.Fatalf("follower %d seeded with %d rows, want 8", i, got)
+		}
+	}
+	setInsert(t, s, 100, 5)
+	for _, h := range s.Health()[1:] {
+		if h.Lag != 5 {
+			t.Fatalf("follower %d lag = %d before ship, want 5", h.Replica, h.Lag)
+		}
+	}
+	if err := s.Ship(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		if got := nodeRows(t, s, i); got != 13 {
+			t.Fatalf("follower %d has %d rows after ship, want 13", i, got)
+		}
+	}
+	for _, h := range s.Health() {
+		if h.Lag != 0 || h.Status != "ok" {
+			t.Fatalf("node %d health after ship = %+v, want lag 0 ok", h.Replica, h)
+		}
+		if h.AppliedSeq != s.Leader().WALSeq() {
+			t.Fatalf("node %d applied seq %d != leader %d", h.Replica, h.AppliedSeq, s.Leader().WALSeq())
+		}
+	}
+}
+
+// TestRouteLagBound pins lag-bounded routing: with MaxLagSeqs 0 a
+// lagging follower is skipped (every read lands on the leader), after
+// a ship the router round-robins over all three nodes, and a generous
+// bound serves lagging followers while recording the observed
+// staleness.
+func TestRouteLagBound(t *testing.T) {
+	s := newTestSet(t, 2, 0)
+	setInsert(t, s, 100, 4) // followers now lag by 4
+	for i := 0; i < 6; i++ {
+		_, id, ok := s.Route(ReadAny)
+		if !ok || id != 0 {
+			t.Fatalf("read %d routed to node %d (ok=%v), want leader 0 while followers lag", i, id, ok)
+		}
+	}
+	if err := s.Ship(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 9; i++ {
+		_, id, ok := s.Route(ReadAny)
+		if !ok {
+			t.Fatal("route failed with all nodes caught up")
+		}
+		seen[id] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("round-robin visited %v, want all 3 nodes", seen)
+	}
+	if s.MaxServedLag() != 0 {
+		t.Fatalf("MaxServedLag = %d with a zero bound", s.MaxServedLag())
+	}
+
+	// A generous bound serves stale followers and records how stale.
+	s.cfg.MaxLagSeqs = 10
+	setInsert(t, s, 200, 3)
+	seen = map[int]bool{}
+	for i := 0; i < 9; i++ {
+		_, id, _ := s.Route(ReadAny)
+		seen[id] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("bounded-lag round-robin visited %v, want all 3 nodes", seen)
+	}
+	if got := s.MaxServedLag(); got != 3 {
+		t.Fatalf("MaxServedLag = %d, want 3", got)
+	}
+
+	// ReadFollowers never lands on the leader while a follower serves.
+	for i := 0; i < 6; i++ {
+		_, id, ok := s.Route(ReadFollowers)
+		if !ok || id == 0 {
+			t.Fatalf("ReadFollowers routed to node %d (ok=%v)", id, ok)
+		}
+	}
+}
+
+// TestPromoteReplaysDeadLeaderTail kills a leader holding committed
+// records the followers never saw: promotion must pick the
+// most-caught-up follower, replay the dead leader's durable tail onto
+// it, and restore the write path — zero committed records lost.
+func TestPromoteReplaysDeadLeaderTail(t *testing.T) {
+	s := newTestSet(t, 2, 0)
+	if err := s.Ship(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Make follower 1 more caught up than follower 2.
+	setInsert(t, s, 100, 3)
+	lead := s.nodes[0].state.Load().db
+	f1 := s.nodes[1].state.Load().db
+	if err := lead.ScanWAL(f1.WALSeq(), func(seq int64, body []byte) error {
+		return f1.ApplyReplicated(seq, body)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Three more records nobody saw: the dead leader's tail.
+	setInsert(t, s, 200, 3)
+
+	s.Kill(0)
+	if _, err := s.Insert("t", testRow(999)); !errors.Is(err, ErrLeaderDown) {
+		t.Fatalf("insert with dead leader: err = %v, want ErrLeaderDown", err)
+	}
+	newLeader, err := s.Promote(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newLeader != 1 {
+		t.Fatalf("promoted node %d, want most-caught-up follower 1", newLeader)
+	}
+	if s.Promotions() != 1 {
+		t.Fatalf("promotions = %d, want 1", s.Promotions())
+	}
+	if _, replayed := s.LastPromotion(); replayed != 3 {
+		// Exactly the 3-record dead tail follower 1 never saw.
+		t.Fatalf("promotion replayed %d records, want 3", replayed)
+	}
+	if got := nodeRows(t, s, 1); got != 14 {
+		t.Fatalf("new leader has %d rows, want 14 (no committed record lost)", got)
+	}
+	// Writes flow again; Ship catches the surviving follower up.
+	setInsert(t, s, 300, 2)
+	if err := s.Ship(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := nodeRows(t, s, 2); got != 16 {
+		t.Fatalf("follower 2 has %d rows after post-promotion ship, want 16", got)
+	}
+	if h := s.Health(); h[1].Role != "leader" || h[0].Role != "follower" || h[0].Status != "down" {
+		t.Fatalf("post-promotion health = %+v", h)
+	}
+}
+
+// TestPromoteNoLiveReplica pins the terminal failure: with every node
+// dead there is nothing to promote.
+func TestPromoteNoLiveReplica(t *testing.T) {
+	s := newTestSet(t, 1, 0)
+	s.Kill(0)
+	s.Kill(1)
+	if _, err := s.Promote(context.Background()); !errors.Is(err, ErrNoLiveReplica) {
+		t.Fatalf("promote with all nodes dead: err = %v, want ErrNoLiveReplica", err)
+	}
+	if _, _, ok := s.Route(ReadAny); ok {
+		t.Fatal("route succeeded with every node dead")
+	}
+}
+
+// TestRestartFollowerTails pins the cheap rejoin: a follower that was
+// down while the same leader kept writing reopens from its own
+// durable state and tails the gap — no snapshot re-seed.
+func TestRestartFollowerTails(t *testing.T) {
+	s := newTestSet(t, 2, 0)
+	if err := s.Ship(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	seedReseeds := s.nodes[1].reseeds.Load()
+	s.Kill(1)
+	setInsert(t, s, 100, 4)
+	if err := s.Ship(context.Background()); err != nil {
+		t.Fatal(err) // ships to the live follower only
+	}
+	if err := s.Restart(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := nodeRows(t, s, 1); got != 12 {
+		t.Fatalf("restarted follower has %d rows, want 12", got)
+	}
+	if got := s.nodes[1].reseeds.Load(); got != seedReseeds {
+		t.Fatalf("restart re-seeded (%d -> %d); a same-term rejoin must tail", seedReseeds, got)
+	}
+}
+
+// TestRestartAcrossPromotionReseeds pins the safety rule: a node that
+// was down across a promotion cannot prove its log is a prefix of the
+// new leader's stream, so rejoin re-seeds it from a snapshot.
+func TestRestartAcrossPromotionReseeds(t *testing.T) {
+	s := newTestSet(t, 2, 0)
+	if err := s.Ship(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s.Kill(2)
+	setInsert(t, s, 100, 2)
+	s.Kill(0)
+	if _, err := s.Promote(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	setInsert(t, s, 200, 3)
+	before := s.nodes[2].reseeds.Load()
+	if err := s.Restart(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.nodes[2].reseeds.Load(); got != before+1 {
+		t.Fatalf("rejoin across promotion re-seeded %d times, want exactly 1 more", got-before)
+	}
+	if got, want := nodeRows(t, s, 2), nodeRows(t, s, 1); got != want {
+		t.Fatalf("re-seeded node has %d rows, leader has %d", got, want)
+	}
+	// The old leader rejoins as a follower the same way.
+	before = s.nodes[0].reseeds.Load()
+	if err := s.Restart(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.nodes[0].reseeds.Load(); got != before+1 {
+		t.Fatalf("old leader rejoined without re-seed")
+	}
+	if h := s.Health(); h[0].Role != "follower" || h[0].Status != "ok" {
+		t.Fatalf("old leader health after rejoin = %+v", h[0])
+	}
+}
+
+// TestShipCancellation pins that a mid-ship cancellation unwinds with
+// the context error instead of wedging the set.
+func TestShipCancellation(t *testing.T) {
+	s := newTestSet(t, 1, 0)
+	setInsert(t, s, 100, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Ship(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ship under cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	// The set stays usable: a live ship completes the catch-up.
+	if err := s.Ship(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := nodeRows(t, s, 1); got != 13 {
+		t.Fatalf("follower has %d rows after recovery ship, want 13", got)
+	}
+}
+
+// TestRejoinReseedLeavesSiblingsIntact pins the replica directory
+// layout: follower directories are siblings of the leader's, so the
+// demoted ex-leader's rejoin re-seed (which wipes its own directory
+// wholesale) cannot destroy the live replicas' files. The regression
+// it guards: with followers nested under the leader directory, the
+// round-12-style rejoin wiped the promoted leader's WAL path and
+// every subsequent ship collapsed into a fresh snapshot re-seed.
+func TestRejoinReseedLeavesSiblingsIntact(t *testing.T) {
+	s := newTestSet(t, 2, 0)
+	ctx := context.Background()
+	if err := s.Ship(ctx); err != nil {
+		t.Fatal(err)
+	}
+	s.Kill(0)
+	if _, err := s.Promote(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert("t", testRow(100)); err != nil {
+		t.Fatal(err)
+	}
+	// The ex-leader rejoins on a term it has never seen: exactly one
+	// re-seed, from the promoted leader's snapshot.
+	if err := s.Restart(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	baseline := map[int]int64{}
+	for _, h := range s.Health() {
+		baseline[h.Replica] = h.Reseeds
+	}
+	if baseline[0] == 0 {
+		t.Fatal("rejoined ex-leader did not re-seed onto the bumped term")
+	}
+	// Steady-state shipping after the rejoin must tail, not re-seed:
+	// a growing count here means the rejoin wipe took the promoted
+	// leader's files with it.
+	for i := 0; i < 4; i++ {
+		if _, err := s.Insert("t", testRow(200+i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Ship(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, h := range s.Health() {
+		if h.Reseeds != baseline[h.Replica] {
+			t.Fatalf("replica %d re-seeded during steady-state shipping after rejoin (%d -> %d)",
+				h.Replica, baseline[h.Replica], h.Reseeds)
+		}
+		if h.Lag != 0 {
+			t.Fatalf("replica %d lag %d after quiesced ship", h.Replica, h.Lag)
+		}
+	}
+}

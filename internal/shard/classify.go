@@ -60,10 +60,14 @@ type plan struct {
 	class       class
 	participate []int // healthy shard ids running the statement
 	pruned      int   // shards excluded by partition-key predicates
-	shardStmt   *query.SelectStmt
-	hiddenKeys  int // trailing __k columns appended for the merge
-	mergeKeys   []mergeKey
-	agg         *aggPlan
+	// skipped lists unavailable shards (every replica down) whose rows
+	// the answer may need — the predicates did not prune them. Run
+	// refuses such plans unless Options.AllowPartial opted in.
+	skipped    []int
+	shardStmt  *query.SelectStmt
+	hiddenKeys int // trailing __k columns appended for the merge
+	mergeKeys  []mergeKey
+	agg        *aggPlan
 }
 
 // aliasInfo is one resolved FROM/JOIN entry.
@@ -79,7 +83,7 @@ type aliasInfo struct {
 func (c *Coordinator) classify(stmt *query.SelectStmt) (*plan, error) {
 	healthy := c.healthy()
 	if len(healthy) == 0 {
-		return nil, fmt.Errorf("shard: no healthy shards")
+		return nil, &UnavailableError{Shards: c.deadShards()}
 	}
 	fallback := &plan{class: classFallback, participate: healthy}
 
@@ -96,8 +100,14 @@ func (c *Coordinator) classify(stmt *query.SelectStmt) (*plan, error) {
 		}
 	}
 	if partitioned == 0 {
+		// Replicated tables are whole on every shard; any healthy one
+		// answers completely, so down shards cost no rows.
 		return &plan{class: classReplicated, participate: healthy[:1], pruned: len(c.shards) - 1}, nil
 	}
+	// Partitioned rows on an unavailable shard cannot be gathered or
+	// scattered over; every plan built past this point carries the
+	// list for the coordinator's availability policy.
+	fallback.skipped = c.deadShards()
 	if hasSubquery(stmt) || hasDistinctAgg(stmt) {
 		return fallback, nil
 	}
@@ -112,7 +122,7 @@ func (c *Coordinator) classify(stmt *query.SelectStmt) (*plan, error) {
 		return fallback, nil
 	}
 
-	participate, pruned := c.pruneShards(stmt, aliases, healthy)
+	participate, pruned, skipped := c.pruneShards(stmt, aliases, healthy)
 
 	isAgg := len(stmt.GroupBy) > 0 || stmt.Having != nil
 	for _, it := range stmt.Items {
@@ -125,7 +135,7 @@ func (c *Coordinator) classify(stmt *query.SelectStmt) (*plan, error) {
 		if !ok {
 			return fallback, nil
 		}
-		return &plan{class: classPartialAgg, participate: participate, pruned: pruned, agg: ap}, nil
+		return &plan{class: classPartialAgg, participate: participate, pruned: pruned, skipped: skipped, agg: ap}, nil
 	}
 	if len(stmt.Order) > 0 {
 		sp, keys, hidden, ok := buildOrderedShardStmt(stmt)
@@ -133,11 +143,11 @@ func (c *Coordinator) classify(stmt *query.SelectStmt) (*plan, error) {
 			return fallback, nil
 		}
 		return &plan{
-			class: classScatterOrdered, participate: participate, pruned: pruned,
+			class: classScatterOrdered, participate: participate, pruned: pruned, skipped: skipped,
 			shardStmt: sp, mergeKeys: keys, hiddenKeys: hidden,
 		}, nil
 	}
-	return &plan{class: classScatter, participate: participate, pruned: pruned}, nil
+	return &plan{class: classScatter, participate: participate, pruned: pruned, skipped: skipped}, nil
 }
 
 // resolveAliases maps the statement's FROM/JOIN entries to tables,
@@ -151,7 +161,7 @@ func (c *Coordinator) resolveAliases(stmt *query.SelectStmt) ([]aliasInfo, bool)
 	seen := make(map[string]bool, len(refs))
 	out := make([]aliasInfo, 0, len(refs))
 	for _, r := range refs {
-		tab, err := c.shards[0].db.Table(r.Name)
+		tab, err := c.shards[0].DB().Table(r.Name)
 		if err != nil {
 			return nil, false
 		}
@@ -277,8 +287,10 @@ func (c *Coordinator) coPartitioned(stmt *query.SelectStmt, aliases []aliasInfo)
 // never empty: a contradiction is served by one healthy shard, which
 // provably returns zero rows (any qualifying row would have to live
 // in the empty intersection). pruned counts against the full shard
-// set, before the health filter.
-func (c *Coordinator) pruneShards(stmt *query.SelectStmt, aliases []aliasInfo, healthy []int) ([]int, int) {
+// set, before the health filter. skipped lists the unavailable shards
+// the predicates did NOT prune — shards whose rows the answer may
+// need but cannot reach.
+func (c *Coordinator) pruneShards(stmt *query.SelectStmt, aliases []aliasInfo, healthy []int) ([]int, int, []int) {
 	in := make([]bool, len(c.shards))
 	for i := range in {
 		in[i] = true
@@ -344,22 +356,28 @@ func (c *Coordinator) pruneShards(stmt *query.SelectStmt, aliases []aliasInfo, h
 		}
 	}
 	var participate []int
+	healthySet := make(map[int]bool, len(healthy))
 	for _, id := range healthy {
+		healthySet[id] = true
 		if in[id] {
 			participate = append(participate, id)
 		}
 	}
 	constrained := 0
-	for _, keep := range in {
+	var skipped []int
+	for id, keep := range in {
 		if keep {
 			constrained++
+			if !healthySet[id] {
+				skipped = append(skipped, id)
+			}
 		}
 	}
 	pruned := len(c.shards) - constrained
 	if len(participate) == 0 {
 		participate = healthy[:1]
 	}
-	return participate, pruned
+	return participate, pruned, skipped
 }
 
 // keyComparison matches `col <op> literal` (either operand order,

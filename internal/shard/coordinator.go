@@ -4,32 +4,79 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"drugtree/internal/admission"
 	"drugtree/internal/phylo"
 	"drugtree/internal/query"
+	"drugtree/internal/replica"
 	"drugtree/internal/store"
 )
 
+// ErrShardUnavailable is the sentinel matched (via errors.Is) by the
+// typed UnavailableError the coordinator returns when a query needs a
+// shard whose every replica is down and Options.AllowPartial is off.
+var ErrShardUnavailable = errors.New("shard: shard unavailable")
+
+// UnavailableError reports which shards a query needed but could not
+// reach. By default the coordinator refuses to answer with silently
+// missing rows; callers that prefer degraded service opt in with
+// Options.AllowPartial and read Result.SkippedShards instead.
+type UnavailableError struct {
+	Shards []int
+}
+
+func (e *UnavailableError) Error() string {
+	return fmt.Sprintf("shard: shards %v unavailable (every replica down); "+
+		"enable AllowPartial to serve without their rows", e.Shards)
+}
+
+func (e *UnavailableError) Is(target error) bool { return target == ErrShardUnavailable }
+
 // Shard is one partition instance: its own store (own WAL when
 // durable), its own query engine over the shared tree, and its own
-// admission limiter. failed simulates a crashed instance for the
-// failover experiments: a failed shard is skipped by the scatter
-// planner and surfaced as degraded health.
+// admission limiter. With Options.Replicas > 0 the store is wrapped
+// in a replica.Set (leader + followers) and reads route across it.
+// failed simulates a crashed instance for the failover experiments: a
+// failed shard is skipped by the scatter planner and surfaced as
+// degraded health.
 type Shard struct {
 	id      int
-	db      *store.DB
+	db      *store.DB // the original leader store; authoritative when set == nil
+	set     *replica.Set
 	engine  *query.Engine
 	limiter *admission.Limiter
 	failed  atomic.Bool
 }
 
-// DB exposes the shard's store (read-only use expected).
-func (s *Shard) DB() *store.DB { return s.db }
+// DB exposes the shard's current leader store (writes and resync
+// always go here; read-only use expected otherwise).
+func (s *Shard) DB() *store.DB {
+	if s.set != nil {
+		return s.set.Leader()
+	}
+	return s.db
+}
+
+// Replicas exposes the shard's replica set (nil without replication).
+func (s *Shard) Replicas() *replica.Set { return s.set }
+
+// alive reports whether the shard can serve reads: not failed, and —
+// when replicated — at least one replica live.
+func (s *Shard) alive() bool {
+	if s.failed.Load() {
+		return false
+	}
+	if s.set != nil {
+		return s.set.Live() > 0
+	}
+	return true
+}
 
 // Limiter exposes the shard's admission limiter (nil when admission
 // is unconfigured).
@@ -51,12 +98,32 @@ type Coordinator struct {
 	// mid-flight gather is deterministic.
 	gateHook func(ctx context.Context, shard int) error
 
-	// epoch counts topology transitions (FailShard/RestoreShard).
-	// Result caches in front of the coordinator fold it into their
-	// version so an entry filled against one topology is never served
-	// against another — a full COUNT cached before a shard failed
-	// must not mask the degraded answer, nor the reverse.
+	// epoch counts topology transitions (FailShard/RestoreShard,
+	// replica kill/restart, promotion). Result caches in front of the
+	// coordinator fold it into their version so an entry filled
+	// against one topology is never served against another — a full
+	// COUNT cached before a shard failed must not mask the degraded
+	// answer, nor the reverse, nor a pre-promotion answer after one.
 	epoch atomic.Int64
+
+	// policy selects which replica of a set answers reads (ReadAny
+	// round-robin by default). Stored as int32 for lock-free reads on
+	// the scatter path.
+	policy atomic.Int32
+
+	// tempDir is the auto-created durability root when replication was
+	// requested over an in-memory topology; removed on Close.
+	tempDir string
+}
+
+// SetReadPolicy switches how read subplans route across each shard's
+// replica set. It does not change data, only placement, so it does
+// not bump the topology epoch.
+func (c *Coordinator) SetReadPolicy(p replica.ReadPolicy) { c.policy.Store(int32(p)) }
+
+// ReadPolicy returns the current read routing policy.
+func (c *Coordinator) ReadPolicy() replica.ReadPolicy {
+	return replica.ReadPolicy(c.policy.Load())
 }
 
 // Shards returns the shard count.
@@ -65,11 +132,23 @@ func (c *Coordinator) Shards() int { return len(c.shards) }
 // Shard returns the i-th shard.
 func (c *Coordinator) Shard(i int) *Shard { return c.shards[i] }
 
-// Close closes every shard store.
+// Close closes every shard store (and replica set), then removes the
+// auto-created durability root if replication manufactured one.
 func (c *Coordinator) Close() error {
 	var first error
 	for _, s := range c.shards {
-		if err := s.db.Close(); err != nil && first == nil {
+		var err error
+		if s.set != nil {
+			err = s.set.Close()
+		} else {
+			err = s.db.Close()
+		}
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if c.tempDir != "" {
+		if err := os.RemoveAll(c.tempDir); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -92,6 +171,150 @@ func (c *Coordinator) RestoreShard(i int) {
 	c.epoch.Add(1)
 }
 
+// KillLeader crashes shard i's current leader. With replicas the
+// followers keep serving reads (the shard stays available, read-only)
+// until SyncReplicas promotes one; without replicas it degrades to
+// FailShard. The replica set's topology callback bumps the epoch.
+func (c *Coordinator) KillLeader(i int) {
+	s := c.shards[i]
+	if s.set == nil {
+		c.FailShard(i)
+		return
+	}
+	s.set.Kill(s.set.LeaderIndex())
+}
+
+// KillReplica crashes replica j of shard i.
+func (c *Coordinator) KillReplica(i, j int) {
+	if s := c.shards[i]; s.set != nil {
+		s.set.Kill(j)
+	}
+}
+
+// RestartReplica brings replica j of shard i back: it reopens from
+// its durable state and catches up (tailing, or re-seeding if it was
+// down across a promotion).
+func (c *Coordinator) RestartReplica(ctx context.Context, i, j int) error {
+	s := c.shards[i]
+	if s.set == nil {
+		return fmt.Errorf("shard %d has no replicas", i)
+	}
+	return s.set.Restart(ctx, j)
+}
+
+// SyncReplicas is one replication tick across every shard: a shard
+// whose leader died gets the most-caught-up live follower promoted
+// (tail replayed, epoch bumped so the statement cache invalidates),
+// then every live leader ships its pending WAL tail to its followers.
+// Shards with every replica down are skipped — they surface through
+// Health and the unavailable-shard policy, not as a sync error.
+func (c *Coordinator) SyncReplicas(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var first error
+	for i, s := range c.shards {
+		if s.set == nil {
+			continue
+		}
+		if s.set.Live() == 0 {
+			continue
+		}
+		if _, err := s.set.Promote(ctx); err != nil {
+			if first == nil {
+				first = fmt.Errorf("shard %d promote: %w", i, err)
+			}
+			continue
+		}
+		if err := s.set.Ship(ctx); err != nil {
+			if first == nil {
+				first = fmt.Errorf("shard %d ship: %w", i, err)
+			}
+		}
+	}
+	return first
+}
+
+// MaxServedLag returns the largest replica lag any served read has
+// observed across all shards — the empirical staleness bound the T12
+// chaos run asserts against Options.MaxLagSeqs.
+func (c *Coordinator) MaxServedLag() int64 {
+	var max int64
+	for _, s := range c.shards {
+		if s.set == nil {
+			continue
+		}
+		if l := s.set.MaxServedLag(); l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// Promotions returns the total leader promotions across all shards.
+func (c *Coordinator) Promotions() int64 {
+	var n int64
+	for _, s := range c.shards {
+		if s.set != nil {
+			n += s.set.Promotions()
+		}
+	}
+	return n
+}
+
+// LastPromotion reports the slowest promotion any shard's replica set
+// has performed — its latency and the WAL tail records it replayed —
+// or zeros when no leader has been promoted over. Experiments use it
+// as the failover-cost measurement.
+func (c *Coordinator) LastPromotion() (time.Duration, int64) {
+	var lat time.Duration
+	var replayed int64
+	for _, s := range c.shards {
+		if s.set == nil {
+			continue
+		}
+		if l, r := s.set.LastPromotion(); l > lat || (l == lat && r > replayed) {
+			lat, replayed = l, r
+		}
+	}
+	return lat, replayed
+}
+
+// Insert routes one row write to the owning shard's leader: by the
+// table's first partition key, or to every shard for replicated
+// tables. It is the coordinator-level write path the chaos workload
+// drives while leaders are being killed.
+func (c *Coordinator) Insert(table string, r store.Row) (int64, error) {
+	spec, ok := c.specs[table]
+	if !ok || len(spec.keys) == 0 {
+		var last int64
+		for _, s := range c.shards {
+			id, err := c.insertShard(s, table, r)
+			if err != nil {
+				return 0, err
+			}
+			last = id
+		}
+		return last, nil
+	}
+	tab, err := c.shards[0].DB().Table(table)
+	if err != nil {
+		return 0, err
+	}
+	ci := tab.Schema().ColumnIndex(spec.keys[0].column)
+	if ci < 0 || ci >= len(r) {
+		return 0, fmt.Errorf("shard: row lacks partition key %s.%s", table, spec.keys[0].column)
+	}
+	return c.insertShard(c.shards[spec.keys[0].part.Route(r[ci])], table, r)
+}
+
+func (c *Coordinator) insertShard(s *Shard, table string, r store.Row) (int64, error) {
+	if s.set != nil {
+		return s.set.Insert(table, r)
+	}
+	return s.db.Insert(table, r)
+}
+
 // Epoch returns the topology-transition counter: it changes whenever
 // a shard fails or is restored, so cached results keyed on it are
 // invalidated across topology changes.
@@ -99,9 +322,11 @@ func (c *Coordinator) Epoch() int64 { return c.epoch.Load() }
 
 // Health is one shard's liveness and size snapshot.
 type Health struct {
-	Shard  int
-	Status string // "ok" or "failed"
-	Rows   int64  // partitioned rows resident on the shard
+	Shard    int
+	Status   string // "ok", "degraded" (some replica down), or "failed"
+	Rows     int64  // partitioned rows resident on the shard
+	WALSeq   int64  // leader WAL frontier (0 for in-memory stores)
+	Replicas []replica.Health // per-replica status (nil without replication)
 }
 
 // Health reports per-shard status for the serving layers (the mobile
@@ -110,11 +335,20 @@ func (c *Coordinator) Health() []Health {
 	out := make([]Health, len(c.shards))
 	for i, s := range c.shards {
 		h := Health{Shard: i, Status: "ok"}
-		if s.failed.Load() {
+		if !s.alive() {
 			h.Status = "failed"
 		}
+		if s.set != nil {
+			h.Replicas = s.set.Health()
+			h.WALSeq = s.set.Frontier()
+			if h.Status == "ok" && s.set.Live() < s.set.Nodes() {
+				h.Status = "degraded"
+			}
+		} else {
+			h.WALSeq = s.db.WALSeq()
+		}
 		for name := range c.specs {
-			if t, err := s.db.Table(name); err == nil {
+			if t, err := s.DB().Table(name); err == nil {
 				h.Rows += int64(t.Len())
 			}
 		}
@@ -123,11 +357,22 @@ func (c *Coordinator) Health() []Health {
 	return out
 }
 
-// healthy returns the indexes of shards not marked failed.
+// healthy returns the indexes of shards that can serve reads.
 func (c *Coordinator) healthy() []int {
 	var out []int
 	for i, s := range c.shards {
-		if !s.failed.Load() {
+		if s.alive() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// deadShards returns the indexes of shards that cannot serve reads.
+func (c *Coordinator) deadShards() []int {
+	var out []int
+	for i, s := range c.shards {
+		if !s.alive() {
 			out = append(out, i)
 		}
 	}
@@ -161,21 +406,68 @@ func (c *Coordinator) Run(ctx context.Context, stmt *query.SelectStmt) (*query.R
 	if err != nil {
 		return nil, err
 	}
+	if len(pl.skipped) > 0 && !c.opts.AllowPartial {
+		// The answer would need rows from shards with every replica
+		// down. Refuse rather than silently under-report; AllowPartial
+		// opts into degraded answers annotated with SkippedShards.
+		return nil, &UnavailableError{Shards: pl.skipped}
+	}
+	var res *query.Result
 	if stmt.Explain {
-		return c.explain(ctx, stmt, pl)
+		res, err = c.explain(ctx, stmt, pl)
+	} else {
+		switch pl.class {
+		case classReplicated:
+			res, err = c.runReplicated(ctx, stmt, pl)
+		case classScatter:
+			res, err = c.runScatter(ctx, stmt, pl)
+		case classScatterOrdered:
+			res, err = c.runScatterOrdered(ctx, stmt, pl)
+		case classPartialAgg:
+			res, err = c.runPartialAgg(ctx, stmt, pl)
+		default:
+			res, err = c.runFallback(ctx, stmt)
+		}
 	}
-	switch pl.class {
-	case classReplicated:
-		return c.runReplicated(ctx, stmt, pl)
-	case classScatter:
-		return c.runScatter(ctx, stmt, pl)
-	case classScatterOrdered:
-		return c.runScatterOrdered(ctx, stmt, pl)
-	case classPartialAgg:
-		return c.runPartialAgg(ctx, stmt, pl)
-	default:
-		return c.runFallback(ctx, stmt)
+	if err != nil {
+		return nil, err
 	}
+	if len(pl.skipped) > 0 {
+		res.SkippedShards = append([]int(nil), pl.skipped...)
+	}
+	return res, nil
+}
+
+// routeEngine picks the engine that answers a read subplan on shard
+// s: the replica router under the coordinator's read policy when the
+// shard is replicated, the shard's single engine otherwise. ok is
+// false when every replica of the shard is down.
+func (c *Coordinator) routeEngine(s *Shard) (*query.Engine, bool) {
+	if s.set == nil {
+		return s.engine, true
+	}
+	eng, _, ok := s.set.Route(c.ReadPolicy())
+	return eng, ok
+}
+
+// runStmt clones and executes one shard-local statement on a routed
+// replica of s.
+func (c *Coordinator) runStmt(ctx context.Context, s *Shard, stmt *query.SelectStmt) (*query.Result, error) {
+	eng, ok := c.routeEngine(s)
+	if !ok {
+		return nil, &UnavailableError{Shards: []int{s.id}}
+	}
+	return eng.Run(ctx, cloneStmt(stmt))
+}
+
+// gatherHeader renders the scatter plan header. The skipped count is
+// appended only when shards were actually skipped, keeping the
+// common-case plan strings stable across the replication feature.
+func gatherHeader(mode string, participate, pruned, skipped int) string {
+	if skipped > 0 {
+		return fmt.Sprintf("Gather [shards=%d pruned=%d skipped=%d mode=%s]", participate, pruned, skipped, mode)
+	}
+	return fmt.Sprintf("Gather [shards=%d pruned=%d mode=%s]", participate, pruned, mode)
 }
 
 // scatter fans run out over the given shards, one goroutine per
@@ -259,7 +551,7 @@ func mergeStats(results []*query.Result) query.ExecStats {
 func (c *Coordinator) runReplicated(ctx context.Context, stmt *query.SelectStmt, pl *plan) (*query.Result, error) {
 	s := c.shards[pl.participate[0]]
 	return c.runOne(ctx, s, func(ctx context.Context, s *Shard) (*query.Result, error) {
-		return s.engine.Run(ctx, cloneStmt(stmt))
+		return c.runStmt(ctx, s, stmt)
 	})
 }
 
@@ -276,7 +568,7 @@ func (c *Coordinator) runReplicated(ctx context.Context, stmt *query.SelectStmt,
 // row identity.
 func (c *Coordinator) runScatter(ctx context.Context, stmt *query.SelectStmt, pl *plan) (*query.Result, error) {
 	results, err := c.scatter(ctx, pl.participate, func(ctx context.Context, s *Shard) (*query.Result, error) {
-		return s.engine.Run(ctx, cloneStmt(stmt))
+		return c.runStmt(ctx, s, stmt)
 	})
 	if err != nil {
 		return nil, err
@@ -289,7 +581,7 @@ func (c *Coordinator) runScatter(ctx context.Context, stmt *query.SelectStmt, pl
 		out.Rows = out.Rows[:stmt.Limit]
 	}
 	out.Stats.RowsReturned = int64(len(out.Rows))
-	out.Plan = fmt.Sprintf("Gather [shards=%d pruned=%d mode=scatter]", len(pl.participate), pl.pruned)
+	out.Plan = gatherHeader("scatter", len(pl.participate), pl.pruned, len(pl.skipped))
 	return out, nil
 }
 
@@ -307,7 +599,7 @@ func (c *Coordinator) runScatter(ctx context.Context, stmt *query.SelectStmt, pl
 func (c *Coordinator) runScatterOrdered(ctx context.Context, stmt *query.SelectStmt, pl *plan) (*query.Result, error) {
 	shardStmt := pl.shardStmt
 	results, err := c.scatter(ctx, pl.participate, func(ctx context.Context, s *Shard) (*query.Result, error) {
-		return s.engine.Run(ctx, cloneStmt(shardStmt))
+		return c.runStmt(ctx, s, shardStmt)
 	})
 	if err != nil {
 		return nil, err
@@ -340,7 +632,7 @@ func (c *Coordinator) runScatterOrdered(ctx context.Context, stmt *query.SelectS
 	}
 	out.Rows = rows
 	out.Stats.RowsReturned = int64(len(out.Rows))
-	out.Plan = fmt.Sprintf("Gather [shards=%d pruned=%d mode=scatter-ordered]", len(pl.participate), pl.pruned)
+	out.Plan = gatherHeader("scatter-ordered", len(pl.participate), pl.pruned, len(pl.skipped))
 	return out, nil
 }
 
@@ -354,7 +646,7 @@ func (c *Coordinator) runScatterOrdered(ctx context.Context, stmt *query.SelectS
 func (c *Coordinator) GatherTables(ctx context.Context, names []string) (*store.DB, error) {
 	healthy := c.healthy()
 	if len(healthy) == 0 {
-		return nil, fmt.Errorf("shard: no healthy shards")
+		return nil, &UnavailableError{Shards: c.deadShards()}
 	}
 	db, err := store.Open("")
 	if err != nil {
@@ -364,7 +656,7 @@ func (c *Coordinator) GatherTables(ctx context.Context, names []string) (*store.
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		first, err := c.shards[healthy[0]].db.Table(name)
+		first, err := c.shards[healthy[0]].DB().Table(name)
 		if err != nil {
 			return nil, err
 		}
@@ -377,7 +669,7 @@ func (c *Coordinator) GatherTables(ctx context.Context, names []string) (*store.
 			from = healthy[:1]
 		}
 		for _, si := range from {
-			st, err := c.shards[si].db.Table(name)
+			st, err := c.shards[si].DB().Table(name)
 			if err != nil {
 				return nil, err
 			}
@@ -434,9 +726,13 @@ func (c *Coordinator) explain(ctx context.Context, stmt *query.SelectStmt, pl *p
 		shardStmt = pl.agg.shardStmt
 	}
 	run := func(ctx context.Context, s *Shard) (*query.Result, error) {
+		eng, ok := c.routeEngine(s)
+		if !ok {
+			return nil, &UnavailableError{Shards: []int{s.id}}
+		}
 		sub := cloneStmt(shardStmt)
 		sub.Explain, sub.Analyze = true, stmt.Analyze
-		return s.engine.Run(ctx, sub)
+		return eng.Run(ctx, sub)
 	}
 	var results []*query.Result
 	var err error
@@ -457,7 +753,7 @@ func (c *Coordinator) explain(ctx context.Context, stmt *query.SelectStmt, pl *p
 		return nil, err
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "Gather [shards=%d pruned=%d mode=%s]", len(pl.participate), pl.pruned, pl.class)
+	b.WriteString(gatherHeader(pl.class.String(), len(pl.participate), pl.pruned, len(pl.skipped)))
 	for i, r := range results {
 		fmt.Fprintf(&b, "\nshard %d:\n%s", pl.participate[i], indent(r.Plan))
 	}

@@ -135,12 +135,13 @@ func TestExplainShardPruning(t *testing.T) {
 	}
 }
 
-// TestFailoverDegradedService fails one shard and requires queries to
-// keep answering from the healthy remainder, with the loss visible
-// in Health and the pruned point lookups still exact.
+// TestFailoverDegradedService fails one shard and requires queries —
+// under the AllowPartial policy — to keep answering from the healthy
+// remainder, with the loss visible in Health, annotated on results as
+// SkippedShards, and the pruned point lookups still exact.
 func TestFailoverDegradedService(t *testing.T) {
 	db, tree := buildFixture(t, fixtureConfig(7))
-	c := newCoordinator(t, db, tree, Options{Shards: 3, QueryOptions: rowOptions()})
+	c := newCoordinator(t, db, tree, Options{Shards: 3, QueryOptions: rowOptions(), AllowPartial: true})
 	ctx := context.Background()
 
 	total, err := c.Query(ctx, "SELECT COUNT(*) FROM proteins")
@@ -175,6 +176,9 @@ func TestFailoverDegradedService(t *testing.T) {
 		t.Fatalf("query against degraded topology: %v", err)
 	}
 	got := degraded.Rows[0][0].I
+	if len(degraded.SkippedShards) != 1 || degraded.SkippedShards[0] != victim {
+		t.Fatalf("degraded result SkippedShards = %v, want [%d]", degraded.SkippedShards, victim)
+	}
 	var victimRows int64
 	vt, err := c.Shard(victim).DB().Table("proteins")
 	if err != nil {

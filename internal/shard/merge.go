@@ -206,7 +206,7 @@ func (c *Coordinator) buildAggPlan(stmt *query.SelectStmt, aliases []aliasInfo) 
 		order = append(order, query.OrderKey{Expr: e, Desc: k.Desc})
 	}
 
-	outNames, err := query.OutputColumns(cloneStmt(stmt), query.NewDBCatalog(c.shards[0].db, c.tree))
+	outNames, err := query.OutputColumns(cloneStmt(stmt), query.NewDBCatalog(c.shards[0].DB(), c.tree))
 	if err != nil {
 		return nil, false
 	}
@@ -301,7 +301,7 @@ type mergedGroup struct {
 func (c *Coordinator) runPartialAgg(ctx context.Context, stmt *query.SelectStmt, pl *plan) (*query.Result, error) {
 	ap := pl.agg
 	results, err := c.scatter(ctx, pl.participate, func(ctx context.Context, s *Shard) (*query.Result, error) {
-		return s.engine.Run(ctx, cloneStmt(ap.shardStmt))
+		return c.runStmt(ctx, s, ap.shardStmt)
 	})
 	if err != nil {
 		return nil, err
@@ -353,7 +353,7 @@ func (c *Coordinator) runPartialAgg(ctx context.Context, stmt *query.SelectStmt,
 	}
 	res.Stats = mergeStats(results)
 	res.Stats.RowsReturned = int64(len(res.Rows))
-	res.Plan = fmt.Sprintf("Gather [shards=%d pruned=%d mode=partial-agg]", len(pl.participate), pl.pruned)
+	res.Plan = gatherHeader("partial-agg", len(pl.participate), pl.pruned, len(pl.skipped))
 	return res, nil
 }
 

@@ -23,8 +23,10 @@ import (
 	"path/filepath"
 
 	"drugtree/internal/admission"
+	"drugtree/internal/netsim"
 	"drugtree/internal/phylo"
 	"drugtree/internal/query"
+	"drugtree/internal/replica"
 	"drugtree/internal/store"
 )
 
@@ -148,6 +150,26 @@ type Options struct {
 	// Shards-1, strictly increasing). Tests use it to force skew:
 	// empty shards, or every row on one shard.
 	Cuts []int64
+	// Replicas, when positive, wraps every shard in a replica set:
+	// one leader plus Replicas followers kept current by WAL
+	// shipping, with read subplans routed across the set. WAL
+	// shipping needs a log, so an in-memory topology (empty Dir) gets
+	// a private temporary durability root that lives and dies with
+	// the coordinator. 0 keeps the single-store path.
+	Replicas int
+	// MaxLagSeqs bounds replica read staleness: a follower more than
+	// this many WAL records behind its set's frontier is skipped by
+	// the read router. 0 demands fully-caught-up followers; negative
+	// disables the bound.
+	MaxLagSeqs int64
+	// AllowPartial serves queries that need unavailable shards (every
+	// replica down) from the reachable ones, annotating the result
+	// with SkippedShards, instead of failing with ErrShardUnavailable.
+	AllowPartial bool
+	// Clock is the replication time source (promotion latency is
+	// measured through it). Defaults to the wall clock; the chaos
+	// experiments inject a virtual one.
+	Clock netsim.Clock
 }
 
 // Partition splits src across opts.Shards shard stores and returns
@@ -222,6 +244,22 @@ func Partition(src *store.DB, tree *phylo.Tree, opts Options) (*Coordinator, err
 			}
 		}
 	}
+	if opts.Replicas > 0 && opts.Dir == "" {
+		td, err := os.MkdirTemp("", "drugtree-shards-")
+		if err != nil {
+			return nil, fmt.Errorf("shard: replica durability root: %w", err)
+		}
+		opts.Dir = td
+		c.tempDir = td
+		c.opts.Dir = td
+	}
+	done := false
+	defer func() {
+		if !done && c.tempDir != "" {
+			os.RemoveAll(c.tempDir)
+		}
+	}()
+
 	// Durable topologies are crash-safe through a completion
 	// manifest: only a previous run that populated and checkpointed
 	// every shard left one behind, and it must still describe the
@@ -297,6 +335,34 @@ func Partition(src *store.DB, tree *phylo.Tree, opts Options) (*Coordinator, err
 			return nil, err
 		}
 	}
+	// Replica sets wrap the populated leaders last, so followers seed
+	// from the complete partitioning in one snapshot each.
+	if opts.Replicas > 0 {
+		for i, s := range c.shards {
+			set, err := replica.NewSet(s.db, replica.Config{
+				Followers:  opts.Replicas,
+				MaxLagSeqs: opts.MaxLagSeqs,
+				Clock:      opts.Clock,
+				OpenEngine: func(db *store.DB) *query.Engine {
+					return query.NewEngine(query.NewDBCatalog(db, tree), opts.QueryOptions)
+				},
+			}, func() { c.epoch.Add(1) })
+			if err != nil {
+				// NewSet closed shard i's leader on its own failure;
+				// close the sets already built and the untouched leaders.
+				for _, t := range c.shards {
+					if t.set != nil {
+						t.set.Close()
+					} else if t != s {
+						t.db.Close()
+					}
+				}
+				return nil, fmt.Errorf("shard %d replicas: %w", i, err)
+			}
+			s.set = set
+		}
+	}
+	done = true
 	return c, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -11,6 +12,16 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+)
+
+// Replication stream errors. ErrWALGap means the requested range has
+// been truncated (checkpointed away) or an applied record is not the
+// immediate successor of the local sequence — the subscriber must
+// re-seed from a snapshot. ErrWALCorrupt means a fully-present record
+// failed its checksum: the stream cannot be trusted past that point.
+var (
+	ErrWALGap     = errors.New("store: WAL sequence gap")
+	ErrWALCorrupt = errors.New("store: WAL record corrupt")
 )
 
 // DB is a named collection of tables with optional durability: when
@@ -35,15 +46,24 @@ func Open(dir string) (*DB, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
 	}
-	if err := db.loadSnapshot(); err != nil {
+	snapSeq, err := db.loadSnapshot()
+	if err != nil {
 		return nil, err
 	}
-	if err := db.replayWAL(); err != nil {
+	walSeq, err := db.replayWAL()
+	if err != nil {
 		return nil, err
 	}
 	w, err := openWAL(db.walPath())
 	if err != nil {
 		return nil, err
+	}
+	// The sequence counter survives reopen: the snapshot trailer holds
+	// the seq at checkpoint time and each surviving WAL record carries
+	// its own, so the next mutation continues the monotonic stream.
+	w.seq = snapSeq
+	if walSeq > w.seq {
+		w.seq = walSeq
 	}
 	db.wal = w
 	return db, nil
@@ -215,7 +235,11 @@ func (db *DB) Checkpoint() error {
 		return err
 	}
 	w := bufio.NewWriter(f)
-	if err := db.writeSnapshot(w); err != nil {
+	var seq int64
+	if db.wal != nil {
+		seq = db.wal.Seq()
+	}
+	if err := db.writeSnapshot(w, seq); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -250,7 +274,7 @@ func (db *DB) Checkpoint() error {
 // snapshotMagic identifies DrugTree snapshot files.
 var snapshotMagic = []byte("DTSNAP1\n")
 
-func (db *DB) writeSnapshot(w *bufio.Writer) error {
+func (db *DB) writeSnapshot(w *bufio.Writer, seq int64) error {
 	if _, err := w.Write(snapshotMagic); err != nil {
 		return err
 	}
@@ -273,7 +297,30 @@ func (db *DB) writeSnapshot(w *bufio.Writer) error {
 			return err
 		}
 	}
-	return nil
+	// Trailer: the WAL sequence this snapshot is current through.
+	// Readers that predate the trailer stop at the last table; readers
+	// that expect it treat EOF as seq 0 (legacy snapshot).
+	buf = binary.AppendUvarint(buf[:0], uint64(seq))
+	_, err := w.Write(buf)
+	return err
+}
+
+// WriteSnapshotTo streams a snapshot of the current contents to w and
+// returns the WAL sequence the image is current through. The caller
+// must quiesce writers for the image/seq pair to be consistent — the
+// replica layer serializes seeding against leader writes.
+func (db *DB) WriteSnapshotTo(w io.Writer) (int64, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var seq int64
+	if db.wal != nil {
+		seq = db.wal.Seq()
+	}
+	bw := bufio.NewWriter(w)
+	if err := db.writeSnapshot(bw, seq); err != nil {
+		return 0, err
+	}
+	return seq, bw.Flush()
 }
 
 func writeTableSnapshot(w *bufio.Writer, t *Table) error {
@@ -335,33 +382,37 @@ func readString(r *bufio.Reader) (string, error) {
 	return string(b), nil
 }
 
-func (db *DB) loadSnapshot() error {
+func (db *DB) loadSnapshot() (int64, error) {
 	f, err := os.Open(db.snapshotPath())
 	if os.IsNotExist(err) {
-		return nil
+		return 0, nil
 	}
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer f.Close()
 	r := bufio.NewReader(f)
 	magic := make([]byte, len(snapshotMagic))
 	if _, err := io.ReadFull(r, magic); err != nil {
-		return fmt.Errorf("store: reading snapshot magic: %w", err)
+		return 0, fmt.Errorf("store: reading snapshot magic: %w", err)
 	}
 	if string(magic) != string(snapshotMagic) {
-		return fmt.Errorf("store: %s is not a DrugTree snapshot", db.snapshotPath())
+		return 0, fmt.Errorf("store: %s is not a DrugTree snapshot", db.snapshotPath())
 	}
 	nTables, err := binary.ReadUvarint(r)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	for ti := uint64(0); ti < nTables; ti++ {
 		if err := db.loadTableSnapshot(r); err != nil {
-			return fmt.Errorf("store: loading table %d: %w", ti, err)
+			return 0, fmt.Errorf("store: loading table %d: %w", ti, err)
 		}
 	}
-	return nil
+	seq, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, nil // legacy snapshot without a seq trailer
+	}
+	return int64(seq), nil
 }
 
 func (db *DB) loadTableSnapshot(r *bufio.Reader) error {
@@ -445,11 +496,13 @@ const (
 	walDelete      = 3
 )
 
-// walWriter appends length-prefixed CRC-protected records.
+// walWriter appends length-prefixed CRC-protected records, each
+// carrying a monotonic sequence number so replicas can tail the log.
 type walWriter struct {
 	mu  sync.Mutex
 	f   *os.File
 	buf []byte
+	seq int64
 }
 
 func openWAL(path string) (*walWriter, error) {
@@ -466,7 +519,9 @@ func (w *walWriter) Close() error {
 	return w.f.Close()
 }
 
-// Reset truncates the log (called after a checkpoint).
+// Reset truncates the log (called after a checkpoint). The sequence
+// counter is NOT reset: seq is monotonic for the lifetime of the
+// database so replicas can detect a truncation as a gap.
 func (w *walWriter) Reset() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -477,18 +532,48 @@ func (w *walWriter) Reset() error {
 	return err
 }
 
-// writeRecord frames payload as: uvarint length, payload, crc32.
-func (w *walWriter) writeRecord(payload []byte) error {
+// Seq returns the sequence number of the last record written.
+func (w *walWriter) Seq() int64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	return w.seq
+}
+
+// writeRecord assigns the next sequence number and appends body.
+func (w *walWriter) writeRecord(body []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.writeRecordLocked(w.seq+1, body)
+}
+
+// writeRecordAt appends body under an externally-assigned sequence
+// number (a replicated record): it must be the immediate successor of
+// the local stream or the caller has lost records.
+func (w *walWriter) writeRecordAt(seq int64, body []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if seq != w.seq+1 {
+		return fmt.Errorf("store: WAL append seq %d after %d: %w", seq, w.seq, ErrWALGap)
+	}
+	return w.writeRecordLocked(seq, body)
+}
+
+// writeRecordLocked frames `uvarint(seq) ++ body` as: uvarint length,
+// payload, crc32. Callers hold w.mu.
+func (w *walWriter) writeRecordLocked(seq int64, body []byte) error {
+	payload := binary.AppendUvarint(nil, uint64(seq))
+	payload = append(payload, body...)
 	w.buf = w.buf[:0]
 	w.buf = binary.AppendUvarint(w.buf, uint64(len(payload)))
 	w.buf = append(w.buf, payload...)
 	var crc [4]byte
 	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
 	w.buf = append(w.buf, crc[:]...)
-	_, err := w.f.Write(w.buf)
-	return err
+	if _, err := w.f.Write(w.buf); err != nil {
+		return err
+	}
+	w.seq = seq
+	return nil
 }
 
 func (w *walWriter) logCreateTable(name string, schema *Schema) error {
@@ -519,11 +604,85 @@ func (w *walWriter) logDelete(table string, r Row) error {
 	return w.writeRecord(p)
 }
 
-// replayWAL applies logged mutations after the snapshot. A torn or
-// corrupt tail record ends replay cleanly (standard WAL semantics).
-func (db *DB) replayWAL() error {
+// replayWAL applies logged mutations after the snapshot and returns
+// the sequence number of the last record applied. A torn or corrupt
+// tail record ends replay cleanly (standard WAL semantics).
+func (db *DB) replayWAL() (int64, error) {
 	f, err := os.Open(db.walPath())
 	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var last int64
+	for {
+		n, err := binary.ReadUvarint(r)
+		if err == io.EOF {
+			return last, nil
+		}
+		if err != nil {
+			return last, nil // torn length: stop replay
+		}
+		if n > 64<<20 {
+			return last, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return last, nil // torn payload
+		}
+		var crc [4]byte
+		if _, err := io.ReadFull(r, crc[:]); err != nil {
+			return last, nil
+		}
+		if binary.LittleEndian.Uint32(crc[:]) != crc32.ChecksumIEEE(payload) {
+			return last, nil // corrupt record: stop
+		}
+		seq, m := binary.Uvarint(payload)
+		if m <= 0 {
+			return last, nil // unparseable seq prefix: stop
+		}
+		if err := db.applyWALRecord(payload[m:]); err != nil {
+			return last, fmt.Errorf("store: replaying WAL: %w", err)
+		}
+		last = int64(seq)
+	}
+}
+
+// WALSeq returns the sequence number of the last WAL record written.
+// An in-memory database (no WAL) always reports 0.
+func (db *DB) WALSeq() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.wal == nil {
+		return 0
+	}
+	return db.wal.Seq()
+}
+
+// ScanWAL streams the bodies of WAL records with sequence numbers
+// strictly greater than fromSeq, in order. It is the replication
+// segment-read API: a follower at fromSeq calls it on the leader's
+// store and applies each record via ApplyReplicated.
+//
+// Error contract:
+//   - A torn tail (bytes run out mid-record) ends the scan cleanly —
+//     the record was never durably committed.
+//   - A fully-present record failing its CRC yields ErrWALCorrupt.
+//   - Records missing below fromSeq+1 (checkpoint truncated them
+//     away) yield ErrWALGap: the caller must re-seed from a snapshot.
+func (db *DB) ScanWAL(fromSeq int64, fn func(seq int64, body []byte) error) error {
+	if db.dir == "" {
+		return errors.New("store: ScanWAL requires a durable database")
+	}
+	frontier := db.WALSeq()
+	f, err := os.Open(db.walPath())
+	if os.IsNotExist(err) {
+		if frontier > fromSeq {
+			return fmt.Errorf("store: records after seq %d truncated: %w", fromSeq, ErrWALGap)
+		}
 		return nil
 	}
 	if err != nil {
@@ -531,13 +690,18 @@ func (db *DB) replayWAL() error {
 	}
 	defer f.Close()
 	r := bufio.NewReader(f)
+	next := fromSeq + 1
+	var prev int64
 	for {
 		n, err := binary.ReadUvarint(r)
-		if err == io.EOF {
-			return nil
-		}
 		if err != nil {
-			return nil // torn length: stop replay
+			// EOF or torn length: end of committed log. An empty log
+			// while the database is ahead of the caller means a
+			// checkpoint truncated the records away.
+			if prev == 0 && next <= frontier {
+				return fmt.Errorf("store: records after seq %d truncated: %w", fromSeq, ErrWALGap)
+			}
+			return nil
 		}
 		if n > 64<<20 {
 			return nil
@@ -548,15 +712,47 @@ func (db *DB) replayWAL() error {
 		}
 		var crc [4]byte
 		if _, err := io.ReadFull(r, crc[:]); err != nil {
-			return nil
+			return nil // torn checksum
 		}
 		if binary.LittleEndian.Uint32(crc[:]) != crc32.ChecksumIEEE(payload) {
-			return nil // corrupt record: stop
+			return fmt.Errorf("store: WAL record after seq %d: %w", prev, ErrWALCorrupt)
 		}
-		if err := db.applyWALRecord(payload); err != nil {
-			return fmt.Errorf("store: replaying WAL: %w", err)
+		seq, m := binary.Uvarint(payload)
+		if m <= 0 {
+			return fmt.Errorf("store: WAL record after seq %d: %w", prev, ErrWALCorrupt)
 		}
+		prev = int64(seq)
+		if int64(seq) < next {
+			continue // already applied by the caller
+		}
+		if int64(seq) > next {
+			return fmt.Errorf("store: want seq %d, log resumes at %d: %w", next, seq, ErrWALGap)
+		}
+		if err := fn(int64(seq), payload[m:]); err != nil {
+			return err
+		}
+		next++
 	}
+}
+
+// ApplyReplicated applies a WAL record body shipped from a leader and
+// appends it to the local WAL under the same sequence number, so a
+// follower's log stays byte-compatible with the stream it consumed.
+// seq must be the immediate successor of WALSeq(): anything else is a
+// gap (ErrWALGap) and the follower must re-seed.
+func (db *DB) ApplyReplicated(seq int64, body []byte) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.wal == nil {
+		return errors.New("store: ApplyReplicated requires a durable database")
+	}
+	if cur := db.wal.Seq(); seq != cur+1 {
+		return fmt.Errorf("store: apply seq %d after %d: %w", seq, cur, ErrWALGap)
+	}
+	if err := db.applyWALRecord(body); err != nil {
+		return fmt.Errorf("store: applying replicated record %d: %w", seq, err)
+	}
+	return db.wal.writeRecordAt(seq, body)
 }
 
 func (db *DB) applyWALRecord(p []byte) error {
