@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-smoke chaos chaos-replica overload check clean
+.PHONY: all build test race race-replication vet vet-compat lint bench bench-smoke chaos chaos-replica overload check clean
 
 all: check
 
@@ -33,14 +33,35 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Vet-driver compatibility: the full nine-analyzer suite under
+# `go vet -vettool`, one invocation per package with cross-package
+# facts shipped through the driver's .vetx side files. Exercises a
+# different code path than `make lint` (per-package configs, fact
+# import/export, facts-only dependency invocations), so both are
+# gated.
+vet-compat:
+	$(GO) build -o bin/drugtree-lint ./cmd/drugtree-lint
+	$(GO) vet -vettool=$(CURDIR)/bin/drugtree-lint ./...
+	@echo "vet-compat: all analyzers clean under the vet driver"
+
+# Replication-layer race certificate with a wedge watchdog: the
+# replica sets and the shard coordinator are the packages where a
+# lock-order bug manifests as a silent wedge rather than a failure,
+# so the run carries an explicit -timeout — if anything deadlocks,
+# the Go test runner panics at the deadline and dumps every
+# goroutine's stack, turning a hung CI job into a readable report.
+race-replication:
+	$(GO) test -race -count=1 -timeout=180s ./internal/replica/... ./internal/shard/...
+
 # Static-analysis gate: go vet, then the drugtree analyzer suite
-# (clockcheck, ctxcheck, lockcheck, spawncheck, wrapcheck — see
+# (clockcheck, ctxcheck, lockcheck, spawncheck, wrapcheck, plus the
+# fact-propagating lockorder, errcmp, atomiccheck, sendcheck — see
 # DESIGN.md "Static-analysis gates"). staticcheck runs when a pinned
 # binary is available; the container image does not bake one in and
 # the build is offline, so it is gated rather than required.
-# Baseline (2026-08-06): 0 findings, suppressions ctxcheck 1/1
-# (mobile/server.go async prefetch root) and lockcheck 1/1
-# (store/db.go checkpoint fsync under db.mu).
+# Baseline (2026-08-08): 0 findings over all nine analyzers,
+# suppressions ctxcheck 1/1 (mobile/server.go async prefetch root)
+# and lockcheck 1/1 (store/db.go checkpoint fsync under db.mu).
 STATICCHECK ?= staticcheck
 STATICCHECK_VERSION ?= 2024.1.1
 
@@ -87,7 +108,7 @@ overload:
 	$(GO) test -race -run TestRunT9 -v ./internal/experiments/
 	$(GO) run ./cmd/drugtree-bench -exp T9
 
-check: lint build test bench-smoke race chaos-replica
+check: lint vet-compat build test bench-smoke race chaos-replica
 
 clean:
 	$(GO) clean ./...

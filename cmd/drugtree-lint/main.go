@@ -1,7 +1,12 @@
-// drugtree-lint runs the drugtree static-analysis suite: five
+// drugtree-lint runs the drugtree static-analysis suite: nine
 // syntactic analyzers that machine-check the tree's concurrency,
-// clock, and context invariants (see internal/lint and DESIGN.md
-// "Static-analysis gates").
+// clock, error-contract, and context invariants (see internal/lint
+// and DESIGN.md "Static-analysis gates"). Four of them are
+// fact-propagating — a collection phase exports per-function facts
+// (locks acquired, blocking behaviour, %w wrapping, atomic fields)
+// from every package so the analysis phase can reason across package
+// boundaries; under the vet driver those facts ship between per-package
+// invocations through the standard .vetx side files.
 //
 // Standalone (the `make lint` path):
 //
@@ -34,6 +39,7 @@ import (
 	"strings"
 
 	"drugtree/internal/lint"
+	"drugtree/internal/lint/analysis"
 	"drugtree/internal/lint/loader"
 )
 
@@ -116,14 +122,26 @@ type vetCfg struct {
 	ImportPath string
 	GoFiles    []string
 	VetxOutput string
+	// PackageVetx maps each dependency's import path to the facts file
+	// a previous invocation wrote for it; vet schedules dependencies
+	// first, so by the time a package is analyzed every fact its
+	// analyzers can follow is on disk.
+	PackageVetx map[string]string
 	// VetxOnly marks a dependency package the driver only wants facts
 	// for (it is not among the packages named on the vet command
 	// line); diagnostics must not be reported for it.
 	VetxOnly bool
 }
 
-// vetMode lints one package as directed by a vet config file. The
-// suppression budget is global-by-design and vet invokes the tool
+// vetMode lints one package as directed by a vet config file. Facts
+// flow the same way vet's own analyzers ship theirs: dependency .vetx
+// files (each one an analysis.FactSet encoding) are merged with this
+// package's Collect output, the merged table is written to VetxOutput
+// for packages downstream, and the analysis phase runs against it —
+// so lockorder sees internal/store's lock graph while it checks
+// internal/shard even though vet hands the tool one package at a time.
+//
+// The suppression budget is global-by-design and vet invokes the tool
 // per package, so vet mode filters suppressions but leaves budget
 // enforcement to the standalone run in `make lint`.
 func vetMode(cfgPath string) int {
@@ -137,11 +155,11 @@ func vetMode(cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "drugtree-lint: parsing %s: %v\n", cfgPath, err)
 		return 2
 	}
-	// Facts-only invocations (dependencies of the named packages —
-	// including the standard library) get an empty facts file and no
-	// analysis: the suite's invariants are drugtree policy, not a
-	// judgement on other people's code.
-	if cfg.VetxOnly {
+	// Non-drugtree packages (the standard library, should anything else
+	// ever appear) get an empty facts file and no collection: the
+	// suite's invariants are drugtree policy, not a judgement on other
+	// people's code.
+	if !strings.HasPrefix(cfg.ImportPath, "drugtree") {
 		if cfg.VetxOutput != "" {
 			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
 				fmt.Fprintf(os.Stderr, "drugtree-lint: %v\n", err)
@@ -164,24 +182,60 @@ func vetMode(cfgPath string) int {
 		pkg.Files = append(pkg.Files, f)
 		pkg.Filenames = append(pkg.Filenames, filepath.ToSlash(name))
 	}
-	// The vet driver requires its facts file to exist even though we
-	// export none.
+	// Assemble the fact table: every dependency's shipped facts, then
+	// this package's own collection on top.
+	facts := make(analysis.FactSet)
+	for dep, path := range cfg.PackageVetx {
+		depData, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drugtree-lint: reading facts for %s: %v\n", dep, err)
+			return 2
+		}
+		depFacts, err := analysis.DecodeFacts(depData)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drugtree-lint: facts for %s: %v\n", dep, err)
+			return 2
+		}
+		facts.Merge(depFacts)
+	}
+	own, collectErrs := lint.CollectFacts([]*loader.Package{pkg})
+	facts.Merge(own)
 	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+		enc, err := facts.Encode()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drugtree-lint: encoding facts: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(cfg.VetxOutput, enc, 0o666); err != nil {
 			fmt.Fprintf(os.Stderr, "drugtree-lint: %v\n", err)
 			return 2
 		}
 	}
+	if cfg.VetxOnly {
+		// Facts-only invocation: the package is a dependency of the
+		// named ones, so its facts matter but its diagnostics are not
+		// this run's business.
+		for _, e := range collectErrs {
+			fmt.Fprintln(os.Stderr, e)
+		}
+		if len(collectErrs) > 0 {
+			return 2
+		}
+		return 0
+	}
 	// With an unlimited budget, any BudgetErrors left are malformed
 	// suppression comments — still a failure.
-	res := lint.CheckBudget([]*loader.Package{pkg}, unlimitedBudget())
+	res := lint.CheckWithFacts([]*loader.Package{pkg}, unlimitedBudget(), facts)
+	for _, e := range collectErrs {
+		fmt.Fprintln(os.Stderr, e)
+	}
 	for _, f := range res.Findings {
 		fmt.Fprintln(os.Stderr, f)
 	}
 	for _, e := range res.BudgetErrors {
 		fmt.Fprintln(os.Stderr, e)
 	}
-	if len(res.Findings) > 0 || len(res.BudgetErrors) > 0 {
+	if len(collectErrs) > 0 || len(res.Findings) > 0 || len(res.BudgetErrors) > 0 {
 		return 2
 	}
 	return 0

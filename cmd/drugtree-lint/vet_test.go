@@ -1,0 +1,191 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"drugtree/internal/lint/analysis"
+)
+
+// TestVetModeFactFlow drives vetMode the way the go vet driver does —
+// one invocation per package, dependencies first — and proves that
+// facts actually cross the process boundary: the dependency's %w wrap
+// is collected into its .vetx file, and the downstream package's raw
+// sentinel comparison is flagged only because that file is listed in
+// its PackageVetx. Without the shipped fact the identical syntax is
+// legal, so a pass here is evidence of the plumbing, not the analyzer.
+func TestVetModeFactFlow(t *testing.T) {
+	dir := t.TempDir()
+
+	depSrc := filepath.Join(dir, "dep.go")
+	writeFile(t, depSrc, `package wrapsrc
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrStale = errors.New("stale")
+
+func Wrap(err error) error { return fmt.Errorf("load: %w", err) }
+`)
+	mainSrc := filepath.Join(dir, "cmp.go")
+	writeFile(t, mainSrc, `package cmpsrc
+
+import "errors"
+
+var ErrStale = errors.New("stale")
+
+func Check(err error) bool { return err == ErrStale }
+`)
+
+	depVetx := filepath.Join(dir, "dep.vetx")
+	depCfg := writeCfg(t, dir, "dep.cfg", vetCfg{
+		ImportPath: "drugtree/internal/wrapsrc",
+		GoFiles:    []string{depSrc},
+		VetxOutput: depVetx,
+		VetxOnly:   true,
+	})
+	if code := vetMode(depCfg); code != 0 {
+		t.Fatalf("facts-only invocation on the wrapping dep: exit %d, want 0", code)
+	}
+	raw, err := os.ReadFile(depVetx)
+	if err != nil {
+		t.Fatalf("dep .vetx not written: %v", err)
+	}
+	facts, err := analysis.DecodeFacts(raw)
+	if err != nil {
+		t.Fatalf("dep .vetx does not decode as a FactSet: %v", err)
+	}
+	foundWrap := false
+	for key := range facts["errcmp"] {
+		if strings.HasPrefix(key, "wraps:") {
+			foundWrap = true
+		}
+	}
+	if !foundWrap {
+		t.Fatalf("dep .vetx carries no wraps: fact for errcmp; got %v", facts)
+	}
+
+	// Without the dependency's facts the comparison is legal.
+	mainVetx := filepath.Join(dir, "main.vetx")
+	aloneCfg := writeCfg(t, dir, "alone.cfg", vetCfg{
+		ImportPath: "drugtree/internal/cmpsrc",
+		GoFiles:    []string{mainSrc},
+		VetxOutput: mainVetx,
+	})
+	if code, msgs := runVet(t, aloneCfg); code != 0 {
+		t.Fatalf("comparison package with no dep facts: exit %d (%s), want clean", code, msgs)
+	}
+
+	// With them, the same file is a finding.
+	withCfg := writeCfg(t, dir, "with.cfg", vetCfg{
+		ImportPath:  "drugtree/internal/cmpsrc",
+		GoFiles:     []string{mainSrc},
+		VetxOutput:  mainVetx,
+		PackageVetx: map[string]string{"drugtree/internal/wrapsrc": depVetx},
+	})
+	code, msgs := runVet(t, withCfg)
+	if code == 0 {
+		t.Fatalf("comparison package with dep facts merged: exit 0, want a finding")
+	}
+	if !strings.Contains(msgs, "errors.Is") || !strings.Contains(msgs, "drugtree/errcmp") {
+		t.Fatalf("diagnostic does not name errors.Is/errcmp: %q", msgs)
+	}
+
+	// The downstream .vetx re-exports the merged table, so facts keep
+	// flowing transitively without every package re-reading every dep.
+	raw, err = os.ReadFile(mainVetx)
+	if err != nil {
+		t.Fatalf("downstream .vetx not written: %v", err)
+	}
+	merged, err := analysis.DecodeFacts(raw)
+	if err != nil {
+		t.Fatalf("downstream .vetx does not decode: %v", err)
+	}
+	foundWrap = false
+	for key := range merged["errcmp"] {
+		if strings.HasPrefix(key, "wraps:") {
+			foundWrap = true
+		}
+	}
+	if !foundWrap {
+		t.Fatalf("downstream .vetx dropped the dep's wraps: fact; got %v", merged)
+	}
+}
+
+// TestVetModeForeignPackage checks the policy boundary: a non-drugtree
+// package gets an empty facts file and no diagnostics, whatever it
+// contains.
+func TestVetModeForeignPackage(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "other.go")
+	writeFile(t, src, `package other
+
+import "fmt"
+
+var ErrX = fmt.Errorf("x: %w", nil)
+
+func Bad(err error) bool { return err == ErrX }
+`)
+	vetx := filepath.Join(dir, "other.vetx")
+	cfg := writeCfg(t, dir, "other.cfg", vetCfg{
+		ImportPath: "example.com/other",
+		GoFiles:    []string{src},
+		VetxOutput: vetx,
+	})
+	if code, msgs := runVet(t, cfg); code != 0 {
+		t.Fatalf("foreign package: exit %d (%s), want 0", code, msgs)
+	}
+	raw, err := os.ReadFile(vetx)
+	if err != nil {
+		t.Fatalf("foreign .vetx not written: %v", err)
+	}
+	if len(raw) != 0 {
+		t.Fatalf("foreign .vetx should be empty, got %q", raw)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeCfg(t *testing.T, dir, name string, cfg vetCfg) string {
+	t.Helper()
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	writeFile(t, path, string(data))
+	return path
+}
+
+// runVet calls vetMode with stderr captured, returning the exit code
+// and everything the run printed.
+func runVet(t *testing.T, cfgPath string) (int, string) {
+	t.Helper()
+	tmp, err := os.CreateTemp(t.TempDir(), "stderr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stderr
+	os.Stderr = tmp
+	code := vetMode(cfgPath)
+	os.Stderr = old
+	if _, err := tmp.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(tmp.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp.Close()
+	return code, string(out)
+}

@@ -31,6 +31,13 @@ type Analyzer struct {
 	Name string
 	// Doc states the invariant the analyzer enforces.
 	Doc string
+	// Collect, when non-nil, runs over every package before any Run
+	// call and returns this package's exported facts (keys scoped by
+	// the analyzer, conventionally "<pkgpath>.<Recv>.<Func>"). The
+	// driver merges all packages' facts and delivers the merged table
+	// to every Run through Pass.Facts — the cross-package channel
+	// lockorder uses to see what a call into another package acquires.
+	Collect func(*Pass) (map[string]string, error)
 	// Run applies the check to one package.
 	Run func(*Pass) (interface{}, error)
 }
@@ -46,6 +53,10 @@ type Pass struct {
 	Filenames []string
 	// PkgPath is the package import path ("drugtree/internal/query").
 	PkgPath string
+	// Facts is the merged cross-package fact table for this analyzer
+	// (every package's Collect output, including this package's own).
+	// Nil for analyzers without a Collect hook.
+	Facts map[string]string
 	// Report receives each diagnostic.
 	Report func(Diagnostic)
 }

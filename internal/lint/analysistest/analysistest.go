@@ -35,9 +35,19 @@ type expectation struct {
 // Run applies a to each fixture package under testdata/src/<pkg> and
 // verifies the diagnostics against the // want comments. It returns
 // the raw diagnostics for callers that make further assertions.
+//
+// Mirroring the production driver, Run is two-phase: the analyzer's
+// Collect hook (when present) first runs over every listed package
+// and the merged fact table feeds every analysis pass — so a fixture
+// can pin a lock-order cycle that only exists via a cross-package
+// call, provided both packages are listed in one Run.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) []analysis.Diagnostic {
 	t.Helper()
-	var all []analysis.Diagnostic
+	type loaded struct {
+		fset *token.FileSet
+		pkg  *loader.Package
+	}
+	var parsed []loaded
 	for _, pkgPath := range pkgs {
 		dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgPath))
 		fset := token.NewFileSet()
@@ -45,6 +55,27 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) []
 		if err != nil {
 			t.Fatalf("%s: %v", a.Name, err)
 		}
+		parsed = append(parsed, loaded{fset, pkg})
+	}
+	facts := make(analysis.FactSet)
+	if a.Collect != nil {
+		for _, l := range parsed {
+			kv, err := a.Collect(&analysis.Pass{
+				Analyzer:  a,
+				Fset:      l.fset,
+				Files:     l.pkg.Files,
+				Filenames: l.pkg.Filenames,
+				PkgPath:   l.pkg.Path,
+			})
+			if err != nil {
+				t.Fatalf("%s: Collect(%s): %v", a.Name, l.pkg.Path, err)
+			}
+			facts.Merge(analysis.FactSet{a.Name: kv})
+		}
+	}
+	var all []analysis.Diagnostic
+	for _, l := range parsed {
+		fset, pkg := l.fset, l.pkg
 		want, err := expectations(fset, pkg)
 		if err != nil {
 			t.Fatalf("%s: %v", a.Name, err)
@@ -56,6 +87,7 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) []
 			Files:     pkg.Files,
 			Filenames: pkg.Filenames,
 			PkgPath:   pkg.Path,
+			Facts:     facts[a.Name],
 			Report:    func(d analysis.Diagnostic) { got = append(got, d) },
 		}
 		if _, err := a.Run(pass); err != nil {

@@ -1,10 +1,30 @@
-// Package lint is the drugtree static-analysis suite: five analyzers
-// that machine-check the concurrency, clock, and context invariants
-// PR 1 (parallel execution) and PR 2 (fault-tolerant mediation) made
-// the system's correctness depend on. Each analyzer is documented on
-// its own file; Check runs them all over a set of loaded packages,
-// applies `//lint:ignore` suppressions, and enforces the suppression
-// budget so the escape hatch cannot silently grow.
+// Package lint is the drugtree static-analysis suite: nine analyzers
+// that machine-check the invariants the system's correctness rests
+// on, from the intra-function discipline PR 1/PR 2 introduced (clock
+// injection, context threading, lock/blocking hygiene, goroutine
+// shutdown, %w wrapping) to the distributed invariants of the
+// sharded, replicated engine (PRs 6–7): a cross-package lock-order
+// contract over shard.Coordinator → replica.Set → store.DB →
+// admission, errors.Is-only handling of wrapped sentinels like
+// shard.ErrShardUnavailable, atomic-everywhere access to seq/lag
+// counters, and leak-proof channel operations inside spawned
+// goroutines.
+//
+// The first five analyzers (clockcheck, ctxcheck, lockcheck,
+// spawncheck, wrapcheck) are intra-function and purely syntactic. The
+// four added for the distributed layer (lockorder, errcmp,
+// atomiccheck, sendcheck) are fact-propagating: a collection phase
+// runs every analyzer's Collect hook over every package and merges
+// the exported per-function facts ("acquires mu", "blocks on a
+// channel", "wraps sentinel X", "field f is atomic") into one table,
+// so the analysis phase can follow a call from internal/shard into
+// internal/replica and internal/store and reason about what it
+// acquires or blocks on across the package boundary.
+//
+// Each analyzer is documented on its own file; Check runs them all
+// over a set of loaded packages, applies `//lint:ignore` suppressions,
+// and enforces the suppression budget so the escape hatch cannot
+// silently grow.
 package lint
 
 import (
@@ -21,9 +41,13 @@ import (
 // All returns the suite in stable order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		AtomicCheck,
 		ClockCheck,
 		CtxCheck,
+		ErrCmp,
 		LockCheck,
+		LockOrder,
+		SendCheck,
 		SpawnCheck,
 		WrapCheck,
 	}
@@ -33,7 +57,8 @@ func All() []*analysis.Analyzer {
 // carry across the whole tree. A suppression documents a reviewed,
 // justified exception (the comment must say why); the budget keeps
 // the count from creeping up unreviewed. Raising a number here is a
-// reviewable act.
+// reviewable act. Every analyzer in All() must have an entry, and no
+// entry may name an unknown analyzer — CheckBudget enforces both.
 var Budget = map[string]int{
 	// The mobile server intentionally detaches background prefetch
 	// from the session context (it must outlive the interaction that
@@ -41,10 +66,19 @@ var Budget = map[string]int{
 	"ctxcheck": 1,
 	// store.DB.Checkpoint fsyncs under db.mu by design: the snapshot
 	// must be a frozen point-in-time image of the database.
-	"lockcheck":  1,
-	"clockcheck": 0,
-	"spawncheck": 0,
-	"wrapcheck":  0,
+	"lockcheck": 1,
+	// replica.Set.Ship/Promote hold Set.mu across store WAL scans by
+	// design (the mutex quiesces leader writes so a follower's image
+	// is consistent) and stay clean here: the store calls acquire
+	// db.mu strictly below Set.mu per the documented hierarchy, and
+	// lockorder's blocking rule is channel ops and Wait, not disk I/O.
+	"lockorder":   0,
+	"atomiccheck": 0,
+	"clockcheck":  0,
+	"errcmp":      0,
+	"sendcheck":   0,
+	"spawncheck":  0,
+	"wrapcheck":   0,
 }
 
 // Finding is one post-suppression diagnostic.
@@ -64,7 +98,8 @@ type Result struct {
 	// Suppressed counts consumed suppressions per analyzer.
 	Suppressed map[string]int
 	// BudgetErrors reports analyzers whose suppression count exceeds
-	// Budget, and malformed suppression comments.
+	// Budget, malformed suppression comments, and budget entries that
+	// name no known analyzer.
 	BudgetErrors []string
 }
 
@@ -75,10 +110,68 @@ func (r *Result) OK() bool { return len(r.Findings) == 0 && len(r.BudgetErrors) 
 // Check runs every analyzer over pkgs with the default budget.
 func Check(pkgs []*loader.Package) *Result { return CheckBudget(pkgs, Budget) }
 
+// CollectFacts runs the collection phase: every analyzer's Collect
+// hook over every package, merged into one FactSet. The vet driver
+// calls it directly so per-package invocations can ship facts through
+// .vetx files; CheckBudget calls it as phase one of a whole-tree run.
+// Collection failures surface as error strings (they fail the run
+// like findings) rather than aborting other analyzers.
+func CollectFacts(pkgs []*loader.Package) (analysis.FactSet, []string) {
+	facts := make(analysis.FactSet)
+	var errs []string
+	for _, pkg := range pkgs {
+		for _, a := range All() {
+			if a.Collect == nil {
+				continue
+			}
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Filenames: pkg.Filenames,
+				PkgPath:   pkg.Path,
+			}
+			kv, err := a.Collect(pass)
+			if err != nil {
+				errs = append(errs, fmt.Sprintf("%s: fact collection failed on %s: %v", a.Name, pkg.Path, err))
+				continue
+			}
+			facts.Merge(analysis.FactSet{a.Name: kv})
+		}
+	}
+	return facts, errs
+}
+
 // CheckBudget runs every analyzer over pkgs, filtering suppressed
 // diagnostics and enforcing the given per-analyzer suppression caps.
+// The run is two-phase: fact collection over every package first,
+// then analysis with the merged cross-package fact table.
 func CheckBudget(pkgs []*loader.Package, budget map[string]int) *Result {
+	facts, errs := CollectFacts(pkgs)
+	return checkWithFacts(pkgs, budget, facts, errs)
+}
+
+// CheckWithFacts runs the analysis phase over pkgs against an
+// externally assembled fact table (the vet driver's path: facts for
+// dependency packages arrive through .vetx files, already merged with
+// this package's own Collect output).
+func CheckWithFacts(pkgs []*loader.Package, budget map[string]int, facts analysis.FactSet) *Result {
+	return checkWithFacts(pkgs, budget, facts, nil)
+}
+
+func checkWithFacts(pkgs []*loader.Package, budget map[string]int, facts analysis.FactSet, preErrors []string) *Result {
 	res := &Result{Suppressed: make(map[string]int)}
+	res.BudgetErrors = append(res.BudgetErrors, preErrors...)
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for name := range budget {
+		if !known[name] {
+			res.BudgetErrors = append(res.BudgetErrors, fmt.Sprintf(
+				"budget names unknown analyzer %q (internal/lint/lint.go Budget)", name))
+		}
+	}
 	for _, pkg := range pkgs {
 		sup, malformed := suppressions(pkg)
 		res.BudgetErrors = append(res.BudgetErrors, malformed...)
@@ -89,6 +182,7 @@ func CheckBudget(pkgs []*loader.Package, budget map[string]int) *Result {
 				Files:     pkg.Files,
 				Filenames: pkg.Filenames,
 				PkgPath:   pkg.Path,
+				Facts:     facts[a.Name],
 			}
 			name := a.Name
 			pass.Report = func(d analysis.Diagnostic) {
@@ -112,12 +206,21 @@ func CheckBudget(pkgs []*loader.Package, budget map[string]int) *Result {
 				name, used, budget[name]))
 		}
 	}
+	// Findings sort by file, then line, then column, then analyzer:
+	// total order, so two findings on one line cannot flip between
+	// runs and CI diffs stay stable.
 	sort.Slice(res.Findings, func(i, j int) bool {
 		a, b := res.Findings[i], res.Findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
-		return a.Pos.Line < b.Pos.Line
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
 	})
 	sort.Strings(res.BudgetErrors)
 	return res

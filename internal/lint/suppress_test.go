@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/token"
 	"path/filepath"
 	"strings"
@@ -79,3 +80,69 @@ func TestBudgetCoversEveryAnalyzer(t *testing.T) {
 		}
 	}
 }
+
+// A budget entry naming no known analyzer is a config bug — a typo
+// there would silently grant zero-or-infinite budget to nothing — so
+// the run fails loudly instead of ignoring the key.
+func TestUnknownBudgetKeyRejected(t *testing.T) {
+	pkg := loadFixture(t, "suppress/src/query", "query")
+	budget := map[string]int{"clockcheck": 2, "clokcheck": 1} // note the typo
+	res := CheckBudget([]*loader.Package{pkg}, budget)
+	if res.OK() {
+		t.Fatal("budget with an unknown key passed")
+	}
+	found := false
+	for _, e := range res.BudgetErrors {
+		if strings.Contains(e, `unknown analyzer "clokcheck"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("budget errors %v do not name the unknown key", res.BudgetErrors)
+	}
+}
+
+// Findings come out in one total order — file, then line, then
+// column, then analyzer — and identically on every run, so a CI log
+// diff is a real change and never map-iteration noise. The check runs
+// two fixture packages (different analyzers, multiple findings per
+// file) through the suite twice with everything unsuppressed.
+func TestFindingOrderDeterministic(t *testing.T) {
+	run := func() []string {
+		pkgs := []*loader.Package{
+			loadFixture(t, "sendcheck/src/sends", "sends"),
+			loadFixture(t, "atomiccheck/src/atomics", "atomics"),
+		}
+		res := CheckBudget(pkgs, Budget)
+		out := make([]string, len(res.Findings))
+		for i, f := range res.Findings {
+			out[i] = f.String()
+		}
+		return out
+	}
+	first := run()
+	if len(first) < 4 {
+		t.Fatalf("fixtures produced %d findings, want several to order: %v", len(first), first)
+	}
+	second := run()
+	if strings.Join(first, "\n") != strings.Join(second, "\n") {
+		t.Fatalf("finding order changed between runs:\n%s\n--- vs ---\n%s",
+			strings.Join(first, "\n"), strings.Join(second, "\n"))
+	}
+	// And the order is the documented one, not merely stable.
+	pkgs := []*loader.Package{
+		loadFixture(t, "sendcheck/src/sends", "sends"),
+		loadFixture(t, "atomiccheck/src/atomics", "atomics"),
+	}
+	res := CheckBudget(pkgs, Budget)
+	for i := 1; i < len(res.Findings); i++ {
+		a, b := res.Findings[i-1], res.Findings[i]
+		ka := []string{a.Pos.Filename, pad(a.Pos.Line), pad(a.Pos.Column), a.Analyzer}
+		kb := []string{b.Pos.Filename, pad(b.Pos.Line), pad(b.Pos.Column), b.Analyzer}
+		if strings.Join(ka, "\x00") > strings.Join(kb, "\x00") {
+			t.Fatalf("findings out of order at %d: %v before %v", i, a, b)
+		}
+	}
+}
+
+func pad(n int) string { return fmt.Sprintf("%08d", n) }

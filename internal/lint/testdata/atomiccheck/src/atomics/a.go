@@ -1,0 +1,58 @@
+// Package atomics exercises the all-or-nothing atomicity contract:
+// Stats fields and the Evictions counter are touched via sync/atomic,
+// so every other access must be atomic too — or provably private.
+package atomics
+
+import "sync/atomic"
+
+type Stats struct {
+	Hits   int64
+	Misses int64
+}
+
+type Cache struct {
+	stats     *Stats
+	Evictions int64
+}
+
+func (c *Cache) Record(hit bool) {
+	if hit {
+		atomic.AddInt64(&c.stats.Hits, 1)
+	} else {
+		atomic.AddInt64(&c.stats.Misses, 1)
+	}
+}
+
+func (c *Cache) Evict() {
+	atomic.AddInt64(&c.Evictions, 1)
+}
+
+func (c *Cache) Hits() int64 {
+	return c.stats.Hits // want `plain access to atomics\.Stats\.Hits`
+}
+
+func (c *Cache) Copy() Stats {
+	return *c.stats // want `dereference copies atomics\.Stats`
+}
+
+// Snapshot is the compliant read: field-by-field atomic loads.
+func (c *Cache) Snapshot() Stats {
+	return Stats{
+		Hits:   atomic.LoadInt64(&c.stats.Hits),
+		Misses: atomic.LoadInt64(&c.stats.Misses),
+	}
+}
+
+// New writes plain fields on a cache no other goroutine can see yet:
+// a locally constructed pointer is private until published.
+func New() *Cache {
+	c := &Cache{stats: &Stats{}}
+	c.Evictions = 0
+	return c
+}
+
+// tally receives a value copy: its fields are private memory, and
+// plain reads are fine.
+func tally(s Stats) int64 {
+	return s.Hits + s.Misses
+}

@@ -1,0 +1,11 @@
+// Package atomreader reads another package's counter. The atomic
+// facts travel with the type: Evictions is atomic in package atomics,
+// so a plain read here is flagged — the cross-package half of the
+// contract.
+package atomreader
+
+import "atomics"
+
+func Evictions(c *atomics.Cache) int64 {
+	return c.Evictions // want `plain access to atomics\.Cache\.Evictions`
+}

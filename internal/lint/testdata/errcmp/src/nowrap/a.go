@@ -1,0 +1,14 @@
+// Package nowrap never wraps with %w, and it is analyzed alone (its
+// fact table carries no wraps: marker), so raw sentinel identity
+// still works and nothing is flagged. The same comparisons inside the
+// errw fixture are violations — the difference is the fact, not the
+// syntax.
+package nowrap
+
+import "errors"
+
+var ErrClosed = errors.New("nowrap: closed")
+
+func Closed(err error) bool {
+	return err == ErrClosed
+}

@@ -414,7 +414,7 @@ func (s *Server) ServeConn(ctx context.Context, conn io.ReadWriter) (err error) 
 	for {
 		s.armReadDeadline(conn)
 		msg, _, err := ReadMsg(r)
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return nil
 		}
 		if err != nil {

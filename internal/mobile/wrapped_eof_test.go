@@ -1,0 +1,56 @@
+package mobile
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// errWrapConn decorates a connection the way instrumented transports
+// do: every error out of Read carries context via %w. io.EOF still
+// means the peer hung up — but only errors.Is can see it through the
+// wrapping.
+type errWrapConn struct {
+	net.Conn
+}
+
+func (c errWrapConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if err != nil {
+		return n, fmt.Errorf("transport: %w", err)
+	}
+	return n, nil
+}
+
+// TestServeConnWrappedEOF pins the errcmp fix in the session read
+// loop: a client that disconnects without a Bye produces io.EOF on the
+// server's next read, and ServeConn must report that as a clean
+// session end (nil) even when the transport wraps the error. Before
+// the fix the identity comparison missed the wrapped EOF and the
+// server surfaced a spurious session error for every hangup on a
+// decorated conn.
+func TestServeConnWrappedEOF(t *testing.T) {
+	e := testEngine(t)
+	server := NewServer(e)
+	clientConn, serverConn := net.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		done <- server.ServeConn(context.Background(), errWrapConn{serverConn})
+	}()
+	if _, err := Dial(clientConn, StrategyLOD, 20); err != nil {
+		t.Fatal(err)
+	}
+	// Hang up abruptly — no Bye. The server's read loop sees EOF,
+	// wrapped by the transport.
+	clientConn.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("abrupt hangup over a wrapping transport: ServeConn = %v, want nil (clean end)", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not finish after client hangup")
+	}
+}

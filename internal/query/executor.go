@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"drugtree/internal/phylo"
 	"drugtree/internal/store"
@@ -92,7 +93,7 @@ func (e *Engine) Run(ctx context.Context, stmt *SelectStmt) (*Result, error) {
 	res := &Result{
 		Columns: cols,
 		Plan:    strings.Join(ec.plan, "\n"),
-		Stats:   *ec.stats,
+		Stats:   ec.stats.Snapshot(),
 	}
 	if stmt.Explain && !stmt.Analyze {
 		return res, nil
@@ -111,7 +112,7 @@ func (e *Engine) Run(ctx context.Context, stmt *SelectStmt) (*Result, error) {
 		}
 		res.Rows = append(res.Rows, r)
 	}
-	ec.stats.RowsReturned = int64(len(res.Rows))
+	atomic.StoreInt64(&ec.stats.RowsReturned, int64(len(res.Rows)))
 	if stmt.Analyze {
 		// EXPLAIN ANALYZE: the query ran to completion; render the
 		// plan with per-operator execution counters and drop the rows
@@ -119,7 +120,7 @@ func (e *Engine) Run(ctx context.Context, stmt *SelectStmt) (*Result, error) {
 		res.Plan = annotatePlan(ec.plan, ec.stats.Ops)
 		res.Rows = nil
 	}
-	res.Stats = *ec.stats
+	res.Stats = ec.stats.Snapshot()
 	return res, nil
 }
 

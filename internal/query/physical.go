@@ -31,6 +31,20 @@ type ExecStats struct {
 	Ops []*OpStats
 }
 
+// Snapshot returns a consistent copy of the counters using atomic
+// loads. A plain struct copy (*s) would race with parallel workers
+// still doing atomic adds; every read of a live ExecStats goes
+// through here.
+func (s *ExecStats) Snapshot() ExecStats {
+	return ExecStats{
+		RowsScanned:  atomic.LoadInt64(&s.RowsScanned),
+		RowsIndexed:  atomic.LoadInt64(&s.RowsIndexed),
+		RowsJoined:   atomic.LoadInt64(&s.RowsJoined),
+		RowsReturned: atomic.LoadInt64(&s.RowsReturned),
+		Ops:          s.Ops,
+	}
+}
+
 // OpStats counts one physical operator's work: rows in (where the
 // operator tracks it), rows out, and — for vectorized operators —
 // batches out. Counters are written only from the single-threaded

@@ -1,0 +1,92 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"drugtree/internal/netsim"
+	"drugtree/internal/store"
+)
+
+// deepWrapSource fails its first failN fetches with ErrTransient
+// buried under two layers of %w — the shape a real mediation stack
+// produces when each hop annotates the error on the way up. Only
+// errors.Is-based classification survives that; the raw identity
+// comparison the seed used (err == ErrTransient) classifies every
+// wrapped failure as permanent.
+type deepWrapSource struct {
+	clock netsim.Clock
+	calls int
+	failN int
+	rows  []store.Row
+}
+
+func (s *deepWrapSource) Name() string                    { return "deepwrap" }
+func (s *deepWrapSource) Schema() *store.Schema           { return nil }
+func (s *deepWrapSource) CanFilter(string, FilterOp) bool { return false }
+func (s *deepWrapSource) Stats() Stats                    { return Stats{Requests: int64(s.calls)} }
+func (s *deepWrapSource) ResetStats()                     {}
+func (s *deepWrapSource) SetFailureRate(float64)          {}
+func (s *deepWrapSource) SetFaultPlan(*FaultPlan)         {}
+func (s *deepWrapSource) SetClock(c netsim.Clock)         { s.clock = c }
+func (s *deepWrapSource) Clock() netsim.Clock             { return s.clock }
+
+func (s *deepWrapSource) Fetch(ctx context.Context, req Request) (*Result, error) {
+	s.calls++
+	if s.calls <= s.failN {
+		return nil, fmt.Errorf("gateway: %w",
+			fmt.Errorf("deepwrap http 503: %w", ErrTransient))
+	}
+	return &Result{Rows: s.rows, Total: len(s.rows)}, nil
+}
+
+// TestRetryClassifiesWrappedTransient proves the retry loop sees a
+// doubly wrapped ErrTransient as retryable: two failures burn two
+// attempts, the third succeeds, and the caller gets rows with no
+// error.
+func TestRetryClassifiesWrappedTransient(t *testing.T) {
+	src := &deepWrapSource{
+		clock: netsim.NewVirtualClock(),
+		failN: 2,
+		rows:  []store.Row{{store.IntValue(1)}},
+	}
+	rows, err := FetchAllWith(context.Background(), src, nil, &FetchOptions{
+		Retry: RetryPolicy{MaxAttempts: 5},
+	})
+	if err != nil {
+		t.Fatalf("wrapped transient failures exhausted the retry loop: %v", err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	if src.calls != 3 {
+		t.Fatalf("source saw %d calls, want 3 (two retries then success)", src.calls)
+	}
+}
+
+// TestBreakerCountsWrappedFailures proves the breaker's outcome
+// accounting also rides errors.Is: each wrapped transient failure is
+// Recorded, so threshold-many of them trip the circuit and the
+// remaining attempts are rejected locally with ErrCircuitOpen.
+func TestBreakerCountsWrappedFailures(t *testing.T) {
+	clock := netsim.NewVirtualClock()
+	src := &deepWrapSource{clock: clock, failN: 100}
+	br := NewBreaker(src.Name(), 3, 10*time.Second, clock, nil)
+	_, err := FetchAllWith(context.Background(), src, nil, &FetchOptions{
+		Retry:   RetryPolicy{MaxAttempts: 10},
+		Breaker: br,
+		Clock:   clock,
+	})
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("fetch over tripped breaker returned %v, want ErrCircuitOpen", err)
+	}
+	if src.calls != 3 {
+		t.Fatalf("source saw %d calls, want 3 (breaker threshold) — wrapped failures must Record", src.calls)
+	}
+	if br.State() != BreakerOpen {
+		t.Fatalf("breaker state %v, want open", br.State())
+	}
+}

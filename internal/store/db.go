@@ -616,11 +616,19 @@ func (db *DB) replayWAL() (int64, error) {
 		return 0, err
 	}
 	defer f.Close()
-	r := bufio.NewReader(f)
+	return db.replayWALFrom(bufio.NewReader(f))
+}
+
+// replayWALFrom is the reader-driven core of replayWAL, split out so
+// tests can feed it transports that decorate errors: end-of-stream is
+// detected with errors.Is(err, io.EOF), not identity, so a source that
+// returns a wrapped EOF still ends replay cleanly instead of being
+// mistaken for a torn record.
+func (db *DB) replayWALFrom(r *bufio.Reader) (int64, error) {
 	var last int64
 	for {
 		n, err := binary.ReadUvarint(r)
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return last, nil
 		}
 		if err != nil {

@@ -1,0 +1,92 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// wrappedEOFReader serves a byte stream whose end-of-stream error is a
+// *wrapped* io.EOF, the shape an instrumented or decorated transport
+// produces. Only errors.Is can see through it; an identity comparison
+// (err == io.EOF) reads it as a mid-stream failure.
+type wrappedEOFReader struct {
+	data []byte
+	off  int
+}
+
+func (r *wrappedEOFReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, fmt.Errorf("transport: %w", io.EOF)
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// TestReplayWALWrappedEOF pins the errcmp fix in replayWAL: replay
+// must treat a wrapped io.EOF from the record source as the clean end
+// of the log — every record before it applied, no error — exactly as
+// it treats a bare io.EOF from the file. Before the fix the identity
+// comparison fell through to the torn-length branch, which happened to
+// return the same values; this test makes the clean-end behaviour a
+// contract rather than a coincidence, so neither branch can regress
+// into surfacing an error or dropping applied records.
+func TestReplayWALWrappedEOF(t *testing.T) {
+	src := t.TempDir()
+	db, err := Open(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := MustSchema(Column{Name: "id", Kind: KindInt}, Column{Name: "v", Kind: KindString})
+	if _, err := db.CreateTable("t", schema); err != nil {
+		t.Fatal(err)
+	}
+	const rows = 10
+	for i := 0; i < rows; i++ {
+		if _, err := db.Insert("t", Row{IntValue(int64(i)), StringValue(fmt.Sprintf("v-%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Close without a checkpoint: the WAL keeps every record.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walBytes, err := os.ReadFile(filepath.Join(src, "wal.dtl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(walBytes) == 0 {
+		t.Fatal("WAL is empty; the fixture setup no longer logs records")
+	}
+
+	// Replay the same records into a fresh database through a source
+	// that ends with a wrapped EOF.
+	db2, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	last, err := db2.replayWALFrom(bufio.NewReader(&wrappedEOFReader{data: walBytes}))
+	if err != nil {
+		t.Fatalf("replay over wrapped-EOF source: %v", err)
+	}
+	if last == 0 {
+		t.Fatal("replay applied no records")
+	}
+	tb, err := db2.Table("t")
+	if err != nil {
+		t.Fatalf("replay lost the table create: %v", err)
+	}
+	got := 0
+	tb.Scan(func(_ int64, _ Row) bool {
+		got++
+		return true
+	})
+	if got != rows {
+		t.Fatalf("replay applied %d rows, want %d — wrapped EOF must not truncate the log", got, rows)
+	}
+}
