@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-replication vet vet-compat lint bench bench-smoke chaos chaos-replica overload check clean
+.PHONY: all build test race race-replication vet vet-compat lint bench bench-smoke chaos chaos-replica overload torture check clean
 
 all: check
 
@@ -33,7 +33,7 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Vet-driver compatibility: the full nine-analyzer suite under
+# Vet-driver compatibility: the full ten-analyzer suite under
 # `go vet -vettool`, one invocation per package with cross-package
 # facts shipped through the driver's .vetx side files. Exercises a
 # different code path than `make lint` (per-package configs, fact
@@ -54,12 +54,12 @@ race-replication:
 	$(GO) test -race -count=1 -timeout=180s ./internal/replica/... ./internal/shard/...
 
 # Static-analysis gate: go vet, then the drugtree analyzer suite
-# (clockcheck, ctxcheck, lockcheck, spawncheck, wrapcheck, plus the
-# fact-propagating lockorder, errcmp, atomiccheck, sendcheck — see
-# DESIGN.md "Static-analysis gates"). staticcheck runs when a pinned
-# binary is available; the container image does not bake one in and
-# the build is offline, so it is gated rather than required.
-# Baseline (2026-08-08): 0 findings over all nine analyzers,
+# (clockcheck, ctxcheck, fscheck, lockcheck, spawncheck, wrapcheck,
+# plus the fact-propagating lockorder, errcmp, atomiccheck, sendcheck
+# — see DESIGN.md "Static-analysis gates"). staticcheck runs when a
+# pinned binary is available; the container image does not bake one in
+# and the build is offline, so it is gated rather than required.
+# Baseline (2026-08-08): 0 findings over all ten analyzers,
 # suppressions ctxcheck 1/1 (mobile/server.go async prefetch root)
 # and lockcheck 1/1 (store/db.go checkpoint fsync under db.mu).
 STATICCHECK ?= staticcheck
@@ -107,6 +107,21 @@ chaos-replica:
 overload:
 	$(GO) test -race -run TestRunT9 -v ./internal/experiments/
 	$(GO) run ./cmd/drugtree-bench -exp T9
+
+# The T13 crash-point torture experiment: a deterministic FaultFS
+# power-cuts every persistence path (store WAL/snapshot, shard
+# MANIFEST, replica seed/ship) at every mutating operation, under
+# every -wal-sync policy and three fault mixes (clean cut, torn write
+# + cut, failed fsync + cut). The gate test re-runs the full matrix
+# and demands zero durability violations over >= 200 distinct crash
+# points; a failure prints the seed and crash-point index to replay
+# it. The meta-test proves the harness has teeth by re-running with
+# directory fsync disabled and demanding violations. The -timeout is
+# the wedge watchdog: a crash point that hangs recovery dumps stacks
+# instead of idling.
+torture:
+	$(GO) test -count=1 -timeout=300s -run 'TestRunT13|TestT13HarnessHasTeeth' -v ./internal/experiments/
+	$(GO) run ./cmd/drugtree-bench -exp T13
 
 check: lint vet-compat build test bench-smoke race chaos-replica
 

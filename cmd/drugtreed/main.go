@@ -21,6 +21,12 @@
 // tick. -allow-partial trades refusal for annotated partial results
 // when a whole shard is down.
 //
+// Durability (DESIGN §10): -wal-sync picks the WAL fsync policy —
+// `always` acknowledges no write before it is on disk, `interval`
+// (default) group-commits every -wal-sync-every records, `off` leaves
+// flushing to the OS. Shard partitions and replica followers inherit
+// the source store's policy, so the flag governs the whole topology.
+//
 // HTTP endpoints:
 //
 //	GET  /healthz                   liveness
@@ -70,12 +76,19 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 256, "concurrent wire-protocol sessions (0 = unlimited)")
 	clientQPS := flag.Float64("client-qps", 25, "per-client request rate before shedding (0 disables rate limiting)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound for in-flight work")
+	walSync := flag.String("wal-sync", "interval", "WAL fsync policy: always (no acknowledged write lost on crash), interval (group-commit every -wal-sync-every records), off (OS decides; Close/Checkpoint still sync)")
+	walSyncEvery := flag.Int("wal-sync-every", store.DefaultSyncEvery, "records between group-commit fsyncs for -wal-sync=interval")
 	flag.Parse()
+
+	syncPolicy, err := store.ParseSyncPolicy(*walSync)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	eng, cleanup, err := buildEngine(*dir, *generate, *seed, *families, *perFamily, *ligands, *maxConc, *maxQueue, *shards, *replicas, *maxLag, *allowPartial)
+	eng, cleanup, err := buildEngine(*dir, *generate, *seed, *families, *perFamily, *ligands, *maxConc, *maxQueue, *shards, *replicas, *maxLag, *allowPartial, syncPolicy, *walSyncEvery)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -159,13 +172,18 @@ func main() {
 	log.Printf("shutdown complete")
 }
 
-func buildEngine(dir string, generate bool, seed int64, families, perFamily, ligands, maxConc, maxQueue, shards, replicas int, maxLag int64, allowPartial bool) (*core.Engine, func(), error) {
+func buildEngine(dir string, generate bool, seed int64, families, perFamily, ligands, maxConc, maxQueue, shards, replicas int, maxLag int64, allowPartial bool, walSync store.SyncPolicy, walSyncEvery int) (*core.Engine, func(), error) {
+	cfg := core.DefaultConfig()
+	// The WAL fsync policy is set on the source store at open time;
+	// shard partitions and replica followers inherit it (DESIGN §10).
+	cfg.WALSync = walSync
+	cfg.WALSyncEvery = walSyncEvery
 	var db *store.DB
 	var importer *integrate.Importer
 	var err error
 	switch {
 	case generate:
-		db, err = store.Open("")
+		db, err = store.OpenWith("", cfg.StoreOptions())
 		if err != nil {
 			return nil, nil, err
 		}
@@ -185,7 +203,7 @@ func buildEngine(dir string, generate bool, seed int64, families, perFamily, lig
 			return nil, nil, err
 		}
 	case dir != "":
-		db, err = store.Open(dir)
+		db, err = store.OpenWith(dir, cfg.StoreOptions())
 		if err != nil {
 			return nil, nil, err
 		}
@@ -193,7 +211,6 @@ func buildEngine(dir string, generate bool, seed int64, families, perFamily, lig
 		fmt.Fprintln(os.Stderr, "drugtreed: need -dir or -generate")
 		os.Exit(2)
 	}
-	cfg := core.DefaultConfig()
 	// The server is long-lived and read-mostly: repeated dashboard
 	// statements benefit from the statement cache (experiment T6).
 	cfg.QueryCacheEntries = 256

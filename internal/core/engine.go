@@ -108,6 +108,29 @@ type Config struct {
 	// use a virtual clock); nil means wall clock. Ignored without
 	// Replicas.
 	ReplicaClock netsim.Clock
+	// WALSync selects the store's WAL fsync policy — the durability
+	// contract of DESIGN §10. The zero value (store.SyncInterval)
+	// group-commits every WALSyncEvery records; store.SyncAlways
+	// fsyncs before acknowledging each write; store.SyncOff leaves
+	// flushing to the OS. The policy must be set on the source store
+	// at open time (see StoreOptions); shard stores and replica
+	// followers inherit it from there, so one setting governs every
+	// persistence path in the topology.
+	WALSync store.SyncPolicy
+	// WALSyncEvery is the group-commit interval for WALSync ==
+	// store.SyncInterval (records between fsyncs); zero means
+	// store.DefaultSyncEvery.
+	WALSyncEvery int
+}
+
+// StoreOptions translates the config's durability knobs into the
+// store.Options the source database must be opened with. The engine
+// never reopens the source store itself — callers (drugtreed, tests)
+// open it with these options and every derived store (shard
+// partitions under <dir>/shards, replica followers) inherits them
+// through src.Opts().
+func (c Config) StoreOptions() store.Options {
+	return store.Options{Sync: c.WALSync, SyncEvery: c.WALSyncEvery}
 }
 
 // DefaultConfig returns the fully optimized configuration.

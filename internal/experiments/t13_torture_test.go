@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"context"
+	"strconv"
+	"testing"
+
+	"drugtree/internal/vfs"
+)
+
+// TestRunT13 gates the torture matrix: at least 200 distinct crash
+// points enumerated, and zero durability violations at any of them.
+// RunT13 enforces both inline and errors with the failing seed +
+// crash-point index, so any broken claim surfaces here replayably.
+func TestRunT13(t *testing.T) {
+	rep, err := RunT13(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, row := range rep.Rows {
+		if row[0] == "TOTAL" {
+			continue
+		}
+		n, err := strconv.Atoi(row[2])
+		if err != nil {
+			t.Fatalf("unparseable crash-point count %q", row[2])
+		}
+		total += n
+		if row[3] != "0" {
+			t.Errorf("workload %s policy %s reports %s violations", row[0], row[1], row[3])
+		}
+	}
+	if total < 200 {
+		t.Fatalf("T13 enumerated %d crash points, want >= 200", total)
+	}
+	if rep.Notes == "" {
+		t.Error("T13 report has no notes")
+	}
+}
+
+// TestT13HarnessHasTeeth re-breaks a real durability bug — the
+// directory fsync after atomic renames and WAL creation, removed via
+// the vfs.NoDirSync decorator — and asserts the torture matrix
+// catches it. Without the parent-dir sync, a renamed snapshot or a
+// freshly created WAL file can vanish at power loss while the WAL
+// truncation survives, losing acknowledged writes under
+// -wal-sync=always. If this test ever finds zero violations, the
+// harness has gone soft and T13's zero-violation gate proves nothing.
+func TestT13HarnessHasTeeth(t *testing.T) {
+	_, total, violations, err := t13Matrix(context.Background(), 1, vfs.NoDirSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 {
+		t.Fatal("no crash points enumerated")
+	}
+	if len(violations) == 0 {
+		t.Fatal("reverting the dir-fsync produced zero violations: the crash model is not enforcing entry durability")
+	}
+	t.Logf("dir-fsync revert caught: %d violations over %d points; first: %s", len(violations), total, violations[0])
+}

@@ -29,6 +29,10 @@ func TestErrCmp(t *testing.T) {
 	analysistest.Run(t, "testdata/errcmp", ErrCmp, "errw")
 }
 
+func TestFSCheck(t *testing.T) {
+	analysistest.Run(t, "testdata/fscheck", FSCheck, "store", "other")
+}
+
 // TestErrCmpNoWrapIsSilent analyzes the nowrap fixture alone: with no
 // wraps: fact in its table, raw sentinel identity is legal and the
 // package's == comparison goes unflagged. The identical syntax inside

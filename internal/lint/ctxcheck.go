@@ -38,8 +38,11 @@ var replicaCtxVerbs = []string{"Ship", "Apply", "Promote"}
 
 // ctxExemptSegments are path segments whose packages ctxcheck skips
 // entirely: command mains and examples are context roots by
-// definition, and the lint tree itself runs no blocking work.
-var ctxExemptSegments = []string{"cmd", "examples", "lint", "testdata_exempt"}
+// definition, the lint tree itself runs no blocking work, and vfs is
+// the filesystem seam whose File/FS interfaces must mirror *os.File's
+// context-free method set (Sync, SyncDir) — a context parameter there
+// would diverge the seam from the os passthrough it abstracts.
+var ctxExemptSegments = []string{"cmd", "examples", "lint", "testdata_exempt", "vfs"}
 
 // CtxCheck enforces context threading: exported functions that fetch,
 // sync, serve, or run blocking work must accept context.Context, and

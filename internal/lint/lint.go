@@ -1,4 +1,4 @@
-// Package lint is the drugtree static-analysis suite: nine analyzers
+// Package lint is the drugtree static-analysis suite: ten analyzers
 // that machine-check the invariants the system's correctness rests
 // on, from the intra-function discipline PR 1/PR 2 introduced (clock
 // injection, context threading, lock/blocking hygiene, goroutine
@@ -7,10 +7,12 @@
 // contract over shard.Coordinator → replica.Set → store.DB →
 // admission, errors.Is-only handling of wrapped sentinels like
 // shard.ErrShardUnavailable, atomic-everywhere access to seq/lag
-// counters, and leak-proof channel operations inside spawned
-// goroutines.
+// counters, leak-proof channel operations inside spawned goroutines,
+// and the durability seam of the crash-safe I/O layer (fscheck:
+// persistence packages do file I/O through vfs.FS, never raw os.*, so
+// the T13 crash-point torture harness sees every byte that matters).
 //
-// The first five analyzers (clockcheck, ctxcheck, lockcheck,
+// Six analyzers (clockcheck, ctxcheck, fscheck, lockcheck,
 // spawncheck, wrapcheck) are intra-function and purely syntactic. The
 // four added for the distributed layer (lockorder, errcmp,
 // atomiccheck, sendcheck) are fact-propagating: a collection phase
@@ -45,6 +47,7 @@ func All() []*analysis.Analyzer {
 		ClockCheck,
 		CtxCheck,
 		ErrCmp,
+		FSCheck,
 		LockCheck,
 		LockOrder,
 		SendCheck,
@@ -64,9 +67,14 @@ var Budget = map[string]int{
 	// from the session context (it must outlive the interaction that
 	// triggered it).
 	"ctxcheck": 1,
-	// store.DB.Checkpoint fsyncs under db.mu by design: the snapshot
-	// must be a frozen point-in-time image of the database.
-	"lockcheck": 1,
+	// Three deliberate fsyncs under a lock: store.DB.Checkpoint syncs
+	// under db.mu (the snapshot must be a frozen point-in-time image),
+	// walWriter.Reset syncs its truncation under the writer mutex (no
+	// post-checkpoint append may land before the truncation is
+	// durable), and walWriter.syncTo holds syncMu across the group-
+	// commit fsync (that hold is the ticket concurrent committers
+	// piggyback on).
+	"lockcheck": 3,
 	// replica.Set.Ship/Promote hold Set.mu across store WAL scans by
 	// design (the mutex quiesces leader writes so a follower's image
 	// is consistent) and stay clean here: the store calls acquire
@@ -76,6 +84,7 @@ var Budget = map[string]int{
 	"atomiccheck": 0,
 	"clockcheck":  0,
 	"errcmp":      0,
+	"fscheck":     0,
 	"sendcheck":   0,
 	"spawncheck":  0,
 	"wrapcheck":   0,

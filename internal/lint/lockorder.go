@@ -441,7 +441,7 @@ func lockOrderExpr(sc *loScope, fact *loFact, e ast.Expr, held map[string]bool, 
 			if name == "" {
 				return true
 			}
-			if lockBlockingCalls[name] && !isOnceDo(x) {
+			if loWaitCalls[name] && !isOnceDo(x) {
 				fact.Blocks = true
 			}
 			call := loCall{Name: name, Key: key, Held: heldList(held)}
@@ -453,6 +453,20 @@ func lockOrderExpr(sc *loScope, fact *loFact, e ast.Expr, held map[string]bool, 
 		return true
 	})
 }
+
+// loWaitCalls are the named operations lockorder treats as blocking
+// when closing over the call graph: unbounded synchronization waits
+// (sync.WaitGroup.Wait, sync.Cond.Wait) and open-ended request
+// dispatch (client.Do). Channel operations are detected structurally.
+// The broader lockBlockingCalls list (Sync, Fetch, Query, ...) is
+// deliberately NOT reused here: bounded disk/network I/O under a lock
+// is lockcheck's per-site concern, while lockorder hunts
+// cross-function deadlock shapes — its contract is "channel op or
+// Wait in the call chain" (see the Budget note in lint.go). Folding
+// fsync into the closure would flag every WAL group-commit reachable
+// under a coordinator or replica mutex, which is the durability
+// design, not a deadlock.
+var loWaitCalls = map[string]bool{"Wait": true, "Do": true}
 
 // isOnceDo recognizes the sync.Once.Do shape — bounded one-time
 // initialization, not the open-ended blocking the Do entry of
@@ -589,6 +603,17 @@ func decodeLockOrderFacts(facts map[string]string) *loTable {
 	return t
 }
 
+// loLeafIfaces are interface classes whose implementations are I/O
+// leaves by contract: the vfs seam's File/FS are implemented only by
+// the os passthrough and the in-memory fault injector, neither of
+// which calls back into the packages that use them. Dispatching a
+// vfs.File.Close by name to every Close method in vfs's importers
+// (store.DB.Close, ...) would fabricate re-entrancy cycles that no
+// execution can take, so these classes are resolution dead ends —
+// like a concrete foreign type. Direct fsync-under-lock at such call
+// sites is still policed per-site by lockcheck.
+var loLeafIfaces = map[string]bool{"vfs.File": true, "vfs.FS": true}
+
 // candidates resolves one call fact to fact-table keys. An exact key
 // matches directly. A key naming an interface method dispatches to
 // same-named methods in packages that import the interface's package
@@ -607,6 +632,9 @@ func (t *loTable) candidates(callerPkg, callerRecv string, c loCall) []string {
 		cls := c.Key[:strings.LastIndex(c.Key, ".")]
 		if !t.ifaces[cls] {
 			return nil // a concrete foreign type (os.File etc.): dead end
+		}
+		if loLeafIfaces[cls] {
+			return nil // an I/O-leaf interface: implementations never call up
 		}
 		ifacePkg := cls[:strings.Index(cls, ".")]
 		scope := append([]string{ifacePkg}, t.importers[ifacePkg]...)

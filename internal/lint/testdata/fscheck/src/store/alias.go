@@ -1,0 +1,18 @@
+// Fixture: import aliasing must not hide a raw os call, and a local
+// identifier named os must not be mistaken for the package.
+package store
+
+import stdos "os"
+
+func aliased(dir string) error {
+	return stdos.Remove(dir) // want `os\.Remove bypasses the vfs seam`
+}
+
+type fakeOS struct{}
+
+func (fakeOS) Remove(string) error { return nil }
+
+func shadowed(dir string) error {
+	var os fakeOS
+	return os.Remove(dir) // a method on a local value, not the os package
+}

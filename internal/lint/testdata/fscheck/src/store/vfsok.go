@@ -1,0 +1,39 @@
+// Fixture: the compliant shape — the same persistence operations
+// routed through an injected filesystem seam go unflagged.
+package store
+
+type seamFile interface {
+	Write([]byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+type seamFS interface {
+	Create(string) (seamFile, error)
+	Rename(string, string) error
+	Remove(string) error
+	SyncDir(string) error
+}
+
+func persistSeam(fsys seamFS, dir string) error {
+	f, err := fsys.Create(dir + "/snapshot.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("rows")); err != nil {
+		f.Close()
+		fsys.Remove(dir + "/snapshot.tmp")
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(dir+"/snapshot.tmp", dir+"/snapshot"); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
+}

@@ -18,7 +18,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -27,6 +26,7 @@ import (
 	"drugtree/internal/netsim"
 	"drugtree/internal/query"
 	"drugtree/internal/store"
+	"drugtree/internal/vfs"
 )
 
 // Errors surfaced by the replica set.
@@ -89,6 +89,7 @@ type node struct {
 	// prefix of the new leader's stream, so it re-seeds on rejoin.
 	term    int64
 	reseeds atomic.Int64
+	scrubs  atomic.Int64
 }
 
 func (n *node) seq() int64 { return n.state.Load().db.WALSeq() }
@@ -110,6 +111,11 @@ type Set struct {
 	promoteLatency  atomic.Int64 // nanoseconds, last successful promotion
 	promoteReplayed atomic.Int64 // tail records replayed at last promotion
 	onTopology      func()
+	// sopts/fsys are the leader store's durability options, inherited
+	// by every follower store and by the scrubber, so the whole set
+	// shares one filesystem seam and fsync policy.
+	sopts store.Options
+	fsys  vfs.FS
 }
 
 // NewSet wraps leader (a durable store) in a replica set with
@@ -134,7 +140,7 @@ func NewSet(leader *store.DB, cfg Config, onTopology func()) (*Set, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = netsim.NewWallClock()
 	}
-	s := &Set{cfg: cfg, onTopology: onTopology}
+	s := &Set{cfg: cfg, onTopology: onTopology, sopts: leader.Opts(), fsys: leader.FS()}
 	lead := &node{id: 0, dir: leader.Dir()}
 	lead.state.Store(&nodeState{db: leader, engine: cfg.OpenEngine(leader)})
 	s.nodes = append(s.nodes, lead)
@@ -193,7 +199,11 @@ func (s *Set) Close() error {
 		if n.down.Load() {
 			continue // its store was closed at kill time
 		}
-		if err := n.state.Load().db.Close(); err != nil && first == nil {
+		st := n.state.Load()
+		if st == nil {
+			continue // seeding failed before the node ever had a store
+		}
+		if err := st.db.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -279,14 +289,14 @@ func (s *Set) reseedLocked(n *node) error {
 	if old := n.state.Load(); old != nil {
 		old.db.Close()
 	}
-	if err := os.RemoveAll(n.dir); err != nil {
+	if err := s.fsys.RemoveAll(n.dir); err != nil {
 		return err
 	}
-	if err := os.MkdirAll(n.dir, 0o755); err != nil {
+	if err := s.fsys.MkdirAll(n.dir, 0o755); err != nil {
 		return err
 	}
 	path := filepath.Join(n.dir, "snapshot.dts")
-	f, err := os.Create(path)
+	f, err := s.fsys.Create(path)
 	if err != nil {
 		return err
 	}
@@ -295,10 +305,20 @@ func (s *Set) reseedLocked(n *node) error {
 		f.Close()
 		return err
 	}
+	// The seed must be durable before the follower serves from it: a
+	// crash that loses a half-written seed snapshot would otherwise
+	// resurrect the corrupt state this re-seed is erasing.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
 	if err := f.Close(); err != nil {
 		return err
 	}
-	db, err := store.Open(n.dir)
+	if err := s.fsys.SyncDir(n.dir); err != nil {
+		return err
+	}
+	db, err := store.OpenWith(n.dir, s.sopts)
 	if err != nil {
 		return err
 	}
@@ -306,6 +326,56 @@ func (s *Set) reseedLocked(n *node) error {
 	n.term = s.term
 	n.reseeds.Add(1)
 	return nil
+}
+
+// quarantineLocked moves n's directory aside to <dir>.quarantine
+// (replacing any previous quarantine) so the damaged bytes survive
+// for forensics while the node re-seeds into a clean directory.
+// Callers hold s.mu.
+func (s *Set) quarantineLocked(n *node) error {
+	q := n.dir + ".quarantine"
+	if err := s.fsys.RemoveAll(q); err != nil {
+		return err
+	}
+	if err := s.fsys.Rename(n.dir, q); err != nil {
+		return err
+	}
+	return s.fsys.SyncDir(filepath.Dir(filepath.Clean(n.dir)))
+}
+
+// Scrub verifies every live follower's at-rest state (snapshot
+// checksum, WAL record CRCs) and self-heals any follower whose bytes
+// have rotted: the damaged directory is quarantined and the follower
+// re-seeds from a fresh leader snapshot, so a checksum-bad row can
+// never be served after the node's next reopen. It returns how many
+// followers were healed. The leader is not scrubbed here — its
+// corruption surfaces at reopen/checkpoint and is a promotion case,
+// not a re-seed case.
+func (s *Set) Scrub() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lead := s.nodes[s.leaderIdx.Load()]
+	if lead.down.Load() {
+		return 0, ErrLeaderDown
+	}
+	healed := 0
+	for _, n := range s.nodes {
+		if n == lead || n.down.Load() {
+			continue
+		}
+		if err := store.VerifyDir(s.fsys, n.dir); err == nil {
+			continue
+		}
+		if err := s.quarantineLocked(n); err != nil {
+			return healed, fmt.Errorf("replica: quarantining follower %d: %w", n.id, err)
+		}
+		if err := s.reseedLocked(n); err != nil {
+			return healed, fmt.Errorf("replica: re-seeding scrubbed follower %d: %w", n.id, err)
+		}
+		n.scrubs.Add(1)
+		healed++
+	}
+	return healed, nil
 }
 
 // Kill simulates a crash of node i: it is removed from routing and
@@ -339,9 +409,26 @@ func (s *Set) Restart(ctx context.Context, i int) error {
 	if !n.down.Load() {
 		return nil
 	}
-	db, err := store.Open(n.dir)
+	db, err := store.OpenWith(n.dir, s.sopts)
 	if err != nil {
-		return fmt.Errorf("replica: reopening node %d: %w", i, err)
+		// The node's durable state is unreadable (checksum-bad snapshot,
+		// unparseable WAL): self-heal by quarantining the damage and
+		// re-seeding from the live leader instead of refusing to rejoin.
+		lead := s.nodes[s.leaderIdx.Load()]
+		if n == lead || lead.down.Load() {
+			return fmt.Errorf("replica: reopening node %d: %w", i, err)
+		}
+		if qerr := s.quarantineLocked(n); qerr != nil {
+			return fmt.Errorf("replica: quarantining node %d (%v): %w", i, err, qerr)
+		}
+		if rerr := s.reseedLocked(n); rerr != nil {
+			return fmt.Errorf("replica: re-seeding node %d (%v): %w", i, err, rerr)
+		}
+		n.down.Store(false)
+		if s.onTopology != nil {
+			s.onTopology()
+		}
+		return nil
 	}
 	n.state.Store(&nodeState{db: db, engine: s.cfg.OpenEngine(db)})
 	lead := s.nodes[s.leaderIdx.Load()]
@@ -512,6 +599,7 @@ type Health struct {
 	AppliedSeq int64  // last WAL record applied locally
 	Lag        int64  // records behind the set frontier
 	Reseeds    int64  // snapshot re-seeds this node has undergone
+	Scrubs     int64  // scrub-detected corruptions healed on this node
 }
 
 // Health reports every node's role, liveness, applied sequence, and
@@ -527,6 +615,7 @@ func (s *Set) Health() []Health {
 			Status:     "ok",
 			AppliedSeq: n.seq(),
 			Reseeds:    n.reseeds.Load(),
+			Scrubs:     n.scrubs.Load(),
 		}
 		if i == lead {
 			h.Role = "leader"

@@ -1,0 +1,195 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"drugtree/internal/netsim"
+	"drugtree/internal/store"
+	"drugtree/internal/vfs"
+)
+
+// This file exercises the scrub-and-reseed self-healing path on a
+// deterministic FaultFS: at-rest media rot on a follower (a flipped
+// byte in its seed snapshot or shipped WAL) must be detected by
+// Scrub/Restart, quarantined for forensics, and healed by a fresh
+// leader re-seed — never served as a checksum-bad row.
+
+// newFaultSet builds a replica set whose every persistence path runs
+// through one FaultFS: durable leader at "lead" with n seeded rows,
+// followers in "lead-replica-<j>" siblings.
+func newFaultSet(t *testing.T, followers, n int) (*Set, *vfs.FaultFS) {
+	t.Helper()
+	fsys := vfs.NewFault(1)
+	db, err := store.OpenWith("lead", store.Options{FS: fsys, Sync: store.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := store.MustSchema(
+		store.Column{Name: "id", Kind: store.KindInt},
+		store.Column{Name: "v", Kind: store.KindString},
+	)
+	if _, err := db.CreateTable("t", schema); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := db.Insert("t", testRow(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := NewSet(db, Config{
+		Followers:  followers,
+		MaxLagSeqs: 0,
+		Clock:      netsim.NewVirtualClock(),
+		OpenEngine: openEng,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, fsys
+}
+
+// TestScrubHealsRottedSnapshot flips one bit inside a follower's seed
+// snapshot at rest. Scrub must detect it (CRC trailer), quarantine the
+// damaged directory, re-seed from the leader, and leave the follower
+// byte-verifiable and row-identical to the leader.
+func TestScrubHealsRottedSnapshot(t *testing.T) {
+	s, fsys := newFaultSet(t, 2, 8)
+	if err := fsys.Corrupt("lead-replica-1/snapshot.dts", 24, 0x10); err != nil {
+		t.Fatal(err)
+	}
+	healed, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healed != 1 {
+		t.Fatalf("Scrub healed %d followers, want 1", healed)
+	}
+	if got := s.nodes[1].scrubs.Load(); got != 1 {
+		t.Fatalf("follower scrub counter = %d, want 1", got)
+	}
+	if err := store.VerifyDir(fsys, "lead-replica-1"); err != nil {
+		t.Fatalf("follower still fails verification after scrub: %v", err)
+	}
+	if _, err := fsys.Stat("lead-replica-1.quarantine"); err != nil {
+		t.Fatalf("damaged directory was not quarantined: %v", err)
+	}
+	if got, want := nodeRows(t, s, 1), nodeRows(t, s, 0); got != want {
+		t.Fatalf("healed follower has %d rows, leader has %d", got, want)
+	}
+	// The untouched follower was not disturbed.
+	if got := s.nodes[2].scrubs.Load(); got != 0 {
+		t.Fatalf("clean follower scrubbed %d times, want 0", got)
+	}
+	h := s.Health()
+	if h[1].Scrubs != 1 || h[2].Scrubs != 0 {
+		t.Fatalf("Health scrub counters = %d,%d, want 1,0", h[1].Scrubs, h[2].Scrubs)
+	}
+}
+
+// TestScrubHealsRottedWAL is the shipped-log variant: the rot lands in
+// a WAL record the follower already applied. Verification must catch
+// the bad CRC at rest and the scrub must heal it.
+func TestScrubHealsRottedWAL(t *testing.T) {
+	s, fsys := newFaultSet(t, 1, 4)
+	// Ship a few records into the follower's own WAL first.
+	for i := 4; i < 8; i++ {
+		if _, err := s.Insert("t", testRow(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Ship(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Corrupt("lead-replica-1/wal.dtl", 9, 0x04); err != nil {
+		t.Fatal(err)
+	}
+	healed, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healed != 1 {
+		t.Fatalf("Scrub healed %d followers, want 1", healed)
+	}
+	if got, want := nodeRows(t, s, 1), nodeRows(t, s, 0); got != want {
+		t.Fatalf("healed follower has %d rows, leader has %d", got, want)
+	}
+}
+
+// TestScrubCleanSetIsNoOp proves the scrubber has no false positives:
+// on an intact set it heals nothing and triggers no re-seed.
+func TestScrubCleanSetIsNoOp(t *testing.T) {
+	s, _ := newFaultSet(t, 2, 8)
+	before := s.nodes[1].reseeds.Load() + s.nodes[2].reseeds.Load()
+	healed, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healed != 0 {
+		t.Fatalf("Scrub healed %d followers on a clean set", healed)
+	}
+	if after := s.nodes[1].reseeds.Load() + s.nodes[2].reseeds.Load(); after != before {
+		t.Fatalf("clean scrub re-seeded (%d -> %d)", before, after)
+	}
+}
+
+// TestScrubLeaderDown: with no leader there is nothing trustworthy to
+// re-seed from, so Scrub refuses rather than heal from a dead image.
+func TestScrubLeaderDown(t *testing.T) {
+	s, _ := newFaultSet(t, 1, 4)
+	s.Kill(0)
+	if _, err := s.Scrub(); !errors.Is(err, ErrLeaderDown) {
+		t.Fatalf("Scrub with dead leader = %v, want ErrLeaderDown", err)
+	}
+}
+
+// TestRestartSelfHealsCorruptFollower kills a follower, rots its
+// durable snapshot, and restarts it. The reopen fails its checksum, so
+// Restart must quarantine + re-seed instead of refusing to rejoin —
+// and the rejoined follower serves the leader's rows, never the
+// checksum-bad image.
+func TestRestartSelfHealsCorruptFollower(t *testing.T) {
+	s, fsys := newFaultSet(t, 1, 8)
+	s.Kill(1)
+	if err := fsys.Corrupt("lead-replica-1/snapshot.dts", 30, 0x80); err != nil {
+		t.Fatal(err)
+	}
+	before := s.nodes[1].reseeds.Load()
+	if err := s.Restart(context.Background(), 1); err != nil {
+		t.Fatalf("Restart over corrupt durable state must self-heal, got %v", err)
+	}
+	if got := s.nodes[1].reseeds.Load(); got != before+1 {
+		t.Fatalf("follower re-seeded %d times across self-heal, want exactly 1 more", got-before)
+	}
+	if s.nodes[1].down.Load() {
+		t.Fatal("follower still down after self-healing restart")
+	}
+	if got, want := nodeRows(t, s, 1), nodeRows(t, s, 0); got != want {
+		t.Fatalf("rejoined follower has %d rows, leader has %d", got, want)
+	}
+	if _, err := fsys.Stat("lead-replica-1.quarantine"); err != nil {
+		t.Fatalf("corrupt state was not quarantined: %v", err)
+	}
+}
+
+// TestRestartCorruptLeaderIsAnError: the leader cannot re-seed from
+// itself, so a corrupt leader restart surfaces the reopen error
+// (recovering the shard is a promotion case, not a self-heal case).
+// A corrupt WAL alone would open fine — replay treats a bad CRC as
+// crash residue and keeps the prefix — so the rot goes into the
+// checkpointed snapshot, whose envelope checksum is load-bearing.
+func TestRestartCorruptLeaderIsAnError(t *testing.T) {
+	s, fsys := newFaultSet(t, 1, 4)
+	if err := s.Leader().Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.Kill(0)
+	if err := fsys.Corrupt("lead/snapshot.dts", 20, 0x01); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Restart(context.Background(), 0); err == nil {
+		t.Fatal("restarting a corrupt leader with no live peer to seed from must fail")
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -16,6 +15,7 @@ import (
 	"drugtree/internal/query"
 	"drugtree/internal/replica"
 	"drugtree/internal/store"
+	"drugtree/internal/vfs"
 )
 
 // ErrShardUnavailable is the sentinel matched (via errors.Is) by the
@@ -114,6 +114,11 @@ type Coordinator struct {
 	// tempDir is the auto-created durability root when replication was
 	// requested over an in-memory topology; removed on Close.
 	tempDir string
+
+	// fsys is the filesystem seam inherited from the source store at
+	// partition time; everything the coordinator persists or removes
+	// goes through it.
+	fsys vfs.FS
 }
 
 // SetReadPolicy switches how read subplans route across each shard's
@@ -148,7 +153,11 @@ func (c *Coordinator) Close() error {
 		}
 	}
 	if c.tempDir != "" {
-		if err := os.RemoveAll(c.tempDir); err != nil && first == nil {
+		fsys := c.fsys
+		if fsys == nil {
+			fsys = vfs.OS()
+		}
+		if err := fsys.RemoveAll(c.tempDir); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -233,6 +242,34 @@ func (c *Coordinator) SyncReplicas(ctx context.Context) error {
 		}
 	}
 	return first
+}
+
+// ScrubReplicas runs one scrub pass over every shard's replica set:
+// each live follower's on-disk image is verified (snapshot envelope,
+// checksums, WAL record CRCs) and any follower that fails is
+// quarantined and re-seeded from its leader. It returns the number of
+// followers healed. Shards without replication, or whose leader is
+// down (nothing to re-seed from until a promotion), are skipped.
+func (c *Coordinator) ScrubReplicas(ctx context.Context) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	healed := 0
+	var first error
+	for i, s := range c.shards {
+		if err := ctx.Err(); err != nil {
+			return healed, err
+		}
+		if s.set == nil {
+			continue
+		}
+		n, err := s.set.Scrub()
+		healed += n
+		if err != nil && !errors.Is(err, replica.ErrLeaderDown) && first == nil {
+			first = fmt.Errorf("shard %d scrub: %w", i, err)
+		}
+	}
+	return healed, first
 }
 
 // MaxServedLag returns the largest replica lag any served read has

@@ -4,10 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
-	"os"
 	"path/filepath"
 
 	"drugtree/internal/store"
+	"drugtree/internal/vfs"
 )
 
 // manifest records what a completed durable partitioning was computed
@@ -84,8 +84,8 @@ func (m *manifest) equal(o *manifest) bool {
 
 // readManifest loads the completion manifest, or an error when it is
 // absent or unreadable (both mean: re-partition).
-func readManifest(dir string) (*manifest, error) {
-	b, err := os.ReadFile(manifestPath(dir))
+func readManifest(fsys vfs.FS, dir string) (*manifest, error) {
+	b, err := fsys.ReadFile(manifestPath(dir))
 	if err != nil {
 		return nil, err
 	}
@@ -96,31 +96,39 @@ func readManifest(dir string) (*manifest, error) {
 	return &m, nil
 }
 
-// writeManifest persists m atomically (tmp + fsync + rename), so a
-// crash mid-write never leaves a manifest that passes readManifest.
-func writeManifest(dir string, m *manifest) error {
+// writeManifest persists m atomically (tmp + fsync + rename + parent
+// directory fsync), so a crash mid-write never leaves a manifest that
+// passes readManifest, and a crash right after return never loses the
+// committed rename.
+func writeManifest(fsys vfs.FS, dir string, m *manifest) error {
 	b, err := json.Marshal(m)
 	if err != nil {
 		return err
 	}
 	tmp := manifestPath(dir) + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(b); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, manifestPath(dir))
+	if err := fsys.Rename(tmp, manifestPath(dir)); err != nil {
+		return err
+	}
+	// The rename is only durable once the directory entry is synced;
+	// without this, a crash can resurrect the old (or no) manifest and
+	// the reopened coordinator would silently re-partition.
+	return fsys.SyncDir(dir)
 }

@@ -19,7 +19,6 @@ package shard
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 
 	"drugtree/internal/admission"
@@ -228,10 +227,16 @@ func Partition(src *store.DB, tree *phylo.Tree, opts Options) (*Coordinator, err
 		}
 	}
 
+	// Every shard store, the manifest, and the temp durability root go
+	// through the source store's filesystem seam and inherit its fsync
+	// policy, so a FaultFS injected at the source covers the whole
+	// sharded topology.
+	fsys := src.FS()
 	c := &Coordinator{
 		tree:  tree,
 		opts:  opts,
 		specs: specs,
+		fsys:  fsys,
 	}
 	for i := 0; i < tree.Len(); i++ {
 		id := phylo.NodeID(i)
@@ -245,7 +250,7 @@ func Partition(src *store.DB, tree *phylo.Tree, opts Options) (*Coordinator, err
 		}
 	}
 	if opts.Replicas > 0 && opts.Dir == "" {
-		td, err := os.MkdirTemp("", "drugtree-shards-")
+		td, err := fsys.MkdirTemp("", "drugtree-shards-")
 		if err != nil {
 			return nil, fmt.Errorf("shard: replica durability root: %w", err)
 		}
@@ -256,7 +261,7 @@ func Partition(src *store.DB, tree *phylo.Tree, opts Options) (*Coordinator, err
 	done := false
 	defer func() {
 		if !done && c.tempDir != "" {
-			os.RemoveAll(c.tempDir)
+			fsys.RemoveAll(c.tempDir)
 		}
 	}()
 
@@ -276,12 +281,12 @@ func Partition(src *store.DB, tree *phylo.Tree, opts Options) (*Coordinator, err
 		if err != nil {
 			return nil, err
 		}
-		if prev, err := readManifest(opts.Dir); err == nil && prev.equal(fp) {
+		if prev, err := readManifest(fsys, opts.Dir); err == nil && prev.equal(fp) {
 			preloaded = true
 		} else {
-			os.Remove(manifestPath(opts.Dir))
+			fsys.Remove(manifestPath(opts.Dir))
 			for i := 0; i < n; i++ {
-				if err := os.RemoveAll(filepath.Join(opts.Dir, fmt.Sprintf("shard-%d", i))); err != nil {
+				if err := fsys.RemoveAll(filepath.Join(opts.Dir, fmt.Sprintf("shard-%d", i))); err != nil {
 					return nil, fmt.Errorf("shard: clearing stale shard %d: %w", i, err)
 				}
 			}
@@ -301,7 +306,7 @@ func Partition(src *store.DB, tree *phylo.Tree, opts Options) (*Coordinator, err
 		if durable {
 			dir = filepath.Join(opts.Dir, fmt.Sprintf("shard-%d", i))
 		}
-		db, err := store.Open(dir)
+		db, err := store.OpenWith(dir, src.Opts())
 		if err != nil {
 			closeAll()
 			return nil, fmt.Errorf("shard %d: %w", i, err)
@@ -330,7 +335,7 @@ func Partition(src *store.DB, tree *phylo.Tree, opts Options) (*Coordinator, err
 				return nil, fmt.Errorf("shard %d checkpoint: %w", i, err)
 			}
 		}
-		if err := writeManifest(opts.Dir, fp); err != nil {
+		if err := writeManifest(fsys, opts.Dir, fp); err != nil {
 			closeAll()
 			return nil, err
 		}

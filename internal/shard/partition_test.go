@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"drugtree/internal/store"
+	"drugtree/internal/vfs"
 )
 
 // shardRowCount sums a table's rows across every shard store.
@@ -273,10 +274,10 @@ func TestManifestFingerprint(t *testing.T) {
 	}
 	// Round-trip through the on-disk encoding.
 	dir := t.TempDir()
-	if err := writeManifest(dir, base); err != nil {
+	if err := writeManifest(vfs.OS(), dir, base); err != nil {
 		t.Fatal(err)
 	}
-	back, err := readManifest(dir)
+	back, err := readManifest(vfs.OS(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,7 +11,11 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
+
+	"drugtree/internal/vfs"
 )
 
 // Replication stream errors. ErrWALGap means the requested range has
@@ -24,6 +28,85 @@ var (
 	ErrWALCorrupt = errors.New("store: WAL record corrupt")
 )
 
+// ErrPoisoned marks a database whose write path hit an I/O failure
+// (WAL append or fsync). Once a WAL write fails the log's tail is in
+// an unknown state — a partially-written record may sit where the
+// next append would land — so continuing to append could corrupt the
+// middle of the log. The DB therefore refuses further mutations
+// (reads keep working) until it is closed and reopened; reopen
+// recovers to the last durable prefix.
+var ErrPoisoned = errors.New("store: write path poisoned by I/O failure")
+
+// SyncPolicy selects when the WAL fsyncs (the durability contract —
+// see DESIGN §10).
+type SyncPolicy int
+
+const (
+	// SyncInterval group-commits: the WAL fsyncs once every
+	// Options.SyncEvery records. A crash loses at most the last
+	// SyncEvery acknowledged writes.
+	SyncInterval SyncPolicy = iota
+	// SyncAlways fsyncs on every record before acknowledging it. A
+	// crash at any point loses no acknowledged write.
+	SyncAlways
+	// SyncOff never fsyncs the WAL on the append path (the OS decides
+	// when bytes reach disk). Crash loss is unbounded; Close and
+	// Checkpoint still sync.
+	SyncOff
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncOff:
+		return "off"
+	default:
+		return "interval"
+	}
+}
+
+// ParseSyncPolicy parses the -wal-sync flag values.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "always":
+		return SyncAlways, nil
+	case "interval", "":
+		return SyncInterval, nil
+	case "off", "never":
+		return SyncOff, nil
+	}
+	return SyncInterval, fmt.Errorf("store: unknown WAL sync policy %q (want always, interval, or off)", s)
+}
+
+// DefaultSyncEvery is the group-commit interval used when
+// Options.SyncEvery is zero.
+const DefaultSyncEvery = 64
+
+// Options configures a database's durability behaviour. The zero
+// value means: real filesystem, interval fsync every DefaultSyncEvery
+// records.
+type Options struct {
+	// FS is the filesystem seam. nil means the real filesystem
+	// (vfs.OS()); tests substitute a vfs.FaultFS.
+	FS vfs.FS
+	// Sync is the WAL fsync policy.
+	Sync SyncPolicy
+	// SyncEvery is the group-commit interval for SyncInterval
+	// (records between fsyncs). Zero means DefaultSyncEvery.
+	SyncEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.FS == nil {
+		o.FS = vfs.OS()
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = DefaultSyncEvery
+	}
+	return o
+}
+
 // DB is a named collection of tables with optional durability: when
 // opened with a directory, every mutation is appended to a write-ahead
 // log and Checkpoint() writes a snapshot and truncates the log. Opened
@@ -32,31 +115,58 @@ type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
 	dir    string
+	opts   Options
+	fsys   vfs.FS
 	wal    *walWriter
+	// failed holds the poisoning error once a WAL write/fsync fails;
+	// all access is atomic (checked lock-free on every mutation).
+	failed atomic.Pointer[error]
 }
 
-// Open creates or reopens a database. dir == "" gives an in-memory
+// Open creates or reopens a database with default options (real
+// filesystem, interval WAL fsync). dir == "" gives an in-memory
 // database; otherwise dir is created if needed, the latest snapshot is
 // loaded, and the WAL is replayed.
-func Open(dir string) (*DB, error) {
-	db := &DB{tables: make(map[string]*Table), dir: dir}
+func Open(dir string) (*DB, error) { return OpenWith(dir, Options{}) }
+
+// OpenWith is Open with explicit durability options. Layers that
+// derive child stores from a parent (shard partitions, replica
+// followers) pass the parent's Opts() so the whole tree shares one
+// filesystem seam and fsync policy.
+func OpenWith(dir string, opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	db := &DB{tables: make(map[string]*Table), dir: dir, opts: opts, fsys: opts.FS}
 	if dir == "" {
 		return db, nil
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := db.fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	// Sweep orphaned atomic-rename temporaries: a crash between
+	// creating snapshot.dts.tmp and renaming it leaves the tmp behind
+	// forever, and a later checkpoint would silently reuse the name.
+	if err := db.removeOrphanedTemps(); err != nil {
+		return nil, err
 	}
 	snapSeq, err := db.loadSnapshot()
 	if err != nil {
 		return nil, err
 	}
-	walSeq, err := db.replayWAL()
+	walSeq, err := db.replayWAL(snapSeq)
 	if err != nil {
 		return nil, err
 	}
-	w, err := openWAL(db.walPath())
+	w, err := openWAL(db.fsys, db.walPath(), opts)
 	if err != nil {
 		return nil, err
+	}
+	// Creating the WAL file is a namespace mutation: without a parent
+	// directory fsync the file's entry — and with it every record ever
+	// appended — can vanish at power loss even though the content was
+	// fsynced. One SyncDir here also commits the tmp-sweep removals.
+	if err := db.fsys.SyncDir(dir); err != nil {
+		w.CloseSync(false)
+		return nil, fmt.Errorf("store: syncing %s: %w", dir, err)
 	}
 	// The sequence counter survives reopen: the snapshot trailer holds
 	// the seq at checkpoint time and each surviving WAL record carries
@@ -69,17 +179,78 @@ func Open(dir string) (*DB, error) {
 	return db, nil
 }
 
+// removeOrphanedTemps deletes *.tmp files left by a crash between
+// tmp-create and rename. The removals become durable with the SyncDir
+// Open issues after the WAL is created.
+func (db *DB) removeOrphanedTemps() error {
+	ents, err := db.fsys.ReadDir(db.dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("store: listing %s: %w", db.dir, err)
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".tmp") {
+			continue
+		}
+		if err := db.fsys.Remove(filepath.Join(db.dir, e.Name())); err != nil {
+			return fmt.Errorf("store: removing orphaned %s: %w", e.Name(), err)
+		}
+	}
+	return nil
+}
+
 // Dir returns the durability directory, or "" for an in-memory
 // database. Layers that derive per-partition stores from a parent
 // (the shard coordinator) use it to place their own directories.
 func (db *DB) Dir() string { return db.dir }
+
+// Opts returns the durability options the database was opened with
+// (FS seam, sync policy), with defaults filled in. Derived stores
+// (shard partitions, replica followers) are opened with these.
+func (db *DB) Opts() Options { return db.opts }
+
+// FS returns the filesystem seam the database does its I/O through.
+func (db *DB) FS() vfs.FS { return db.fsys }
+
+// Failed reports the poisoning error if the write path has been
+// disabled by an earlier I/O failure, else nil. errors.Is(err,
+// ErrPoisoned) identifies it.
+func (db *DB) Failed() error {
+	if p := db.failed.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// poison records err as the reason the write path is now disabled and
+// returns the sticky poisoning error. The first failure wins.
+func (db *DB) poison(err error) error {
+	wrapped := fmt.Errorf("%w: %w", ErrPoisoned, err)
+	db.failed.CompareAndSwap(nil, &wrapped)
+	return db.Failed()
+}
+
+// walFail routes a WAL append error: logical stream errors (sequence
+// gaps) pass through untouched, I/O errors poison the write path so
+// no further append can land after a possibly-torn tail.
+func (db *DB) walFail(err error) error {
+	if errors.Is(err, ErrWALGap) {
+		return err
+	}
+	return db.poison(err)
+}
 
 // Close flushes and closes the WAL.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.wal != nil {
-		return db.wal.Close()
+		// A poisoned WAL must not fsync on close: flushing a torn tail
+		// would make the damage durable. Recovery truncates at the torn
+		// record either way; skipping the sync keeps the damage small.
+		return db.wal.CloseSync(db.Failed() == nil)
 	}
 	return nil
 }
@@ -90,6 +261,9 @@ func (db *DB) walPath() string      { return filepath.Join(db.dir, "wal.dtl") }
 // CreateTable creates a table. The schema is logged so reopening
 // recreates it.
 func (db *DB) CreateTable(name string, schema *Schema) (*Table, error) {
+	if err := db.Failed(); err != nil {
+		return nil, err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, dup := db.tables[name]; dup {
@@ -99,7 +273,7 @@ func (db *DB) CreateTable(name string, schema *Schema) (*Table, error) {
 	db.tables[name] = t
 	if db.wal != nil {
 		if err := db.wal.logCreateTable(name, schema); err != nil {
-			return nil, err
+			return nil, db.walFail(err)
 		}
 	}
 	return t, nil
@@ -130,6 +304,9 @@ func (db *DB) TableNames() []string {
 
 // Insert inserts a row through the DB so it is WAL-logged.
 func (db *DB) Insert(table string, r Row) (int64, error) {
+	if err := db.Failed(); err != nil {
+		return 0, err
+	}
 	t, err := db.Table(table)
 	if err != nil {
 		return 0, err
@@ -140,7 +317,7 @@ func (db *DB) Insert(table string, r Row) (int64, error) {
 	}
 	if db.wal != nil {
 		if err := db.wal.logInsert(table, r); err != nil {
-			return 0, err
+			return 0, db.walFail(err)
 		}
 	}
 	return id, nil
@@ -150,6 +327,9 @@ func (db *DB) Insert(table string, r Row) (int64, error) {
 // are not stable across recovery, so the log records the row's value;
 // replay removes one matching row.
 func (db *DB) Delete(table string, id int64) (bool, error) {
+	if err := db.Failed(); err != nil {
+		return false, err
+	}
 	t, err := db.Table(table)
 	if err != nil {
 		return false, err
@@ -163,7 +343,7 @@ func (db *DB) Delete(table string, id int64) (bool, error) {
 	}
 	if db.wal != nil {
 		if err := db.wal.logDelete(table, row); err != nil {
-			return true, err
+			return true, db.walFail(err)
 		}
 	}
 	return true, nil
@@ -172,6 +352,9 @@ func (db *DB) Delete(table string, id int64) (bool, error) {
 // Update replaces a row through the DB so it is WAL-logged (as a
 // delete of the old value plus an insert of the new one).
 func (db *DB) Update(table string, id int64, r Row) error {
+	if err := db.Failed(); err != nil {
+		return err
+	}
 	t, err := db.Table(table)
 	if err != nil {
 		return err
@@ -185,10 +368,10 @@ func (db *DB) Update(table string, id int64, r Row) error {
 	}
 	if db.wal != nil {
 		if err := db.wal.logDelete(table, old); err != nil {
-			return err
+			return db.walFail(err)
 		}
 		if err := db.wal.logInsert(table, r); err != nil {
-			return err
+			return db.walFail(err)
 		}
 	}
 	return nil
@@ -222,60 +405,98 @@ func (t *Table) deleteByValue(r Row) bool {
 	return false
 }
 
-// Checkpoint writes a full snapshot and truncates the WAL.
+// Checkpoint writes a full snapshot and truncates the WAL. The
+// protocol is crash-safe at every step: tmp write → tmp fsync → rename
+// → directory fsync → WAL truncate (fsynced). A crash before the
+// directory fsync recovers from the old snapshot + full WAL; after it,
+// from the new snapshot (replay skips records the snapshot already
+// holds). A failure while producing the tmp file does not poison the
+// database — the WAL is untouched and the tmp is removed — but a
+// failure truncating the WAL after the rename does.
 func (db *DB) Checkpoint() error {
 	if db.dir == "" {
 		return nil
 	}
+	if err := db.Failed(); err != nil {
+		return err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	tmp := db.snapshotPath() + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := db.fsys.Create(tmp)
 	if err != nil {
 		return err
 	}
-	w := bufio.NewWriter(f)
 	var seq int64
 	if db.wal != nil {
 		seq = db.wal.Seq()
 	}
+	w := bufio.NewWriter(f)
 	if err := db.writeSnapshot(w, seq); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		db.fsys.Remove(tmp)
 		return err
 	}
 	if err := w.Flush(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		db.fsys.Remove(tmp)
 		return err
 	}
 	//lint:ignore drugtree/lockcheck checkpoint fsync must run under db.mu so the snapshot is a frozen point-in-time image
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		db.fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		db.fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, db.snapshotPath()); err != nil {
+	if err := db.fsys.Rename(tmp, db.snapshotPath()); err != nil {
 		return err
+	}
+	// Rename durability: the new snapshot's directory entry is not on
+	// disk until the parent directory is fsynced. Truncating the WAL
+	// before this point could lose everything — old snapshot entry
+	// replaced in memory, new entry not durable, WAL gone.
+	if err := db.fsys.SyncDir(db.dir); err != nil {
+		return fmt.Errorf("store: syncing %s after snapshot rename: %w", db.dir, err)
 	}
 	// Truncate the WAL: everything it held is in the snapshot.
 	if db.wal != nil {
 		if err := db.wal.Reset(); err != nil {
-			return err
+			// The WAL tail is now unknown (truncation may be partially
+			// durable); no further append may land on it.
+			return db.poison(err)
 		}
 	}
 	return nil
 }
 
-// snapshotMagic identifies DrugTree snapshot files.
-var snapshotMagic = []byte("DTSNAP1\n")
+// Snapshot magics. V2 appends a CRC32 of the entire preceding file to
+// the end, so at-rest corruption is detected at load instead of being
+// served. V1 (no checksum) is still read for compatibility.
+var (
+	snapshotMagic   = []byte("DTSNAP1\n")
+	snapshotMagicV2 = []byte("DTSNAP2\n")
+)
+
+// crcWriter tees writes into a running CRC32 so the snapshot checksum
+// covers exactly the bytes that reached the writer.
+type crcWriter struct {
+	w   io.Writer
+	sum uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.sum = crc32.Update(c.sum, crc32.IEEETable, p[:n])
+	return n, err
+}
 
 func (db *DB) writeSnapshot(w *bufio.Writer, seq int64) error {
-	if _, err := w.Write(snapshotMagic); err != nil {
+	cw := &crcWriter{w: w}
+	if _, err := cw.Write(snapshotMagicV2); err != nil {
 		return err
 	}
 	names := make([]string, 0, len(db.tables))
@@ -285,23 +506,27 @@ func (db *DB) writeSnapshot(w *bufio.Writer, seq int64) error {
 	sort.Strings(names)
 	var buf []byte
 	buf = binary.AppendUvarint(buf, uint64(len(names)))
-	if _, err := w.Write(buf); err != nil {
+	if _, err := cw.Write(buf); err != nil {
 		return err
 	}
 	for _, name := range names {
 		t := db.tables[name]
 		t.mu.RLock()
-		err := writeTableSnapshot(w, t)
+		err := writeTableSnapshot(cw, t)
 		t.mu.RUnlock()
 		if err != nil {
 			return err
 		}
 	}
-	// Trailer: the WAL sequence this snapshot is current through.
-	// Readers that predate the trailer stop at the last table; readers
-	// that expect it treat EOF as seq 0 (legacy snapshot).
+	// Trailer: the WAL sequence this snapshot is current through, then
+	// the CRC of everything before it (magic through seq).
 	buf = binary.AppendUvarint(buf[:0], uint64(seq))
-	_, err := w.Write(buf)
+	if _, err := cw.Write(buf); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], cw.sum)
+	_, err := w.Write(crc[:])
 	return err
 }
 
@@ -323,7 +548,7 @@ func (db *DB) WriteSnapshotTo(w io.Writer) (int64, error) {
 	return seq, bw.Flush()
 }
 
-func writeTableSnapshot(w *bufio.Writer, t *Table) error {
+func writeTableSnapshot(w io.Writer, t *Table) error {
 	var buf []byte
 	buf = appendString(buf, t.name)
 	// Schema.
@@ -382,23 +607,43 @@ func readString(r *bufio.Reader) (string, error) {
 	return string(b), nil
 }
 
+// checkSnapshotEnvelope validates magic and (for v2) the whole-file
+// CRC, returning the body (after the magic, before any checksum
+// trailer) ready for structural parsing.
+func checkSnapshotEnvelope(path string, data []byte) ([]byte, error) {
+	if len(data) < len(snapshotMagic) {
+		return nil, fmt.Errorf("store: %s: truncated snapshot header", path)
+	}
+	magic := data[:len(snapshotMagic)]
+	switch {
+	case bytes.Equal(magic, snapshotMagicV2):
+		if len(data) < len(snapshotMagicV2)+4 {
+			return nil, fmt.Errorf("store: %s: truncated snapshot checksum", path)
+		}
+		body, tail := data[:len(data)-4], data[len(data)-4:]
+		if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+			return nil, fmt.Errorf("store: %s: snapshot checksum mismatch", path)
+		}
+		return body[len(snapshotMagicV2):], nil
+	case bytes.Equal(magic, snapshotMagic):
+		return data[len(snapshotMagic):], nil
+	}
+	return nil, fmt.Errorf("store: %s is not a DrugTree snapshot", path)
+}
+
 func (db *DB) loadSnapshot() (int64, error) {
-	f, err := os.Open(db.snapshotPath())
+	data, err := db.fsys.ReadFile(db.snapshotPath())
 	if os.IsNotExist(err) {
 		return 0, nil
 	}
 	if err != nil {
 		return 0, err
 	}
-	defer f.Close()
-	r := bufio.NewReader(f)
-	magic := make([]byte, len(snapshotMagic))
-	if _, err := io.ReadFull(r, magic); err != nil {
-		return 0, fmt.Errorf("store: reading snapshot magic: %w", err)
+	body, err := checkSnapshotEnvelope(db.snapshotPath(), data)
+	if err != nil {
+		return 0, err
 	}
-	if string(magic) != string(snapshotMagic) {
-		return 0, fmt.Errorf("store: %s is not a DrugTree snapshot", db.snapshotPath())
-	}
+	r := bufio.NewReader(bytes.NewReader(body))
 	nTables, err := binary.ReadUvarint(r)
 	if err != nil {
 		return 0, err
@@ -487,6 +732,81 @@ func (db *DB) loadTableSnapshot(r *bufio.Reader) error {
 	return nil
 }
 
+// VerifyDir checks the on-disk integrity of a store directory without
+// opening it: the snapshot must parse (and, for v2, match its whole-
+// file checksum) and every fully-present WAL record must pass its CRC.
+// A torn WAL tail is fine — that is normal crash residue recovery
+// truncates — but a checksum-bad snapshot or mid-log record returns an
+// error (ErrWALCorrupt for the latter). The replica scrubber runs this
+// before routing reads to a follower.
+func VerifyDir(fsys vfs.FS, dir string) error {
+	if fsys == nil {
+		fsys = vfs.OS()
+	}
+	snapPath := filepath.Join(dir, "snapshot.dts")
+	if data, err := fsys.ReadFile(snapPath); err == nil {
+		body, err := checkSnapshotEnvelope(snapPath, data)
+		if err != nil {
+			return err
+		}
+		// Structural parse into a scratch DB so row payloads decode.
+		scratch := &DB{tables: make(map[string]*Table)}
+		r := bufio.NewReader(bytes.NewReader(body))
+		nTables, err := binary.ReadUvarint(r)
+		if err != nil {
+			return fmt.Errorf("store: %s: %w", snapPath, err)
+		}
+		for ti := uint64(0); ti < nTables; ti++ {
+			if err := scratch.loadTableSnapshot(r); err != nil {
+				return fmt.Errorf("store: %s: table %d: %w", snapPath, ti, err)
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	walPath := filepath.Join(dir, "wal.dtl")
+	data, err := fsys.ReadFile(walPath)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	r := bufio.NewReader(bytes.NewReader(data))
+	var prev int64
+	for {
+		n, err := binary.ReadUvarint(r)
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil || n > 64<<20 {
+			return nil // torn tail
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil // torn payload
+		}
+		var crc [4]byte
+		if _, err := io.ReadFull(r, crc[:]); err != nil {
+			return nil // torn checksum
+		}
+		if binary.LittleEndian.Uint32(crc[:]) != crc32.ChecksumIEEE(payload) {
+			// Distinguish "last record torn" (clean) from "mid-log rot"
+			// (corrupt): if more bytes follow this record it cannot be
+			// crash residue.
+			if _, err := r.Peek(1); err != nil {
+				return nil
+			}
+			return fmt.Errorf("store: %s: record after seq %d: %w", walPath, prev, ErrWALCorrupt)
+		}
+		seq, m := binary.Uvarint(payload)
+		if m <= 0 {
+			return fmt.Errorf("store: %s: record after seq %d: %w", walPath, prev, ErrWALCorrupt)
+		}
+		prev = int64(seq)
+	}
+}
+
 // --- WAL ---
 
 // WAL record types.
@@ -498,38 +818,70 @@ const (
 
 // walWriter appends length-prefixed CRC-protected records, each
 // carrying a monotonic sequence number so replicas can tail the log.
+// Fsync is group-committed: appends run under mu, fsyncs under the
+// separate syncMu, and a waiter whose record was already covered by a
+// concurrent fsync returns without issuing its own.
 type walWriter struct {
-	mu  sync.Mutex
-	f   *os.File
-	buf []byte
-	seq int64
+	mu     sync.Mutex
+	f      vfs.File
+	fsys   vfs.FS
+	buf    []byte
+	seq    int64
+	policy SyncPolicy
+	every  int64
+	// written counts records appended (under mu); synced is the
+	// written-count covered by the last successful fsync.
+	written int64
+	synced  atomic.Int64
+	syncMu  sync.Mutex
 }
 
-func openWAL(path string) (*walWriter, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+func openWAL(fsys vfs.FS, path string, opts Options) (*walWriter, error) {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	return &walWriter{f: f}, nil
+	return &walWriter{f: f, fsys: fsys, policy: opts.Sync, every: int64(opts.SyncEvery)}, nil
 }
 
-func (w *walWriter) Close() error {
+// CloseSync closes the WAL, first fsyncing buffered records (unless
+// the caller is poisoned and passes sync=false).
+func (w *walWriter) CloseSync(sync bool) error {
+	if sync {
+		w.mu.Lock()
+		ticket := w.written
+		w.mu.Unlock()
+		if err := w.syncTo(ticket); err != nil {
+			w.f.Close()
+			return err
+		}
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.f.Close()
 }
 
-// Reset truncates the log (called after a checkpoint). The sequence
-// counter is NOT reset: seq is monotonic for the lifetime of the
-// database so replicas can detect a truncation as a gap.
+// Reset truncates the log (called after a checkpoint) and fsyncs the
+// truncation so a post-checkpoint crash cannot resurrect pre-checkpoint
+// records — replaying those on top of the new snapshot would duplicate
+// rows. The sequence counter is NOT reset: seq is monotonic for the
+// lifetime of the database so replicas can detect a truncation as a gap.
 func (w *walWriter) Reset() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if err := w.f.Truncate(0); err != nil {
 		return err
 	}
-	_, err := w.f.Seek(0, io.SeekStart)
-	return err
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	//lint:ignore drugtree/lockcheck truncation fsync must complete before any post-checkpoint append is allowed to land
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	// The (empty) log is fully durable.
+	w.synced.Store(w.written)
+	return nil
 }
 
 // Seq returns the sequence number of the last record written.
@@ -539,11 +891,41 @@ func (w *walWriter) Seq() int64 {
 	return w.seq
 }
 
-// writeRecord assigns the next sequence number and appends body.
+// syncTo guarantees the first `ticket` appended records are durable
+// when it returns nil. Group commit: if a concurrent fsync already
+// covered the ticket this returns immediately; otherwise one fsync is
+// issued that covers every record appended before it started.
+func (w *walWriter) syncTo(ticket int64) error {
+	if w.synced.Load() >= ticket {
+		return nil
+	}
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	if w.synced.Load() >= ticket {
+		return nil // a group commit raced ahead of us
+	}
+	w.mu.Lock()
+	covered := w.written
+	w.mu.Unlock()
+	//lint:ignore drugtree/lockcheck group commit holds syncMu across the fsync by design: it is the ticket that lets concurrent committers piggyback on one disk flush
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.synced.Store(covered)
+	return nil
+}
+
+// writeRecord assigns the next sequence number, appends body, and
+// applies the fsync policy before acknowledging.
 func (w *walWriter) writeRecord(body []byte) error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.writeRecordLocked(w.seq+1, body)
+	err := w.writeRecordLocked(w.seq+1, body)
+	ticket := w.written
+	w.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return w.maybeSync(ticket)
 }
 
 // writeRecordAt appends body under an externally-assigned sequence
@@ -551,11 +933,31 @@ func (w *walWriter) writeRecord(body []byte) error {
 // the local stream or the caller has lost records.
 func (w *walWriter) writeRecordAt(seq int64, body []byte) error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if seq != w.seq+1 {
+		w.mu.Unlock()
 		return fmt.Errorf("store: WAL append seq %d after %d: %w", seq, w.seq, ErrWALGap)
 	}
-	return w.writeRecordLocked(seq, body)
+	err := w.writeRecordLocked(seq, body)
+	ticket := w.written
+	w.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return w.maybeSync(ticket)
+}
+
+// maybeSync applies the fsync policy after a successful append of the
+// ticket'th record.
+func (w *walWriter) maybeSync(ticket int64) error {
+	switch w.policy {
+	case SyncAlways:
+		return w.syncTo(ticket)
+	case SyncInterval:
+		if ticket-w.synced.Load() >= w.every {
+			return w.syncTo(ticket)
+		}
+	}
+	return nil
 }
 
 // writeRecordLocked frames `uvarint(seq) ++ body` as: uvarint length,
@@ -573,6 +975,7 @@ func (w *walWriter) writeRecordLocked(seq int64, body []byte) error {
 		return err
 	}
 	w.seq = seq
+	w.written++
 	return nil
 }
 
@@ -606,9 +1009,13 @@ func (w *walWriter) logDelete(table string, r Row) error {
 
 // replayWAL applies logged mutations after the snapshot and returns
 // the sequence number of the last record applied. A torn or corrupt
-// tail record ends replay cleanly (standard WAL semantics).
-func (db *DB) replayWAL() (int64, error) {
-	f, err := os.Open(db.walPath())
+// tail record ends replay cleanly (standard WAL semantics). snapSeq is
+// the sequence the snapshot is current through: records at or below it
+// are already folded into the snapshot and are skipped — replaying
+// them would double-apply (a crash between the snapshot rename and the
+// WAL truncation leaves exactly that overlap on disk).
+func (db *DB) replayWAL(snapSeq int64) (int64, error) {
+	f, err := db.fsys.Open(db.walPath())
 	if os.IsNotExist(err) {
 		return 0, nil
 	}
@@ -616,7 +1023,7 @@ func (db *DB) replayWAL() (int64, error) {
 		return 0, err
 	}
 	defer f.Close()
-	return db.replayWALFrom(bufio.NewReader(f))
+	return db.replayWALFrom(bufio.NewReader(f), snapSeq)
 }
 
 // replayWALFrom is the reader-driven core of replayWAL, split out so
@@ -624,7 +1031,7 @@ func (db *DB) replayWAL() (int64, error) {
 // detected with errors.Is(err, io.EOF), not identity, so a source that
 // returns a wrapped EOF still ends replay cleanly instead of being
 // mistaken for a torn record.
-func (db *DB) replayWALFrom(r *bufio.Reader) (int64, error) {
+func (db *DB) replayWALFrom(r *bufio.Reader, snapSeq int64) (int64, error) {
 	var last int64
 	for {
 		n, err := binary.ReadUvarint(r)
@@ -651,6 +1058,10 @@ func (db *DB) replayWALFrom(r *bufio.Reader) (int64, error) {
 		seq, m := binary.Uvarint(payload)
 		if m <= 0 {
 			return last, nil // unparseable seq prefix: stop
+		}
+		if int64(seq) <= snapSeq {
+			last = int64(seq)
+			continue // already folded into the snapshot
 		}
 		if err := db.applyWALRecord(payload[m:]); err != nil {
 			return last, fmt.Errorf("store: replaying WAL: %w", err)
@@ -686,7 +1097,7 @@ func (db *DB) ScanWAL(fromSeq int64, fn func(seq int64, body []byte) error) erro
 		return errors.New("store: ScanWAL requires a durable database")
 	}
 	frontier := db.WALSeq()
-	f, err := os.Open(db.walPath())
+	f, err := db.fsys.Open(db.walPath())
 	if os.IsNotExist(err) {
 		if frontier > fromSeq {
 			return fmt.Errorf("store: records after seq %d truncated: %w", fromSeq, ErrWALGap)
@@ -749,6 +1160,9 @@ func (db *DB) ScanWAL(fromSeq int64, fn func(seq int64, body []byte) error) erro
 // seq must be the immediate successor of WALSeq(): anything else is a
 // gap (ErrWALGap) and the follower must re-seed.
 func (db *DB) ApplyReplicated(seq int64, body []byte) error {
+	if err := db.Failed(); err != nil {
+		return err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.wal == nil {
@@ -760,7 +1174,10 @@ func (db *DB) ApplyReplicated(seq int64, body []byte) error {
 	if err := db.applyWALRecord(body); err != nil {
 		return fmt.Errorf("store: applying replicated record %d: %w", seq, err)
 	}
-	return db.wal.writeRecordAt(seq, body)
+	if err := db.wal.writeRecordAt(seq, body); err != nil {
+		return db.walFail(err)
+	}
+	return nil
 }
 
 func (db *DB) applyWALRecord(p []byte) error {

@@ -1,0 +1,338 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"drugtree/internal/vfs"
+)
+
+// faultOpts opens stores over fsys with the given sync policy.
+func faultOpts(fsys vfs.FS, pol SyncPolicy) Options {
+	return Options{FS: fsys, Sync: pol, SyncEvery: 4}
+}
+
+func mustOpenFault(t *testing.T, fsys vfs.FS, dir string, pol SyncPolicy) *DB {
+	t.Helper()
+	db, err := OpenWith(dir, faultOpts(fsys, pol))
+	if err != nil {
+		t.Fatalf("OpenWith: %v", err)
+	}
+	return db
+}
+
+func seedRows(t *testing.T, db *DB, table string, n int) {
+	t.Helper()
+	schema := MustSchema(Column{Name: "id", Kind: KindInt}, Column{Name: "v", Kind: KindString})
+	if _, err := db.CreateTable(table, schema); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := db.Insert(table, Row{IntValue(int64(i)), StringValue(fmt.Sprintf("v%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func rowMultiset(t *testing.T, db *DB, table string) []string {
+	t.Helper()
+	tab, err := db.Table(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	tab.Scan(func(_ int64, r Row) bool {
+		out = append(out, string(AppendRow(nil, r)))
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+// TestENOSPCMidCheckpoint: a full disk during the snapshot tmp write
+// must fail the checkpoint, leave the store readable and NOT
+// poisoned (the WAL is untouched), remove the tmp, and let both a
+// retry and a reopen succeed.
+func TestENOSPCMidCheckpoint(t *testing.T) {
+	fsys := vfs.NewFault(11)
+	db := mustOpenFault(t, fsys, "db", SyncAlways)
+	seedRows(t, db, "tbl", 20)
+	want := rowMultiset(t, db, "tbl")
+
+	armed := true
+	fsys.SetInjector(func(op vfs.Op) vfs.Fault {
+		if armed && op.Kind == vfs.OpWrite && op.Path == "db/snapshot.dts.tmp" {
+			return vfs.FaultENOSPC
+		}
+		return vfs.FaultNone
+	})
+	if err := db.Checkpoint(); !errors.Is(err, vfs.ErrNoSpace) {
+		t.Fatalf("Checkpoint = %v, want ErrNoSpace", err)
+	}
+	armed = false
+	if err := db.Failed(); err != nil {
+		t.Fatalf("snapshot-tmp failure must not poison: %v", err)
+	}
+	if got := rowMultiset(t, db, "tbl"); len(got) != len(want) {
+		t.Fatalf("store unreadable after failed checkpoint: %d rows, want %d", len(got), len(want))
+	}
+	if _, err := db.Insert("tbl", Row{IntValue(999), StringValue("after")}); err != nil {
+		t.Fatalf("insert after failed checkpoint: %v", err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint retry: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := mustOpenFault(t, fsys, "db", SyncAlways)
+	if got := rowMultiset(t, db2, "tbl"); len(got) != len(want)+1 {
+		t.Fatalf("reopen lost rows: %d, want %d", len(got), len(want)+1)
+	}
+}
+
+// TestENOSPCMidWALAppend: a failed WAL append poisons the write path
+// (the log tail is unknown), reads keep working, further writes get
+// ErrPoisoned, and a reopen recovers every acknowledged write.
+func TestENOSPCMidWALAppend(t *testing.T) {
+	fsys := vfs.NewFault(12)
+	db := mustOpenFault(t, fsys, "db", SyncAlways)
+	seedRows(t, db, "tbl", 10)
+	acked := rowMultiset(t, db, "tbl")
+
+	fsys.SetInjector(func(op vfs.Op) vfs.Fault {
+		if op.Kind == vfs.OpWrite && op.Path == "db/wal.dtl" {
+			return vfs.FaultENOSPC
+		}
+		return vfs.FaultNone
+	})
+	_, err := db.Insert("tbl", Row{IntValue(100), StringValue("lost")})
+	if !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("insert on full disk = %v, want ErrPoisoned", err)
+	}
+	fsys.SetInjector(nil)
+	// Sticky: the disk is fine again but the tail is still unknown.
+	if _, err := db.Insert("tbl", Row{IntValue(101), StringValue("refused")}); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("insert after poisoning = %v, want ErrPoisoned", err)
+	}
+	if err := db.Checkpoint(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("checkpoint on poisoned db = %v, want ErrPoisoned", err)
+	}
+	if got := rowMultiset(t, db, "tbl"); len(got) == 0 {
+		t.Fatalf("reads must keep working on a poisoned db")
+	}
+	db.Close()
+	db2 := mustOpenFault(t, fsys, "db", SyncAlways)
+	got := rowMultiset(t, db2, "tbl")
+	for _, want := range acked {
+		i := sort.SearchStrings(got, want)
+		if i >= len(got) || got[i] != want {
+			t.Fatalf("acknowledged row missing after recovery")
+		}
+	}
+}
+
+// TestFsyncgateNoSilentDrop: a failed WAL fsync under -wal-sync=always
+// must surface an error on the write being acknowledged (not silently
+// succeed) and poison the store; the write the application was told
+// about failing is allowed to be absent after recovery, but nothing
+// acknowledged before it may be lost.
+func TestFsyncgateNoSilentDrop(t *testing.T) {
+	fsys := vfs.NewFault(13)
+	db := mustOpenFault(t, fsys, "db", SyncAlways)
+	seedRows(t, db, "tbl", 8)
+	acked := rowMultiset(t, db, "tbl")
+
+	fsys.SetInjector(func(op vfs.Op) vfs.Fault {
+		if op.Kind == vfs.OpSync && op.Path == "db/wal.dtl" {
+			return vfs.FaultSyncFail
+		}
+		return vfs.FaultNone
+	})
+	_, err := db.Insert("tbl", Row{IntValue(100), StringValue("gate")})
+	if !errors.Is(err, ErrPoisoned) || !errors.Is(err, vfs.ErrSyncFailed) {
+		t.Fatalf("insert with failing fsync = %v, want ErrPoisoned wrapping ErrSyncFailed", err)
+	}
+	fsys.SetInjector(nil)
+	db.Close()
+	// Simulate the power loss fsyncgate makes dangerous: only synced
+	// bytes survive.
+	fsys.Reboot()
+	db2 := mustOpenFault(t, fsys, "db", SyncAlways)
+	got := rowMultiset(t, db2, "tbl")
+	for _, want := range acked {
+		i := sort.SearchStrings(got, want)
+		if i >= len(got) || got[i] != want {
+			t.Fatalf("acknowledged row silently dropped after fsync failure")
+		}
+	}
+}
+
+// TestOpenRemovesOrphanedTmp: a crash between creating
+// snapshot.dts.tmp and the rename leaves the tmp behind; Open must
+// sweep it (and make the removal durable).
+func TestOpenRemovesOrphanedTmp(t *testing.T) {
+	fsys := vfs.NewFault(14)
+	db := mustOpenFault(t, fsys, "db", SyncAlways)
+	seedRows(t, db, "tbl", 3)
+	db.Close()
+
+	h, err := fsys.Create("db/snapshot.dts.tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Write([]byte("partial snapshot from a crashed checkpoint"))
+	h.Sync()
+	h.Close()
+	fsys.SyncDir("db")
+
+	db2 := mustOpenFault(t, fsys, "db", SyncAlways)
+	if _, err := fsys.ReadFile("db/snapshot.dts.tmp"); err == nil {
+		t.Fatalf("orphaned tmp survived Open")
+	}
+	if got := rowMultiset(t, db2, "tbl"); len(got) != 3 {
+		t.Fatalf("rows after tmp sweep = %d, want 3", len(got))
+	}
+	db2.Close()
+	fsys.Reboot()
+	if _, err := fsys.ReadFile("db/snapshot.dts.tmp"); err == nil {
+		t.Fatalf("tmp removal was not made durable")
+	}
+}
+
+// TestResetSyncsTruncation: after a checkpoint, a crash must not
+// resurrect pre-checkpoint WAL records — the truncation itself is
+// fsynced, and replay skips records the snapshot already holds. The
+// combination means no duplicate rows after any crash/reopen.
+func TestResetSyncsTruncation(t *testing.T) {
+	fsys := vfs.NewFault(15)
+	db := mustOpenFault(t, fsys, "db", SyncAlways)
+	seedRows(t, db, "tbl", 12)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Insert("tbl", Row{IntValue(100), StringValue("post-ckpt")}); err != nil {
+		t.Fatal(err)
+	}
+	// Power loss with no clean Close.
+	fsys.Reboot()
+	db2 := mustOpenFault(t, fsys, "db", SyncAlways)
+	got := rowMultiset(t, db2, "tbl")
+	if len(got) != 13 {
+		t.Fatalf("recovered %d rows, want 13 (duplicates or loss)", len(got))
+	}
+	seen := map[string]int{}
+	for _, r := range got {
+		seen[r]++
+		if seen[r] > 1 {
+			t.Fatalf("duplicate row after crash: checkpoint records replayed twice")
+		}
+	}
+}
+
+// TestSnapshotChecksumDetected: at-rest corruption in a v2 snapshot is
+// refused at Open and reported by VerifyDir instead of being served.
+func TestSnapshotChecksumDetected(t *testing.T) {
+	fsys := vfs.NewFault(16)
+	db := mustOpenFault(t, fsys, "db", SyncAlways)
+	seedRows(t, db, "tbl", 10)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	if err := VerifyDir(fsys, "db"); err != nil {
+		t.Fatalf("VerifyDir on a healthy dir: %v", err)
+	}
+	if err := fsys.Corrupt("db/snapshot.dts", 40, 0x01); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyDir(fsys, "db"); err == nil {
+		t.Fatalf("VerifyDir missed snapshot corruption")
+	}
+	if _, err := OpenWith("db", faultOpts(fsys, SyncAlways)); err == nil {
+		t.Fatalf("Open served a checksum-bad snapshot")
+	}
+}
+
+// TestVerifyDirWALCorruption: a flipped bit mid-log is corruption
+// (reported), but a torn tail is normal crash residue (clean).
+func TestVerifyDirWALCorruption(t *testing.T) {
+	fsys := vfs.NewFault(17)
+	db := mustOpenFault(t, fsys, "db", SyncAlways)
+	seedRows(t, db, "tbl", 10)
+	db.Close()
+
+	if err := VerifyDir(fsys, "db"); err != nil {
+		t.Fatalf("VerifyDir on healthy WAL: %v", err)
+	}
+	// Mid-log corruption: flip a bit well before the end.
+	if err := fsys.Corrupt("db/wal.dtl", 30, 0x10); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyDir(fsys, "db"); !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("VerifyDir = %v, want ErrWALCorrupt", err)
+	}
+}
+
+// TestWALSyncIntervalBoundsLoss: under -wal-sync=interval every
+// crash loses at most SyncEvery acknowledged writes, and under
+// -wal-sync=always none, at every single crash offset in a small
+// workload.
+func TestWALSyncIntervalBoundsLoss(t *testing.T) {
+	const rows = 20
+	for _, tc := range []struct {
+		pol     SyncPolicy
+		maxLoss int
+	}{
+		{SyncAlways, 0},
+		{SyncInterval, 4}, // SyncEvery=4 in faultOpts
+	} {
+		// Dry run to count mutating ops.
+		fsys := vfs.NewFault(18)
+		db := mustOpenFault(t, fsys, "db", tc.pol)
+		seedRows(t, db, "tbl", rows)
+		db.Close()
+		points := fsys.MutOps()
+
+		for k := 1; k <= points; k++ {
+			fsys := vfs.NewFault(18)
+			fsys.SetInjector(func(op vfs.Op) vfs.Fault {
+				if op.N == k {
+					return vfs.FaultCrash
+				}
+				return vfs.FaultNone
+			})
+			var acked int
+			db, err := OpenWith("db", faultOpts(fsys, tc.pol))
+			if err == nil {
+				schema := MustSchema(Column{Name: "id", Kind: KindInt}, Column{Name: "v", Kind: KindString})
+				if _, err := db.CreateTable("tbl", schema); err == nil {
+					for i := 0; i < rows; i++ {
+						if _, err := db.Insert("tbl", Row{IntValue(int64(i)), StringValue(fmt.Sprintf("v%d", i))}); err != nil {
+							break
+						}
+						acked++
+					}
+				}
+				db.Close()
+			}
+			fsys.SetInjector(nil)
+			fsys.Reboot()
+			db2, err := OpenWith("db", faultOpts(fsys, tc.pol))
+			if err != nil {
+				t.Fatalf("pol=%v crash@%d: reopen: %v", tc.pol, k, err)
+			}
+			var recovered int
+			if tab, err := db2.Table("tbl"); err == nil {
+				recovered = tab.Len()
+			}
+			if loss := acked - recovered; loss > tc.maxLoss {
+				t.Fatalf("pol=%v crash@%d: lost %d acked rows (acked=%d recovered=%d), bound %d",
+					tc.pol, k, loss, acked, recovered, tc.maxLoss)
+			}
+			db2.Close()
+		}
+	}
+}

@@ -70,7 +70,7 @@ func TestReplayWALWrappedEOF(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer db2.Close()
-	last, err := db2.replayWALFrom(bufio.NewReader(&wrappedEOFReader{data: walBytes}))
+	last, err := db2.replayWALFrom(bufio.NewReader(&wrappedEOFReader{data: walBytes}), 0)
 	if err != nil {
 		t.Fatalf("replay over wrapped-EOF source: %v", err)
 	}

@@ -1,0 +1,363 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"testing"
+)
+
+// TestSyncedContentSurvivesCrash pins the content half of the crash
+// model: bytes written before the last Sync survive Reboot, bytes
+// after it are discarded.
+func TestSyncedContentSurvivesCrash(t *testing.T) {
+	f := NewFault(1)
+	if err := f.MkdirAll("db", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	h, err := f.Create("db/wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SyncDir("db"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("-volatile")); err != nil {
+		t.Fatal(err)
+	}
+	f.SetInjector(func(op Op) Fault { return FaultCrash })
+	if _, err := h.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write after crash injection = %v, want ErrCrashed", err)
+	}
+	if _, err := f.Open("db/wal"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("open while crashed = %v, want ErrCrashed", err)
+	}
+	f.SetInjector(nil)
+	f.Reboot()
+	b, err := f.ReadFile("db/wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "durable" {
+		t.Fatalf("post-reboot content %q, want %q", b, "durable")
+	}
+}
+
+// TestEntryDurabilityNeedsDirSync pins the namespace half: a created
+// file whose parent directory was never fsynced vanishes at reboot,
+// even though the file's own content was synced.
+func TestEntryDurabilityNeedsDirSync(t *testing.T) {
+	f := NewFault(1)
+	if err := f.MkdirAll("db", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	h, err := f.Create("db/orphan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("content")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Reboot() // no SyncDir: the entry must not survive
+	if _, err := f.ReadFile("db/orphan"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("un-dir-synced entry survived reboot: err=%v", err)
+	}
+}
+
+// TestRenameDurability walks the full atomic-replace protocol: write
+// tmp, sync it, rename over the target, sync the directory. Crashing
+// before the dir sync keeps the old target; after it, the new one.
+func TestRenameDurability(t *testing.T) {
+	setup := func() *FaultFS {
+		f := NewFault(7)
+		if err := f.MkdirAll("db", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		h, _ := f.Create("db/snap")
+		h.Write([]byte("v1"))
+		h.Sync()
+		h.Close()
+		if err := f.SyncDir("db"); err != nil {
+			t.Fatal(err)
+		}
+		h2, _ := f.Create("db/snap.tmp")
+		h2.Write([]byte("v2"))
+		h2.Sync()
+		h2.Close()
+		if err := f.Rename("db/snap.tmp", "db/snap"); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+
+	f := setup() // crash before SyncDir
+	f.Reboot()
+	if b, _ := f.ReadFile("db/snap"); string(b) != "v1" {
+		t.Fatalf("rename without dir sync survived crash: %q, want v1", b)
+	}
+	if _, err := f.ReadFile("db/snap.tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("tmp entry survived crash without dir sync")
+	}
+
+	f = setup()
+	if err := f.SyncDir("db"); err != nil {
+		t.Fatal(err)
+	}
+	f.Reboot()
+	if b, _ := f.ReadFile("db/snap"); string(b) != "v2" {
+		t.Fatalf("dir-synced rename lost at crash: %q, want v2", b)
+	}
+	if _, err := f.ReadFile("db/snap.tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("tmp survived the committed rename")
+	}
+}
+
+// TestCrashPointDeterminism runs the same scripted workload twice
+// with a crash at the same point and demands byte-identical surviving
+// state (the property the torture harness's replayability rests on).
+func TestCrashPointDeterminism(t *testing.T) {
+	run := func(crashAt int) string {
+		f := NewFault(42)
+		f.SetInjector(func(op Op) Fault {
+			if op.Kind != OpRead && op.N == crashAt {
+				return FaultCrash
+			}
+			return FaultNone
+		})
+		f.MkdirAll("d", 0o755)
+		h, err := f.Create("d/f")
+		if err != nil {
+			return "<no file>"
+		}
+		f.SyncDir("d")
+		for i := 0; i < 4; i++ {
+			if _, err := h.Write([]byte("chunk-0123456789")); err != nil {
+				break
+			}
+			if err := h.Sync(); err != nil {
+				break
+			}
+		}
+		f.Reboot()
+		b, err := f.ReadFile("d/f")
+		if err != nil {
+			return "<gone>"
+		}
+		return string(b)
+	}
+	for k := 1; k <= 10; k++ {
+		a, b := run(k), run(k)
+		if a != b {
+			t.Fatalf("crash point %d not deterministic: %q vs %q", k, a, b)
+		}
+	}
+	// And a crash one op later must never shrink the surviving state.
+	if run(3) > run(4) && len(run(3)) > len(run(4)) {
+		t.Fatalf("later crash lost more data than earlier crash")
+	}
+}
+
+// TestSyncFailDropsDirtyData pins fsyncgate semantics: a failed fsync
+// loses the unsynced delta; a retry cannot resurrect it.
+func TestSyncFailDropsDirtyData(t *testing.T) {
+	f := NewFault(3)
+	f.MkdirAll("d", 0o755)
+	h, _ := f.Create("d/f")
+	f.SyncDir("d")
+	h.Write([]byte("good"))
+	if err := h.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	h.Write([]byte("-dirty"))
+	fail := true
+	f.SetInjector(func(op Op) Fault {
+		if op.Kind == OpSync && fail {
+			fail = false
+			return FaultSyncFail
+		}
+		return FaultNone
+	})
+	if err := h.Sync(); !errors.Is(err, ErrSyncFailed) {
+		t.Fatalf("sync = %v, want ErrSyncFailed", err)
+	}
+	if err := h.Sync(); err != nil { // retry "succeeds"...
+		t.Fatal(err)
+	}
+	b, _ := f.ReadFile("d/f")
+	if string(b) != "good" { // ...but the dirty bytes are gone
+		t.Fatalf("content after failed sync %q, want %q", b, "good")
+	}
+}
+
+// TestTornAndENOSPCWrites checks partial-write persistence and error
+// identity for the non-crash write faults.
+func TestTornAndENOSPCWrites(t *testing.T) {
+	f := NewFault(9)
+	f.MkdirAll("d", 0o755)
+	h, _ := f.Create("d/f")
+	f.SetInjector(func(op Op) Fault {
+		if op.Kind == OpWrite {
+			return FaultENOSPC
+		}
+		return FaultNone
+	})
+	n, err := h.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+	if n >= 10 {
+		t.Fatalf("ENOSPC write persisted all %d bytes", n)
+	}
+	f.SetInjector(func(op Op) Fault {
+		if op.Kind == OpWrite {
+			return FaultTorn
+		}
+		return FaultNone
+	})
+	if _, err := h.Write([]byte("abcdef")); !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("torn write err = %v, want ErrShortWrite", err)
+	}
+}
+
+// TestBitFlipOnRead checks the transient read fault flips exactly the
+// returned buffer, not the stored bytes.
+func TestBitFlipOnRead(t *testing.T) {
+	f := NewFault(5)
+	f.MkdirAll("d", 0o755)
+	h, _ := f.Create("d/f")
+	h.Write([]byte("stable-bytes"))
+	h.Close()
+	f.SetInjector(func(op Op) Fault {
+		if op.Kind == OpRead {
+			return FaultBitFlip
+		}
+		return FaultNone
+	})
+	flipped, err := f.ReadFile("d/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(flipped) == "stable-bytes" {
+		t.Fatalf("bit flip did not alter the read")
+	}
+	f.SetInjector(nil)
+	clean, _ := f.ReadFile("d/f")
+	if string(clean) != "stable-bytes" {
+		t.Fatalf("bit flip corrupted the stored bytes: %q", clean)
+	}
+}
+
+// TestCorruptIsPersistent: Corrupt damages the durable image too, so
+// a reboot does not heal it (unlike FaultBitFlip).
+func TestCorruptIsPersistent(t *testing.T) {
+	f := NewFault(5)
+	f.MkdirAll("d", 0o755)
+	h, _ := f.Create("d/f")
+	h.Write([]byte("stable"))
+	h.Sync()
+	h.Close()
+	f.SyncDir("d")
+	if err := f.Corrupt("d/f", 2, 0xFF); err != nil {
+		t.Fatal(err)
+	}
+	f.Reboot()
+	b, _ := f.ReadFile("d/f")
+	if string(b) == "stable" {
+		t.Fatalf("corruption healed by reboot")
+	}
+}
+
+// TestNoDirSyncWrapper: the reverted-dir-fsync switch drops only
+// SyncDir; everything else passes through.
+func TestNoDirSyncWrapper(t *testing.T) {
+	inner := NewFault(1)
+	f := NoDirSync(inner)
+	if err := f.MkdirAll("d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := f.Create("d/f")
+	h.Write([]byte("x"))
+	h.Sync()
+	h.Close()
+	if err := f.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	inner.Reboot()
+	if _, err := f.ReadFile("d/f"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("NoDirSync let the entry become durable")
+	}
+}
+
+// TestReadDirAndTmpListing covers the directory-listing path Open's
+// orphaned-tmp sweep depends on.
+func TestReadDirAndTmpListing(t *testing.T) {
+	f := NewFault(2)
+	f.MkdirAll("db/sub", 0o755)
+	for _, name := range []string{"db/wal.dtl", "db/snapshot.dts.tmp", "db/sub/deep"} {
+		h, err := f.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Close()
+	}
+	ents, err := f.ReadDir("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	want := []string{"snapshot.dts.tmp", "sub", "wal.dtl"}
+	if len(names) != len(want) {
+		t.Fatalf("ReadDir = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("ReadDir = %v, want %v", names, want)
+		}
+	}
+}
+
+// TestOSRoundTrip smoke-tests the passthrough FS (incl. SyncDir on a
+// real directory) so the production seam is exercised, not just the
+// fake.
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fsys := OS()
+	h, err := fsys.Create(dir + "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir on a real directory: %v", err)
+	}
+	b, err := fsys.ReadFile(dir + "/f")
+	if err != nil || string(b) != "x" {
+		t.Fatalf("ReadFile = %q, %v", b, err)
+	}
+	if err := fsys.Rename(dir+"/f", dir+"/g"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.Stat(dir + "/g"); err != nil {
+		t.Fatal(err)
+	}
+}
