@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-replication vet vet-compat lint bench bench-smoke chaos chaos-replica overload torture check clean
+.PHONY: all build test race race-replication vet vet-compat lint bench bench-smoke chaos chaos-replica overload torture ingest check clean
 
 all: check
 
@@ -122,6 +122,18 @@ overload:
 torture:
 	$(GO) test -count=1 -timeout=300s -run 'TestRunT13|TestT13HarnessHasTeeth' -v ./internal/experiments/
 	$(GO) run ./cmd/drugtree-bench -exp T13
+
+# The T14 live-ingest experiment under the race detector: snapshot
+# isolation while resync commits land (zero torn reads across atomic
+# generation flips), the incrementally maintained subtree overlay
+# bit-identical to a from-scratch recompute over 120 seeded delta
+# batches, per-statement p99 right after a commit within 1.5x of
+# quiescent, and a leak-free quiescent state (zero pinned snapshots,
+# zero unswept dead versions). Deterministic — a red run prints the
+# seed and the failing gate.
+ingest:
+	$(GO) test -race -count=1 -timeout=300s -run TestRunT14 -v ./internal/experiments/
+	$(GO) run ./cmd/drugtree-bench -exp T14
 
 check: lint vet-compat build test bench-smoke race chaos-replica
 

@@ -180,6 +180,7 @@ type Engine struct {
 	prefetcher *cache.Prefetcher
 	limiter    *admission.Limiter
 	coord      *shard.Coordinator
+	overlay    *ActivityOverlay
 	Metrics    *metrics.Registry
 
 	healthFn func() []integrate.SourceHealth
@@ -237,6 +238,18 @@ func NewWithTree(db *store.DB, tree *phylo.Tree, cfg Config) (*Engine, error) {
 		byName:     make(map[string]phylo.NodeID, tree.Len()),
 	}
 	e.sql = query.NewEngine(e.catalog, cfg.QueryOptions)
+	if _, err := db.Table(integrate.TableActivities); err == nil {
+		// Incrementally-maintained subtree aggregates over activities:
+		// the optimizer answers WITHIN_SUBTREE COUNT/SUM/AVG(affinity)
+		// from the overlay when the statement's snapshot matches the
+		// overlay version (see overlay.go and query/overlay.go).
+		ov, err := NewActivityOverlay(db, tree)
+		if err != nil {
+			return nil, err
+		}
+		e.overlay = ov
+		e.catalog.OverlayAggs = ov
+	}
 	if cfg.CacheBytes > 0 {
 		e.cache = cache.New(cfg.CacheBytes)
 		e.cache.ExactOnly = cfg.CacheExactOnly
@@ -420,6 +433,10 @@ func (e *Engine) Layout() *phylo.Layout { return e.layout }
 // DB returns the underlying store.
 func (e *Engine) DB() *store.DB { return e.db }
 
+// Overlay returns the live activity overlay (nil when the database has
+// no activities table).
+func (e *Engine) Overlay() *ActivityOverlay { return e.overlay }
+
 // CacheStats returns semantic cache counters (zero Stats when caching
 // is disabled).
 func (e *Engine) CacheStats() cache.Stats {
@@ -457,11 +474,28 @@ func (e *Engine) NodeByName(name string) (phylo.NodeID, error) {
 // entries are cloned on both fill and hit. The context cancels
 // mid-flight execution — a client that navigates away mid-query
 // aborts the work instead of waiting it out.
+//
+// Each statement runs against one pinned MVCC snapshot: the cache
+// currency check and the execution read the same frozen image, so a
+// sync publishing between them can neither serve a stale hit against
+// new versions nor fill the cache with a result no single version ever
+// contained.
 func (e *Engine) Query(ctx context.Context, src string) (*query.Result, error) {
 	start := time.Now()
-	var version int64
+	stmt, err := query.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	var snap *store.SnapshotHandle
+	if e.coord == nil || e.stmtCache != nil {
+		// The sharded path executes against the shard stores and only
+		// needs the source snapshot for cache-key versions.
+		snap = e.db.PinSnapshot()
+		defer snap.Release()
+	}
+	var version string
 	if e.stmtCache != nil {
-		version = e.dbVersion()
+		version = e.versionKey(stmt, snap)
 		if res, ok := e.stmtCache.get(src, version); ok {
 			e.Metrics.Counter("query.stmt_cache_hits").Inc()
 			e.Metrics.Histogram("query.latency").Record(time.Since(start))
@@ -478,11 +512,10 @@ func (e *Engine) Query(ctx context.Context, src string) (*query.Result, error) {
 		defer release()
 	}
 	var res *query.Result
-	var err error
 	if e.coord != nil {
 		res, err = e.coord.Query(ctx, src)
 	} else {
-		res, err = e.sql.Query(ctx, src)
+		res, err = e.sql.RunAt(ctx, stmt, snap)
 	}
 	e.Metrics.Histogram("query.latency").Record(time.Since(start))
 	if err != nil {

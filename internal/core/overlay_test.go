@@ -1,0 +1,177 @@
+package core
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"drugtree/internal/integrate"
+	"drugtree/internal/query"
+	"drugtree/internal/store"
+)
+
+// overlayQuery is the canonical overlay-answerable shape.
+func overlayQuery(node string) string {
+	return "SELECT COUNT(*), COUNT(affinity), SUM(affinity), AVG(affinity) " +
+		"FROM activities WHERE WITHIN_SUBTREE(protein_id, '" + node + "')"
+}
+
+// overlayPlan runs the query under EXPLAIN ANALYZE and returns the
+// annotated plan (EXPLAIN ANALYZE drops the rows; values are checked
+// with the plain statement).
+func overlayPlan(t *testing.T, e *Engine, node string) string {
+	t.Helper()
+	res, err := e.Query(context.Background(), "EXPLAIN ANALYZE "+overlayQuery(node))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Plan
+}
+
+// TestOverlayReadAnswersSubtreeAggregate proves the optimizer serves
+// the clade-activity aggregate from the overlay (OverlayRead in the
+// plan) and that the answer agrees with the scan path.
+func TestOverlayReadAnswersSubtreeAggregate(t *testing.T) {
+	e := buildEngine(t, DefaultConfig())
+	if e.Overlay() == nil {
+		t.Fatal("engine built without an activity overlay")
+	}
+	ctx := context.Background()
+	for _, node := range []string{e.Root().Name, "DT00000"} {
+		if plan := overlayPlan(t, e, node); !strings.Contains(plan, "OverlayRead") {
+			t.Fatalf("overlay rewrite did not fire for %s:\n%s", node, plan)
+		}
+		res, err := e.Query(ctx, overlayQuery(node))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 {
+			t.Fatalf("global aggregate returned %d rows", len(res.Rows))
+		}
+
+		// The scan path must agree. COUNTs are exact; SUM differs only
+		// by accumulation order (the overlay sum is correctly rounded,
+		// the scan sum is sequential float64), so compare within an ulp
+		// margin.
+		stmt, err := query.Parse(overlayQuery(node))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.catalog.OverlayAggs = nil
+		scan, err := e.sql.Run(ctx, stmt)
+		e.catalog.OverlayAggs = e.overlay
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(scan.Plan, "OverlayRead") {
+			t.Fatalf("overlay fired with no overlay wired:\n%s", scan.Plan)
+		}
+		ov, sc := res.Rows[0], scan.Rows[0]
+		if ov[0] != sc[0] || ov[1] != sc[1] {
+			t.Fatalf("counts disagree at %s: overlay %v scan %v", node, ov, sc)
+		}
+		for i := 2; i < 4; i++ {
+			a, b := ov[i].AsFloat(), sc[i].AsFloat()
+			if diff := math.Abs(a - b); diff > 1e-9*math.Max(math.Abs(a), 1) {
+				t.Fatalf("agg %d disagrees at %s: overlay %g scan %g", i, node, a, b)
+			}
+		}
+	}
+}
+
+// TestOverlayRequiresMatchingVersion proves staleness safety: an
+// overlay pinned at an older version than the statement's snapshot
+// falls back to the scan rather than serving stale aggregates.
+func TestOverlayRequiresMatchingVersion(t *testing.T) {
+	e := buildEngine(t, DefaultConfig())
+	root := e.Root().Name
+
+	// Wire a frozen (non-subscribing) overlay pinned at the current
+	// version, then advance the table: the version mismatch must
+	// disable the rewrite.
+	pre := e.db.PinSnapshot()
+	frozen, err := RebuildActivityOverlay(pre, e.Tree())
+	pre.Release()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.catalog.OverlayAggs = frozen
+	if err := e.db.CommitDeltas([]store.TableDelta{{
+		Table: integrate.TableActivities,
+		Inserts: []store.Row{{
+			store.StringValue("DT00000"), store.StringValue("L999"),
+			store.FloatValue(5.5), store.StringValue("ic50"),
+		}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if plan := overlayPlan(t, e, root); strings.Contains(plan, "OverlayRead") {
+		t.Fatalf("stale overlay served a newer snapshot:\n%s", plan)
+	}
+
+	// The live overlay saw the commit synchronously and serves again.
+	e.catalog.OverlayAggs = e.overlay
+	if plan := overlayPlan(t, e, root); !strings.Contains(plan, "OverlayRead") {
+		t.Fatalf("live overlay did not catch up:\n%s", plan)
+	}
+}
+
+// TestOverlayIncrementalMatchesRebuild is the byte-identity property
+// T14 gates on: after a churn of delta commits, the incrementally
+// maintained overlay must equal a from-scratch rebuild bit for bit —
+// same Rows, same Count, same Float64bits of every node's Sum.
+func TestOverlayIncrementalMatchesRebuild(t *testing.T) {
+	e := buildEngine(t, DefaultConfig())
+	db := e.DB()
+
+	// Churn: rounds of deletes (oldest surviving ids) plus inserts,
+	// committed as atomic deltas so the overlay advances one version
+	// per round.
+	for round := 0; round < 20; round++ {
+		var ids []int64
+		snap := db.PinSnapshot()
+		tv, err := snap.View(integrate.TableActivities)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tv.Scan(func(id int64, r store.Row) bool {
+			ids = append(ids, id)
+			return len(ids) < 3
+		})
+		snap.Release()
+		delta := store.TableDelta{Table: integrate.TableActivities, DeleteIDs: ids}
+		for i := 0; i < 5; i++ {
+			delta.Inserts = append(delta.Inserts, store.Row{
+				store.StringValue("DT000" + string(rune('0'+round%10)) + string(rune('0'+i))),
+				store.StringValue("L1"),
+				store.FloatValue(float64(round)*0.1 + float64(i)*1e-9),
+				store.StringValue("kd"),
+			})
+		}
+		if err := db.CommitDeltas([]store.TableDelta{delta}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := db.PinSnapshot()
+	defer snap.Release()
+	rebuilt, err := RebuildActivityOverlay(snap, e.Tree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := e.Overlay()
+	if lv, rv := live.Version(), rebuilt.Version(); lv != rv {
+		t.Fatalf("live overlay at version %d, rebuild at %d", lv, rv)
+	}
+	if live.Nodes() != rebuilt.Nodes() {
+		t.Fatalf("node counts differ: %d vs %d", live.Nodes(), rebuilt.Nodes())
+	}
+	for p := 0; p < live.Nodes(); p++ {
+		a, b := live.Agg(p), rebuilt.Agg(p)
+		if a.Rows != b.Rows || a.Count != b.Count ||
+			math.Float64bits(a.Sum) != math.Float64bits(b.Sum) {
+			t.Fatalf("node pre=%d diverged: incremental %+v rebuild %+v", p, a, b)
+		}
+	}
+}

@@ -2,9 +2,11 @@ package core
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
 
 	"drugtree/internal/query"
+	"drugtree/internal/store"
 )
 
 // queryCache is a statement-level LRU result cache: repeated DTQL
@@ -26,7 +28,7 @@ type queryCache struct {
 
 type queryCacheEntry struct {
 	key     string
-	version int64 // sum of table versions at fill time
+	version string // per-table version key at fill time (see versionKey)
 	res     *query.Result
 }
 
@@ -39,7 +41,7 @@ func newQueryCache(capacity int) *queryCache {
 }
 
 // get returns the cached result when present and still current.
-func (c *queryCache) get(key string, version int64) (*query.Result, bool) {
+func (c *queryCache) get(key string, version string) (*query.Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
@@ -58,7 +60,7 @@ func (c *queryCache) get(key string, version int64) (*query.Result, bool) {
 
 // put stores a result, evicting the least-recently-used entry at
 // capacity.
-func (c *queryCache) put(key string, version int64, res *query.Result) {
+func (c *queryCache) put(key string, version string, res *query.Result) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
@@ -94,23 +96,23 @@ func (c *queryCache) len() int {
 	return len(c.entries)
 }
 
-// dbVersion sums every table's version — a cheap global change
-// counter that conservatively invalidates the statement cache on any
-// write anywhere. Sharded engines also fold in the coordinator's
-// topology epoch: a shard failing (or recovering) changes which rows
-// a query can see, so results cached against the old topology must
-// not be served against the new one.
-func (e *Engine) dbVersion() int64 {
-	var v int64
-	for _, name := range e.db.TableNames() {
-		t, err := e.db.Table(name)
-		if err != nil {
-			continue
+// versionKey renders the per-table commit versions of exactly the
+// tables stmt reads — taken from the statement's pinned snapshot, so
+// the currency check and the execution agree on one image — plus the
+// coordinator's topology epoch when sharded (a shard failing or
+// recovering changes which rows a query can see). A commit to a table
+// the statement never reads leaves its key unchanged, so a ligands
+// sync no longer evicts cached tree_nodes plans.
+func (e *Engine) versionKey(stmt *query.SelectStmt, snap *store.SnapshotHandle) string {
+	vers := make(map[string]int64)
+	for _, name := range query.TablesReferenced(stmt) {
+		if v, ok := snap.Version(name); ok {
+			vers[name] = v
 		}
-		v += t.Version()
 	}
+	key := store.VersionKey(vers)
 	if e.coord != nil {
-		v += e.coord.Epoch() << 32
+		key = fmt.Sprintf("%sepoch=%d;", key, e.coord.Epoch())
 	}
-	return v
+	return key
 }

@@ -19,10 +19,12 @@ import (
 // TestConcurrentQueriesDuringResync hammers one engine from many
 // goroutines while the importer re-syncs the source tables — the
 // server's steady state when a background refresh lands mid-session.
-// Run under -race this is the executor's thread-safety certificate:
-// parallel scans share row snapshots with writers, ExecStats counters
-// are updated from worker pools, and the statement cache is off so
-// every query truly executes.
+// Run under -race this is the executor's thread-safety certificate;
+// beyond mere survival it asserts exact snapshot isolation: a probe
+// table is rewritten generation by generation through atomic delta
+// commits, and every reader must observe one complete generation —
+// full row count, a single gen value — never a mix of two. The
+// statement cache is off, so every query truly executes.
 func TestConcurrentQueriesDuringResync(t *testing.T) {
 	gen := datagen.DefaultConfig()
 	gen.NumFamilies = 3
@@ -43,6 +45,33 @@ func TestConcurrentQueriesDuringResync(t *testing.T) {
 	if _, err := importer.ImportAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
+
+	// Isolation probe: probeRows rows that always share one gen value.
+	// Each flip deletes the whole old generation and inserts the new
+	// one in a single CommitDeltas, so a statement whose snapshot
+	// straddled the publish would see COUNT != probeRows or
+	// MIN(gen) != MAX(gen).
+	const probeRows = 32
+	probeSchema := store.MustSchema(
+		store.Column{Name: "slot", Kind: store.KindInt},
+		store.Column{Name: "gen", Kind: store.KindInt},
+	)
+	if _, err := db.CreateTable("ingest_probe", probeSchema); err != nil {
+		t.Fatal(err)
+	}
+	probeGen := func(g int64) []store.Row {
+		rows := make([]store.Row, probeRows)
+		for i := range rows {
+			rows[i] = store.Row{store.IntValue(int64(i)), store.IntValue(g)}
+		}
+		return rows
+	}
+	if err := db.CommitDeltas([]store.TableDelta{
+		{Table: "ingest_probe", Inserts: probeGen(0)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
 	cfg := DefaultConfig()
 	cfg.QueryOptions.Parallelism = 4 // force parallel operators even on 1 CPU
 	e, err := New(db, cfg)
@@ -57,6 +86,7 @@ func TestConcurrentQueriesDuringResync(t *testing.T) {
 		"SELECT protein_id, COUNT(DISTINCT ligand_id) FROM activities GROUP BY protein_id",
 		"SELECT name FROM tree_nodes WHERE is_leaf = TRUE ORDER BY name LIMIT 5",
 	}
+	const probeQuery = "SELECT COUNT(*), MIN(gen), MAX(gen) FROM ingest_probe"
 
 	const (
 		workers      = 8
@@ -69,8 +99,8 @@ func TestConcurrentQueriesDuringResync(t *testing.T) {
 		firstErr atomic.Value
 	)
 	stop := make(chan struct{})
-	// Re-sync loop: the importer is idempotent, so each round rewrites
-	// the same logical rows while readers are mid-scan.
+	// Re-sync loop: each round diffs the same logical rows and flips
+	// the probe generation while readers are mid-scan.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -80,8 +110,25 @@ func TestConcurrentQueriesDuringResync(t *testing.T) {
 				return
 			default:
 			}
-			if _, err := importer.ImportAll(context.Background()); err != nil {
+			if _, err := importer.Sync(context.Background()); err != nil {
 				firstErr.Store(fmt.Errorf("resync: %w", err))
+				return
+			}
+			var old []int64
+			snap := db.PinSnapshot()
+			if tv, verr := snap.View("ingest_probe"); verr == nil {
+				tv.Scan(func(id int64, r store.Row) bool {
+					old = append(old, id)
+					return true
+				})
+			}
+			snap.Release()
+			if err := db.CommitDeltas([]store.TableDelta{{
+				Table:     "ingest_probe",
+				DeleteIDs: old,
+				Inserts:   probeGen(int64(i + 1)),
+			}}); err != nil {
+				firstErr.Store(fmt.Errorf("probe flip: %w", err))
 				return
 			}
 		}
@@ -94,6 +141,18 @@ func TestConcurrentQueriesDuringResync(t *testing.T) {
 				q := queries[(w+i)%len(queries)]
 				if _, err := e.Query(context.Background(), q); err != nil {
 					firstErr.Store(fmt.Errorf("worker %d: %q: %w", w, q, err))
+					return
+				}
+				res, err := e.Query(context.Background(), probeQuery)
+				if err != nil {
+					firstErr.Store(fmt.Errorf("worker %d: probe: %w", w, err))
+					return
+				}
+				row := res.Rows[0]
+				if row[0].I != probeRows || row[1].I != row[2].I {
+					firstErr.Store(fmt.Errorf(
+						"worker %d: torn read: COUNT=%d MIN(gen)=%d MAX(gen)=%d",
+						w, row[0].I, row[1].I, row[2].I))
 					return
 				}
 				atomic.AddInt64(&ran, 1)

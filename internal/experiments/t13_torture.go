@@ -44,21 +44,37 @@ import (
 const t13SyncEvery = 4
 
 // t13Op is one acknowledged-or-attempted mutation of the torture
-// table: an insert or a delete of one keyed row.
+// table: an insert or a delete of one keyed row, or an atomic batch
+// of those (one CommitDeltas publish). A batch folds all-or-nothing:
+// prefix verification can land between batches but never inside one,
+// which is exactly the sync-commit atomicity claim — a power cut
+// mid-publish recovers to the old version or the new one, never a
+// mix.
 type t13Op struct {
-	del bool
-	id  int64
+	del   bool
+	id    int64
+	batch []t13Op
 }
 
 // t13Fold folds the first m ops into the expected id set.
 func t13Fold(ops []t13Op, m int) map[int64]bool {
 	s := make(map[int64]bool)
-	for _, op := range ops[:m] {
+	var apply func(op t13Op)
+	apply = func(op t13Op) {
+		if len(op.batch) > 0 {
+			for _, b := range op.batch {
+				apply(b)
+			}
+			return
+		}
 		if op.del {
 			delete(s, op.id)
 		} else {
 			s[op.id] = true
 		}
+	}
+	for _, op := range ops[:m] {
+		apply(op)
 	}
 	return s
 }
@@ -171,6 +187,54 @@ func t13Workloads() []t13Workload {
 			}
 			if err := db.Checkpoint(); err != nil {
 				return attempted, acked
+			}
+			return attempted, acked
+		}},
+		{name: "sync-commit", run: func(ctx context.Context, fsys vfs.FS, opts store.Options) ([]t13Op, int) {
+			// The integrate.Sync publish shape: each round atomically
+			// replaces the previous generation of rows with the next via
+			// one CommitDeltas (one WAL batch record). Each round is ONE
+			// attempted/acked op whose batch folds all-or-nothing, so any
+			// recovered state that mixes two generations fails the
+			// prefix-fold check.
+			var attempted []t13Op
+			acked := 0
+			db, err := store.OpenWith("db", opts)
+			if err != nil {
+				return attempted, acked
+			}
+			defer db.Close()
+			if _, err := db.CreateTable("t", t13Schema()); err != nil {
+				return attempted, acked
+			}
+			var prevRowIDs []int64
+			var prevLogical []int64
+			for r := 0; r < 5; r++ {
+				var batch []t13Op
+				delta := store.TableDelta{Table: "t", DeleteIDs: prevRowIDs}
+				for _, lid := range prevLogical {
+					batch = append(batch, t13Op{del: true, id: lid})
+				}
+				var logical []int64
+				for i := 0; i < 4; i++ {
+					lid := int64(100*r + i)
+					batch = append(batch, t13Op{id: lid})
+					delta.Inserts = append(delta.Inserts, t13Row(lid))
+					logical = append(logical, lid)
+				}
+				attempted = append(attempted, t13Op{batch: batch})
+				if err := db.CommitDeltas([]store.TableDelta{delta}); err != nil {
+					return attempted, acked
+				}
+				acked++
+				prevRowIDs = prevRowIDs[:0]
+				if tab, terr := db.Table("t"); terr == nil {
+					tab.Scan(func(rid int64, _ store.Row) bool {
+						prevRowIDs = append(prevRowIDs, rid)
+						return true
+					})
+				}
+				prevLogical = logical
 			}
 			return attempted, acked
 		}},
@@ -474,7 +538,7 @@ func RunT13(ctx context.Context, seed int64) (*Report, error) {
 	}
 	rep := &Report{
 		ID:     "T13",
-		Title:  fmt.Sprintf("Crash-point torture: %d power cuts across {insert,delete,checkpoint,ship} × {always,interval,off} × fault mixes", total),
+		Title:  fmt.Sprintf("Crash-point torture: %d power cuts across {insert,delete,checkpoint,sync-commit,ship} × {always,interval,off} × fault mixes", total),
 		Header: []string{"workload", "wal-sync", "crash points", "violations"},
 	}
 	for _, c := range cells {

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestRunT14 gates the live-ingest isolation claims. RunT14 enforces
+// every gate inline — zero torn reads across concurrent generation
+// flips, bit-identical overlay vs recompute over ≥100 delta batches,
+// p99 under ingest within bound, zero leaked pins and zero unGC'd
+// versions at rest — and errors with the seed on any violation, so a
+// broken claim surfaces here replayably. The test additionally pins
+// the report shape the CI `make ingest` target prints.
+func TestRunT14(t *testing.T) {
+	rep, err := RunT14(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 5 {
+		t.Fatalf("T14 report has %d gate rows, want 5:\n%s", len(rep.Rows), rep.Render())
+	}
+	for _, row := range rep.Rows {
+		if row[3] != "ok" {
+			t.Errorf("gate %q reports status %q", row[0], row[3])
+		}
+	}
+	if !strings.Contains(rep.Rows[0][1], "/") {
+		t.Errorf("torn-read row does not report the query count: %q", rep.Rows[0][1])
+	}
+	if rep.Notes == "" {
+		t.Error("T14 report has no notes")
+	}
+}

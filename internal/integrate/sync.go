@@ -1,14 +1,17 @@
 // Resilient synchronization: the repeatable counterpart to ImportAll.
-// Sync replaces each integrated table from its source when the source
-// answers, and falls back to the last successfully imported rows —
-// marked stale — when it does not. A sync therefore degrades per
-// source instead of failing whole: a dark ActivityBank leaves protein
-// browsing fully live and activity queries answerable from stale rows.
+// Sync diffs each answering source against the table's current version
+// and publishes every table's insert/delete delta as one atomic MVCC
+// commit; a source that does not answer falls back to the last
+// successfully imported rows — marked stale. A sync therefore degrades
+// per source instead of failing whole: a dark ActivityBank leaves
+// protein browsing fully live and activity queries answerable from
+// stale rows.
 package integrate
 
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"drugtree/internal/metrics"
@@ -71,6 +74,11 @@ type SyncReport struct {
 	Fresh, Degraded, Failed int
 	RowsImported            int64
 	RowsRejected            int64
+	// RowsInserted and RowsDeleted count the physical delta the atomic
+	// publish applied; rows unchanged since the last sync stay in place
+	// and cost nothing.
+	RowsInserted int64
+	RowsDeleted  int64
 }
 
 // Degraded reports whether any source fell back to stale rows.
@@ -94,35 +102,54 @@ func (im *Importer) fetchSource(ctx context.Context, s source.Source) ([]store.R
 	})
 }
 
-// replaceTable swaps the table's contents for rows (both the deletes
-// and inserts go through the WAL). transform may mutate or reject a
-// row; returning false drops it.
-func (im *Importer) replaceTable(name string, schema *store.Schema, indexes map[string]store.IndexType, rows []store.Row, transform func(store.Row) bool) (imported, rejected int64, err error) {
+// encodeRowKey renders a whole row as canonical bytes for value-based
+// diffing.
+func encodeRowKey(r store.Row) string {
+	buf := make([]byte, 0, 48)
+	for _, v := range r {
+		buf = store.AppendValue(buf, v)
+	}
+	return string(buf)
+}
+
+// diffTable stages the delta that turns the named table's current
+// contents into rows. Matching is by whole-row value (a multiset, so
+// duplicate rows pair off): a desired row identical to a current one
+// keeps that row — and its row ID — in place, so an unchanged source
+// costs an empty delta and no new table version. transform may mutate
+// or reject a desired row; returning false drops it. Nothing is
+// applied here: the caller publishes every table's delta in one atomic
+// CommitDeltas.
+func (im *Importer) diffTable(name string, schema *store.Schema, indexes map[string]store.IndexType, rows []store.Row, transform func(store.Row) bool) (delta store.TableDelta, served, rejected int64, err error) {
 	t, err := im.ensureTable(name, schema, indexes)
 	if err != nil {
-		return 0, 0, err
+		return store.TableDelta{}, 0, 0, err
 	}
-	var stale []int64
-	t.Scan(func(id int64, _ store.Row) bool {
-		stale = append(stale, id)
+	cur := make(map[string][]int64)
+	t.Scan(func(id int64, r store.Row) bool {
+		k := encodeRowKey(r)
+		cur[k] = append(cur[k], id)
 		return true
 	})
-	for _, id := range stale {
-		if _, err := im.DB.Delete(name, id); err != nil {
-			return 0, 0, err
-		}
-	}
+	delta.Table = name
 	for _, r := range rows {
 		if transform != nil && !transform(r) {
 			rejected++
 			continue
 		}
-		if _, err := im.DB.Insert(name, r); err != nil {
-			return imported, rejected, err
+		served++
+		k := encodeRowKey(r)
+		if ids := cur[k]; len(ids) > 0 {
+			cur[k] = ids[1:] // unchanged: the existing row keeps serving
+			continue
 		}
-		imported++
+		delta.Inserts = append(delta.Inserts, r)
 	}
-	return imported, rejected, nil
+	for _, ids := range cur {
+		delta.DeleteIDs = append(delta.DeleteIDs, ids...)
+	}
+	sort.Slice(delta.DeleteIDs, func(i, j int) bool { return delta.DeleteIDs[i] < delta.DeleteIDs[j] })
+	return delta, served, rejected, nil
 }
 
 // tableIDs reads the entity IDs currently served for a table — the
@@ -180,55 +207,55 @@ func (im *Importer) tableLen(table string) int {
 	return t.Len()
 }
 
-// Sync refreshes all integrated tables from the bundle. With
-// resilience enabled, a source that is open-circuit or exhausts its
-// retries keeps its last-good rows and is reported Degraded (Failed if
-// it never synced); the sync itself still succeeds. Without resilience
-// any source failure aborts the sync with an error — the naive
-// baseline T8 measures against.
-func (im *Importer) Sync(ctx context.Context) (*SyncReport, error) {
-	rep := &SyncReport{}
+// syncOutcome accumulates one source's result between fetch and the
+// atomic publish.
+type syncOutcome struct {
+	name, table      string
+	ferr             error
+	delta            store.TableDelta
+	served, rejected int64
+}
 
-	record := func(name, table string, rows []store.Row, ferr error) error {
-		if ferr == nil {
-			return nil
+// Sync refreshes all integrated tables from the bundle as one MVCC
+// commit. Each answering source's rows are diffed against the table's
+// current version into an insert/delete delta; every fresh table's
+// delta is then published in a single store.CommitDeltas, so readers —
+// including snapshots pinned mid-sync — see either the complete old
+// state or the complete new state, never a half-sync. All
+// network-speed work (fetch, retry backoff, diffing) runs without any
+// importer or store lock held; the only critical sections are the O(
+// changed rows) publish and the brief health-map updates afterwards,
+// so Health() readers are never blocked behind a slow source.
+//
+// With resilience enabled, a source that is open-circuit or exhausts
+// its retries keeps its last-good rows and is reported Degraded
+// (Failed if it never synced); the sync itself still succeeds. Without
+// resilience any source failure aborts the sync with an error before
+// anything is published — the naive baseline T8 measures against.
+func (im *Importer) Sync(ctx context.Context) (*SyncReport, error) {
+	var outs []*syncOutcome
+	fetch := func(s source.Source, table string) (*syncOutcome, []store.Row, error) {
+		rows, ferr := im.fetchSource(ctx, s)
+		if ferr != nil && im.res == nil {
+			return nil, nil, fmt.Errorf("integrate: sync %s: %w", s.Name(), ferr)
 		}
-		if im.res == nil {
-			return fmt.Errorf("integrate: sync %s: %w", name, ferr)
-		}
-		status := StatusDegraded
-		if im.tableLen(table) == 0 {
-			status = StatusFailed
-		}
-		h := im.markHealth(name, status, im.tableLen(table), ferr)
-		rep.Sources = append(rep.Sources, h)
-		if status == StatusFailed {
-			rep.Failed++
-		} else {
-			rep.Degraded++
-		}
-		return nil
-	}
-	fresh := func(name string, imported, rejected int64) {
-		h := im.markHealth(name, StatusFresh, int(imported), nil)
-		rep.Sources = append(rep.Sources, h)
-		rep.Fresh++
-		rep.RowsImported += imported
-		rep.RowsRejected += rejected
+		o := &syncOutcome{name: s.Name(), table: table, ferr: ferr}
+		outs = append(outs, o)
+		return o, rows, nil
 	}
 
 	// Proteins.
-	protRows, perr := im.fetchSource(ctx, im.Bundle.Proteins)
-	if err := record(im.Bundle.Proteins.Name(), TableProteins, protRows, perr); err != nil {
+	protOut, protRows, err := fetch(im.Bundle.Proteins, TableProteins)
+	if err != nil {
 		return nil, err
 	}
 	var protIDs []string
-	if perr == nil {
+	if protOut.ferr == nil {
 		accIdx := source.ProteinSchema.ColumnIndex("accession")
 		for _, r := range protRows {
 			protIDs = append(protIDs, r[accIdx].S)
 		}
-		n, rej, err := im.replaceTable(TableProteins, source.ProteinSchema, map[string]store.IndexType{
+		protOut.delta, protOut.served, protOut.rejected, err = im.diffTable(TableProteins, source.ProteinSchema, map[string]store.IndexType{
 			"accession": store.IndexHash,
 			"family":    store.IndexHash,
 			"length":    store.IndexBTree,
@@ -236,30 +263,28 @@ func (im *Importer) Sync(ctx context.Context) (*SyncReport, error) {
 		if err != nil {
 			return nil, err
 		}
-		fresh(im.Bundle.Proteins.Name(), n, rej)
 	} else {
 		protIDs = im.tableIDs(TableProteins, "accession", source.ProteinSchema)
 	}
 
 	// Ligands.
-	ligRows, lerr := im.fetchSource(ctx, im.Bundle.Ligands)
-	if err := record(im.Bundle.Ligands.Name(), TableLigands, ligRows, lerr); err != nil {
+	ligOut, ligRows, err := fetch(im.Bundle.Ligands, TableLigands)
+	if err != nil {
 		return nil, err
 	}
 	var ligIDs []string
-	if lerr == nil {
+	if ligOut.ferr == nil {
 		idIdx := source.LigandSchema.ColumnIndex("ligand_id")
 		for _, r := range ligRows {
 			ligIDs = append(ligIDs, r[idIdx].S)
 		}
-		n, rej, err := im.replaceTable(TableLigands, source.LigandSchema, map[string]store.IndexType{
+		ligOut.delta, ligOut.served, ligOut.rejected, err = im.diffTable(TableLigands, source.LigandSchema, map[string]store.IndexType{
 			"ligand_id": store.IndexHash,
 			"weight":    store.IndexBTree,
 		}, ligRows, nil)
 		if err != nil {
 			return nil, err
 		}
-		fresh(im.Bundle.Ligands.Name(), n, rej)
 	} else {
 		ligIDs = im.tableIDs(TableLigands, "ligand_id", source.LigandSchema)
 	}
@@ -268,14 +293,14 @@ func (im *Importer) Sync(ctx context.Context) (*SyncReport, error) {
 	ligResolver := NewResolver(ligIDs)
 
 	// Activities.
-	actRows, aerr := im.fetchSource(ctx, im.Bundle.Activities)
-	if err := record(im.Bundle.Activities.Name(), TableActivities, actRows, aerr); err != nil {
+	actOut, actRows, err := fetch(im.Bundle.Activities, TableActivities)
+	if err != nil {
 		return nil, err
 	}
-	if aerr == nil {
+	if actOut.ferr == nil {
 		pIdx := source.ActivitySchema.ColumnIndex("protein_id")
 		lIdx := source.ActivitySchema.ColumnIndex("ligand_id")
-		n, rej, err := im.replaceTable(TableActivities, source.ActivitySchema, map[string]store.IndexType{
+		actOut.delta, actOut.served, actOut.rejected, err = im.diffTable(TableActivities, source.ActivitySchema, map[string]store.IndexType{
 			"protein_id": store.IndexHash,
 			"ligand_id":  store.IndexHash,
 			"affinity":   store.IndexBTree,
@@ -292,17 +317,16 @@ func (im *Importer) Sync(ctx context.Context) (*SyncReport, error) {
 		if err != nil {
 			return nil, err
 		}
-		fresh(im.Bundle.Activities.Name(), n, rej)
 	}
 
 	// Annotations.
-	annRows, nerr := im.fetchSource(ctx, im.Bundle.Annotations)
-	if err := record(im.Bundle.Annotations.Name(), TableAnnotations, annRows, nerr); err != nil {
+	annOut, annRows, err := fetch(im.Bundle.Annotations, TableAnnotations)
+	if err != nil {
 		return nil, err
 	}
-	if nerr == nil {
+	if annOut.ferr == nil {
 		apIdx := source.AnnotationSchema.ColumnIndex("protein_id")
-		n, rej, err := im.replaceTable(TableAnnotations, source.AnnotationSchema, map[string]store.IndexType{
+		annOut.delta, annOut.served, annOut.rejected, err = im.diffTable(TableAnnotations, source.AnnotationSchema, map[string]store.IndexType{
 			"protein_id": store.IndexHash,
 			"organism":   store.IndexHash,
 		}, annRows, func(r store.Row) bool {
@@ -316,9 +340,45 @@ func (im *Importer) Sync(ctx context.Context) (*SyncReport, error) {
 		if err != nil {
 			return nil, err
 		}
-		fresh(im.Bundle.Annotations.Name(), n, rej)
 	}
 
+	// Publish: one atomic multi-table commit for every fresh source.
+	var deltas []store.TableDelta
+	for _, o := range outs {
+		if o.ferr == nil {
+			deltas = append(deltas, o.delta)
+		}
+	}
+	if err := im.DB.CommitDeltas(deltas); err != nil {
+		return nil, err
+	}
+
+	// Health is recorded only after the publish lands, so the map never
+	// advertises rows a reader cannot see yet.
+	rep := &SyncReport{}
+	for _, o := range outs {
+		if o.ferr == nil {
+			h := im.markHealth(o.name, StatusFresh, int(o.served), nil)
+			rep.Sources = append(rep.Sources, h)
+			rep.Fresh++
+			rep.RowsImported += o.served
+			rep.RowsRejected += o.rejected
+			rep.RowsInserted += int64(len(o.delta.Inserts))
+			rep.RowsDeleted += int64(len(o.delta.DeleteIDs))
+			continue
+		}
+		status := StatusDegraded
+		if im.tableLen(o.table) == 0 {
+			status = StatusFailed
+		}
+		h := im.markHealth(o.name, status, im.tableLen(o.table), o.ferr)
+		rep.Sources = append(rep.Sources, h)
+		if status == StatusFailed {
+			rep.Failed++
+		} else {
+			rep.Degraded++
+		}
+	}
 	return rep, nil
 }
 

@@ -225,3 +225,110 @@ func TestSyncHealthConcurrentReaders(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// stallSource wraps a source so its first Fetch parks until released —
+// a remote bank that has stopped answering mid-transfer.
+type stallSource struct {
+	source.Source
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (s *stallSource) Fetch(ctx context.Context, req source.Request) (*source.Result, error) {
+	s.once.Do(func() { close(s.entered) })
+	select {
+	case <-s.release:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return s.Source.Fetch(ctx, req)
+}
+
+// TestHealthNotBlockedBySlowSync pins the critical-section contract:
+// Sync's network-speed work (fetching, diffing) runs outside the
+// importer lock, which is held only for the O(changed rows) publish
+// and health update. A Health() probe — the mobile client's freshness
+// endpoint — must answer promptly even while Sync is parked inside a
+// stalled source fetch. Before the fix, Sync held the lock around the
+// fetches and this watchdog fired.
+func TestHealthNotBlockedBySlowSync(t *testing.T) {
+	im, bundle, _ := syncFixture(t, true)
+	ctx := context.Background()
+	// Seed last-good state so the stalled round has health to report.
+	if _, err := im.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	stall := &stallSource{
+		Source:  bundle.Proteins,
+		entered: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	bundle.Proteins = stall
+	syncDone := make(chan error, 1)
+	go func() {
+		_, err := im.Sync(ctx)
+		syncDone <- err
+	}()
+	select {
+	case <-stall.entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("sync never reached the stalled source")
+	}
+
+	// Sync is now parked mid-fetch. Health must not be.
+	healthDone := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			if got := len(im.Health()); got == 0 {
+				t.Error("health empty during sync")
+				break
+			}
+		}
+		close(healthDone)
+	}()
+	select {
+	case <-healthDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Health() blocked behind a stalled Sync fetch")
+	}
+
+	close(stall.release)
+	if err := <-syncDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSyncUnchangedSourceKeepsVersion asserts resync is a no-op at the
+// version level when nothing changed: the diff produces an empty delta,
+// no table gains a commit version, and statement-cache entries keyed on
+// per-table versions stay valid.
+func TestSyncUnchangedSourceKeepsVersion(t *testing.T) {
+	im, _, _ := syncFixture(t, true)
+	ctx := context.Background()
+	if _, err := im.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	before := make(map[string]int64)
+	snap := im.DB.PinSnapshot()
+	for name, v := range snap.Versions() {
+		before[name] = v
+	}
+	snap.Release()
+
+	rep, err := im.Sync(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RowsInserted != 0 || rep.RowsDeleted != 0 {
+		t.Fatalf("unchanged resync produced a delta: +%d -%d", rep.RowsInserted, rep.RowsDeleted)
+	}
+	snap = im.DB.PinSnapshot()
+	defer snap.Release()
+	for name, v := range snap.Versions() {
+		if before[name] != v {
+			t.Fatalf("table %s version moved %d → %d on an unchanged resync", name, before[name], v)
+		}
+	}
+}

@@ -58,6 +58,10 @@ func TestSendCheck(t *testing.T) {
 	analysistest.Run(t, "testdata/sendcheck", SendCheck, "sends")
 }
 
+func TestSnapCheck(t *testing.T) {
+	analysistest.Run(t, "testdata/snapcheck", SnapCheck, "snaps")
+}
+
 func TestSpawnCheck(t *testing.T) {
 	analysistest.Run(t, "testdata/spawncheck", SpawnCheck, "spawn")
 }

@@ -1,21 +1,25 @@
-// Package lint is the drugtree static-analysis suite: ten analyzers
-// that machine-check the invariants the system's correctness rests
-// on, from the intra-function discipline PR 1/PR 2 introduced (clock
-// injection, context threading, lock/blocking hygiene, goroutine
-// shutdown, %w wrapping) to the distributed invariants of the
-// sharded, replicated engine (PRs 6–7): a cross-package lock-order
-// contract over shard.Coordinator → replica.Set → store.DB →
-// admission, errors.Is-only handling of wrapped sentinels like
-// shard.ErrShardUnavailable, atomic-everywhere access to seq/lag
-// counters, leak-proof channel operations inside spawned goroutines,
-// and the durability seam of the crash-safe I/O layer (fscheck:
-// persistence packages do file I/O through vfs.FS, never raw os.*, so
-// the T13 crash-point torture harness sees every byte that matters).
+// Package lint is the drugtree static-analysis suite: eleven
+// analyzers that machine-check the invariants the system's
+// correctness rests on, from the intra-function discipline PR 1/PR 2
+// introduced (clock injection, context threading, lock/blocking
+// hygiene, goroutine shutdown, %w wrapping) to the distributed
+// invariants of the sharded, replicated engine (PRs 6–7): a
+// cross-package lock-order contract over shard.Coordinator →
+// replica.Set → store.DB → admission, errors.Is-only handling of
+// wrapped sentinels like shard.ErrShardUnavailable, atomic-everywhere
+// access to seq/lag counters, leak-proof channel operations inside
+// spawned goroutines, the durability seam of the crash-safe I/O layer
+// (fscheck: persistence packages do file I/O through vfs.FS, never
+// raw os.*, so the T13 crash-point torture harness sees every byte
+// that matters), and the MVCC snapshot lifecycle (snapcheck: every
+// PinSnapshot gets a Release on all paths, so pinned versions cannot
+// leak and block the version GC).
 //
-// Six analyzers (clockcheck, ctxcheck, fscheck, lockcheck,
-// spawncheck, wrapcheck) are intra-function and purely syntactic. The
-// four added for the distributed layer (lockorder, errcmp,
-// atomiccheck, sendcheck) are fact-propagating: a collection phase
+// Seven analyzers (clockcheck, ctxcheck, fscheck, lockcheck,
+// snapcheck, spawncheck, wrapcheck) are intra-function and purely
+// syntactic. The four added for the distributed layer (lockorder,
+// errcmp, atomiccheck, sendcheck) are fact-propagating: a collection
+// phase
 // runs every analyzer's Collect hook over every package and merges
 // the exported per-function facts ("acquires mu", "blocks on a
 // channel", "wraps sentinel X", "field f is atomic") into one table,
@@ -51,6 +55,7 @@ func All() []*analysis.Analyzer {
 		LockCheck,
 		LockOrder,
 		SendCheck,
+		SnapCheck,
 		SpawnCheck,
 		WrapCheck,
 	}
@@ -86,6 +91,7 @@ var Budget = map[string]int{
 	"errcmp":      0,
 	"fscheck":     0,
 	"sendcheck":   0,
+	"snapcheck":   0,
 	"spawncheck":  0,
 	"wrapcheck":   0,
 }

@@ -9,6 +9,9 @@ import (
 // contiguous input chunks and merges them in chunk order, which
 // reproduces the serial first-seen group order exactly.
 func buildAgg(n *AggNode, ec *execCtx, depth int) (iterator, error) {
+	if it, ok := tryOverlayRead(n, ec, depth); ok {
+		return it, nil
+	}
 	env := ec.env(n.Input.Schema())
 	groups := make([]*boundExpr, len(n.GroupBy))
 	for i, g := range n.GroupBy {

@@ -86,6 +86,7 @@ type bindEnv struct {
 	schema       *planSchema
 	tree         *phylo.Tree
 	cat          Catalog
+	snap         *store.SnapshotHandle // statement snapshot subqueries reuse
 	opts         Options
 	validateOnly bool
 }
@@ -189,7 +190,10 @@ func runSubquery(stmt *SelectStmt, env bindEnv) (*Result, *planSchema, error) {
 	if env.validateOnly {
 		return nil, logical.Schema(), nil
 	}
-	res, err := NewEngine(env.cat, env.opts).Run(env.ctx, stmt)
+	// The subquery runs against the outer statement's pinned snapshot
+	// (RunAt leaves ownership with the outer statement), so a statement
+	// and its subqueries always read one consistent image.
+	res, err := NewEngine(env.cat, env.opts).RunAt(env.ctx, stmt, env.snap)
 	if err != nil {
 		return nil, nil, fmt.Errorf("query: subquery: %w", err)
 	}
@@ -489,7 +493,9 @@ func bindBinary(x *BinaryExpr, env bindEnv) (*boundExpr, error) {
 }
 
 // bindSubtree resolves the subtree root at bind time and compiles the
-// membership test to a preorder-interval check.
+// membership test: a preorder-interval check for INT columns (preorder
+// numbers), a node-name set membership for STRING columns (accessions
+// naming tree nodes directly).
 func bindSubtree(x *SubtreeExpr, env bindEnv) (*boundExpr, error) {
 	if env.tree == nil {
 		return nil, fmt.Errorf("query: WITHIN_SUBTREE requires a tree-backed catalog")
@@ -503,6 +509,17 @@ func bindSubtree(x *SubtreeExpr, env bindEnv) (*boundExpr, error) {
 	if err != nil {
 		return nil, err
 	}
+	if env.schema.cols[idx].Kind == store.KindString {
+		member := subtreeNameSet(env.tree, lo, hi)
+		return &boundExpr{
+			eval: func(r store.Row) (store.Value, error) {
+				v := r[idx]
+				return store.BoolValue(v.K == store.KindString && member[v.S]), nil
+			},
+			kind: store.KindBool,
+			src:  x,
+		}, nil
+	}
 	return &boundExpr{
 		eval: func(r store.Row) (store.Value, error) {
 			v := r[idx]
@@ -514,6 +531,19 @@ func bindSubtree(x *SubtreeExpr, env bindEnv) (*boundExpr, error) {
 		kind: store.KindBool,
 		src:  x,
 	}, nil
+}
+
+// subtreeNameSet collects the names of every tree node whose preorder
+// number falls in [lo, hi] — the string-column form of a subtree
+// membership test.
+func subtreeNameSet(tree *phylo.Tree, lo, hi int) map[string]bool {
+	member := make(map[string]bool, hi-lo+1)
+	for p := lo; p <= hi; p++ {
+		if name := tree.Node(tree.NodeAtPre(p)).Name; name != "" {
+			member[name] = true
+		}
+	}
+	return member
 }
 
 // bindAncestor resolves the target node's root path at bind time and

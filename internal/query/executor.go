@@ -3,6 +3,7 @@ package query
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -59,8 +60,34 @@ func (e *Engine) Query(ctx context.Context, src string) (*Result, error) {
 	return e.Run(ctx, stmt)
 }
 
-// Run executes a parsed statement under the given context.
+// SnapshotCatalog is implemented by catalogs that can pin an MVCC
+// snapshot of their backing store. Engines over such a catalog pin one
+// snapshot per statement, so every scan — across tables, across the
+// row and vectorized paths, and inside subqueries — reads the same
+// consistent image even while writers commit concurrently.
+type SnapshotCatalog interface {
+	Catalog
+	PinSnapshot() *store.SnapshotHandle
+}
+
+// Run executes a parsed statement under the given context. When the
+// catalog supports snapshots, the whole statement runs against one
+// pinned snapshot, released when execution finishes.
 func (e *Engine) Run(ctx context.Context, stmt *SelectStmt) (*Result, error) {
+	if sc, ok := e.cat.(SnapshotCatalog); ok {
+		snap := sc.PinSnapshot()
+		defer snap.Release()
+		return e.RunAt(ctx, stmt, snap)
+	}
+	return e.RunAt(ctx, stmt, nil)
+}
+
+// RunAt executes a parsed statement against an already-pinned
+// snapshot (nil runs unpinned, reading latest versions). Ownership of
+// snap stays with the caller — RunAt never releases it — so a caller
+// can run several statements, or statement-cache key computation plus
+// the statement itself, against one frozen image.
+func (e *Engine) RunAt(ctx context.Context, stmt *SelectStmt, snap *store.SnapshotHandle) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -76,7 +103,7 @@ func (e *Engine) Run(ctx context.Context, stmt *SelectStmt) (*Result, error) {
 		return nil, err
 	}
 	cols := outputColumns(optimized)
-	ec := &execCtx{ctx: ctx, cat: e.cat, opts: e.opts, stats: &ExecStats{}, para: e.opts.EffectiveParallelism()}
+	ec := &execCtx{ctx: ctx, cat: e.cat, snap: snap, opts: e.opts, stats: &ExecStats{}, para: e.opts.EffectiveParallelism()}
 	var iter iterator
 	if e.opts.Vectorized {
 		bu, err := buildVec(optimized, ec, 0)
@@ -267,6 +294,9 @@ func FormatResult(r *Result) string {
 type DBCatalog struct {
 	DB        *store.DB
 	PhyloTree *phylo.Tree
+	// OverlayAggs, when set, serves precomputed subtree aggregates to
+	// the OverlayRead rewrite (see overlay.go).
+	OverlayAggs SubtreeOverlay
 
 	mu         sync.Mutex
 	statsCache map[string]cachedStats
@@ -305,3 +335,60 @@ func (c *DBCatalog) Stats(name string) (*store.TableStats, error) {
 
 // Tree implements Catalog.
 func (c *DBCatalog) Tree() *phylo.Tree { return c.PhyloTree }
+
+// PinSnapshot implements SnapshotCatalog.
+func (c *DBCatalog) PinSnapshot() *store.SnapshotHandle { return c.DB.PinSnapshot() }
+
+// Overlay implements OverlayCatalog.
+func (c *DBCatalog) Overlay() SubtreeOverlay { return c.OverlayAggs }
+
+// TablesReferenced returns the distinct base-table names a statement
+// reads, subqueries included, sorted. Statement caches use it to build
+// per-table version keys: a cached result is reusable exactly when
+// none of the tables it read have committed since.
+func TablesReferenced(stmt *SelectStmt) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	var walkStmt func(s *SelectStmt)
+	walkStmt = func(s *SelectStmt) {
+		if s == nil {
+			return
+		}
+		add(s.From.Name)
+		for _, j := range s.Joins {
+			add(j.Table.Name)
+		}
+		exprs := []Expr{s.Where, s.Having}
+		for _, it := range s.Items {
+			if !it.Star {
+				exprs = append(exprs, it.Expr)
+			}
+		}
+		exprs = append(exprs, s.GroupBy...)
+		for _, k := range s.Order {
+			exprs = append(exprs, k.Expr)
+		}
+		for _, e := range exprs {
+			if e == nil {
+				continue
+			}
+			walkExpr(e, func(x Expr) {
+				switch q := x.(type) {
+				case *SubqueryExpr:
+					walkStmt(q.Stmt)
+				case *InSubqueryExpr:
+					walkStmt(q.Stmt)
+				}
+			})
+		}
+	}
+	walkStmt(stmt)
+	sort.Strings(out)
+	return out
+}

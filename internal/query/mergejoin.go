@@ -49,15 +49,15 @@ func mergeJoinable(n *JoinNode, leftKeys, rightKeys []*boundExpr, ec *execCtx) (
 // B+-tree index, applying every pushed conjunct as a residual filter
 // (filtering preserves order).
 func buildOrderedScan(n *ScanNode, col string, ec *execCtx, depth int) (iterator, int, error) {
-	t, err := ec.cat.Table(n.Table)
+	tv, err := ec.view(n.Table)
 	if err != nil {
 		return nil, 0, err
 	}
-	ids, err := t.LookupRange(col, nil, nil)
+	ids, err := tv.LookupRange(col, nil, nil)
 	if err != nil {
 		return nil, 0, err
 	}
-	rows := t.Rows(ids)
+	rows := tv.Rows(ids)
 	atomic.AddInt64(&ec.stats.RowsIndexed, int64(len(rows)))
 	op := ec.note(depth, "OrderedIndexScan %s (by %s)%s", n.Table, col,
 		residualNote(accessPath{residual: n.Conjuncts}))
@@ -70,7 +70,7 @@ func buildOrderedScan(n *ScanNode, col string, ec *execCtx, depth int) (iterator
 		}
 		residual = be
 	}
-	keyIdx := t.Schema().ColumnIndex(col)
+	keyIdx := tv.Table().Schema().ColumnIndex(col)
 	return &sliceIter{rows: rows, residual: residual, stats: ec.stats, cancel: canceller{ctx: ec.ctx}, op: op}, keyIdx, nil
 }
 

@@ -181,6 +181,13 @@ func rewriteSubtreeExpr(e Expr, cat Catalog, schema *planSchema) (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
+		// A string column carries node names, not preorder numbers:
+		// there is no interval to range over, so the membership form
+		// stays (pushdown still lands it in scan conjuncts, where the
+		// OverlayRead rewrite can recognize it).
+		if idx, rerr := schema.resolve(x.Column); rerr == nil && schema.cols[idx].Kind == store.KindString {
+			return e, nil
+		}
 		lo, hi := tree.SubtreeInterval(node)
 		return &BinaryExpr{
 			Op: OpAnd,

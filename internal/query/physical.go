@@ -91,6 +91,7 @@ func (o *OpStats) selectivity() float64 {
 type execCtx struct {
 	ctx   context.Context
 	cat   Catalog
+	snap  *store.SnapshotHandle // pinned statement snapshot; nil reads latest
 	opts  Options
 	stats *ExecStats
 	plan  []string // physical plan description lines (depth-first)
@@ -98,9 +99,27 @@ type execCtx struct {
 }
 
 // env builds a binding environment carrying the execution context (so
-// uncorrelated subqueries run under the same cancellation scope).
+// uncorrelated subqueries run under the same cancellation scope and
+// read the same pinned snapshot).
 func (c *execCtx) env(schema *planSchema) bindEnv {
-	return bindEnv{ctx: c.ctx, schema: schema, cat: c.cat, tree: c.cat.Tree(), opts: c.opts}
+	return bindEnv{ctx: c.ctx, schema: schema, cat: c.cat, snap: c.snap, tree: c.cat.Tree(), opts: c.opts}
+}
+
+// view returns the statement's read view of a table: the pinned
+// snapshot's frozen version when one is held, the live latest-version
+// table otherwise. Tables created after the pin also fall back to the
+// live table (the snapshot cannot cover them).
+func (c *execCtx) view(name string) (*store.TableView, error) {
+	if c.snap != nil {
+		if tv, err := c.snap.View(name); err == nil {
+			return tv, nil
+		}
+	}
+	t, err := c.cat.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.LatestView(), nil
 }
 
 // note appends a plan line and allocates its per-operator counter
@@ -351,11 +370,11 @@ func chooseAccessPath(n *ScanNode, t *store.Table, useIndexes bool) accessPath {
 }
 
 func buildScan(n *ScanNode, ec *execCtx, depth int) (iterator, error) {
-	t, err := ec.cat.Table(n.Table)
+	tv, err := ec.view(n.Table)
 	if err != nil {
 		return nil, err
 	}
-	path := chooseAccessPath(n, t, ec.opts.UseIndexes)
+	path := chooseAccessPath(n, tv.Table(), ec.opts.UseIndexes)
 	var residual *boundExpr
 	if len(path.residual) > 0 {
 		be, err := bind(joinConjuncts(path.residual), ec.env(n.schema))
@@ -367,22 +386,22 @@ func buildScan(n *ScanNode, ec *execCtx, depth int) (iterator, error) {
 	switch path.kind {
 	case "indexeq":
 		op := ec.note(depth, "IndexScan %s (%s = %v)%s", n.Table, path.column, path.eq, residualNote(path))
-		ids, err := t.LookupEqual(path.column, path.eq)
+		ids, err := tv.LookupEqual(path.column, path.eq)
 		if err != nil {
 			return nil, err
 		}
-		rows := t.Rows(ids)
+		rows := tv.Rows(ids)
 		atomic.AddInt64(&ec.stats.RowsIndexed, int64(len(rows)))
 		op.addIn(int64(len(rows)))
 		return &sliceIter{rows: rows, residual: residual, stats: ec.stats, cancel: canceller{ctx: ec.ctx}, op: op}, nil
 	case "indexrange":
 		op := ec.note(depth, "IndexRangeScan %s (%s in [%s, %s])%s", n.Table, path.column,
 			boundStr(path.lo), boundStr(path.hi), residualNote(path))
-		ids, err := t.LookupRange(path.column, path.lo, path.hi)
+		ids, err := tv.LookupRange(path.column, path.lo, path.hi)
 		if err != nil {
 			return nil, err
 		}
-		rows := t.Rows(ids)
+		rows := tv.Rows(ids)
 		atomic.AddInt64(&ec.stats.RowsIndexed, int64(len(rows)))
 		op.addIn(int64(len(rows)))
 		return &sliceIter{rows: rows, residual: residual, stats: ec.stats, cancel: canceller{ctx: ec.ctx}, op: op}, nil
@@ -392,7 +411,7 @@ func buildScan(n *ScanNode, ec *execCtx, depth int) (iterator, error) {
 			// Morsel-driven scan: snapshot row references (the store
 			// never mutates a stored row in place, so shared reads are
 			// safe), then clone+filter the morsels on the worker pool.
-			refs := t.Snapshot()
+			refs := tv.Snapshot()
 			atomic.AddInt64(&ec.stats.RowsScanned, int64(len(refs)))
 			op.addIn(int64(len(refs)))
 			rows, err := parallelFilter(ec.ctx, refs, residual, ec.para)
@@ -404,7 +423,7 @@ func buildScan(n *ScanNode, ec *execCtx, depth int) (iterator, error) {
 		var rows []store.Row
 		cancel := canceller{ctx: ec.ctx}
 		var scanErr error
-		t.Scan(func(_ int64, r store.Row) bool {
+		tv.Scan(func(_ int64, r store.Row) bool {
 			if scanErr = cancel.check(); scanErr != nil {
 				return false
 			}

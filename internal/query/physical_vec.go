@@ -179,19 +179,19 @@ const vecSmallGather = 256
 // results. Plan text and row contents are identical to the columnar
 // path; under EXPLAIN ANALYZE the operator reports zero batches,
 // which is accurate — no batch was built.
-func smallIndexScan(t *store.Table, ids []int64, ec *execCtx, op *OpStats) built {
-	rows := t.Rows(ids)
+func smallIndexScan(tv *store.TableView, ids []int64, ec *execCtx, op *OpStats) built {
+	rows := tv.Rows(ids)
 	atomic.AddInt64(&ec.stats.RowsIndexed, int64(len(rows)))
 	op.addIn(int64(len(rows)))
 	return built{r: &sliceIter{rows: rows, stats: ec.stats, cancel: canceller{ctx: ec.ctx}, op: op}}
 }
 
 func buildScanVec(n *ScanNode, ec *execCtx, depth int) (built, error) {
-	t, err := ec.cat.Table(n.Table)
+	tv, err := ec.view(n.Table)
 	if err != nil {
 		return built{}, err
 	}
-	path := chooseAccessPath(n, t, ec.opts.UseIndexes)
+	path := chooseAccessPath(n, tv.Table(), ec.opts.UseIndexes)
 	var residual *vecPred
 	if len(path.residual) > 0 {
 		vp, err := bindVecPred(joinConjuncts(path.residual), ec.env(n.schema))
@@ -203,28 +203,28 @@ func buildScanVec(n *ScanNode, ec *execCtx, depth int) (built, error) {
 	switch path.kind {
 	case "indexeq":
 		op := ec.note(depth, "IndexScan %s (%s = %v)%s", n.Table, path.column, path.eq, residualNote(path))
-		ids, err := t.LookupEqual(path.column, path.eq)
+		ids, err := tv.LookupEqual(path.column, path.eq)
 		if err != nil {
 			return built{}, err
 		}
 		if residual == nil && len(ids) <= vecSmallGather {
-			return smallIndexScan(t, ids, ec, op), nil
+			return smallIndexScan(tv, ids, ec, op), nil
 		}
-		cb := t.GatherCols(ids)
+		cb := tv.GatherCols(ids)
 		atomic.AddInt64(&ec.stats.RowsIndexed, int64(cb.Rows))
 		op.addIn(int64(cb.Rows))
 		return built{b: &vecScan{batches: batchesOf(cb), residual: residual, cancel: canceller{ctx: ec.ctx}, op: op}}, nil
 	case "indexrange":
 		op := ec.note(depth, "IndexRangeScan %s (%s in [%s, %s])%s", n.Table, path.column,
 			boundStr(path.lo), boundStr(path.hi), residualNote(path))
-		ids, err := t.LookupRange(path.column, path.lo, path.hi)
+		ids, err := tv.LookupRange(path.column, path.lo, path.hi)
 		if err != nil {
 			return built{}, err
 		}
 		if residual == nil && len(ids) <= vecSmallGather {
-			return smallIndexScan(t, ids, ec, op), nil
+			return smallIndexScan(tv, ids, ec, op), nil
 		}
-		cb := t.GatherCols(ids)
+		cb := tv.GatherCols(ids)
 		atomic.AddInt64(&ec.stats.RowsIndexed, int64(cb.Rows))
 		op.addIn(int64(cb.Rows))
 		return built{b: &vecScan{batches: batchesOf(cb), residual: residual, cancel: canceller{ctx: ec.ctx}, op: op}}, nil
@@ -234,7 +234,7 @@ func buildScanVec(n *ScanNode, ec *execCtx, depth int) (built, error) {
 		total := 0
 		cancel := canceller{ctx: ec.ctx}
 		var scanErr error
-		t.ScanBatch(vecBatchSize, func(cb *store.ColBatch) bool {
+		tv.ScanBatch(vecBatchSize, func(cb *store.ColBatch) bool {
 			if scanErr = cancel.now(); scanErr != nil {
 				return false
 			}
@@ -717,6 +717,9 @@ func (j *vecHashJoin) probe(lb *batch) (*batch, error) {
 // expression vectorizes; otherwise it reuses the row aggregation
 // operator over the bridged input.
 func buildAggVec(n *AggNode, ec *execCtx, depth int) (built, error) {
+	if it, ok := tryOverlayRead(n, ec, depth); ok {
+		return built{r: it}, nil
+	}
 	env := ec.env(n.Input.Schema())
 	allSafe := true
 	for _, g := range n.GroupBy {

@@ -852,6 +852,24 @@ func bindVecSubtree(x *SubtreeExpr, env bindEnv) (*vecExpr, error) {
 	if err != nil {
 		return nil, err
 	}
+	if env.schema.cols[idx].Kind == store.KindString {
+		member := subtreeNameSet(env.tree, lo, hi)
+		return &vecExpr{kind: store.KindBool, eval: func(b *batch, sel []int) (*store.Col, error) {
+			c := b.cols[idx]
+			out := store.NewDenseCol(store.KindBool, b.n)
+			if c.Kind == store.KindString {
+				for _, i := range sel {
+					out.SetBool(i, !c.Null[i] && member[c.Str[i]])
+				}
+				return out, nil
+			}
+			for _, i := range sel {
+				v := c.Value(i)
+				out.SetBool(i, v.K == store.KindString && member[v.S])
+			}
+			return out, nil
+		}}, nil
+	}
 	return &vecExpr{kind: store.KindBool, eval: func(b *batch, sel []int) (*store.Col, error) {
 		c := b.cols[idx]
 		out := store.NewDenseCol(store.KindBool, b.n)

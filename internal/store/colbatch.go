@@ -22,12 +22,12 @@ import "math"
 // column kind (or NULL); the typed accessors (Int, Float, Str) index
 // positions where the null mask is false.
 type Col struct {
-	Kind Kind
-	Null []bool    // Null[i] reports whether cell i is NULL
-	Int  []int64   // KindInt and KindBool (0/1)
+	Kind  Kind
+	Null  []bool    // Null[i] reports whether cell i is NULL
+	Int   []int64   // KindInt and KindBool (0/1)
 	Float []float64 // KindFloat
-	Str  []string  // KindString
-	Vals []Value   // generic mode (Kind == KindNull): arbitrary cells
+	Str   []string  // KindString
+	Vals  []Value   // generic mode (Kind == KindNull): arbitrary cells
 }
 
 // NewCol returns an empty column of the given kind with room for
@@ -251,23 +251,38 @@ func (cb *ColBatch) AppendRow(r Row) {
 	cb.Rows++
 }
 
-// ScanBatch streams the table's rows as columnar batches of up to
-// batchRows rows each, in unspecified order, until fn returns false.
-// Each batch is freshly allocated and owned by fn; its cells are
-// copies, so batches stay valid (and immutable-safe) after the scan
-// returns and concurrent writers run.
+// ScanBatch streams the table's latest-version rows as columnar
+// batches of up to batchRows rows each, in unspecified order, until fn
+// returns false. Each batch is freshly allocated and owned by fn; its
+// cells are copies, so batches stay valid (and immutable-safe) after
+// the scan returns and concurrent writers run.
 func (t *Table) ScanBatch(batchRows int, fn func(*ColBatch) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.scanBatchLocked(t.commit, batchRows, fn)
+}
+
+// ScanBatchAt is ScanBatch at a pinned commit version.
+func (t *Table) ScanBatchAt(v int64, batchRows int, fn func(*ColBatch) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.scanBatchLocked(v, batchRows, fn)
+}
+
+func (t *Table) scanBatchLocked(v int64, batchRows int, fn func(*ColBatch) bool) {
 	if batchRows < 1 {
 		batchRows = 1
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	var cb *ColBatch
-	for _, r := range t.rows {
+	for _, chain := range t.rows {
+		i := visibleIdx(chain, v)
+		if i < 0 {
+			continue
+		}
 		if cb == nil {
 			cb = NewColBatch(t.schema, batchRows)
 		}
-		cb.AppendRow(r)
+		cb.AppendRow(chain[i].row)
 		if cb.Rows == batchRows {
 			out := cb
 			cb = nil
@@ -287,10 +302,21 @@ func (t *Table) ScanBatch(batchRows int, fn func(*ColBatch) bool) {
 func (t *Table) GatherCols(ids []int64) *ColBatch {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	return t.gatherColsLocked(t.commit, ids)
+}
+
+// GatherColsAt is GatherCols at a pinned commit version.
+func (t *Table) GatherColsAt(v int64, ids []int64) *ColBatch {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.gatherColsLocked(v, ids)
+}
+
+func (t *Table) gatherColsLocked(v int64, ids []int64) *ColBatch {
 	cb := NewColBatch(t.schema, len(ids))
 	for _, id := range ids {
-		if r, ok := t.rows[id]; ok {
-			cb.AppendRow(r)
+		if i := visibleIdx(t.rows[id], v); i >= 0 {
+			cb.AppendRow(t.rows[id][i].row)
 		}
 	}
 	return cb

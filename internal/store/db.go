@@ -121,6 +121,41 @@ type DB struct {
 	// failed holds the poisoning error once a WAL write/fsync fails;
 	// all access is atomic (checked lock-free on every mutation).
 	failed atomic.Pointer[error]
+	// snapCount tracks outstanding pinned snapshots (leak accounting).
+	snapCount atomic.Int64
+	// hooks receive a CommitEvent per committed mutation batch on any
+	// table; hookMu guards registration against concurrent dispatch.
+	hookMu sync.RWMutex
+	hooks  []func(CommitEvent)
+}
+
+// OnCommit registers fn to receive one CommitEvent per committed
+// mutation batch on any table, including tables created later. fn runs
+// synchronously inside the table's commit critical section — in strict
+// per-table version order — so it must be fast and must not call back
+// into the store.
+func (db *DB) OnCommit(fn func(CommitEvent)) {
+	db.hookMu.Lock()
+	db.hooks = append(db.hooks, fn)
+	db.hookMu.Unlock()
+}
+
+// dispatchCommit fans one table's commit event out to the registered
+// hooks. Installed as every table's onCommit at registration time.
+func (db *DB) dispatchCommit(ev CommitEvent) {
+	db.hookMu.RLock()
+	hooks := db.hooks
+	db.hookMu.RUnlock()
+	for _, fn := range hooks {
+		fn(ev)
+	}
+}
+
+// registerTable wires a freshly created table into the commit-event
+// stream before it is published.
+func (db *DB) registerTable(t *Table) *Table {
+	t.setOnCommit(db.dispatchCommit)
+	return t
 }
 
 // Open creates or reopens a database with default options (real
@@ -269,7 +304,7 @@ func (db *DB) CreateTable(name string, schema *Schema) (*Table, error) {
 	if _, dup := db.tables[name]; dup {
 		return nil, fmt.Errorf("store: table %q already exists", name)
 	}
-	t := NewTable(name, schema)
+	t := db.registerTable(NewTable(name, schema))
 	db.tables[name] = t
 	if db.wal != nil {
 		if err := db.wal.logCreateTable(name, schema); err != nil {
@@ -302,12 +337,26 @@ func (db *DB) TableNames() []string {
 	return names
 }
 
-// Insert inserts a row through the DB so it is WAL-logged.
+// table resolves a table name; callers hold db.mu.
+func (db *DB) tableLocked(name string) (*Table, error) {
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("store: no table %q", name)
+	}
+	return t, nil
+}
+
+// Insert inserts a row through the DB so it is WAL-logged. Single-row
+// mutations hold the database read lock for their whole span: they run
+// concurrently with each other and with snapshot pins, but never
+// interleave with a CommitDeltas publish (which holds the write lock).
 func (db *DB) Insert(table string, r Row) (int64, error) {
 	if err := db.Failed(); err != nil {
 		return 0, err
 	}
-	t, err := db.Table(table)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, err := db.tableLocked(table)
 	if err != nil {
 		return 0, err
 	}
@@ -330,7 +379,9 @@ func (db *DB) Delete(table string, id int64) (bool, error) {
 	if err := db.Failed(); err != nil {
 		return false, err
 	}
-	t, err := db.Table(table)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, err := db.tableLocked(table)
 	if err != nil {
 		return false, err
 	}
@@ -355,7 +406,9 @@ func (db *DB) Update(table string, id int64, r Row) error {
 	if err := db.Failed(); err != nil {
 		return err
 	}
-	t, err := db.Table(table)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, err := db.tableLocked(table)
 	if err != nil {
 		return err
 	}
@@ -375,34 +428,6 @@ func (db *DB) Update(table string, id int64, r Row) error {
 		}
 	}
 	return nil
-}
-
-// deleteByValue removes one row equal to r (used by WAL replay).
-func (t *Table) deleteByValue(r Row) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	for id, existing := range t.rows {
-		if len(existing) != len(r) {
-			continue
-		}
-		match := true
-		for i := range r {
-			if existing[i].K != r[i].K || !Equal(existing[i], r[i]) {
-				match = false
-				break
-			}
-		}
-		if !match {
-			continue
-		}
-		for _, idx := range t.indexes {
-			idx.remove(existing[idx.column], id)
-		}
-		delete(t.rows, id)
-		t.version++
-		return true
-	}
-	return false
 }
 
 // Checkpoint writes a full snapshot and truncates the WAL. The
@@ -572,14 +597,20 @@ func writeTableSnapshot(w io.Writer, t *Table) error {
 		buf = appendString(buf, ix.col)
 		buf = append(buf, byte(ix.typ))
 	}
-	// Rows.
-	buf = binary.AppendUvarint(buf, uint64(len(t.rows)))
+	// Rows: the versions visible at the current commit — a snapshot is
+	// a point-in-time image, so superseded and pending-GC versions are
+	// not persisted.
+	buf = binary.AppendUvarint(buf, uint64(t.live))
 	if _, err := w.Write(buf); err != nil {
 		return err
 	}
 	var rowBuf []byte
-	for _, r := range t.rows {
-		rowBuf = AppendRow(rowBuf[:0], r)
+	for _, chain := range t.rows {
+		i := visibleIdx(chain, t.commit)
+		if i < 0 {
+			continue
+		}
+		rowBuf = AppendRow(rowBuf[:0], chain[i].row)
 		if _, err := w.Write(rowBuf); err != nil {
 			return err
 		}
@@ -728,7 +759,7 @@ func (db *DB) loadTableSnapshot(r *bufio.Reader) error {
 			return err
 		}
 	}
-	db.tables[name] = t
+	db.tables[name] = db.registerTable(t)
 	return nil
 }
 
@@ -814,6 +845,12 @@ const (
 	walCreateTable = 1
 	walInsert      = 2
 	walDelete      = 3
+	// walBatch is an atomic multi-table delta: per table, the deleted
+	// rows' values followed by the inserted rows. The whole batch rides
+	// in ONE length-prefixed CRC-protected record, so recovery replays
+	// it entirely or not at all — a power cut mid-publish lands on
+	// exactly the old or the new version, never between.
+	walBatch = 4
 )
 
 // walWriter appends length-prefixed CRC-protected records, each
@@ -1004,6 +1041,31 @@ func (w *walWriter) logDelete(table string, r Row) error {
 	p = append(p, walDelete)
 	p = appendString(p, table)
 	p = AppendRow(p, r)
+	return w.writeRecord(p)
+}
+
+// walTableDelta is one table's slice of a batch record.
+type walTableDelta struct {
+	table   string
+	deletes []Row
+	inserts []Row
+}
+
+func (w *walWriter) logBatch(deltas []walTableDelta) error {
+	var p []byte
+	p = append(p, walBatch)
+	p = binary.AppendUvarint(p, uint64(len(deltas)))
+	for _, d := range deltas {
+		p = appendString(p, d.table)
+		p = binary.AppendUvarint(p, uint64(len(d.deletes)))
+		for _, r := range d.deletes {
+			p = AppendRow(p, r)
+		}
+		p = binary.AppendUvarint(p, uint64(len(d.inserts)))
+		for _, r := range d.inserts {
+			p = AppendRow(p, r)
+		}
+	}
 	return w.writeRecord(p)
 }
 
@@ -1215,7 +1277,7 @@ func (db *DB) applyWALRecord(p []byte) error {
 		if _, exists := db.tables[name]; exists {
 			return nil // snapshot already has it
 		}
-		db.tables[name] = NewTable(name, schema)
+		db.tables[name] = db.registerTable(NewTable(name, schema))
 		return nil
 	case walInsert:
 		name, err := readString(r)
@@ -1246,6 +1308,48 @@ func (db *DB) applyWALRecord(p []byte) error {
 			return fmt.Errorf("delete from unknown table %q", name)
 		}
 		t.deleteByValue(row)
+		return nil
+	case walBatch:
+		nTables, err := binary.ReadUvarint(r)
+		if err != nil {
+			return err
+		}
+		for ti := uint64(0); ti < nTables; ti++ {
+			name, err := readString(r)
+			if err != nil {
+				return err
+			}
+			readRows := func() ([]Row, error) {
+				n, err := binary.ReadUvarint(r)
+				if err != nil {
+					return nil, err
+				}
+				rows := make([]Row, 0, n)
+				for i := uint64(0); i < n; i++ {
+					row, err := ReadRow(r)
+					if err != nil {
+						return nil, err
+					}
+					rows = append(rows, row)
+				}
+				return rows, nil
+			}
+			deletes, err := readRows()
+			if err != nil {
+				return err
+			}
+			inserts, err := readRows()
+			if err != nil {
+				return err
+			}
+			t, ok := db.tables[name]
+			if !ok {
+				return fmt.Errorf("batch delta for unknown table %q", name)
+			}
+			if err := t.applyDeltaByValue(deletes, inserts); err != nil {
+				return err
+			}
+		}
 		return nil
 	}
 	return fmt.Errorf("unknown WAL record type %d", p[0])

@@ -118,10 +118,11 @@ func clamp01(x float64) float64 {
 func (t *Table) Stats() *TableStats {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	rows := t.snapshotLocked(t.commit)
 	ts := &TableStats{
 		Table:   t.name,
-		Rows:    int64(len(t.rows)),
-		Version: t.version,
+		Rows:    int64(len(rows)),
+		Version: t.commit,
 	}
 	n := t.schema.Len()
 	type acc struct {
@@ -134,7 +135,7 @@ func (t *Table) Stats() *TableStats {
 		accs[i].distinct = make(map[uint64]struct{})
 		accs[i].cs = ColumnStats{Name: t.schema.Columns[i].Name, Kind: t.schema.Columns[i].Kind}
 	}
-	for _, r := range t.rows {
+	for _, r := range rows {
 		for i, v := range r {
 			if v.IsNull() {
 				continue
@@ -167,7 +168,7 @@ func (t *Table) Stats() *TableStats {
 			a.cs.Hist = make([]int64, histogramBuckets)
 		}
 	}
-	for _, r := range t.rows {
+	for _, r := range rows {
 		for i, v := range r {
 			a := &accs[i]
 			if a.cs.Hist == nil || v.IsNull() || !v.Numeric() {
